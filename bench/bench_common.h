@@ -1,0 +1,104 @@
+// Shared helpers for the figure-reproduction harnesses: a tiny flag parser,
+// aligned table printing, and optional CSV dumping. Every harness runs with
+// no arguments at laptop scale; pass --nodes / --requests etc. to scale up,
+// and --csv PATH to dump the series for plotting.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace piggy::bench {
+
+/// \brief "--key value" flag parser with typed getters.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i + 1 <= argc - 1; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) key = key.substr(2);
+      values_[key] = argv[i + 1];
+    }
+  }
+
+  int64_t Int(const std::string& key, int64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atoll(it->second.c_str());
+  }
+
+  double Double(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+
+  std::string Str(const std::string& key, const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// \brief Collects rows and prints them as an aligned table (and CSV).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> row) {
+    PIGGY_CHECK_EQ(row.size(), columns_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&width](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%s  ", std::string(width[c], '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+    std::fflush(stdout);
+  }
+
+  void WriteCsv(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    out << StrJoin(columns_, ",") << "\n";
+    for (const auto& row : rows_) out << StrJoin(row, ",") << "\n";
+    std::printf("[csv written to %s]\n", path.c_str());
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 3) {
+  return StrFormat("%.*f", precision, v);
+}
+
+inline void Banner(const std::string& title, const std::string& expectation) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), expectation.c_str());
+}
+
+}  // namespace piggy::bench

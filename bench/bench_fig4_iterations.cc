@@ -1,0 +1,74 @@
+// Figure 4: predicted improvement ratio of PARALLELNOSY over the FF hybrid
+// baseline, as a function of the optimization iteration, on the flickr-like
+// and twitter-like graphs (stand-ins for the full crawls; see DESIGN.md).
+//
+// Paper shape: sharp improvement over the first few iterations, then a
+// plateau below ~2.2x; the denser twitter graph plateaus above flickr.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/cost_model.h"
+#include "core/parallel_nosy.h"
+#include "gen/presets.h"
+#include "graph/graph_stats.h"
+#include "util/timer.h"
+#include "workload/workload.h"
+
+using namespace piggy;
+using namespace piggy::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t nodes = static_cast<size_t>(flags.Int("nodes", 20000));
+  const size_t iterations = static_cast<size_t>(flags.Int("iterations", 20));
+  const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+
+  Banner("Figure 4 - predicted improvement ratio of ParallelNosy vs iteration",
+         "expect: sharp rise in early iterations, plateau <= ~2.2x; "
+         "twitter-like above flickr-like");
+
+  Table table({"iteration", "flickr_ratio", "twitter_ratio"});
+  std::vector<std::vector<double>> series;
+
+  struct Dataset {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Dataset> datasets;
+  datasets.push_back({"flickr", MakeFlickrLike(nodes, seed).ValueOrDie()});
+  datasets.push_back({"twitter", MakeTwitterLike(nodes, seed).ValueOrDie()});
+
+  for (auto& [name, graph] : datasets) {
+    std::printf("%s-like: %s\n", name,
+                ComputeGraphStats(graph, 2000, seed).ToString().c_str());
+    Workload w = GenerateWorkload(graph, {.read_write_ratio = 5.0}).ValueOrDie();
+    double ff = HybridCost(graph, w);
+
+    ParallelNosyOptions opt;
+    opt.max_iterations = iterations;
+    WallTimer timer;
+    auto result = RunParallelNosy(graph, w, opt).ValueOrDie();
+    std::printf("%s-like: %zu iterations in %.1fs (converged=%d), final ratio %.3f\n",
+                name, result.iterations.size(), timer.Seconds(),
+                result.converged, ImprovementRatio(ff, result.final_cost));
+
+    std::vector<double> ratios;
+    for (const auto& it : result.iterations) {
+      ratios.push_back(ImprovementRatio(ff, it.cost_after));
+    }
+    // Pad the series to the requested length with the converged value.
+    while (ratios.size() < iterations) {
+      ratios.push_back(ratios.empty() ? 1.0 : ratios.back());
+    }
+    series.push_back(std::move(ratios));
+  }
+
+  for (size_t i = 0; i < iterations; ++i) {
+    table.AddRow({std::to_string(i + 1), Fmt(series[0][i]), Fmt(series[1][i])});
+  }
+  std::printf("\n");
+  table.Print();
+  table.WriteCsv(flags.Str("csv", ""));
+  return 0;
+}

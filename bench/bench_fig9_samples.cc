@@ -1,0 +1,87 @@
+// Figure 9 (a, b): CHITCHAT vs PARALLELNOSY predicted improvement ratio on
+// graph samples, as a function of the read/write ratio (mean consumption /
+// mean production), for random-walk (9a) and breadth-first (9b) samples of
+// the flickr-like and twitter-like graphs.
+//
+// Paper shape: CHITCHAT > PARALLELNOSY > 1 everywhere (the richer hub-graph
+// space pays); both decay toward 1 as the workload becomes read-dominated
+// (push-all-ish hybrid schedules approach optimality); breadth-first samples
+// give larger gains than random-walk samples (they preserve high-degree hub
+// neighborhoods).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/chitchat.h"
+#include "core/cost_model.h"
+#include "core/parallel_nosy.h"
+#include "gen/presets.h"
+#include "sampling/samplers.h"
+#include "util/timer.h"
+#include "workload/workload.h"
+
+using namespace piggy;
+using namespace piggy::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t nodes = static_cast<size_t>(flags.Int("nodes", 20000));
+  const size_t sample_edges = static_cast<size_t>(flags.Int("sample_edges", 20000));
+  const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+
+  Banner("Figure 9 - ChitChat vs ParallelNosy on graph samples vs read/write "
+         "ratio",
+         "expect: ChitChat >= ParallelNosy > 1; gains decay toward 1 as the "
+         "ratio grows; breadth-first samples beat random-walk samples");
+
+  struct Source {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Source> sources;
+  sources.push_back({"flickr", MakeFlickrLike(nodes, seed).ValueOrDie()});
+  sources.push_back({"twitter", MakeTwitterLike(nodes, seed).ValueOrDie()});
+
+  const std::vector<double> ratios = {1, 2, 5, 10, 20, 50, 100};
+
+  for (const char* method : {"random-walk", "breadth-first"}) {
+    Table table({"read_write_ratio", "flickr_chitchat", "flickr_parallelnosy",
+                 "twitter_chitchat", "twitter_parallelnosy"});
+    std::printf("--- %s sampling (%zu target edges) ---\n", method, sample_edges);
+
+    // One sample per source graph (the paper averages 5; see EXPERIMENTS.md).
+    std::vector<Graph> samples;
+    for (auto& [name, graph] : sources) {
+      GraphSample s =
+          (std::string(method) == "random-walk")
+              ? RandomWalkSample(graph, sample_edges, seed).ValueOrDie()
+              : BreadthFirstSample(graph, sample_edges, seed).ValueOrDie();
+      std::printf("%s sample: %zu nodes, %zu edges\n", name,
+                  s.graph.num_nodes(), s.graph.num_edges());
+      samples.push_back(std::move(s.graph));
+    }
+
+    for (double ratio : ratios) {
+      std::vector<std::string> row{Fmt(ratio, 0)};
+      for (Graph& sample : samples) {
+        Workload w = GenerateWorkload(sample, {.read_write_ratio = ratio,
+                                               .min_rate = 0.01})
+                         .ValueOrDie();
+        double ff = HybridCost(sample, w);
+        WallTimer timer;
+        Schedule cc = RunChitChat(sample, w).ValueOrDie();
+        double cc_cost = ScheduleCost(sample, w, cc, ResidualPolicy::kFree);
+        auto pn = RunParallelNosy(sample, w).ValueOrDie();
+        row.push_back(Fmt(ImprovementRatio(ff, cc_cost)));
+        row.push_back(Fmt(ImprovementRatio(ff, pn.final_cost)));
+        (void)timer;
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::string csv = flags.Str("csv", "");
+    if (!csv.empty()) table.WriteCsv(csv + "." + method);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks of the scheduling algorithms (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/baselines.h"
+#include "core/validator.h"
+#include "core/chitchat.h"
+#include "core/cost_model.h"
+#include "core/densest_subgraph.h"
+#include "core/parallel_nosy.h"
+#include "gen/presets.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  Workload workload;
+};
+
+const Fixture& SharedFixture(size_t nodes) {
+  static std::map<size_t, Fixture> cache;
+  auto it = cache.find(nodes);
+  if (it == cache.end()) {
+    Fixture f;
+    f.graph = MakeFlickrLike(nodes, 1).ValueOrDie();
+    f.workload = GenerateWorkload(f.graph, {.read_write_ratio = 5.0,
+                                            .min_rate = 0.01})
+                     .ValueOrDie();
+    it = cache.emplace(nodes, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_HybridSchedule(benchmark::State& state) {
+  const Fixture& f = SharedFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Schedule s = HybridSchedule(f.graph, f.workload);
+    benchmark::DoNotOptimize(s.push_size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.graph.num_edges()));
+}
+BENCHMARK(BM_HybridSchedule)->Arg(2000)->Arg(10000);
+
+void BM_ScheduleCost(benchmark::State& state) {
+  const Fixture& f = SharedFixture(10000);
+  Schedule s = HybridSchedule(f.graph, f.workload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScheduleCost(f.graph, f.workload, s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.graph.num_edges()));
+}
+BENCHMARK(BM_ScheduleCost);
+
+void BM_DensestSubgraphPeeling(benchmark::State& state) {
+  // Synthetic hub-graph with the given side size and ~30% cross density.
+  const size_t side = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  HubGraphInstance inst;
+  inst.hub = 0;
+  for (size_t p = 0; p < side; ++p) {
+    inst.producers.push_back(static_cast<NodeId>(p));
+    inst.producer_weight.push_back(0.5 + rng.UniformDouble());
+    inst.producer_link_in_z.push_back(1);
+  }
+  for (size_t c = 0; c < side; ++c) {
+    inst.consumers.push_back(static_cast<NodeId>(10000 + c));
+    inst.consumer_weight.push_back(0.5 + rng.UniformDouble());
+    inst.consumer_link_in_z.push_back(1);
+  }
+  for (uint32_t p = 0; p < side; ++p) {
+    for (uint32_t c = 0; c < side; ++c) {
+      if (rng.Bernoulli(0.3)) inst.cross_edges.emplace_back(p, c);
+    }
+  }
+  for (auto _ : state) {
+    auto sol = SolveWeightedDensestSubgraph(inst);
+    benchmark::DoNotOptimize(sol.density);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(inst.cross_edges.size()));
+}
+BENCHMARK(BM_DensestSubgraphPeeling)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ParallelNosyIteration(benchmark::State& state) {
+  const Fixture& f = SharedFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ParallelNosyOptions opt;
+    opt.max_iterations = 1;  // cost of a single optimization iteration
+    opt.finalize_hybrid = false;
+    auto result = RunParallelNosy(f.graph, f.workload, opt).ValueOrDie();
+    benchmark::DoNotOptimize(result.iterations[0].candidates);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.graph.num_edges()));
+}
+BENCHMARK(BM_ParallelNosyIteration)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelNosyFull(benchmark::State& state) {
+  const Fixture& f = SharedFixture(2000);
+  for (auto _ : state) {
+    auto result = RunParallelNosy(f.graph, f.workload).ValueOrDie();
+    benchmark::DoNotOptimize(result.final_cost);
+  }
+  state.SetLabel("to convergence");
+}
+BENCHMARK(BM_ParallelNosyFull)->Unit(benchmark::kMillisecond);
+
+void BM_ChitChatFull(benchmark::State& state) {
+  const Fixture& f = SharedFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Schedule s = RunChitChat(f.graph, f.workload).ValueOrDie();
+    benchmark::DoNotOptimize(s.hub_covered_size());
+  }
+}
+BENCHMARK(BM_ChitChatFull)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_ValidateSchedule(benchmark::State& state) {
+  const Fixture& f = SharedFixture(10000);
+  auto pn = RunParallelNosy(f.graph, f.workload).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidateSchedule(f.graph, pn.schedule).ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.graph.num_edges()));
+}
+BENCHMARK(BM_ValidateSchedule)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace piggy
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Micro-benchmarks of the graph substrate (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "gen/presets.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace piggy {
+namespace {
+
+const Graph& SharedGraph() {
+  static const Graph g = MakeFlickrLike(20000, 1).ValueOrDie();
+  return g;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Edge> edges;
+  Rng rng(7);
+  for (size_t i = 0; i < n * 10; ++i) {
+    edges.push_back(Edge{static_cast<NodeId>(rng.Uniform(n)),
+                         static_cast<NodeId>(rng.Uniform(n))});
+  }
+  for (auto _ : state) {
+    GraphBuilder b(n);
+    for (const Edge& e : edges) b.AddEdge(e.src, e.dst);
+    Graph g = std::move(b).Build().ValueOrDie();
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(10000);
+
+void BM_HasEdge(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  Rng rng(11);
+  std::vector<std::pair<NodeId, NodeId>> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.emplace_back(static_cast<NodeId>(rng.Uniform(g.num_nodes())),
+                        static_cast<NodeId>(rng.Uniform(g.num_nodes())));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [u, v] = probes[i++ & 1023];
+    benchmark::DoNotOptimize(g.HasEdge(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HasEdge);
+
+void BM_NeighborScan(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  NodeId u = 0;
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (NodeId v : g.OutNeighbors(u)) sum += v;
+    benchmark::DoNotOptimize(sum);
+    u = (u + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_NeighborScan);
+
+void BM_EdgeIndex(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  std::vector<Edge> edges = g.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Edge& e = edges[i++ % edges.size()];
+    benchmark::DoNotOptimize(g.EdgeIndex(e.src, e.dst));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdgeIndex);
+
+void BM_DynamicGraphChurn(benchmark::State& state) {
+  DynamicGraph g(10000);
+  Rng rng(13);
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(10000));
+    NodeId v = static_cast<NodeId>(rng.Uniform(10000));
+    if (rng.Bernoulli(0.6)) {
+      g.AddEdge(u, v);
+    } else {
+      g.RemoveEdge(u, v);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicGraphChurn);
+
+void BM_TwoPointerIntersection(benchmark::State& state) {
+  // The hot inner loop of candidate/cross-edge detection.
+  const Graph& g = SharedGraph();
+  Rng rng(17);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 256; ++i) {
+    nodes.push_back(static_cast<NodeId>(rng.Uniform(g.num_nodes())));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    NodeId a = nodes[i++ & 255];
+    NodeId b = nodes[i & 255];
+    auto out_a = g.OutNeighbors(a);
+    auto out_b = g.OutNeighbors(b);
+    size_t common = 0;
+    size_t x = 0, y = 0;
+    while (x < out_a.size() && y < out_b.size()) {
+      if (out_a[x] < out_b[y]) {
+        ++x;
+      } else if (out_a[x] > out_b[y]) {
+        ++y;
+      } else {
+        ++common;
+        ++x;
+        ++y;
+      }
+    }
+    benchmark::DoNotOptimize(common);
+  }
+}
+BENCHMARK(BM_TwoPointerIntersection);
+
+}  // namespace
+}  // namespace piggy
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Micro-benchmarks of the prototype store path (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.h"
+#include "core/parallel_nosy.h"
+#include "gen/presets.h"
+#include "store/prototype.h"
+#include "util/alias_table.h"
+#include "util/u64_containers.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+struct System {
+  Graph graph;
+  Workload workload;
+  std::unique_ptr<Prototype> prototype;
+  AliasTable* share_sampler = nullptr;
+  AliasTable* query_sampler = nullptr;
+};
+
+System& SharedSystem() {
+  static System sys = [] {
+    System s;
+    s.graph = MakeFlickrLike(5000, 1).ValueOrDie();
+    s.workload = GenerateWorkload(s.graph, {.read_write_ratio = 5.0,
+                                            .min_rate = 0.01})
+                     .ValueOrDie();
+    auto pn = RunParallelNosy(s.graph, s.workload).ValueOrDie();
+    PrototypeOptions opt;
+    opt.num_servers = 64;
+    s.prototype = Prototype::Create(s.graph, pn.schedule, opt).MoveValueOrDie();
+    s.share_sampler = new AliasTable(s.workload.production);
+    s.query_sampler = new AliasTable(s.workload.consumption);
+    return s;
+  }();
+  return sys;
+}
+
+void BM_ShareEvent(benchmark::State& state) {
+  System& sys = SharedSystem();
+  Rng rng(3);
+  for (auto _ : state) {
+    sys.prototype->ShareEvent(sys.share_sampler->Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShareEvent);
+
+void BM_QueryStream(benchmark::State& state) {
+  System& sys = SharedSystem();
+  Rng rng(5);
+  // Warm the views so queries do real merge work.
+  for (int i = 0; i < 5000; ++i) {
+    sys.prototype->ShareEvent(sys.share_sampler->Sample(rng));
+  }
+  for (auto _ : state) {
+    auto stream = sys.prototype->QueryStream(sys.query_sampler->Sample(rng));
+    benchmark::DoNotOptimize(stream.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryStream);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  System& sys = SharedSystem();
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.share_sampler->Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_U64SetInsertContains(benchmark::State& state) {
+  U64Set set;
+  Rng rng(9);
+  for (auto _ : state) {
+    uint64_t key = rng.Uniform(1 << 20);
+    if (rng.Bernoulli(0.5)) {
+      set.Insert(key);
+    } else {
+      benchmark::DoNotOptimize(set.Contains(key));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_U64SetInsertContains);
+
+void BM_PlacementAwareCost(benchmark::State& state) {
+  System& sys = SharedSystem();
+  Schedule ff = HybridSchedule(sys.graph, sys.workload);
+  HashPartitioner part(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PlacementAwareCost(sys.graph, sys.workload, ff, part));
+  }
+}
+BENCHMARK(BM_PlacementAwareCost)->Arg(10)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace piggy
+
+BENCHMARK_MAIN();

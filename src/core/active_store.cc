@@ -1,0 +1,127 @@
+#include "core/active_store.h"
+
+#include <deque>
+
+#include "util/string_util.h"
+
+namespace piggy {
+
+void ActiveSchedule::AddPropagation(NodeId producer, NodeId via, NodeId target) {
+  uint64_t key = EdgeKey(producer, via);
+  std::vector<NodeId>* targets = sets_.Find(key);
+  if (targets == nullptr) {
+    sets_.Put(key, {target});
+    ++entries_;
+    return;
+  }
+  for (NodeId t : *targets) {
+    if (t == target) return;  // already present
+  }
+  targets->push_back(target);
+  ++entries_;
+}
+
+std::vector<NodeId> ActiveSchedule::PropagationSet(NodeId producer,
+                                                   NodeId via) const {
+  const std::vector<NodeId>* targets = sets_.Find(EdgeKey(producer, via));
+  return targets ? *targets : std::vector<NodeId>{};
+}
+
+Status ActiveSchedule::Validate(const Graph& g) const {
+  Status failure = Status::OK();
+  ForEachPropagation([&](NodeId producer, NodeId via, NodeId target) {
+    if (!failure.ok()) return;
+    if (!g.HasEdge(producer, via)) {
+      failure = Status::FailedPrecondition(
+          StrFormat("propagation rides missing edge %u->%u", producer, via));
+    } else if (!g.HasEdge(producer, target)) {
+      failure = Status::FailedPrecondition(
+          StrFormat("propagation to %u, who does not subscribe to %u", target,
+                    producer));
+    }
+  });
+  return failure;
+}
+
+namespace {
+
+// Views that store events of `producer` under the active schedule, found by
+// BFS over push edges and propagation sets. Returns pairs of (view,
+// deliveries), deliveries being how many times the event arrives (each costs
+// rp under the active cost model; the passive simulation pays once).
+std::vector<std::pair<NodeId, size_t>> ActiveDeliveries(const Graph& g,
+                                                        const ActiveSchedule& s,
+                                                        NodeId producer) {
+  U64Map<size_t> deliveries;  // view -> arrival count
+  std::deque<NodeId> frontier;
+
+  // Client-side pushes.
+  for (NodeId v : g.OutNeighbors(producer)) {
+    if (s.base().IsPush(producer, v)) {
+      deliveries.Put(v, 1);
+      frontier.push_back(v);
+    }
+  }
+  // Server-side propagation: triggered only on *first* arrival
+  // (Definition 5: "stores for the first time").
+  while (!frontier.empty()) {
+    NodeId via = frontier.front();
+    frontier.pop_front();
+    for (NodeId target : s.PropagationSet(producer, via)) {
+      size_t* count = deliveries.Find(target);
+      if (count == nullptr) {
+        deliveries.Put(target, 1);
+        frontier.push_back(target);
+      } else {
+        ++*count;  // duplicate delivery: charged, never re-propagated
+      }
+    }
+  }
+
+  std::vector<std::pair<NodeId, size_t>> out;
+  out.reserve(deliveries.size());
+  deliveries.ForEach([&out](uint64_t view, size_t count) {
+    out.emplace_back(static_cast<NodeId>(view), count);
+  });
+  return out;
+}
+
+}  // namespace
+
+double ActiveScheduleCost(const Graph& g, const Workload& w,
+                          const ActiveSchedule& s) {
+  double cost = 0;
+  // Pull side: as in the passive model.
+  s.base().ForEachPull([&](const Edge& e) {
+    if (g.HasEdge(e.src, e.dst)) cost += w.rc(e.dst);
+  });
+  // Push + propagation side: every delivery of u's events costs rp(u).
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& [view, count] : ActiveDeliveries(g, s, u)) {
+      (void)view;
+      cost += w.rp(u) * static_cast<double>(count);
+    }
+  }
+  return cost;
+}
+
+Result<Schedule> SimulateAsPassive(const Graph& g, const ActiveSchedule& s) {
+  PIGGY_RETURN_NOT_OK(s.Validate(g));
+  Schedule passive;
+  s.base().ForEachPull([&passive](const Edge& e) { passive.AddPull(e.src, e.dst); });
+  // Flatten every reachable (producer, view) delivery into one direct push.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& [view, count] : ActiveDeliveries(g, s, u)) {
+      (void)count;
+      passive.AddPush(u, view);
+    }
+  }
+  // Hub covers (if any) carry over untouched: their wiring lives in H and L
+  // and flattening only adds pushes.
+  s.base().ForEachHubCover([&passive](const Edge& e, NodeId hub) {
+    passive.SetHubCover(e.src, e.dst, hub);
+  });
+  return passive;
+}
+
+}  // namespace piggy

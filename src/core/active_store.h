@@ -1,0 +1,83 @@
+// Active stores: propagation sets and their passive simulation
+// (paper Definition 5 and Theorem 3).
+//
+// Passive data stores only react to client requests; active middleware can
+// additionally propagate events server-to-server: each edge w -> u may carry
+// a propagation set P_u(w) of users to whose views u's server forwards an
+// event produced by w when it first arrives in u's view. Chains of pushes
+// u -> w1 -> ... -> wk become possible.
+//
+// Theorem 3 shows this buys nothing: any active schedule can be simulated by
+// a passive one — replace every propagation chain from a producer u by
+// direct pushes u -> wi — at equal or lower cost (lower when two chains
+// deliver the same event twice) and equal or lower latency. This module
+// implements the construction so the claim is executable and tested.
+
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "graph/graph.h"
+#include "util/status.h"
+#include "util/u64_containers.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// \brief An active-store request schedule: (H, L) plus propagation sets.
+class ActiveSchedule {
+ public:
+  Schedule& base() { return base_; }
+  const Schedule& base() const { return base_; }
+
+  /// Declares that when the view of `via` first stores an event produced by
+  /// `producer` (over graph edge producer -> via), the server forwards it to
+  /// the view of `target`. Definition 5 requires target to subscribe to the
+  /// producer (producer -> target in E) — enforced by Validate().
+  void AddPropagation(NodeId producer, NodeId via, NodeId target);
+
+  /// Propagation targets for the (producer, via) pair.
+  std::vector<NodeId> PropagationSet(NodeId producer, NodeId via) const;
+
+  /// Total number of propagation entries.
+  size_t propagation_size() const { return entries_; }
+
+  /// Calls fn(producer, via, target) for every propagation entry.
+  template <typename F>
+  void ForEachPropagation(F fn) const {
+    sets_.ForEach([&fn](uint64_t key, const std::vector<NodeId>& targets) {
+      Edge e = EdgeFromKey(key);
+      for (NodeId t : targets) fn(e.src, e.dst, t);
+    });
+  }
+
+  /// Checks Definition 5's constraints against the graph: propagation rides
+  /// on existing edges (producer -> via in E) and only reaches subscribers of
+  /// the producer (producer -> target in E).
+  Status Validate(const Graph& g) const;
+
+ private:
+  Schedule base_;
+  // (producer, via) -> propagation targets.
+  U64Map<std::vector<NodeId>> sets_;
+  size_t entries_ = 0;
+};
+
+/// \brief Throughput cost of an active schedule (paper Sec. 2.1 extended):
+/// every propagation delivery of an event by u costs rp(u), exactly like a
+/// client push. Events reachable through several chains are charged per
+/// delivery — the slack Theorem 3's construction removes.
+double ActiveScheduleCost(const Graph& g, const Workload& w,
+                          const ActiveSchedule& s);
+
+/// \brief Theorem 3's construction: the passive schedule simulating an
+/// active one. Every view reachable from producer u through push + propagation
+/// chains becomes a direct push u -> view; L is copied unchanged.
+///
+/// The result serves every (producer, view) delivery of the active schedule
+/// with cost no greater than ActiveScheduleCost (strictly lower when chains
+/// overlap), and with lower or equal staleness (one hop instead of many).
+Result<Schedule> SimulateAsPassive(const Graph& g, const ActiveSchedule& s);
+
+}  // namespace piggy

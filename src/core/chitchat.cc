@@ -1,0 +1,342 @@
+#include "core/chitchat.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "core/cost_model.h"
+#include "core/densest_subgraph.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace piggy {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct HubSlot {
+  HubGraphInstance instance;
+  DensestSubgraphSolution solution;
+  uint64_t version = 0;
+  // Set when an edge of the maximal hub-graph changed since the last oracle
+  // run. A dirty slot's true density can only have DECREASED (coverage
+  // shrank); the only density-increasing events — node weights dropping to
+  // zero because an edge entered H or L — happen solely at the hub selected
+  // this step (or a singleton's endpoints) and trigger an eager refresh
+  // there. This is what makes lazy re-evaluation sound (see Run()).
+  bool dirty = false;
+};
+
+struct HubEntry {
+  double density;  // newly covered elements per unit cost (maximize)
+  size_t covered;  // elements covered; tie-break toward broader candidates
+  NodeId hub;
+  uint64_t version;
+};
+// Max-heap order: higher density first; among equal densities prefer more
+// coverage (degenerate link-only hub-graphs tie with direct service; a hub
+// that additionally piggybacks cross edges is weakly better for set cover);
+// then smaller hub id for determinism.
+struct HubEntryCmp {
+  bool operator()(const HubEntry& a, const HubEntry& b) const {
+    if (a.density != b.density) return a.density < b.density;
+    if (a.covered != b.covered) return a.covered < b.covered;
+    return a.hub > b.hub;
+  }
+};
+
+struct SingletonEntry {
+  double cost;
+  uint32_t edge_idx;
+};
+struct SingletonCmp {
+  bool operator()(const SingletonEntry& a, const SingletonEntry& b) const {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.edge_idx > b.edge_idx;
+  }
+};
+
+class ChitChatRunner {
+ public:
+  ChitChatRunner(const Graph& g, const Workload& w, const ChitChatOptions& options)
+      : g_(g), w_(w), options_(options), covered_(g.num_edges(), 0),
+        slots_(g.num_nodes()) {}
+
+  Result<Schedule> Run(ChitChatStats* stats) {
+    uncovered_ = g_.num_edges();
+
+    // Singleton candidates: every edge at its hybrid cost.
+    {
+      std::vector<SingletonEntry> entries;
+      entries.reserve(g_.num_edges());
+      size_t idx = 0;
+      g_.ForEachEdge([&](const Edge& e) {
+        entries.push_back(
+            {HybridEdgeCost(w_, e.src, e.dst), static_cast<uint32_t>(idx++)});
+      });
+      singletons_ = SingletonQueue(SingletonCmp{}, std::move(entries));
+    }
+
+    // Initial oracle pass over every potential hub.
+    for (NodeId hub = 0; hub < g_.num_nodes(); ++hub) {
+      if (g_.InDegree(hub) + g_.OutDegree(hub) == 0) continue;
+      RefreshHub(hub);
+    }
+
+    // Lazy greedy: heap entries may overstate a hub's density (its coverage
+    // shrank since it was pushed), never understate it — so the first fresh,
+    // non-dirty entry at the top is the true maximum. Dirty tops are
+    // recomputed and reinserted before any selection.
+    while (uncovered_ > 0) {
+      // Drop covered singletons permanently.
+      while (!singletons_.empty() && covered_[singletons_.top().edge_idx]) {
+        singletons_.pop();
+      }
+      PIGGY_CHECK(!singletons_.empty()) << "uncovered edges but no candidates";
+      const double singleton_cost = singletons_.top().cost;
+      const double singleton_density = singleton_cost > 0 ? 1.0 / singleton_cost : kInf;
+
+      // Surface the best live hub entry, refreshing dirty slots on demand.
+      const HubSlot* best_slot = nullptr;
+      double hub_density = -1;
+      while (!hub_queue_.empty()) {
+        const HubEntry& top = hub_queue_.top();
+        HubSlot& slot = slots_[top.hub];
+        if (top.version != slot.version) {
+          hub_queue_.pop();  // superseded by a newer entry
+          continue;
+        }
+        if (slot.dirty) {
+          NodeId hub = top.hub;
+          hub_queue_.pop();
+          RefreshHub(hub);  // recompute and reinsert at the true density
+          continue;
+        }
+        best_slot = &slot;
+        hub_density = top.density;
+        break;
+      }
+
+      if (best_slot != nullptr && best_slot->solution.covered > 0 &&
+          hub_density >= singleton_density) {
+        ApplyHub(*best_slot);
+        ++stats_.hub_selections;
+      } else {
+        SingletonEntry e = singletons_.top();
+        singletons_.pop();
+        ApplySingleton(g_.EdgeAt(e.edge_idx));
+        ++stats_.singleton_selections;
+      }
+      // Eagerly refresh only the hubs whose node weights changed (edges
+      // added to H or L); everything else was merely marked dirty.
+      for (NodeId hub : eager_refresh_) RefreshHub(hub);
+      eager_refresh_.clear();
+    }
+
+    stats_.final_cost = ScheduleCost(g_, w_, schedule_, ResidualPolicy::kFree);
+    if (stats != nullptr) *stats = stats_;
+    return std::move(schedule_);
+  }
+
+ private:
+  using SingletonQueue =
+      std::priority_queue<SingletonEntry, std::vector<SingletonEntry>, SingletonCmp>;
+
+  // Marks edge (u, v) covered; records it for hub recomputation.
+  void Cover(NodeId u, NodeId v) {
+    size_t idx = g_.EdgeIndex(u, v);
+    PIGGY_CHECK_LT(idx, g_.num_edges());
+    if (!covered_[idx]) {
+      covered_[idx] = 1;
+      PIGGY_CHECK_GT(uncovered_, 0u);
+      --uncovered_;
+    }
+    TouchEdge(u, v);
+  }
+
+  bool IsCoveredEdge(NodeId u, NodeId v) const {
+    size_t idx = g_.EdgeIndex(u, v);
+    PIGGY_CHECK_LT(idx, g_.num_edges());
+    return covered_[idx] != 0;
+  }
+
+  // Collects every hub whose maximal hub-graph contains edge (u, v):
+  // u (as a pull link), v (as a push link), and every w on a directed
+  // 2-path u -> w -> v (as a cross edge).
+  void TouchEdge(NodeId u, NodeId v) {
+    TouchHub(u);
+    TouchHub(v);
+    auto out_u = g_.OutNeighbors(u);
+    auto in_v = g_.InNeighbors(v);
+    // Two-pointer intersection of sorted spans.
+    size_t i = 0, j = 0;
+    while (i < out_u.size() && j < in_v.size()) {
+      if (out_u[i] < in_v[j]) {
+        ++i;
+      } else if (out_u[i] > in_v[j]) {
+        ++j;
+      } else {
+        TouchHub(out_u[i]);
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  void TouchHub(NodeId hub) { slots_[hub].dirty = true; }
+
+  void ApplyHub(const HubSlot& slot) {
+    const HubGraphInstance& inst = slot.instance;
+    const DensestSubgraphSolution& sol = slot.solution;
+
+    std::vector<uint8_t> p_sel(inst.producers.size(), 0);
+    std::vector<uint8_t> c_sel(inst.consumers.size(), 0);
+
+    for (uint32_t p : sol.producer_idx) {
+      p_sel[p] = 1;
+      NodeId x = inst.producers[p];
+      if (schedule_.AddPush(x, inst.hub)) TouchEdge(x, inst.hub);
+      Cover(x, inst.hub);
+    }
+    for (uint32_t c : sol.consumer_idx) {
+      c_sel[c] = 1;
+      NodeId y = inst.consumers[c];
+      if (schedule_.AddPull(inst.hub, y)) TouchEdge(inst.hub, y);
+      Cover(inst.hub, y);
+    }
+    for (const auto& [p, c] : inst.cross_edges) {
+      if (!p_sel[p] || !c_sel[c]) continue;
+      NodeId x = inst.producers[p];
+      NodeId y = inst.consumers[c];
+      // Instance cross edges are uncovered by construction and the selected
+      // slot is fresh (only non-dirty slots are selected), so this covers a
+      // new element.
+      schedule_.SetHubCover(x, y, inst.hub);
+      Cover(x, y);
+      ++stats_.edges_covered_by_hubs;
+    }
+    // Weights in G(hub) dropped to zero (new H/L entries): its density may
+    // have increased, which lazy dirtiness cannot represent — refresh now.
+    eager_refresh_.push_back(inst.hub);
+  }
+
+  void ApplySingleton(const Edge& e) {
+    if (w_.rp(e.src) <= w_.rc(e.dst)) {
+      schedule_.AddPush(e.src, e.dst);
+      eager_refresh_.push_back(e.dst);  // g(src) dropped to zero in G(dst)
+    } else {
+      schedule_.AddPull(e.src, e.dst);
+      eager_refresh_.push_back(e.src);  // g(dst) dropped to zero in G(src)
+    }
+    Cover(e.src, e.dst);
+  }
+
+  void RefreshHub(NodeId hub) {
+    HubSlot& slot = slots_[hub];
+    slot.instance = BuildInstance(hub);
+    ++stats_.oracle_calls;
+    const bool small = slot.instance.num_nodes() <= 14;
+    slot.solution = (options_.exhaustive_oracle_small && small)
+                        ? SolveDensestSubgraphExhaustive(slot.instance)
+                        : SolveWeightedDensestSubgraph(slot.instance);
+    ++slot.version;
+    slot.dirty = false;
+    if (slot.solution.covered > 0) {
+      hub_queue_.push(
+          {slot.solution.density, slot.solution.covered, hub, slot.version});
+    }
+  }
+
+  HubGraphInstance BuildInstance(NodeId hub) const {
+    HubGraphInstance inst;
+    inst.hub = hub;
+
+    auto in = g_.InNeighbors(hub);
+    const size_t np = std::min(in.size(), options_.max_producers);
+    inst.producers.assign(in.begin(), in.begin() + np);
+    inst.producer_weight.resize(np);
+    inst.producer_link_in_z.resize(np);
+    for (size_t p = 0; p < np; ++p) {
+      NodeId x = inst.producers[p];
+      inst.producer_weight[p] = schedule_.IsPush(x, hub) ? 0.0 : w_.rp(x);
+      inst.producer_link_in_z[p] = IsCoveredEdge(x, hub) ? 0 : 1;
+    }
+
+    auto out = g_.OutNeighbors(hub);
+    const size_t ny = std::min(out.size(), options_.max_consumers);
+    inst.consumers.assign(out.begin(), out.begin() + ny);
+    inst.consumer_weight.resize(ny);
+    inst.consumer_link_in_z.resize(ny);
+    for (size_t c = 0; c < ny; ++c) {
+      NodeId y = inst.consumers[c];
+      inst.consumer_weight[c] = schedule_.IsPull(hub, y) ? 0.0 : w_.rc(y);
+      inst.consumer_link_in_z[c] = IsCoveredEdge(hub, y) ? 0 : 1;
+    }
+
+    // Uncovered cross edges x -> y via sorted intersection of out(x) with the
+    // consumer prefix.
+    for (uint32_t p = 0; p < np; ++p) {
+      if (inst.cross_edges.size() >= options_.max_cross_edges) break;
+      NodeId x = inst.producers[p];
+      auto out_x = g_.OutNeighbors(x);
+      size_t i = 0, j = 0;
+      while (i < out_x.size() && j < ny) {
+        if (out_x[i] < inst.consumers[j]) {
+          ++i;
+        } else if (out_x[i] > inst.consumers[j]) {
+          ++j;
+        } else {
+          NodeId y = inst.consumers[j];
+          if (y != x && !IsCoveredEdge(x, y)) {
+            inst.cross_edges.emplace_back(p, static_cast<uint32_t>(j));
+            if (inst.cross_edges.size() >= options_.max_cross_edges) break;
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+    return inst;
+  }
+
+  const Graph& g_;
+  const Workload& w_;
+  const ChitChatOptions& options_;
+
+  Schedule schedule_;
+  std::vector<uint8_t> covered_;
+  size_t uncovered_ = 0;
+
+  std::vector<HubSlot> slots_;
+  std::priority_queue<HubEntry, std::vector<HubEntry>, HubEntryCmp> hub_queue_;
+  SingletonQueue singletons_{SingletonCmp{}};
+
+  // Hubs whose node weights changed this step (eager refresh targets).
+  std::vector<NodeId> eager_refresh_;
+
+  ChitChatStats stats_;
+};
+
+}  // namespace
+
+std::string ChitChatStats::ToString() const {
+  return StrFormat(
+      "hubs=%zu singletons=%zu oracle_calls=%zu piggybacked=%zu cost=%.3f",
+      hub_selections, singleton_selections, oracle_calls, edges_covered_by_hubs,
+      final_cost);
+}
+
+Result<Schedule> RunChitChat(const Graph& g, const Workload& w,
+                             const ChitChatOptions& options, ChitChatStats* stats) {
+  if (w.num_users() != g.num_nodes()) {
+    return Status::InvalidArgument("workload size does not match graph");
+  }
+  if (options.max_producers == 0 || options.max_consumers == 0) {
+    return Status::InvalidArgument("hub-graph caps must be positive");
+  }
+  ChitChatRunner runner(g, w, options);
+  return runner.Run(stats);
+}
+
+}  // namespace piggy

@@ -1,0 +1,16 @@
+#include "core/cost_model.h"
+
+// All cost-model entry points are templates or inline; this translation unit
+// exists to anchor the header in the build and to instantiate the common
+// specializations once for link-time reuse.
+
+namespace piggy {
+
+template double ScheduleCost<Graph>(const Graph&, const Workload&, const Schedule&,
+                                    ResidualPolicy);
+template double ScheduleCost<DynamicGraph>(const DynamicGraph&, const Workload&,
+                                           const Schedule&, ResidualPolicy);
+template double HybridCost<Graph>(const Graph&, const Workload&);
+template double HybridCost<DynamicGraph>(const DynamicGraph&, const Workload&);
+
+}  // namespace piggy

@@ -1,0 +1,76 @@
+// Throughput cost model (paper Sec. 2.1 and 4.2).
+//
+//   c(H, L) = sum_{u->v in H} rp(u) + sum_{u->v in L} rc(v)
+//
+// Graph edges not assigned by the schedule (neither pushed, pulled, nor
+// hub-covered) are costed as if served by the hybrid baseline — PARALLELNOSY
+// leaves such edges to the hybrid policy at run time — unless the caller
+// requests strict accounting. Predicted throughput is the inverse of cost;
+// the improvement ratio of algorithm A over baseline B is cost_B / cost_A.
+
+#pragma once
+
+#include "core/schedule.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// How to account for graph edges with no assigned service.
+enum class ResidualPolicy {
+  kHybrid,  ///< cost min(rp(src), rc(dst)) — served directly at run time
+  kFree,    ///< cost 0 — caller asserts full assignment separately
+};
+
+/// Cost of serving edge u -> v directly under the hybrid (FF) policy.
+inline double HybridEdgeCost(const Workload& w, NodeId u, NodeId v) {
+  return std::min(w.rp(u), w.rc(v));
+}
+
+/// Cost of a schedule over any graph type exposing ForEachEdge(fn).
+///
+/// Iterates graph edges, so stray schedule entries for edges not in the graph
+/// contribute nothing (relevant after incremental removals).
+template <typename GraphT>
+double ScheduleCost(const GraphT& g, const Workload& w, const Schedule& s,
+                    ResidualPolicy residual = ResidualPolicy::kHybrid) {
+  double cost = 0;
+  g.ForEachEdge([&](const Edge& e) {
+    bool assigned = false;
+    if (s.IsPush(e.src, e.dst)) {
+      cost += w.rp(e.src);
+      assigned = true;
+    }
+    if (s.IsPull(e.src, e.dst)) {
+      cost += w.rc(e.dst);
+      assigned = true;
+    }
+    if (!assigned && !s.IsHubCovered(e.src, e.dst) &&
+        residual == ResidualPolicy::kHybrid) {
+      cost += HybridEdgeCost(w, e.src, e.dst);
+    }
+  });
+  return cost;
+}
+
+/// Cost of the hybrid (FF) baseline: sum over edges of min(rp, rc).
+template <typename GraphT>
+double HybridCost(const GraphT& g, const Workload& w) {
+  double cost = 0;
+  g.ForEachEdge([&](const Edge& e) { cost += HybridEdgeCost(w, e.src, e.dst); });
+  return cost;
+}
+
+/// Predicted throughput t = 1 / cost (paper Sec. 4.2).
+inline double PredictedThroughput(double cost) {
+  return cost > 0 ? 1.0 / cost : 0.0;
+}
+
+/// Predicted improvement ratio of a schedule with cost `cost` over a baseline
+/// with cost `baseline_cost` (>1 means the schedule wins).
+inline double ImprovementRatio(double baseline_cost, double cost) {
+  return cost > 0 ? baseline_cost / cost : 0.0;
+}
+
+}  // namespace piggy

@@ -1,0 +1,207 @@
+#include "core/densest_subgraph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace piggy {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double DensityOf(size_t covered, double cost) {
+  if (covered == 0) return 0.0;
+  if (cost <= 0) return kInf;
+  return static_cast<double>(covered) / cost;
+}
+
+// Compares candidate states: higher density wins; among equal densities
+// (notably +inf vs +inf) more coverage wins.
+bool BetterState(size_t covered_a, double cost_a, size_t covered_b, double cost_b) {
+  double da = DensityOf(covered_a, cost_a);
+  double db = DensityOf(covered_b, cost_b);
+  if (da != db) return da > db;
+  return covered_a > covered_b;
+}
+
+}  // namespace
+
+double DensestSubgraphSolution::CostPerElement() const {
+  if (covered == 0) return kInf;
+  return cost / static_cast<double>(covered);
+}
+
+DensestSubgraphSolution EvaluateSelection(const HubGraphInstance& instance,
+                                          std::vector<uint32_t> producer_idx,
+                                          std::vector<uint32_t> consumer_idx) {
+  DensestSubgraphSolution sol;
+  sol.producer_idx = std::move(producer_idx);
+  sol.consumer_idx = std::move(consumer_idx);
+
+  std::vector<uint8_t> p_sel(instance.producers.size(), 0);
+  std::vector<uint8_t> c_sel(instance.consumers.size(), 0);
+  for (uint32_t p : sol.producer_idx) {
+    PIGGY_CHECK_LT(p, instance.producers.size());
+    p_sel[p] = 1;
+    sol.cost += instance.producer_weight[p];
+    sol.covered += instance.producer_link_in_z[p];
+  }
+  for (uint32_t c : sol.consumer_idx) {
+    PIGGY_CHECK_LT(c, instance.consumers.size());
+    c_sel[c] = 1;
+    sol.cost += instance.consumer_weight[c];
+    sol.covered += instance.consumer_link_in_z[c];
+  }
+  for (const auto& [p, c] : instance.cross_edges) {
+    if (p_sel[p] && c_sel[c]) ++sol.covered;
+  }
+  sol.density = DensityOf(sol.covered, sol.cost);
+  return sol;
+}
+
+DensestSubgraphSolution SolveWeightedDensestSubgraph(const HubGraphInstance& instance) {
+  const size_t np = instance.producers.size();
+  const size_t nc = instance.consumers.size();
+  const size_t n = np + nc;
+  if (n == 0) return DensestSubgraphSolution{};
+
+  // Node numbering: producers [0, np), consumers [np, np + nc).
+  // Cross adjacency between the two sides.
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const auto& [p, c] : instance.cross_edges) {
+    adj[p].push_back(static_cast<uint32_t>(np + c));
+    adj[np + c].push_back(p);
+  }
+
+  auto weight_of = [&](uint32_t node) {
+    return node < np ? instance.producer_weight[node]
+                     : instance.consumer_weight[node - np];
+  };
+  auto link_in_z = [&](uint32_t node) -> size_t {
+    return node < np ? instance.producer_link_in_z[node]
+                     : instance.consumer_link_in_z[node - np];
+  };
+
+  // deg[u] = uncovered incident edges while u is alive: the hub link (if
+  // uncovered) plus alive cross edges.
+  std::vector<size_t> deg(n);
+  size_t covered = 0;
+  double cost = 0;
+  size_t weighted_alive = 0;  // nodes with positive weight still alive
+  for (uint32_t u = 0; u < n; ++u) {
+    deg[u] = link_in_z(u) + adj[u].size();
+    covered += link_in_z(u);
+    cost += weight_of(u);
+    if (weight_of(u) > 0) ++weighted_alive;
+  }
+  covered += instance.cross_edges.size();
+
+  auto weighted_degree = [&](uint32_t u) {
+    double g = weight_of(u);
+    if (g <= 0) return deg[u] > 0 ? kInf : kInf;  // free nodes are never peeled
+    return static_cast<double>(deg[u]) / g;
+  };
+
+  // Lazy min-heap of (weighted degree, node id); stale entries are skipped by
+  // comparing the recorded degree against the current one.
+  struct HeapEntry {
+    double wd;
+    uint32_t node;
+    size_t deg_at_push;
+  };
+  auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.wd != b.wd) return a.wd > b.wd;
+    return a.node > b.node;  // deterministic tie-break: smaller id first
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(cmp);
+  for (uint32_t u = 0; u < n; ++u) {
+    if (weight_of(u) > 0) heap.push({weighted_degree(u), u, deg[u]});
+  }
+
+  std::vector<uint8_t> alive(n, 1);
+  // Track the best intermediate state; reconstruct it from the removal order.
+  size_t best_covered = covered;
+  double best_cost = cost;
+  size_t best_removed_count = 0;
+  std::vector<uint32_t> removal_order;
+  removal_order.reserve(n);
+
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (!alive[top.node] || top.deg_at_push != deg[top.node]) continue;
+
+    // Peel top.node.
+    uint32_t u = top.node;
+    alive[u] = 0;
+    removal_order.push_back(u);
+    covered -= deg[u];
+    cost -= weight_of(u);
+    // Only weighted nodes are ever peeled; once none remain alive the true
+    // residual cost is exactly zero — clear the floating-point subtraction
+    // residue so free coverage registers as infinite density.
+    if (--weighted_alive == 0) cost = 0.0;
+    for (uint32_t v : adj[u]) {
+      if (!alive[v]) continue;
+      PIGGY_CHECK_GT(deg[v], 0u);
+      --deg[v];
+      if (weight_of(v) > 0) heap.push({weighted_degree(v), v, deg[v]});
+    }
+    // Note: deg[u] intentionally keeps its pre-removal value only for the
+    // subtraction above; clear it so stale heap entries never match.
+    deg[u] = std::numeric_limits<size_t>::max();
+
+    if (BetterState(covered, cost, best_covered, best_cost)) {
+      best_covered = covered;
+      best_cost = cost;
+      best_removed_count = removal_order.size();
+    }
+  }
+
+  // Survivors of the best prefix of removals form the solution.
+  std::vector<uint8_t> in_best(n, 1);
+  for (size_t i = 0; i < best_removed_count; ++i) in_best[removal_order[i]] = 0;
+
+  DensestSubgraphSolution sol;
+  for (uint32_t u = 0; u < np; ++u) {
+    if (in_best[u]) sol.producer_idx.push_back(u);
+  }
+  for (uint32_t u = static_cast<uint32_t>(np); u < n; ++u) {
+    if (in_best[u]) sol.consumer_idx.push_back(u - static_cast<uint32_t>(np));
+  }
+  sol.covered = best_covered;
+  sol.cost = best_cost;
+  sol.density = DensityOf(best_covered, best_cost);
+  return sol;
+}
+
+DensestSubgraphSolution SolveDensestSubgraphExhaustive(const HubGraphInstance& instance) {
+  const size_t np = instance.producers.size();
+  const size_t nc = instance.consumers.size();
+  const size_t n = np + nc;
+  PIGGY_CHECK_LE(n, 20u) << "exhaustive solver is for small instances";
+
+  DensestSubgraphSolution best;
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<uint32_t> ps, cs;
+    for (uint32_t u = 0; u < n; ++u) {
+      if (!(mask >> u & 1)) continue;
+      if (u < np) {
+        ps.push_back(u);
+      } else {
+        cs.push_back(u - static_cast<uint32_t>(np));
+      }
+    }
+    DensestSubgraphSolution sol = EvaluateSelection(instance, std::move(ps), std::move(cs));
+    if (BetterState(sol.covered, sol.cost, best.covered, best.cost)) {
+      best = std::move(sol);
+    }
+  }
+  return best;
+}
+
+}  // namespace piggy

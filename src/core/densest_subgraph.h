@@ -1,0 +1,78 @@
+// Weighted densest-subgraph oracle (paper Sec. 3.1, Lemma 1).
+//
+// CHITCHAT's greedy set-cover step must find, for a hub w, the sub-hub-graph
+// (X', Y') of the maximal hub-graph G(X, w, Y) minimizing cost per newly
+// covered edge, i.e. maximizing the weighted density
+//
+//     d_w(S) = |E(S) ∩ Z| / g(S)
+//
+// where E(S) counts (a) push links x -> w for x in X'∩S, (b) pull links
+// w -> y for y in Y'∩S, and (c) cross edges x -> y between selected nodes;
+// Z is the set of still-uncovered edges; g sums node weights (rp(x) for
+// producers, rc(y) for consumers, 0 for nodes whose link is already paid,
+// g(w) = 0 for the hub itself).
+//
+// The solver is the greedy peeling algorithm of Asahiro et al. / Charikar
+// generalized to node weights: repeatedly delete the node minimizing
+// d(u)/g(u) (weighted degree over uncovered incident edges), and return the
+// best intermediate subgraph. Lemma 1 proves a factor-2 approximation. An
+// exhaustive solver is provided for cross-checking on small instances.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace piggy {
+
+/// \brief One oracle instance: the (capped) maximal hub-graph of a hub node,
+/// annotated with weights and coverage flags.
+///
+/// Producers and consumers are parallel arrays; cross_edges holds
+/// (producer index, consumer index) pairs for *uncovered* cross edges only —
+/// covered cross edges contribute neither coverage nor cost and are dropped
+/// at construction.
+struct HubGraphInstance {
+  NodeId hub = 0;
+
+  std::vector<NodeId> producers;            ///< x with x -> hub in E
+  std::vector<double> producer_weight;      ///< g(x): 0 if x->hub already in H
+  std::vector<uint8_t> producer_link_in_z;  ///< 1 iff x -> hub uncovered
+
+  std::vector<NodeId> consumers;            ///< y with hub -> y in E
+  std::vector<double> consumer_weight;      ///< g(y): 0 if hub->y already in L
+  std::vector<uint8_t> consumer_link_in_z;  ///< 1 iff hub -> y uncovered
+
+  std::vector<std::pair<uint32_t, uint32_t>> cross_edges;
+
+  size_t num_nodes() const { return producers.size() + consumers.size(); }
+};
+
+/// \brief A selected sub-hub-graph with its objective value.
+struct DensestSubgraphSolution {
+  std::vector<uint32_t> producer_idx;  ///< indices into instance.producers
+  std::vector<uint32_t> consumer_idx;  ///< indices into instance.consumers
+  size_t covered = 0;                  ///< |E(S) ∩ Z|
+  double cost = 0;                     ///< g(S)
+  /// covered / cost; +inf when cost == 0 and covered > 0; 0 when covered == 0.
+  double density = 0;
+
+  /// Cost per newly covered element (1/density); +inf when covered == 0.
+  double CostPerElement() const;
+};
+
+/// Computes covered/cost/density of an explicit node selection (testing and
+/// bookkeeping helper). Indices must be valid and duplicate-free.
+DensestSubgraphSolution EvaluateSelection(const HubGraphInstance& instance,
+                                          std::vector<uint32_t> producer_idx,
+                                          std::vector<uint32_t> consumer_idx);
+
+/// Greedy weighted peeling (factor-2 approximation, linear-ish time).
+DensestSubgraphSolution SolveWeightedDensestSubgraph(const HubGraphInstance& instance);
+
+/// Exact solution by subset enumeration; requires num_nodes() <= 20.
+DensestSubgraphSolution SolveDensestSubgraphExhaustive(const HubGraphInstance& instance);
+
+}  // namespace piggy

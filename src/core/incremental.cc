@@ -1,0 +1,113 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "core/cost_model.h"
+#include "util/string_util.h"
+
+namespace piggy {
+
+IncrementalMaintainer::IncrementalMaintainer(DynamicGraph* graph,
+                                             Schedule* schedule,
+                                             const Workload* workload)
+    : graph_(graph), schedule_(schedule), workload_(workload) {
+  PIGGY_CHECK(graph_ != nullptr);
+  PIGGY_CHECK(schedule_ != nullptr);
+  PIGGY_CHECK(workload_ != nullptr);
+  RebuildIndexes();
+}
+
+void IncrementalMaintainer::RebuildIndexes() {
+  by_push_.Clear();
+  by_pull_.Clear();
+  schedule_->ForEachHubCover([this](const Edge& e, NodeId w) {
+    uint64_t push_key = EdgeKey(e.src, w);
+    if (auto* list = by_push_.Find(push_key)) {
+      list->push_back(e.dst);
+    } else {
+      by_push_.Put(push_key, {e.dst});
+    }
+    uint64_t pull_key = EdgeKey(w, e.dst);
+    if (auto* list = by_pull_.Find(pull_key)) {
+      list->push_back(e.src);
+    } else {
+      by_pull_.Put(pull_key, {e.src});
+    }
+  });
+}
+
+void IncrementalMaintainer::EraseFrom(std::vector<NodeId>& v, NodeId x) {
+  auto it = std::find(v.begin(), v.end(), x);
+  if (it != v.end()) v.erase(it);
+}
+
+void IncrementalMaintainer::ServeDirect(NodeId u, NodeId v) {
+  if (workload_->rp(u) <= workload_->rc(v)) {
+    schedule_->AddPush(u, v);
+  } else {
+    schedule_->AddPull(u, v);
+  }
+}
+
+void IncrementalMaintainer::DropCoverEntry(NodeId u, NodeId v, NodeId hub) {
+  schedule_->ClearHubCover(u, v);
+  if (auto* list = by_push_.Find(EdgeKey(u, hub))) EraseFrom(*list, v);
+  if (auto* list = by_pull_.Find(EdgeKey(hub, v))) EraseFrom(*list, u);
+}
+
+Status IncrementalMaintainer::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return Status::InvalidArgument("self-loop");
+  if (u >= workload_->num_users() || v >= workload_->num_users()) {
+    return Status::OutOfRange(
+        StrFormat("node %u or %u outside workload (%zu users)", u, v,
+                  workload_->num_users()));
+  }
+  graph_->EnsureNodes(static_cast<size_t>(std::max(u, v)) + 1);
+  if (!graph_->AddEdge(u, v)) return Status::OK();  // already present
+  if (!schedule_->IsAssigned(u, v)) ServeDirect(u, v);
+  return Status::OK();
+}
+
+Status IncrementalMaintainer::RemoveEdge(NodeId u, NodeId v) {
+  if (!graph_->RemoveEdge(u, v)) {
+    return Status::NotFound(StrFormat("edge %u->%u not in graph", u, v));
+  }
+
+  // The removed edge's own cover entry, if any.
+  if (auto hub = schedule_->HubFor(u, v)) DropCoverEntry(u, v, *hub);
+
+  // If u -> v was a supporting push (v acting as hub), re-serve dependents.
+  if (schedule_->IsPush(u, v)) {
+    schedule_->RemovePush(u, v);
+    if (auto* list = by_push_.Find(EdgeKey(u, v))) {
+      std::vector<NodeId> dependents = *list;  // DropCoverEntry mutates *list
+      for (NodeId y : dependents) {
+        DropCoverEntry(u, y, v);
+        if (graph_->HasEdge(u, y) && !schedule_->IsAssigned(u, y)) {
+          ServeDirect(u, y);
+          ++repairs_;
+        }
+      }
+      by_push_.Erase(EdgeKey(u, v));
+    }
+  }
+
+  // If u -> v was a supporting pull (u acting as hub), re-serve dependents.
+  if (schedule_->IsPull(u, v)) {
+    schedule_->RemovePull(u, v);
+    if (auto* list = by_pull_.Find(EdgeKey(u, v))) {
+      std::vector<NodeId> dependents = *list;
+      for (NodeId x : dependents) {
+        DropCoverEntry(x, v, u);
+        if (graph_->HasEdge(x, v) && !schedule_->IsAssigned(x, v)) {
+          ServeDirect(x, v);
+          ++repairs_;
+        }
+      }
+      by_pull_.Erase(EdgeKey(u, v));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace piggy

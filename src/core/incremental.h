@@ -1,0 +1,71 @@
+// Incremental schedule maintenance under graph churn (paper Sec. 3.3).
+//
+// The optimizers treat the graph as static; between re-optimizations the
+// schedule is kept valid with two local rules:
+//
+//  * edge added    — serve it directly, choosing the cheaper of push and pull
+//                    (exactly the hybrid policy for that edge);
+//  * edge removed  — if the removed edge was a push x -> w supporting hub
+//                    covers (x -> y via w), or a pull w -> y supporting
+//                    covers (x -> y via w), every dependent covered edge is
+//                    re-served directly. The removed edge's own entries are
+//                    dropped.
+//
+// Over time churn degrades schedule quality (never validity); Figure 5 shows
+// re-optimization is only needed after very large batches. The maintainer
+// keeps reverse indexes from supporting push/pull edges to their dependent
+// covers so removals cost O(dependents).
+
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "graph/dynamic_graph.h"
+#include "util/status.h"
+#include "util/u64_containers.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// \brief Keeps a schedule valid while its graph evolves.
+///
+/// The maintainer borrows the graph, schedule and workload; they must outlive
+/// it. The workload must cover every node id ever used (rates are looked up,
+/// never recomputed — matching the paper's fixed-workload evaluation).
+class IncrementalMaintainer {
+ public:
+  IncrementalMaintainer(DynamicGraph* graph, Schedule* schedule,
+                        const Workload* workload);
+
+  /// Adds edge u -> v to the graph and serves it directly (cheaper side).
+  /// No-op (OK) if the edge already exists.
+  Status AddEdge(NodeId u, NodeId v);
+
+  /// Removes edge u -> v, repairing any hub covers that depended on it.
+  Status RemoveEdge(NodeId u, NodeId v);
+
+  /// Number of covered edges re-served directly due to removals so far.
+  size_t repairs() const { return repairs_; }
+
+  /// Rebuilds the reverse support indexes from the schedule (call after the
+  /// schedule was re-optimized wholesale).
+  void RebuildIndexes();
+
+ private:
+  void ServeDirect(NodeId u, NodeId v);
+  void DropCoverEntry(NodeId u, NodeId v, NodeId hub);
+  static void EraseFrom(std::vector<NodeId>& v, NodeId x);
+
+  DynamicGraph* graph_;
+  Schedule* schedule_;
+  const Workload* workload_;
+
+  // by_push_[(x,w)] = consumers y with cover (x -> y) via hub w.
+  U64Map<std::vector<NodeId>> by_push_;
+  // by_pull_[(w,y)] = producers x with cover (x -> y) via hub w.
+  U64Map<std::vector<NodeId>> by_pull_;
+  size_t repairs_ = 0;
+};
+
+}  // namespace piggy

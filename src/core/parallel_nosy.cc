@@ -1,0 +1,405 @@
+#include "core/parallel_nosy.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "core/baselines.h"
+#include "core/cost_model.h"
+#include "mapreduce/mapreduce.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/u64_containers.h"
+
+namespace piggy {
+
+namespace {
+
+// A candidate hub-graph G(X, w, y) produced by phase 1.
+struct Candidate {
+  NodeId w = 0;
+  NodeId y = 0;
+  std::vector<NodeId> xs;
+  double gain = 0;
+};
+
+// A lock request: candidate identified by its hub edge (w -> y), with the
+// gain used for arbitration.
+struct LockRequest {
+  double gain;
+  uint64_t hub_key;
+};
+
+// Schedule mutation produced by phase 3, applied at the merge barrier.
+struct Update {
+  enum Kind : uint8_t { kPush, kPull, kCover };
+  Kind kind;
+  uint64_t edge_key;
+  NodeId hub;  // for kCover
+};
+
+// Deterministic lock arbitration (phase 2). Highest gain wins; ties go to the
+// smaller hub-edge key, or to a salted hash for the randomized ablation.
+bool LockWins(const LockRequest& a, const LockRequest& b, bool randomized,
+              uint64_t salt) {
+  if (a.gain != b.gain) return a.gain > b.gain;
+  if (randomized) return Mix64(a.hub_key ^ salt) < Mix64(b.hub_key ^ salt);
+  return a.hub_key < b.hub_key;
+}
+
+class NosyState {
+ public:
+  NosyState(const Graph& g, const Workload& w, const ParallelNosyOptions& options)
+      : g_(g), w_(w), options_(options) {}
+
+  // ---- Phase 1 helpers (read-only on the frozen schedule) ----------------
+
+  // Positive cost of requiring a push on e = x -> w (paper's c_X).
+  double PushCost(NodeId x, NodeId w) const {
+    if (schedule_.IsPush(x, w)) return 0.0;
+    if (schedule_.IsPull(x, w)) return w_.rp(x);
+    return w_.rp(x) - HybridEdgeCost(w_, x, w);
+  }
+
+  // Positive cost of requiring a pull on e = w -> y (specular).
+  double PullCost(NodeId w, NodeId y) const {
+    if (schedule_.IsPull(w, y)) return 0.0;
+    if (schedule_.IsPush(w, y)) return w_.rc(y);
+    return w_.rc(y) - HybridEdgeCost(w_, w, y);
+  }
+
+  // Gain of selecting hub-graph (w, y, xs): hybrid cost saved on the cross
+  // edges minus the push/pull costs incurred.
+  double Gain(NodeId w, NodeId y, const std::vector<NodeId>& xs) const {
+    double saved = 0;
+    double cost = PullCost(w, y);
+    for (NodeId x : xs) {
+      saved += HybridEdgeCost(w_, x, y);
+      cost += PushCost(x, w);
+    }
+    return saved - cost;
+  }
+
+  // Builds the candidate for hub edge w -> y, or nullopt if it does not
+  // qualify. Deterministic; called again in phase 3 to re-derive X.
+  std::optional<Candidate> BuildCandidate(NodeId w, NodeId y) const {
+    if (schedule_.IsHubCovered(w, y)) return std::nullopt;
+    Candidate cand;
+    cand.w = w;
+    cand.y = y;
+    for (NodeId x : g_.InNeighbors(w)) {
+      if (cand.xs.size() >= options_.max_hub_producers) break;
+      if (x == y) continue;
+      if (schedule_.IsHubCovered(x, w)) continue;  // keep prior optimizations
+      if (!g_.HasEdge(x, y)) continue;             // need the cross edge
+      if (schedule_.IsHubCovered(x, y) || schedule_.IsPush(x, y) ||
+          schedule_.IsPull(x, y)) {
+        continue;  // covering x -> y through w would be useless
+      }
+      cand.xs.push_back(x);
+    }
+    if (cand.xs.empty()) return std::nullopt;
+    cand.gain = Gain(w, y, cand.xs);
+    if (cand.gain <= options_.min_gain) return std::nullopt;
+    return cand;
+  }
+
+  // Emits the lock requests of a candidate: exactly the edges whose schedule
+  // entry the candidate would modify. Edges already carrying the required
+  // service (x -> w in H, w -> y in L) need no lock: no other candidate can
+  // change them in a conflicting way (there are no removals, and the
+  // phase-1 conditions bar anyone from covering an edge that is in H or L).
+  // Scoping locks to modifications is what lets a hub with many consumers
+  // adopt them all in one iteration once its pushes are in place, instead of
+  // one per iteration.
+  template <typename F>
+  void ForEachLockedEdge(const Candidate& cand, F fn) const {
+    for (NodeId x : cand.xs) {
+      if (!schedule_.IsPush(x, cand.w)) fn(EdgeKey(x, cand.w));
+      fn(EdgeKey(x, cand.y));  // cross edges are unassigned by construction
+    }
+    if (!schedule_.IsPull(cand.w, cand.y)) fn(EdgeKey(cand.w, cand.y));
+  }
+
+  // ---- Phase 3: scheduling decision for one candidate --------------------
+
+  // `granted` = sorted edge keys this candidate won. An edge that needed no
+  // lock (service already in place) counts as granted. Appends updates.
+  void Decide(const Candidate& cand, const std::vector<uint64_t>& granted,
+              std::vector<Update>& updates, size_t* applied) const {
+    auto has = [&granted](uint64_t key) {
+      return std::binary_search(granted.begin(), granted.end(), key);
+    };
+    if (!schedule_.IsPull(cand.w, cand.y) && !has(EdgeKey(cand.w, cand.y))) {
+      return;  // cannot schedule the pull
+    }
+
+    std::vector<NodeId> xs_granted;
+    xs_granted.reserve(cand.xs.size());
+    for (NodeId x : cand.xs) {
+      bool push_ok = schedule_.IsPush(x, cand.w) || has(EdgeKey(x, cand.w));
+      if (push_ok && has(EdgeKey(x, cand.y))) {
+        xs_granted.push_back(x);
+      }
+    }
+    if (xs_granted.empty()) return;
+    if (xs_granted.size() < cand.xs.size()) {
+      // Partial grant: re-evaluate on the shrunk hub-graph G(X', w, y).
+      if (Gain(cand.w, cand.y, xs_granted) <= options_.min_gain) return;
+    }
+    if (!schedule_.IsPull(cand.w, cand.y)) {
+      updates.push_back({Update::kPull, EdgeKey(cand.w, cand.y), 0});
+    }
+    for (NodeId x : xs_granted) {
+      if (!schedule_.IsPush(x, cand.w)) {
+        updates.push_back({Update::kPush, EdgeKey(x, cand.w), 0});
+      }
+      updates.push_back({Update::kCover, EdgeKey(x, cand.y), cand.w});
+    }
+    ++*applied;
+  }
+
+  // ---- Merge: applies the iteration's updates to the schedule ------------
+
+  size_t Merge(const std::vector<Update>& updates) {
+    size_t covered = 0;
+    for (const Update& u : updates) {
+      Edge e = EdgeFromKey(u.edge_key);
+      switch (u.kind) {
+        case Update::kPush:
+          schedule_.AddPush(e.src, e.dst);
+          break;
+        case Update::kPull:
+          schedule_.AddPull(e.src, e.dst);
+          break;
+        case Update::kCover:
+          if (schedule_.SetHubCover(e.src, e.dst, u.hub)) ++covered;
+          break;
+      }
+    }
+    return covered;
+  }
+
+  const Graph& g_;
+  const Workload& w_;
+  const ParallelNosyOptions& options_;
+  Schedule schedule_;
+};
+
+// ---- Sequential reference executor ---------------------------------------
+
+std::vector<Update> RunIterationSequential(NosyState& state,
+                                           const std::vector<Edge>& edges,
+                                           uint64_t salt,
+                                           NosyIterationStats* it_stats,
+                                           size_t* applied) {
+  // Phase 1: candidates.
+  std::vector<Candidate> candidates;
+  for (const Edge& e : edges) {
+    auto cand = state.BuildCandidate(e.src, e.dst);
+    if (cand) candidates.push_back(std::move(*cand));
+  }
+  it_stats->candidates = candidates.size();
+
+  // Phase 2: arbitration per locked edge.
+  U64Map<LockRequest> winners;
+  size_t requests = 0;
+  for (const Candidate& cand : candidates) {
+    LockRequest req{cand.gain, EdgeKey(cand.w, cand.y)};
+    state.ForEachLockedEdge(cand, [&](uint64_t key) {
+      ++requests;
+      LockRequest* cur = winners.Find(key);
+      if (cur == nullptr) {
+        winners.Put(key, req);
+      } else if (LockWins(req, *cur, state.options_.randomized_tie_break, salt)) {
+        *cur = req;
+      }
+    });
+  }
+  it_stats->lock_requests = requests;
+
+  // Invert: granted edge keys per hub edge.
+  U64Map<std::vector<uint64_t>> grants;
+  winners.ForEach([&grants](uint64_t edge_key, const LockRequest& req) {
+    std::vector<uint64_t>* list = grants.Find(req.hub_key);
+    if (list == nullptr) {
+      grants.Put(req.hub_key, {edge_key});
+    } else {
+      list->push_back(edge_key);
+    }
+  });
+
+  // Phase 3: decisions.
+  std::vector<Update> updates;
+  for (const Candidate& cand : candidates) {
+    const std::vector<uint64_t>* granted = grants.Find(EdgeKey(cand.w, cand.y));
+    if (granted == nullptr) continue;
+    std::vector<uint64_t> sorted = *granted;
+    std::sort(sorted.begin(), sorted.end());
+    state.Decide(cand, sorted, updates, applied);
+  }
+  return updates;
+}
+
+// ---- MapReduce executor ---------------------------------------------------
+
+std::vector<Update> RunIterationMapReduce(NosyState& state,
+                                          const std::vector<Edge>& edges,
+                                          uint64_t salt, ThreadPool& pool,
+                                          NosyIterationStats* it_stats,
+                                          size_t* applied) {
+  const bool randomized = state.options_.randomized_tie_break;
+
+  // Job A — map: candidate selection per hub edge, emitting one lock request
+  // per touched edge; reduce: grant each edge to the best request, emitting
+  // (hub_key, granted edge key).
+  std::atomic<size_t> candidates{0};
+  std::atomic<size_t> requests{0};
+  using Grant = std::pair<uint64_t, uint64_t>;  // hub_key -> granted edge key
+  std::vector<Grant> grants = mr::RunMapReduce<Edge, uint64_t, LockRequest, Grant>(
+      pool, edges,
+      [&state, &candidates, &requests](const Edge& e,
+                                       mr::Emitter<uint64_t, LockRequest>& out) {
+        auto cand = state.BuildCandidate(e.src, e.dst);
+        if (!cand) return;
+        candidates.fetch_add(1, std::memory_order_relaxed);
+        LockRequest req{cand->gain, EdgeKey(cand->w, cand->y)};
+        size_t emitted = 0;
+        state.ForEachLockedEdge(*cand, [&out, &req, &emitted](uint64_t key) {
+          out.Emit(key, req);
+          ++emitted;
+        });
+        requests.fetch_add(emitted, std::memory_order_relaxed);
+      },
+      [randomized, salt](const uint64_t& edge_key, std::vector<LockRequest>& reqs,
+                         std::vector<Grant>& out) {
+        const LockRequest* best = &reqs[0];
+        for (const LockRequest& r : reqs) {
+          if (LockWins(r, *best, randomized, salt)) best = &r;
+        }
+        out.emplace_back(best->hub_key, edge_key);
+      });
+  it_stats->candidates = candidates.load();
+  it_stats->lock_requests = requests.load();
+
+  // Job B — reduce by hub edge: re-derive the candidate, apply the decision
+  // rule on the granted subset, emit updates.
+  std::atomic<size_t> applied_count{0};
+  std::vector<Update> updates = mr::RunMapReduce<Grant, uint64_t, uint64_t, Update>(
+      pool, grants,
+      [](const Grant& grant, mr::Emitter<uint64_t, uint64_t>& out) {
+        out.Emit(grant.first, grant.second);
+      },
+      [&state, &applied_count](const uint64_t& hub_key, std::vector<uint64_t>& granted,
+                               std::vector<Update>& out) {
+        Edge hub_edge = EdgeFromKey(hub_key);
+        auto cand = state.BuildCandidate(hub_edge.src, hub_edge.dst);
+        if (!cand) return;  // unreachable: grants imply a phase-1 candidate
+        std::sort(granted.begin(), granted.end());
+        size_t applied_here = 0;
+        state.Decide(*cand, granted, out, &applied_here);
+        applied_count.fetch_add(applied_here, std::memory_order_relaxed);
+      });
+  *applied += applied_count.load();
+  return updates;
+}
+
+// Computes the hub edges whose candidate evaluation may change after the
+// given schedule updates: for a changed edge a -> b these are (a, b) itself
+// (its pull cost changed), (b, y) for consumers y of b (a -> b is a push
+// link of hub b), and (w, b) for every 2-path a -> w -> b (a -> b is a cross
+// edge of those hub-graphs). Restricting the next iteration's candidate
+// selection to these edges is result-equivalent to a full rescan — untouched
+// candidates see identical inputs and reproduce identical (non-)decisions —
+// and matches the paper's observation that iterations get cheaper as fewer
+// optimization opportunities remain.
+std::vector<Edge> ComputeActiveEdges(const Graph& g,
+                                     const std::vector<Update>& updates) {
+  U64Set dirty;
+  for (const Update& u : updates) {
+    Edge e = EdgeFromKey(u.edge_key);
+    dirty.Insert(u.edge_key);
+    for (NodeId y : g.OutNeighbors(e.dst)) dirty.Insert(EdgeKey(e.dst, y));
+    auto out_a = g.OutNeighbors(e.src);
+    auto in_b = g.InNeighbors(e.dst);
+    size_t i = 0, j = 0;
+    while (i < out_a.size() && j < in_b.size()) {
+      if (out_a[i] < in_b[j]) {
+        ++i;
+      } else if (out_a[i] > in_b[j]) {
+        ++j;
+      } else {
+        dirty.Insert(EdgeKey(out_a[i], e.dst));
+        ++i;
+        ++j;
+      }
+    }
+  }
+  std::vector<uint64_t> keys = dirty.ToVector();
+  std::sort(keys.begin(), keys.end());
+  std::vector<Edge> edges;
+  edges.reserve(keys.size());
+  for (uint64_t key : keys) edges.push_back(EdgeFromKey(key));
+  return edges;
+}
+
+}  // namespace
+
+std::string NosyIterationStats::ToString() const {
+  return StrFormat(
+      "candidates=%zu lock_requests=%zu applied=%zu covered=%zu cost=%.3f",
+      candidates, lock_requests, applied, edges_covered, cost_after);
+}
+
+Result<ParallelNosyResult> RunParallelNosy(const Graph& g, const Workload& w,
+                                           const ParallelNosyOptions& options) {
+  if (w.num_users() != g.num_nodes()) {
+    return Status::InvalidArgument("workload size does not match graph");
+  }
+  if (options.max_hub_producers == 0) {
+    return Status::InvalidArgument("max_hub_producers must be positive");
+  }
+
+  NosyState state(g, w, options);
+  ParallelNosyResult result;
+  result.hybrid_cost = HybridCost(g, w);
+
+  // Iteration 1 evaluates every edge; later iterations only the edges whose
+  // hub-graph inputs changed (see ComputeActiveEdges).
+  std::vector<Edge> active = g.Edges();
+  std::unique_ptr<ThreadPool> pool;
+  if (options.use_mapreduce) {
+    pool = std::make_unique<ThreadPool>(
+        options.num_threads ? options.num_threads : ThreadPool::DefaultThreads());
+  }
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    NosyIterationStats it_stats;
+    size_t applied = 0;
+    const uint64_t salt = Mix64(iter + 1);
+    std::vector<Update> updates =
+        options.use_mapreduce
+            ? RunIterationMapReduce(state, active, salt, *pool, &it_stats, &applied)
+            : RunIterationSequential(state, active, salt, &it_stats, &applied);
+    it_stats.applied = applied;
+    it_stats.edges_covered = state.Merge(updates);
+    it_stats.cost_after = ScheduleCost(g, w, state.schedule_, ResidualPolicy::kHybrid);
+    result.iterations.push_back(it_stats);
+    if (applied == 0) {
+      result.converged = true;
+      break;
+    }
+    active = ComputeActiveEdges(g, updates);
+  }
+
+  if (options.finalize_hybrid) {
+    FinalizeWithHybrid(g, w, &state.schedule_);
+  }
+  result.final_cost = ScheduleCost(g, w, state.schedule_, ResidualPolicy::kHybrid);
+  result.schedule = std::move(state.schedule_);
+  return result;
+}
+
+}  // namespace piggy

@@ -1,0 +1,42 @@
+// Umbrella header: the full public API of the social-piggybacking library.
+//
+// Typical pipeline:
+//
+//   #include "core/piggy.h"
+//   using namespace piggy;
+//
+//   Graph g = MakeFlickrLike(20000, /*seed=*/1).ValueOrDie();
+//   Workload w = GenerateWorkload(g, {.read_write_ratio = 5.0}).ValueOrDie();
+//
+//   Schedule ff = HybridSchedule(g, w);                      // FF baseline
+//   auto pn = RunParallelNosy(g, w).ValueOrDie();            // heuristic
+//   Schedule cc = RunChitChat(g, w).ValueOrDie();            // O(log n) approx
+//
+//   double ratio = ImprovementRatio(HybridCost(g, w), pn.final_cost);
+//
+//   auto proto = Prototype::Create(g, pn.schedule, {.num_servers = 500});
+//   auto report = RunWorkloadDriver(**proto, w, {.num_requests = 100000});
+
+#pragma once
+
+#include "core/active_store.h"       // IWYU pragma: export
+#include "core/baselines.h"          // IWYU pragma: export
+#include "core/chitchat.h"           // IWYU pragma: export
+#include "core/cost_model.h"         // IWYU pragma: export
+#include "core/densest_subgraph.h"   // IWYU pragma: export
+#include "core/incremental.h"        // IWYU pragma: export
+#include "core/parallel_nosy.h"      // IWYU pragma: export
+#include "core/schedule.h"           // IWYU pragma: export
+#include "core/schedule_io.h"        // IWYU pragma: export
+#include "core/validator.h"          // IWYU pragma: export
+#include "gen/generators.h"          // IWYU pragma: export
+#include "gen/presets.h"             // IWYU pragma: export
+#include "graph/dynamic_graph.h"     // IWYU pragma: export
+#include "graph/graph.h"             // IWYU pragma: export
+#include "graph/graph_builder.h"     // IWYU pragma: export
+#include "graph/graph_io.h"          // IWYU pragma: export
+#include "graph/graph_stats.h"       // IWYU pragma: export
+#include "sampling/samplers.h"       // IWYU pragma: export
+#include "store/prototype.h"         // IWYU pragma: export
+#include "store/workload_driver.h"   // IWYU pragma: export
+#include "workload/workload.h"       // IWYU pragma: export

@@ -1,0 +1,27 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+namespace piggy {
+
+std::vector<std::vector<NodeId>> Schedule::BuildPushSets(size_t num_users) const {
+  std::vector<std::vector<NodeId>> sets(num_users);
+  push_.ForEach([&sets, num_users](uint64_t key) {
+    Edge e = EdgeFromKey(key);
+    if (e.src < num_users && e.dst < num_users) sets[e.src].push_back(e.dst);
+  });
+  for (auto& s : sets) std::sort(s.begin(), s.end());
+  return sets;
+}
+
+std::vector<std::vector<NodeId>> Schedule::BuildPullSets(size_t num_users) const {
+  std::vector<std::vector<NodeId>> sets(num_users);
+  pull_.ForEach([&sets, num_users](uint64_t key) {
+    Edge e = EdgeFromKey(key);
+    if (e.src < num_users && e.dst < num_users) sets[e.dst].push_back(e.src);
+  });
+  for (auto& s : sets) std::sort(s.begin(), s.end());
+  return sets;
+}
+
+}  // namespace piggy

@@ -1,0 +1,105 @@
+// Request schedule: the (H, L) sets of the paper plus the bookkeeping set C
+// of edges covered through hubs.
+//
+// Semantics (Definitions 3 and 4):
+//   u -> v in H : v is in u's push set — every event u shares is written into
+//                 v's materialized view.
+//   u -> v in L : u is in v's pull set — every feed query of v also queries
+//                 u's view.
+//   C maps a covered edge u -> v to its hub w, meaning u -> w in H and
+//                 w -> v in L serve the edge by piggybacking.
+//
+// An edge may be in both H and L (e.g. PARALLELNOSY can push over an edge
+// that an earlier iteration scheduled as pull); both costs are then paid.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/u64_containers.h"
+
+namespace piggy {
+
+/// \brief Mutable request schedule (H, L, C).
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Adds u -> v to the push set H; returns true if newly added.
+  bool AddPush(NodeId u, NodeId v) { return push_.Insert(EdgeKey(u, v)); }
+
+  /// Adds u -> v to the pull set L; returns true if newly added.
+  bool AddPull(NodeId u, NodeId v) { return pull_.Insert(EdgeKey(u, v)); }
+
+  /// Removes u -> v from H; returns true if it was present.
+  bool RemovePush(NodeId u, NodeId v) { return push_.Erase(EdgeKey(u, v)); }
+
+  /// Removes u -> v from L; returns true if it was present.
+  bool RemovePull(NodeId u, NodeId v) { return pull_.Erase(EdgeKey(u, v)); }
+
+  bool IsPush(NodeId u, NodeId v) const { return push_.Contains(EdgeKey(u, v)); }
+  bool IsPull(NodeId u, NodeId v) const { return pull_.Contains(EdgeKey(u, v)); }
+
+  /// Records that edge u -> v is covered by piggybacking through hub w.
+  /// Returns true if the edge was not covered before.
+  bool SetHubCover(NodeId u, NodeId v, NodeId w) {
+    return hub_cover_.Put(EdgeKey(u, v), w);
+  }
+
+  /// Removes the hub-cover entry of u -> v; returns true if present.
+  bool ClearHubCover(NodeId u, NodeId v) { return hub_cover_.Erase(EdgeKey(u, v)); }
+
+  /// The hub covering u -> v, if any.
+  std::optional<NodeId> HubFor(NodeId u, NodeId v) const {
+    const NodeId* w = hub_cover_.Find(EdgeKey(u, v));
+    return w ? std::optional<NodeId>(*w) : std::nullopt;
+  }
+
+  /// True iff u -> v has a hub-cover entry.
+  bool IsHubCovered(NodeId u, NodeId v) const {
+    return hub_cover_.Contains(EdgeKey(u, v));
+  }
+
+  /// True iff the edge is assigned any service (push, pull or hub cover).
+  bool IsAssigned(NodeId u, NodeId v) const {
+    return IsPush(u, v) || IsPull(u, v) || IsHubCovered(u, v);
+  }
+
+  size_t push_size() const { return push_.size(); }
+  size_t pull_size() const { return pull_.size(); }
+  size_t hub_covered_size() const { return hub_cover_.size(); }
+
+  /// Iterates H entries as Edge (unspecified order).
+  template <typename F>
+  void ForEachPush(F fn) const {
+    push_.ForEach([&fn](uint64_t key) { fn(EdgeFromKey(key)); });
+  }
+
+  /// Iterates L entries as Edge (unspecified order).
+  template <typename F>
+  void ForEachPull(F fn) const {
+    pull_.ForEach([&fn](uint64_t key) { fn(EdgeFromKey(key)); });
+  }
+
+  /// Iterates C entries as (Edge, hub) (unspecified order).
+  template <typename F>
+  void ForEachHubCover(F fn) const {
+    hub_cover_.ForEach([&fn](uint64_t key, NodeId hub) { fn(EdgeFromKey(key), hub); });
+  }
+
+  /// Materializes per-user push sets: result[u] = sorted {v : u -> v in H}.
+  /// The user's own view is implicit and not included.
+  std::vector<std::vector<NodeId>> BuildPushSets(size_t num_users) const;
+
+  /// Materializes per-user pull sets: result[v] = sorted {u : u -> v in L}.
+  std::vector<std::vector<NodeId>> BuildPullSets(size_t num_users) const;
+
+ private:
+  U64Set push_;
+  U64Set pull_;
+  U64Map<NodeId> hub_cover_;
+};
+
+}  // namespace piggy

@@ -1,0 +1,100 @@
+#include "core/schedule_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace piggy {
+
+namespace {
+constexpr char kHeader[] = "piggy-schedule v1";
+}  // namespace
+
+Status WriteScheduleText(const Schedule& s, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << kHeader << "\n";
+
+  std::vector<uint64_t> keys;
+  keys.reserve(s.push_size());
+  s.ForEachPush([&keys](const Edge& e) { keys.push_back(EdgeKey(e)); });
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
+    Edge e = EdgeFromKey(key);
+    out << "H " << e.src << ' ' << e.dst << '\n';
+  }
+
+  keys.clear();
+  s.ForEachPull([&keys](const Edge& e) { keys.push_back(EdgeKey(e)); });
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
+    Edge e = EdgeFromKey(key);
+    out << "L " << e.src << ' ' << e.dst << '\n';
+  }
+
+  std::vector<std::pair<uint64_t, NodeId>> covers;
+  covers.reserve(s.hub_covered_size());
+  s.ForEachHubCover([&covers](const Edge& e, NodeId hub) {
+    covers.emplace_back(EdgeKey(e), hub);
+  });
+  std::sort(covers.begin(), covers.end());
+  for (const auto& [key, hub] : covers) {
+    Edge e = EdgeFromKey(key);
+    out << "C " << e.src << ' ' << e.dst << ' ' << hub << '\n';
+  }
+
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Schedule> ReadScheduleText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line) || StrTrim(line) != kHeader) {
+    return Status::IOError("missing schedule header in " + path);
+  }
+
+  Schedule s;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    char kind = 0;
+    uint64_t src = 0, dst = 0;
+    if (!(fields >> kind >> src >> dst) || src > UINT32_MAX || dst > UINT32_MAX) {
+      return Status::IOError(
+          StrFormat("%s:%zu: malformed schedule line", path.c_str(), line_no));
+    }
+    switch (kind) {
+      case 'H':
+        s.AddPush(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+        break;
+      case 'L':
+        s.AddPull(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+        break;
+      case 'C': {
+        uint64_t hub = 0;
+        if (!(fields >> hub) || hub > UINT32_MAX) {
+          return Status::IOError(
+              StrFormat("%s:%zu: malformed cover line", path.c_str(), line_no));
+        }
+        s.SetHubCover(static_cast<NodeId>(src), static_cast<NodeId>(dst),
+                      static_cast<NodeId>(hub));
+        break;
+      }
+      default:
+        return Status::IOError(StrFormat("%s:%zu: unknown record kind '%c'",
+                                         path.c_str(), line_no, kind));
+    }
+  }
+  return s;
+}
+
+}  // namespace piggy

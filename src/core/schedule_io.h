@@ -1,0 +1,32 @@
+// Schedule persistence.
+//
+// In the paper's architecture the request schedule is computed offline (a
+// Hadoop job over the social graph) and shipped to the application-logic
+// servers, which keep push/pull sets in memory. This module provides the
+// interchange format: a line-oriented text file
+//
+//   piggy-schedule v1
+//   H <src> <dst>
+//   L <src> <dst>
+//   C <src> <dst> <hub>
+//
+// '#' starts a comment. The format is stable, diff-friendly and easy to
+// produce from other tooling.
+
+#pragma once
+
+#include <string>
+
+#include "core/schedule.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// Writes a schedule to `path` (H, then L, then C entries, each sorted by
+/// edge key for deterministic output).
+Status WriteScheduleText(const Schedule& s, const std::string& path);
+
+/// Reads a schedule written by WriteScheduleText.
+Result<Schedule> ReadScheduleText(const std::string& path);
+
+}  // namespace piggy

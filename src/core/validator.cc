@@ -1,0 +1,84 @@
+#include "core/validator.h"
+
+#include "util/string_util.h"
+
+namespace piggy {
+
+namespace {
+
+// Shared implementation for any graph type with HasEdge / InNeighbors /
+// ForEachEdge (Graph and DynamicGraph).
+template <typename GraphT>
+Status ValidateImpl(const GraphT& g, const Schedule& s,
+                    const ValidatorOptions& options) {
+  Status failure = Status::OK();
+
+  // 1. Referential integrity: H/L entries must be graph edges.
+  s.ForEachPush([&](const Edge& e) {
+    if (failure.ok() && !g.HasEdge(e.src, e.dst)) {
+      failure = Status::FailedPrecondition(
+          StrFormat("push entry %u->%u is not a graph edge", e.src, e.dst));
+    }
+  });
+  PIGGY_RETURN_NOT_OK(failure);
+  s.ForEachPull([&](const Edge& e) {
+    if (failure.ok() && !g.HasEdge(e.src, e.dst)) {
+      failure = Status::FailedPrecondition(
+          StrFormat("pull entry %u->%u is not a graph edge", e.src, e.dst));
+    }
+  });
+  PIGGY_RETURN_NOT_OK(failure);
+
+  // 2. C entries must name a hub actually wired up in H and L.
+  s.ForEachHubCover([&](const Edge& e, NodeId w) {
+    if (!failure.ok()) return;
+    if (!g.HasEdge(e.src, e.dst)) {
+      failure = Status::FailedPrecondition(
+          StrFormat("cover entry %u->%u is not a graph edge", e.src, e.dst));
+    } else if (!g.HasEdge(e.src, w) || !g.HasEdge(w, e.dst)) {
+      failure = Status::FailedPrecondition(
+          StrFormat("hub %u for %u->%u lacks graph edges", w, e.src, e.dst));
+    } else if (!s.IsPush(e.src, w)) {
+      failure = Status::FailedPrecondition(
+          StrFormat("hub %u for %u->%u: %u->%u not in H", w, e.src, e.dst, e.src, w));
+    } else if (!s.IsPull(w, e.dst)) {
+      failure = Status::FailedPrecondition(
+          StrFormat("hub %u for %u->%u: %u->%u not in L", w, e.src, e.dst, w, e.dst));
+    }
+  });
+  PIGGY_RETURN_NOT_OK(failure);
+
+  // 3. Coverage: every graph edge must be served per Theorem 1.
+  g.ForEachEdge([&](const Edge& e) {
+    if (!failure.ok()) return;
+    if (s.IsPush(e.src, e.dst) || s.IsPull(e.src, e.dst)) return;
+    if (s.IsHubCovered(e.src, e.dst)) return;  // hub verified in step 2
+    if (options.allow_implicit_hubs) {
+      for (NodeId w : g.InNeighbors(e.dst)) {
+        if (w != e.src && s.IsPush(e.src, w) && s.IsPull(w, e.dst) &&
+            g.HasEdge(e.src, w)) {
+          return;
+        }
+      }
+    }
+    if (!options.allow_unassigned) {
+      failure = Status::FailedPrecondition(
+          StrFormat("edge %u->%u has no service (push/pull/hub)", e.src, e.dst));
+    }
+  });
+  return failure;
+}
+
+}  // namespace
+
+Status ValidateSchedule(const Graph& g, const Schedule& s,
+                        const ValidatorOptions& options) {
+  return ValidateImpl(g, s, options);
+}
+
+Status ValidateSchedule(const DynamicGraph& g, const Schedule& s,
+                        const ValidatorOptions& options) {
+  return ValidateImpl(g, s, options);
+}
+
+}  // namespace piggy

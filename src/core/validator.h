@@ -1,0 +1,38 @@
+// Schedule validation against Theorem 1 (bounded staleness).
+//
+// A schedule guarantees bounded staleness iff every edge u -> v of the graph
+// is served by (i) a push, (ii) a pull, or (iii) piggybacking through a hub w
+// with u -> w in H and w -> v in L (and both edges present in the graph).
+// The validator re-derives hub validity from H and L instead of trusting the
+// C bookkeeping, and additionally checks referential integrity of all three
+// sets against the graph.
+
+#pragma once
+
+#include "core/schedule.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// \brief Validation knobs.
+struct ValidatorOptions {
+  /// Accept edges with no assignment at all (PARALLELNOSY intermediate
+  /// states, where unassigned edges fall back to the hybrid policy at run
+  /// time and are therefore still served within bounded staleness).
+  bool allow_unassigned = false;
+  /// Accept an unassigned edge if *some* hub serves it (u -> w in H and
+  /// w -> v in L for any w), even without a C entry. Used by property tests.
+  bool allow_implicit_hubs = false;
+};
+
+/// Validates the schedule against a CSR graph.
+Status ValidateSchedule(const Graph& g, const Schedule& s,
+                        const ValidatorOptions& options = {});
+
+/// Validates the schedule against a dynamic graph (incremental maintenance).
+Status ValidateSchedule(const DynamicGraph& g, const Schedule& s,
+                        const ValidatorOptions& options = {});
+
+}  // namespace piggy

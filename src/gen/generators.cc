@@ -1,0 +1,213 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+#include "util/u64_containers.h"
+
+namespace piggy {
+
+namespace {
+
+// Edge accumulator with O(1) membership used during generation, where nodes
+// appear in id order and we need follower/followee lists for preferential
+// attachment and triadic closure.
+struct GenState {
+  explicit GenState(size_t n) : followees(n), followers(n) {}
+
+  // followees[b] = producers b subscribes to (edges a -> b).
+  // followers[a] = consumers of a (same edges, other side).
+  std::vector<std::vector<NodeId>> followees;
+  std::vector<std::vector<NodeId>> followers;
+  // Flat list of edge endpoints weighted by follower count: sampling a
+  // uniform element of `attachment` picks a node proportionally to
+  // (followers + 1) because each node is appended once on creation and once
+  // per follower gained.
+  std::vector<NodeId> attachment;
+  U64Set edges;
+
+  bool AddFollow(NodeId followee, NodeId follower) {
+    if (followee == follower) return false;
+    if (!edges.Insert(EdgeKey(followee, follower))) return false;
+    followees[follower].push_back(followee);
+    followers[followee].push_back(follower);
+    attachment.push_back(followee);
+    return true;
+  }
+};
+
+}  // namespace
+
+Result<Graph> GenerateSocialNetwork(const SocialNetworkOptions& options,
+                                    uint64_t seed) {
+  const size_t n = options.num_nodes;
+  const size_t seeds = std::max<size_t>(2, std::min(options.seed_nodes, n));
+  if (n < 2) return Status::InvalidArgument("need at least 2 nodes");
+  if (options.edges_per_node < 1.0) {
+    return Status::InvalidArgument("edges_per_node must be >= 1");
+  }
+  if (options.triadic_closure < 0 || options.triadic_closure > 1 ||
+      options.reciprocation < 0 || options.reciprocation > 1) {
+    return Status::InvalidArgument("probabilities must lie in [0, 1]");
+  }
+
+  Rng rng(seed);
+  GenState state(n);
+
+  // Seed clique: mutual follows among the first `seeds` nodes.
+  for (NodeId a = 0; a < seeds; ++a) {
+    for (NodeId b = 0; b < seeds; ++b) {
+      if (a != b) state.AddFollow(a, b);
+    }
+  }
+  // Register seed nodes once each so they are sampleable even without
+  // followers.
+  for (NodeId a = 0; a < seeds; ++a) state.attachment.push_back(a);
+
+  for (NodeId b = static_cast<NodeId>(seeds); b < n; ++b) {
+    state.attachment.push_back(b);  // base weight for the new node itself
+    // Number of follows this node creates: 1 + Binomial-ish jitter around
+    // edges_per_node, implemented as floor + Bernoulli(frac).
+    double target = options.edges_per_node;
+    size_t follows = static_cast<size_t>(target);
+    if (rng.Bernoulli(target - std::floor(target))) ++follows;
+    follows = std::max<size_t>(1, follows);
+
+    // New users join through one friend and then discover that friend's
+    // network: the first follow is the preferential-attachment "anchor", and
+    // each triadic closure follows one of the anchor's followees c. That
+    // wires c -> anchor, anchor -> b, c -> b — so the anchor's view is a hub
+    // that can serve every closure edge of b with a single pull, which is
+    // exactly the concentration real social graphs show and piggybacking
+    // exploits.
+    NodeId anchor = b;  // set by the first successful follow
+
+    for (size_t f = 0; f < follows; ++f) {
+      NodeId followee = b;
+      bool via_triangle =
+          anchor != b && rng.Bernoulli(options.triadic_closure);
+      if (via_triangle) {
+        // Pick an unfollowed followee of the anchor; retry a few times since
+        // popular candidates are often already followed.
+        const auto& theirs = state.followees[anchor];
+        for (int attempt = 0; attempt < 6 && followee == b; ++attempt) {
+          if (theirs.empty()) break;
+          NodeId c = theirs[rng.Uniform(theirs.size())];
+          if (c != b && !state.edges.Contains(EdgeKey(c, b))) followee = c;
+        }
+      }
+      if (followee == b) {
+        // Preferential attachment by follower count.
+        followee = state.attachment[rng.Uniform(state.attachment.size())];
+      }
+      // A few retries avoid degenerate duplicates without biasing much.
+      for (int attempt = 0; attempt < 4 && !state.AddFollow(followee, b);
+           ++attempt) {
+        followee = state.attachment[rng.Uniform(state.attachment.size())];
+      }
+      if (anchor == b && !state.followees[b].empty()) {
+        anchor = state.followees[b].front();
+      }
+      if (rng.Bernoulli(options.reciprocation)) state.AddFollow(b, followee);
+    }
+  }
+
+  GraphBuilder builder(n);
+  builder.EnsureNodes(n);
+  state.edges.ForEach([&builder](uint64_t key) {
+    Edge e = EdgeFromKey(key);
+    builder.AddEdge(e.src, e.dst);
+  });
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateErdosRenyi(size_t num_nodes, size_t num_edges, uint64_t seed) {
+  if (num_nodes < 2) return Status::InvalidArgument("need at least 2 nodes");
+  const size_t max_edges = num_nodes * (num_nodes - 1);
+  if (num_edges > max_edges) {
+    return Status::InvalidArgument(
+        StrFormat("num_edges %zu exceeds max %zu", num_edges, max_edges));
+  }
+  Rng rng(seed);
+  U64Set edges(num_edges);
+  while (edges.size() < num_edges) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.Uniform(num_nodes));
+    if (u != v) edges.Insert(EdgeKey(u, v));
+  }
+  GraphBuilder builder(num_nodes);
+  builder.EnsureNodes(num_nodes);
+  edges.ForEach([&builder](uint64_t key) {
+    Edge e = EdgeFromKey(key);
+    builder.AddEdge(e.src, e.dst);
+  });
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateSmallWorld(size_t num_nodes, size_t k, double rewire,
+                                 uint64_t seed) {
+  if (num_nodes < 3) return Status::InvalidArgument("need at least 3 nodes");
+  if (k == 0 || k >= num_nodes) return Status::InvalidArgument("invalid k");
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.EnsureNodes(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (size_t j = 1; j <= k; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % num_nodes);
+      if (rng.Bernoulli(rewire)) {
+        v = static_cast<NodeId>(rng.Uniform(num_nodes));
+        if (v == u) v = static_cast<NodeId>((u + 1) % num_nodes);
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateComplete(size_t num_nodes) {
+  if (num_nodes < 2) return Status::InvalidArgument("need at least 2 nodes");
+  GraphBuilder builder(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateStar(size_t num_nodes, NodeId center) {
+  if (num_nodes < 2) return Status::InvalidArgument("need at least 2 nodes");
+  if (center >= num_nodes) return Status::InvalidArgument("center out of range");
+  GraphBuilder builder(num_nodes);
+  builder.EnsureNodes(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (v != center) builder.AddEdge(center, v);
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateCycle(size_t num_nodes) {
+  if (num_nodes < 2) return Status::InvalidArgument("need at least 2 nodes");
+  GraphBuilder builder(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    builder.AddEdge(u, static_cast<NodeId>((u + 1) % num_nodes));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateBipartite(size_t producers, size_t consumers) {
+  if (producers == 0 || consumers == 0) {
+    return Status::InvalidArgument("both sides must be non-empty");
+  }
+  GraphBuilder builder(producers + consumers);
+  for (NodeId p = 0; p < producers; ++p) {
+    for (size_t c = 0; c < consumers; ++c) {
+      builder.AddEdge(p, static_cast<NodeId>(producers + c));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace piggy

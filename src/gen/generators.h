@@ -1,0 +1,69 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on the full Twitter (2009) and Flickr (2008) crawls,
+// which are not available offline. Social piggybacking's gains hinge on two
+// structural properties the paper calls out explicitly: heavy-tailed degree
+// distributions ("presence of many hubs") and a high clustering coefficient
+// (many x->w->y wedges closed by a cross edge x->y). The SocialNetwork
+// generator reproduces both: directed preferential attachment produces hubs,
+// triadic closure ("follow your followee's followees") closes exactly the
+// hub triangles piggybacking exploits, and a reciprocation probability models
+// mutual-follow edges (high on Flickr, lower on Twitter).
+//
+// Simpler families (Erdos-Renyi, ring lattice, stars, bipartite) are provided
+// as controls and unit-test fixtures.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// \brief Parameters of the social-network generator.
+struct SocialNetworkOptions {
+  size_t num_nodes = 10000;
+  /// Average number of follow edges created per arriving node (before
+  /// reciprocation). The final average degree is roughly
+  /// edges_per_node * (1 + reciprocation).
+  double edges_per_node = 10.0;
+  /// Probability that a new follow closes a triangle (follow a followee of an
+  /// existing followee) instead of preferential attachment.
+  double triadic_closure = 0.5;
+  /// Probability that a follow is reciprocated immediately.
+  double reciprocation = 0.3;
+  /// Size of the seed clique that bootstraps preferential attachment.
+  size_t seed_nodes = 5;
+};
+
+/// Generates a directed social graph per SocialNetworkOptions. Deterministic
+/// given (options, seed).
+Result<Graph> GenerateSocialNetwork(const SocialNetworkOptions& options,
+                                    uint64_t seed);
+
+/// G(n, m): `num_edges` distinct directed edges placed uniformly at random.
+Result<Graph> GenerateErdosRenyi(size_t num_nodes, size_t num_edges, uint64_t seed);
+
+/// Directed ring lattice: each node follows its `k` clockwise successors,
+/// each follow rewired to a uniform node with probability `rewire`
+/// (Watts-Strogatz style small world).
+Result<Graph> GenerateSmallWorld(size_t num_nodes, size_t k, double rewire,
+                                 uint64_t seed);
+
+/// Complete digraph on n nodes (both directions of every pair).
+Result<Graph> GenerateComplete(size_t num_nodes);
+
+/// Star: `center` broadcasts to all others (center -> i for all i != center).
+Result<Graph> GenerateStar(size_t num_nodes, NodeId center = 0);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Result<Graph> GenerateCycle(size_t num_nodes);
+
+/// Bipartite producers -> consumers: every one of the first `producers` nodes
+/// has an edge to every one of the following `consumers` nodes.
+Result<Graph> GenerateBipartite(size_t producers, size_t consumers);
+
+}  // namespace piggy

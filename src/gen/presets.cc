@@ -1,0 +1,31 @@
+#include "gen/presets.h"
+
+namespace piggy {
+
+SocialNetworkOptions FlickrLikeOptions(const PresetScale& scale) {
+  SocialNetworkOptions options;
+  options.num_nodes = scale.num_nodes;
+  options.edges_per_node = 11.0;  // ~29 avg degree after reciprocation
+  options.triadic_closure = 0.65;
+  options.reciprocation = 0.60;
+  return options;
+}
+
+SocialNetworkOptions TwitterLikeOptions(const PresetScale& scale) {
+  SocialNetworkOptions options;
+  options.num_nodes = scale.num_nodes;
+  options.edges_per_node = 16.0;
+  options.triadic_closure = 0.55;
+  options.reciprocation = 0.20;
+  return options;
+}
+
+Result<Graph> MakeFlickrLike(size_t num_nodes, uint64_t seed) {
+  return GenerateSocialNetwork(FlickrLikeOptions({num_nodes}), seed);
+}
+
+Result<Graph> MakeTwitterLike(size_t num_nodes, uint64_t seed) {
+  return GenerateSocialNetwork(TwitterLikeOptions({num_nodes}), seed);
+}
+
+}  // namespace piggy

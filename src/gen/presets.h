@@ -1,0 +1,33 @@
+// Named dataset presets standing in for the paper's evaluation graphs.
+//
+// The real datasets: flickr (Apr 2008): 2,409,730 nodes / 71,345,981 edges
+// (avg degree ~29.6, high reciprocity); twitter (Aug 2009, Cha et al.):
+// 82,949,778 nodes / 1,423,194,279 edges (avg degree ~17.2, but far heavier
+// tail and denser two-hop neighborhoods — the paper calls twitter "denser"
+// in the sense that matters for hubs). The presets keep those regimes at a
+// configurable node scale.
+
+#pragma once
+
+#include "gen/generators.h"
+
+namespace piggy {
+
+/// Scales for presets; nodes for the default benches are laptop-sized.
+struct PresetScale {
+  size_t num_nodes = 20000;
+};
+
+/// Flickr-like: moderate average degree, strong reciprocity, strong triadic
+/// closure (contact links are largely mutual).
+SocialNetworkOptions FlickrLikeOptions(const PresetScale& scale = {});
+
+/// Twitter-like: heavier tail (more attachment, less closure), low
+/// reciprocity, higher average degree.
+SocialNetworkOptions TwitterLikeOptions(const PresetScale& scale = {});
+
+/// Generates the preset graphs (deterministic per seed).
+Result<Graph> MakeFlickrLike(size_t num_nodes, uint64_t seed);
+Result<Graph> MakeTwitterLike(size_t num_nodes, uint64_t seed);
+
+}  // namespace piggy

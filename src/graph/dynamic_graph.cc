@@ -1,0 +1,74 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+namespace piggy {
+
+DynamicGraph::DynamicGraph(const Graph& g) : DynamicGraph(g.num_nodes()) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    out_[u].assign(nbrs.begin(), nbrs.end());
+    auto preds = g.InNeighbors(u);
+    in_[u].assign(preds.begin(), preds.end());
+  }
+  num_edges_ = g.num_edges();
+}
+
+NodeId DynamicGraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+void DynamicGraph::EnsureNodes(size_t n) {
+  if (n > out_.size()) {
+    out_.resize(n);
+    in_.resize(n);
+  }
+}
+
+bool DynamicGraph::SortedInsert(std::vector<NodeId>& v, NodeId x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+bool DynamicGraph::SortedErase(std::vector<NodeId>& v, NodeId x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+
+bool DynamicGraph::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return false;
+  PIGGY_CHECK_LT(u, out_.size());
+  PIGGY_CHECK_LT(v, out_.size());
+  if (!SortedInsert(out_[u], v)) return false;
+  SortedInsert(in_[v], u);
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
+  if (u >= out_.size() || v >= out_.size()) return false;
+  if (!SortedErase(out_[u], v)) return false;
+  SortedErase(in_[v], u);
+  --num_edges_;
+  return true;
+}
+
+bool DynamicGraph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= out_.size() || v >= out_.size()) return false;
+  return std::binary_search(out_[u].begin(), out_[u].end(), v);
+}
+
+Result<Graph> DynamicGraph::Snapshot() const {
+  GraphBuilder builder(num_nodes());
+  ForEachEdge([&builder](const Edge& e) { builder.AddEdge(e.src, e.dst); });
+  builder.EnsureNodes(num_nodes());
+  return std::move(builder).Build();
+}
+
+}  // namespace piggy

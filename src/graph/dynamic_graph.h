@@ -1,0 +1,81 @@
+// Mutable adjacency-set digraph supporting edge insertion and removal.
+//
+// Used by the incremental schedule maintainer (Sec. 3.3 of the paper) and by
+// the generators while a graph is under construction. Neighbor sets are kept
+// sorted so iteration order is deterministic. Snapshot() freezes the current
+// state into an immutable CSR Graph.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// \brief Mutable digraph with sorted adjacency vectors per node.
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(size_t num_nodes = 0) : out_(num_nodes), in_(num_nodes) {}
+
+  /// Builds a mutable copy of an immutable graph.
+  explicit DynamicGraph(const Graph& g);
+
+  size_t num_nodes() const { return out_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Appends a new node; returns its id.
+  NodeId AddNode();
+
+  /// Grows to at least `n` nodes.
+  void EnsureNodes(size_t n);
+
+  /// Inserts edge u -> v; returns true if newly inserted. Self-loops are
+  /// ignored (returns false). Node ids must be < num_nodes().
+  bool AddEdge(NodeId u, NodeId v);
+
+  /// Removes edge u -> v; returns true if it was present.
+  bool RemoveEdge(NodeId u, NodeId v);
+
+  /// True iff edge u -> v exists. O(log d).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Consumers of u (sorted ascending).
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    PIGGY_CHECK_LT(u, out_.size());
+    return out_[u];
+  }
+
+  /// Producers v follows (sorted ascending).
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    PIGGY_CHECK_LT(v, in_.size());
+    return in_[v];
+  }
+
+  size_t OutDegree(NodeId u) const { return OutNeighbors(u).size(); }
+  size_t InDegree(NodeId v) const { return InNeighbors(v).size(); }
+
+  /// Calls fn(Edge) for each edge in canonical (src-major) order.
+  template <typename F>
+  void ForEachEdge(F fn) const {
+    for (NodeId u = 0; u < out_.size(); ++u) {
+      for (NodeId v : out_[u]) fn(Edge{u, v});
+    }
+  }
+
+  /// Freezes into an immutable CSR snapshot.
+  Result<Graph> Snapshot() const;
+
+ private:
+  static bool SortedInsert(std::vector<NodeId>& v, NodeId x);
+  static bool SortedErase(std::vector<NodeId>& v, NodeId x);
+
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace piggy

@@ -1,0 +1,36 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace piggy {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+size_t Graph::EdgeIndex(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return num_edges();
+  auto nbrs = OutNeighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return num_edges();
+  return out_offsets_[u] + static_cast<size_t>(it - nbrs.begin());
+}
+
+Edge Graph::EdgeAt(size_t idx) const {
+  PIGGY_CHECK_LT(idx, num_edges());
+  // Binary search the offsets array for the owning source node.
+  auto it = std::upper_bound(out_offsets_.begin(), out_offsets_.end(), idx);
+  NodeId src = static_cast<NodeId>(it - out_offsets_.begin() - 1);
+  return Edge{src, out_adj_[idx]};
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  ForEachEdge([&edges](const Edge& e) { edges.push_back(e); });
+  return edges;
+}
+
+}  // namespace piggy

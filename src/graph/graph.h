@@ -1,0 +1,118 @@
+// Immutable directed social graph in CSR (compressed sparse row) form.
+//
+// Semantics follow the paper: an edge u -> v means "user v subscribes to the
+// events produced by u" (v follows u). u is the producer, v the consumer.
+// Both out-adjacency (consumers of u) and in-adjacency (producers u follows)
+// are materialized with sorted neighbor lists, giving O(log d) HasEdge and
+// cache-friendly scans — the access pattern the scheduling algorithms need.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace piggy {
+
+/// Node identifier; nodes are dense [0, num_nodes).
+using NodeId = uint32_t;
+
+/// A directed edge (producer -> consumer).
+struct Edge {
+  NodeId src;
+  NodeId dst;
+
+  bool operator==(const Edge&) const = default;
+  bool operator<(const Edge& o) const {
+    return src != o.src ? src < o.src : dst < o.dst;
+  }
+};
+
+/// Packs an edge into the 64-bit key used by U64Set / U64Map.
+inline uint64_t EdgeKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+inline uint64_t EdgeKey(const Edge& e) { return EdgeKey(e.src, e.dst); }
+
+/// Unpacks an edge key.
+inline Edge EdgeFromKey(uint64_t key) {
+  return Edge{static_cast<NodeId>(key >> 32), static_cast<NodeId>(key & 0xffffffffu)};
+}
+
+class GraphBuilder;
+
+/// \brief Immutable CSR digraph. Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes (ids are dense in [0, num_nodes())).
+  size_t num_nodes() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
+
+  /// Number of directed edges.
+  size_t num_edges() const { return out_adj_.size(); }
+
+  /// Consumers of u: all v with u -> v in E, sorted ascending.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    CheckNode(u);
+    return {out_adj_.data() + out_offsets_[u],
+            out_adj_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Producers v follows: all u with u -> v in E, sorted ascending.
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    CheckNode(v);
+    return {in_adj_.data() + in_offsets_[v], in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Out-degree of u (number of followers / consumers of u).
+  size_t OutDegree(NodeId u) const {
+    CheckNode(u);
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+
+  /// In-degree of v (number of users v follows / producers of v).
+  size_t InDegree(NodeId v) const {
+    CheckNode(v);
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// True iff the edge u -> v exists. O(log OutDegree(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Index of edge u -> v in the canonical (src-major, dst-ascending) edge
+  /// order, or num_edges() if absent. Used to key per-edge bitmaps.
+  size_t EdgeIndex(NodeId u, NodeId v) const;
+
+  /// The idx-th edge in canonical order; idx < num_edges().
+  Edge EdgeAt(size_t idx) const;
+
+  /// Calls fn(Edge) for each edge in canonical order.
+  template <typename F>
+  void ForEachEdge(F fn) const {
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+      for (uint64_t i = out_offsets_[u]; i < out_offsets_[u + 1]; ++i) {
+        fn(Edge{u, out_adj_[i]});
+      }
+    }
+  }
+
+  /// All edges in canonical order.
+  std::vector<Edge> Edges() const;
+
+ private:
+  friend class GraphBuilder;
+
+  void CheckNode(NodeId n) const { PIGGY_CHECK_LT(n, num_nodes()); }
+
+  // CSR arrays. out_offsets_ has num_nodes()+1 entries; out_adj_ holds sorted
+  // destination ids. Likewise for the in-direction.
+  std::vector<uint64_t> out_offsets_;
+  std::vector<NodeId> out_adj_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<NodeId> in_adj_;
+};
+
+}  // namespace piggy

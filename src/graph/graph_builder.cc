@@ -1,0 +1,72 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace piggy {
+
+void GraphBuilder::AddEdge(NodeId src, NodeId dst) {
+  if (src == dst) return;
+  edges_.push_back(Edge{src, dst});
+  size_t needed = static_cast<size_t>(std::max(src, dst)) + 1;
+  if (needed > num_nodes_) num_nodes_ = needed;
+}
+
+void GraphBuilder::EnsureNodes(size_t n) {
+  if (n > num_nodes_) num_nodes_ = n;
+}
+
+Result<Graph> GraphBuilder::Build() && {
+  constexpr size_t kMaxNodes = 1ULL << 32;
+  if (num_nodes_ > kMaxNodes) {
+    return Status::InvalidArgument(
+        StrFormat("too many nodes: %zu (NodeId is 32-bit)", num_nodes_));
+  }
+
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  const size_t n = num_nodes_;
+  const size_t m = edges_.size();
+
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  g.out_adj_.resize(m);
+  g.in_adj_.resize(m);
+
+  for (const Edge& e : edges_) {
+    ++g.out_offsets_[e.src + 1];
+    ++g.in_offsets_[e.dst + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+
+  // Edges are sorted src-major dst-ascending, so the out-CSR fills in order.
+  {
+    std::vector<uint64_t> cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+    for (const Edge& e : edges_) g.out_adj_[cursor[e.src]++] = e.dst;
+  }
+  // For the in-direction the same pass yields per-destination lists whose
+  // sources arrive in ascending order (edges_ is sorted by src first).
+  {
+    std::vector<uint64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const Edge& e : edges_) g.in_adj_[cursor[e.dst]++] = e.src;
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+Result<Graph> BuildGraph(size_t num_nodes, const std::vector<Edge>& edges) {
+  GraphBuilder builder(num_nodes);
+  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst);
+  builder.EnsureNodes(num_nodes);
+  return std::move(builder).Build();
+}
+
+}  // namespace piggy

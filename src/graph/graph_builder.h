@@ -1,0 +1,42 @@
+// Mutable accumulator that produces an immutable CSR Graph.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// \brief Collects edges and materializes a Graph.
+///
+/// Self-loops are rejected (a user implicitly sees their own events; the
+/// model's views already account for that). Duplicate edges are deduplicated
+/// at Build() time.
+class GraphBuilder {
+ public:
+  /// `num_nodes` may be 0; it grows automatically to max node id + 1.
+  explicit GraphBuilder(size_t num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  /// Adds edge src -> dst (dst subscribes to src). Self-loops are ignored.
+  void AddEdge(NodeId src, NodeId dst);
+
+  /// Ensures the graph has at least `n` nodes (for isolated trailing nodes).
+  void EnsureNodes(size_t n);
+
+  /// Number of staged edges (before dedup).
+  size_t staged_edges() const { return edges_.size(); }
+
+  /// Sorts, deduplicates and freezes into a Graph. The builder is consumed.
+  Result<Graph> Build() &&;
+
+ private:
+  size_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+};
+
+/// Convenience: builds a graph from an explicit edge list.
+Result<Graph> BuildGraph(size_t num_nodes, const std::vector<Edge>& edges);
+
+}  // namespace piggy

@@ -1,0 +1,95 @@
+#include "graph/graph_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace piggy {
+
+namespace {
+constexpr uint64_t kBinaryMagic = 0x5047474950ULL;  // "PIGGP"
+}  // namespace
+
+Status WriteEdgeListText(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "# nodes " << g.num_nodes() << "\n";
+  g.ForEachEdge([&out](const Edge& e) { out << e.src << ' ' << e.dst << '\n'; });
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  GraphBuilder builder;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') {
+      if (StartsWith(trimmed, "# nodes ")) {
+        uint64_t n = 0;
+        if (std::sscanf(std::string(trimmed).c_str(), "# nodes %lu", &n) == 1) {
+          builder.EnsureNodes(n);
+        }
+      }
+      continue;
+    }
+    uint64_t src = 0, dst = 0;
+    std::istringstream fields{std::string(trimmed)};
+    if (!(fields >> src >> dst)) {
+      return Status::IOError(
+          StrFormat("%s:%zu: malformed edge line", path.c_str(), line_no));
+    }
+    if (src > UINT32_MAX || dst > UINT32_MAX) {
+      return Status::OutOfRange(
+          StrFormat("%s:%zu: node id exceeds 32 bits", path.c_str(), line_no));
+    }
+    builder.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+  }
+  return std::move(builder).Build();
+}
+
+Status WriteGraphBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  uint64_t header[3] = {kBinaryMagic, g.num_nodes(), g.num_edges()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  g.ForEachEdge([&out](const Edge& e) {
+    uint32_t pair[2] = {e.src, e.dst};
+    out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+  });
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadGraphBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  uint64_t header[3] = {0, 0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != kBinaryMagic) {
+    return Status::IOError("bad magic in " + path);
+  }
+  GraphBuilder builder(header[1]);
+  builder.EnsureNodes(header[1]);
+  for (uint64_t i = 0; i < header[2]; ++i) {
+    uint32_t pair[2];
+    in.read(reinterpret_cast<char*>(pair), sizeof(pair));
+    if (!in) return Status::IOError("truncated edge section in " + path);
+    builder.AddEdge(pair[0], pair[1]);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace piggy

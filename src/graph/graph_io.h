@@ -1,0 +1,29 @@
+// Graph persistence: plain edge-list text and a compact binary format.
+//
+// Text format: one "src dst" pair per line; '#' starts a comment line; a
+// header line "# nodes N" may pin the node count (for trailing isolated
+// nodes). Binary format: magic, node count, edge count, then src/dst pairs of
+// uint32 little-endian — the natural interchange format for large graphs.
+
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// Writes the graph as an edge-list text file.
+Status WriteEdgeListText(const Graph& g, const std::string& path);
+
+/// Reads an edge-list text file.
+Result<Graph> ReadEdgeListText(const std::string& path);
+
+/// Writes the graph in the compact binary format.
+Status WriteGraphBinary(const Graph& g, const std::string& path);
+
+/// Reads a graph in the compact binary format.
+Result<Graph> ReadGraphBinary(const std::string& path);
+
+}  // namespace piggy

@@ -1,0 +1,119 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace piggy {
+
+namespace {
+
+// Local clustering of node u over the undirected projection: fraction of
+// pairs of distinct undirected neighbors that are themselves connected (in
+// either direction).
+double LocalClustering(const Graph& g, NodeId u) {
+  std::vector<NodeId> nbrs;
+  auto out = g.OutNeighbors(u);
+  auto in = g.InNeighbors(u);
+  nbrs.reserve(out.size() + in.size());
+  std::set_union(out.begin(), out.end(), in.begin(), in.end(),
+                 std::back_inserter(nbrs));
+  const size_t d = nbrs.size();
+  if (d < 2) return 0.0;
+  size_t links = 0;
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) {
+      if (g.HasEdge(nbrs[i], nbrs[j]) || g.HasEdge(nbrs[j], nbrs[i])) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) / (static_cast<double>(d) * (d - 1));
+}
+
+}  // namespace
+
+std::string GraphStats::ToString() const {
+  return StrFormat(
+      "nodes=%s edges=%s avg_deg=%.2f max_out=%zu max_in=%zu reciprocity=%.3f "
+      "clustering=%.4f hub_triangles~%s",
+      WithCommas(num_nodes).c_str(), WithCommas(num_edges).c_str(), avg_degree,
+      max_out_degree, max_in_degree, reciprocity, clustering,
+      WithCommas(hub_triangles).c_str());
+}
+
+GraphStats ComputeGraphStats(const Graph& g, size_t clustering_samples,
+                             uint64_t seed) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  if (s.num_nodes == 0) return s;
+  s.avg_degree = static_cast<double>(s.num_edges) / static_cast<double>(s.num_nodes);
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(u));
+    s.max_in_degree = std::max(s.max_in_degree, g.InDegree(u));
+  }
+
+  size_t reciprocal = 0;
+  g.ForEachEdge([&](const Edge& e) {
+    if (g.HasEdge(e.dst, e.src)) ++reciprocal;
+  });
+  s.reciprocity =
+      s.num_edges ? static_cast<double>(reciprocal) / static_cast<double>(s.num_edges)
+                  : 0.0;
+
+  Rng rng(seed);
+  const bool exact = clustering_samples == 0 || clustering_samples >= s.num_nodes;
+  const size_t samples = exact ? s.num_nodes : clustering_samples;
+  double sum_cc = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    NodeId u = exact ? static_cast<NodeId>(i)
+                     : static_cast<NodeId>(rng.Uniform(s.num_nodes));
+    sum_cc += LocalClustering(g, u);
+  }
+  s.clustering = samples ? sum_cc / static_cast<double>(samples) : 0.0;
+
+  // Estimate hub triangles by sampling hubs proportionally to node count.
+  if (exact) {
+    s.hub_triangles = CountHubTrianglesExact(g);
+  } else {
+    size_t found = 0;
+    for (size_t i = 0; i < samples; ++i) {
+      NodeId w = static_cast<NodeId>(rng.Uniform(s.num_nodes));
+      for (NodeId x : g.InNeighbors(w)) {
+        for (NodeId y : g.OutNeighbors(w)) {
+          if (x != y && g.HasEdge(x, y)) ++found;
+        }
+      }
+    }
+    s.hub_triangles = static_cast<size_t>(
+        static_cast<double>(found) * static_cast<double>(s.num_nodes) /
+        static_cast<double>(samples));
+  }
+  return s;
+}
+
+std::vector<size_t> DegreeHistogramLog2(const Graph& g, bool out_direction) {
+  std::vector<size_t> hist;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    size_t d = out_direction ? g.OutDegree(u) : g.InDegree(u);
+    size_t bucket = 0;
+    while ((2ULL << bucket) <= d) ++bucket;
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+size_t CountHubTrianglesExact(const Graph& g) {
+  size_t count = 0;
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    for (NodeId x : g.InNeighbors(w)) {
+      for (NodeId y : g.OutNeighbors(w)) {
+        if (x != y && g.HasEdge(x, y)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace piggy

@@ -1,0 +1,44 @@
+// Structural statistics used to validate that synthetic graphs reproduce the
+// properties social piggybacking exploits (heavy-tailed degrees, triangles,
+// reciprocity) and to report dataset summaries in the bench harness.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace piggy {
+
+/// \brief Summary statistics of a digraph.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double avg_degree = 0;        ///< edges / nodes
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  double reciprocity = 0;       ///< fraction of edges with a reverse edge
+  double clustering = 0;        ///< mean local clustering coefficient (undirected)
+  size_t hub_triangles = 0;     ///< directed triangles x->w, w->y, x->y (sampled estimate)
+
+  std::string ToString() const;
+};
+
+/// Computes statistics. `clustering_samples` nodes are sampled for the local
+/// clustering estimate (0 = all nodes, exact); likewise for hub triangles.
+GraphStats ComputeGraphStats(const Graph& g, size_t clustering_samples = 2000,
+                             uint64_t seed = 42);
+
+/// Out-degree histogram in log2 buckets (bucket i counts nodes with
+/// out-degree in [2^i, 2^(i+1))); bucket 0 also counts degree 0..1.
+std::vector<size_t> DegreeHistogramLog2(const Graph& g, bool out_direction);
+
+/// Exact count of "hub wedges" x->w->y where the cross edge x->y also exists
+/// (the structure piggybacking exploits). O(sum_w InDeg(w)*OutDeg(w)*log d);
+/// intended for small/medium graphs and tests.
+size_t CountHubTrianglesExact(const Graph& g);
+
+}  // namespace piggy

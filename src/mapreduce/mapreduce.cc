@@ -1,0 +1,12 @@
+#include "mapreduce/mapreduce.h"
+
+#include "util/string_util.h"
+
+namespace piggy::mr {
+
+std::string JobStats::ToString() const {
+  return StrFormat("map_inputs=%zu distinct_keys=%zu outputs=%zu", map_inputs,
+                   distinct_keys, outputs);
+}
+
+}  // namespace piggy::mr

@@ -1,0 +1,146 @@
+// In-process MapReduce substrate.
+//
+// PARALLELNOSY is specified as a sequence of MapReduce jobs (paper Sec. 3.2):
+// candidate selection is a map over hub-graphs, lock granting a reduce keyed
+// by edge, and scheduling decisions a reduce keyed by hub-graph. The paper
+// ran Hadoop on 1500 cores; this substrate reproduces the same programming
+// model — shard the input, map with an emitter, shuffle by key hash, reduce
+// per key group — over a thread pool, with fully deterministic output order
+// (reduce partitions in index order, keys sorted within a partition, values
+// in map-shard order).
+
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace piggy::mr {
+
+/// \brief Execution knobs for one job.
+///
+/// Defaults are fixed constants rather than functions of the pool size so a
+/// job's output is bit-identical regardless of worker count — parallelism
+/// never changes results, only wall-clock time.
+struct JobOptions {
+  /// Number of reduce partitions (0 = default 64).
+  size_t num_reduce_partitions = 0;
+  /// Number of map shards (0 = default 64).
+  size_t num_map_shards = 0;
+};
+
+/// \brief Post-run counters.
+struct JobStats {
+  size_t map_inputs = 0;
+  size_t emitted_pairs = 0;
+  size_t distinct_keys = 0;
+  size_t outputs = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Collects (key, value) pairs from one map shard, bucketed by the
+/// reduce partition of the key.
+template <typename K, typename V>
+class Emitter {
+ public:
+  Emitter(size_t num_partitions) : buckets_(num_partitions) {}
+
+  void Emit(K key, V value) {
+    size_t p = Mix64(static_cast<uint64_t>(std::hash<K>{}(key))) % buckets_.size();
+    buckets_[p].emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::vector<std::pair<K, V>>>& buckets() { return buckets_; }
+
+ private:
+  std::vector<std::vector<std::pair<K, V>>> buckets_;
+};
+
+/// \brief Runs a full map-shuffle-reduce job and returns the concatenated
+/// reducer outputs in deterministic order.
+///
+/// \param pool     worker pool
+/// \param inputs   map inputs (consumed read-only, shared across threads)
+/// \param map_fn   void(const In&, Emitter<K, V>&); thread-safe w.r.t. inputs
+/// \param reduce_fn void(const K&, std::vector<V>&, std::vector<Out>&);
+///                 receives all values for one key (deterministic order) and
+///                 appends any number of outputs
+template <typename In, typename K, typename V, typename Out>
+std::vector<Out> RunMapReduce(
+    ThreadPool& pool, const std::vector<In>& inputs,
+    const std::function<void(const In&, Emitter<K, V>&)>& map_fn,
+    const std::function<void(const K&, std::vector<V>&, std::vector<Out>&)>& reduce_fn,
+    JobOptions options = {}, JobStats* stats = nullptr) {
+  const size_t num_partitions =
+      options.num_reduce_partitions ? options.num_reduce_partitions : 64;
+  const size_t num_shards = options.num_map_shards ? options.num_map_shards : 64;
+
+  // ---- Map phase: one emitter per shard.
+  std::vector<Emitter<K, V>> emitters;
+  emitters.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) emitters.emplace_back(num_partitions);
+  ParallelForShards(pool, inputs.size(), num_shards,
+                    [&](size_t shard, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        map_fn(inputs[i], emitters[shard]);
+                      }
+                    });
+
+  // ---- Shuffle + reduce phase: per partition, gather pairs from all shards
+  // (shard order fixed => deterministic), group by key, reduce.
+  std::vector<std::vector<Out>> partition_outputs(num_partitions);
+  std::vector<size_t> partition_keys(num_partitions, 0);
+  ParallelFor(pool, num_partitions, [&](size_t p) {
+    std::vector<std::pair<K, V>> pairs;
+    size_t total = 0;
+    for (auto& em : emitters) total += em.buckets()[p].size();
+    pairs.reserve(total);
+    for (auto& em : emitters) {
+      auto& bucket = em.buckets()[p];
+      std::move(bucket.begin(), bucket.end(), std::back_inserter(pairs));
+      bucket.clear();
+    }
+    // Stable sort keeps shard/emission order within equal keys.
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<V> values;
+    size_t i = 0;
+    while (i < pairs.size()) {
+      size_t j = i;
+      while (j < pairs.size() && !(pairs[i].first < pairs[j].first)) ++j;
+      values.clear();
+      values.reserve(j - i);
+      for (size_t k = i; k < j; ++k) values.push_back(std::move(pairs[k].second));
+      reduce_fn(pairs[i].first, values, partition_outputs[p]);
+      ++partition_keys[p];
+      i = j;
+    }
+  });
+
+  std::vector<Out> outputs;
+  size_t total_out = 0;
+  for (auto& po : partition_outputs) total_out += po.size();
+  outputs.reserve(total_out);
+  for (auto& po : partition_outputs) {
+    std::move(po.begin(), po.end(), std::back_inserter(outputs));
+  }
+
+  if (stats != nullptr) {
+    stats->map_inputs = inputs.size();
+    stats->emitted_pairs = 0;  // consumed during shuffle; report keys/outputs
+    stats->distinct_keys = 0;
+    for (size_t p = 0; p < num_partitions; ++p) {
+      stats->distinct_keys += partition_keys[p];
+    }
+    stats->outputs = outputs.size();
+  }
+  return outputs;
+}
+
+}  // namespace piggy::mr

@@ -1,0 +1,157 @@
+#include "sampling/samplers.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "util/u64_containers.h"
+
+namespace piggy {
+
+namespace {
+
+// Number of induced edges among `nodes` (given a membership map).
+size_t InducedEdgeCount(const Graph& g, const std::vector<NodeId>& nodes,
+                        const U64Map<NodeId>& remap) {
+  size_t count = 0;
+  for (NodeId u : nodes) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (remap.Contains(v)) ++count;
+    }
+  }
+  return count;
+}
+
+Result<GraphSample> BuildSample(const Graph& g, const std::vector<NodeId>& nodes,
+                                const U64Map<NodeId>& remap) {
+  GraphBuilder builder(nodes.size());
+  builder.EnsureNodes(nodes.size());
+  for (NodeId u : nodes) {
+    const NodeId* new_u = remap.Find(u);
+    for (NodeId v : g.OutNeighbors(u)) {
+      const NodeId* new_v = remap.Find(v);
+      if (new_v != nullptr) builder.AddEdge(*new_u, *new_v);
+    }
+  }
+  GraphSample sample;
+  PIGGY_ASSIGN_OR_RETURN(sample.graph, std::move(builder).Build());
+  sample.original_ids = nodes;
+  return sample;
+}
+
+// Picks a uniform undirected neighbor of u, or u itself if isolated.
+NodeId RandomUndirectedNeighbor(const Graph& g, NodeId u, Rng& rng) {
+  const size_t out = g.OutDegree(u);
+  const size_t in = g.InDegree(u);
+  if (out + in == 0) return u;
+  size_t pick = rng.Uniform(out + in);
+  return pick < out ? g.OutNeighbors(u)[pick] : g.InNeighbors(u)[pick - out];
+}
+
+}  // namespace
+
+Result<GraphSample> InducedSubgraph(const Graph& g,
+                                    const std::vector<NodeId>& nodes) {
+  U64Map<NodeId> remap(nodes.size());
+  std::vector<NodeId> unique;
+  unique.reserve(nodes.size());
+  for (NodeId u : nodes) {
+    if (u >= g.num_nodes()) return Status::OutOfRange("node id not in graph");
+    if (remap.PutIfAbsent(u, static_cast<NodeId>(unique.size()))) unique.push_back(u);
+  }
+  return BuildSample(g, unique, remap);
+}
+
+Result<GraphSample> RandomWalkSample(const Graph& g, size_t target_edges,
+                                     uint64_t seed, double restart) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  Rng rng(seed);
+  U64Map<NodeId> remap;
+  std::vector<NodeId> visited;
+
+  NodeId start = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+  NodeId current = start;
+  size_t steps_since_progress = 0;
+  const size_t progress_window = 100 * (g.num_nodes() + 1);
+
+  auto visit = [&](NodeId u) {
+    if (remap.PutIfAbsent(u, static_cast<NodeId>(visited.size()))) {
+      visited.push_back(u);
+      steps_since_progress = 0;
+      return true;
+    }
+    return false;
+  };
+  visit(start);
+
+  // Check the induced-edge budget only every `check_interval` new nodes: the
+  // exact count is a scan over visited adjacency.
+  size_t next_check = 256;
+  while (visited.size() < g.num_nodes()) {
+    ++steps_since_progress;
+    if (steps_since_progress > progress_window) {
+      // The walk is trapped in a saturated component; jump to a fresh node.
+      NodeId fresh = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+      current = fresh;
+      start = fresh;
+      visit(fresh);
+      continue;
+    }
+    if (rng.Bernoulli(restart)) {
+      current = start;
+      continue;
+    }
+    current = RandomUndirectedNeighbor(g, current, rng);
+    visit(current);
+    if (visited.size() >= next_check) {
+      if (InducedEdgeCount(g, visited, remap) >= target_edges) break;
+      next_check += std::max<size_t>(256, visited.size() / 8);
+    }
+  }
+  return BuildSample(g, visited, remap);
+}
+
+Result<GraphSample> BreadthFirstSample(const Graph& g, size_t target_edges,
+                                       uint64_t seed) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  Rng rng(seed);
+  U64Map<NodeId> remap;
+  std::vector<NodeId> visited;
+  std::deque<NodeId> frontier;
+
+  auto visit = [&](NodeId u) {
+    if (remap.PutIfAbsent(u, static_cast<NodeId>(visited.size()))) {
+      visited.push_back(u);
+      frontier.push_back(u);
+      return true;
+    }
+    return false;
+  };
+  visit(static_cast<NodeId>(rng.Uniform(g.num_nodes())));
+
+  size_t next_check = 256;
+  size_t edges = 0;
+  while (edges < target_edges && visited.size() < g.num_nodes()) {
+    if (frontier.empty()) {
+      // Restart on an unvisited node (disconnected source graph).
+      NodeId u;
+      do {
+        u = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+      } while (remap.Contains(u));
+      visit(u);
+      continue;
+    }
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : g.OutNeighbors(u)) visit(v);
+    for (NodeId v : g.InNeighbors(u)) visit(v);
+    if (visited.size() >= next_check) {
+      edges = InducedEdgeCount(g, visited, remap);
+      next_check = visited.size() + std::max<size_t>(256, visited.size() / 8);
+    }
+  }
+  return BuildSample(g, visited, remap);
+}
+
+}  // namespace piggy

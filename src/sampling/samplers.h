@@ -1,0 +1,44 @@
+// Graph samplers for the CHITCHAT-scale experiments (paper Sec. 4.4).
+//
+// CHITCHAT is centralized and does not scale to full graphs, so the paper
+// compares it against PARALLELNOSY on 5M-edge samples of twitter/flickr
+// obtained with two methods whose bias the paper discusses: random-walk
+// sampling (preserves clustering ratios; prunes high-degree edges) and
+// breadth-first sampling (preserves the degree of early nodes; larger gains).
+// Both samplers return the sub-graph induced on the visited node set, with
+// node ids remapped to a dense range.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// \brief A sample: induced subgraph plus the original id of each new node.
+struct GraphSample {
+  Graph graph;
+  std::vector<NodeId> original_ids;  ///< original_ids[new_id] = id in source graph
+};
+
+/// Random-walk sampling: walk the undirected projection with restart
+/// probability `restart` from a random start, collecting visited nodes until
+/// the induced subgraph reaches `target_edges` (or the whole graph is
+/// visited). Deterministic per seed.
+Result<GraphSample> RandomWalkSample(const Graph& g, size_t target_edges,
+                                     uint64_t seed, double restart = 0.15);
+
+/// Breadth-first sampling: BFS over the undirected projection from a random
+/// seed node (restarting on a fresh component if exhausted), adding whole
+/// levels until the induced subgraph reaches `target_edges`.
+Result<GraphSample> BreadthFirstSample(const Graph& g, size_t target_edges,
+                                       uint64_t seed);
+
+/// Induced subgraph on the given nodes (need not be sorted; duplicates are
+/// ignored). Exposed for tests and custom samplers.
+Result<GraphSample> InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace piggy

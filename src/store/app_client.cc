@@ -1,0 +1,72 @@
+#include "store/app_client.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace piggy {
+
+AppClient::AppClient(const Graph& graph, const Schedule& schedule,
+                     const Partitioner* partitioner, std::vector<ViewStore>* servers,
+                     size_t feed_size)
+    : graph_(graph),
+      partitioner_(partitioner),
+      servers_(servers),
+      feed_size_(feed_size) {
+  PIGGY_CHECK(partitioner_ != nullptr);
+  PIGGY_CHECK(servers_ != nullptr);
+  PIGGY_CHECK_EQ(servers_->size(), partitioner_->num_servers());
+
+  const size_t n = graph.num_nodes();
+  push_views_ = schedule.BuildPushSets(n);
+  pull_views_ = schedule.BuildPullSets(n);
+  interest_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    // Own view first in both lists (updates and queries always touch it).
+    push_views_[u].insert(push_views_[u].begin(), u);
+    pull_views_[u].insert(pull_views_[u].begin(), u);
+    auto followees = graph.InNeighbors(u);
+    interest_[u].reserve(followees.size() + 1);
+    interest_[u].assign(followees.begin(), followees.end());
+    auto it = std::lower_bound(interest_[u].begin(), interest_[u].end(), u);
+    interest_[u].insert(it, u);
+  }
+  per_server_views_.resize(partitioner_->num_servers());
+}
+
+void AppClient::GroupByServer(std::span<const NodeId> views) {
+  for (uint32_t s : touched_servers_) per_server_views_[s].clear();
+  touched_servers_.clear();
+  for (NodeId view : views) {
+    uint32_t s = partitioner_->ServerOf(view);
+    if (per_server_views_[s].empty()) touched_servers_.push_back(s);
+    per_server_views_[s].push_back(view);
+  }
+}
+
+void AppClient::ShareEvent(NodeId u, uint64_t event_id, uint64_t timestamp) {
+  PIGGY_CHECK_LT(u, push_views_.size());
+  ++metrics_.share_requests;
+  GroupByServer(push_views_[u]);
+  EventTuple event{u, event_id, timestamp};
+  for (uint32_t s : touched_servers_) {
+    (*servers_)[s].UpdateBatch(per_server_views_[s], event);
+    ++metrics_.update_messages;
+  }
+}
+
+std::vector<EventTuple> AppClient::QueryStream(NodeId u) {
+  PIGGY_CHECK_LT(u, pull_views_.size());
+  ++metrics_.query_requests;
+  GroupByServer(pull_views_[u]);
+  std::vector<EventTuple> merged;
+  for (uint32_t s : touched_servers_) {
+    std::vector<EventTuple> part =
+        (*servers_)[s].QueryBatch(per_server_views_[s], interest_[u], feed_size_);
+    merged.insert(merged.end(), part.begin(), part.end());
+    ++metrics_.query_messages;
+  }
+  return TopKNewest(std::move(merged), feed_size_);
+}
+
+}  // namespace piggy

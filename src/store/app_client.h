@@ -1,0 +1,89 @@
+// Application-logic client (Algorithm 3 of the paper).
+//
+// Translates user requests into batched data-store messages:
+//
+//   share(u, e):  insert e into u's own view and every view in u's push set
+//                 h[u]; one update message per distinct server.
+//   query(u):     query u's own view and every view in u's pull set l[u];
+//                 one query message per distinct server; merge the replies
+//                 into the 10 latest events (the generic `filter`).
+//
+// Push and pull sets come from the request schedule; the client logic is
+// schedule-agnostic exactly as the paper stresses.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.h"
+#include "graph/graph.h"
+#include "store/partitioner.h"
+#include "store/view_store.h"
+
+namespace piggy {
+
+/// \brief Client-side counters; messages are the throughput currency.
+struct ClientMetrics {
+  uint64_t share_requests = 0;
+  uint64_t query_requests = 0;
+  uint64_t update_messages = 0;
+  uint64_t query_messages = 0;
+
+  uint64_t requests() const { return share_requests + query_requests; }
+  double MessagesPerRequest() const {
+    uint64_t r = requests();
+    return r ? static_cast<double>(update_messages + query_messages) /
+                   static_cast<double>(r)
+             : 0.0;
+  }
+};
+
+/// \brief One application-logic server acting as data-store client.
+class AppClient {
+ public:
+  /// \param graph       social graph (borrowed); provides interest sets
+  /// \param schedule    request schedule (borrowed only during construction)
+  /// \param partitioner view placement (borrowed)
+  /// \param servers     data-store fleet (borrowed, mutated by requests)
+  /// \param feed_size   events per assembled stream (paper: 10)
+  AppClient(const Graph& graph, const Schedule& schedule,
+            const Partitioner* partitioner, std::vector<ViewStore>* servers,
+            size_t feed_size = 10);
+
+  /// Shares a new event by user u (Algorithm 3, update path).
+  void ShareEvent(NodeId u, uint64_t event_id, uint64_t timestamp);
+
+  /// Assembles u's event stream (Algorithm 3, query path).
+  std::vector<EventTuple> QueryStream(NodeId u);
+
+  const ClientMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_ = ClientMetrics{}; }
+
+  /// The views written on u's shares (own view first).
+  std::span<const NodeId> PushViews(NodeId u) const { return push_views_[u]; }
+  /// The views read on u's queries (own view first).
+  std::span<const NodeId> PullViews(NodeId u) const { return pull_views_[u]; }
+
+ private:
+  const Graph& graph_;
+  const Partitioner* partitioner_;
+  std::vector<ViewStore>* servers_;
+  size_t feed_size_;
+
+  // Materialized per-user view lists: h[u] / l[u] plus the own view.
+  std::vector<std::vector<NodeId>> push_views_;
+  std::vector<std::vector<NodeId>> pull_views_;
+  // interest_[u] = sorted {u} ∪ followees(u); the query-side filter.
+  std::vector<std::vector<NodeId>> interest_;
+
+  // Scratch: views grouped per server for the current request.
+  std::vector<std::vector<NodeId>> per_server_views_;
+  std::vector<uint32_t> touched_servers_;
+
+  ClientMetrics metrics_;
+
+  void GroupByServer(std::span<const NodeId> views);
+};
+
+}  // namespace piggy

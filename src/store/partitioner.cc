@@ -1,0 +1,48 @@
+#include "store/partitioner.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace piggy {
+
+HashPartitioner::HashPartitioner(size_t num_servers, uint64_t salt)
+    : num_servers_(num_servers), salt_(salt) {
+  PIGGY_CHECK_GT(num_servers, 0u);
+}
+
+double PlacementAwareCost(const Graph& g, const Workload& w, const Schedule& s,
+                          const Partitioner& partitioner) {
+  const size_t n = g.num_nodes();
+  const size_t servers = partitioner.num_servers();
+  std::vector<std::vector<NodeId>> push_sets = s.BuildPushSets(n);
+  std::vector<std::vector<NodeId>> pull_sets = s.BuildPullSets(n);
+
+  // Stamped scratch for distinct-server counting.
+  std::vector<uint64_t> stamp(servers, 0);
+  uint64_t tick = 0;
+  auto distinct_servers = [&](NodeId self, const std::vector<NodeId>& others) {
+    ++tick;
+    size_t count = 0;
+    uint32_t s0 = partitioner.ServerOf(self);
+    stamp[s0] = tick;
+    ++count;
+    for (NodeId v : others) {
+      uint32_t sv = partitioner.ServerOf(v);
+      if (stamp[sv] != tick) {
+        stamp[sv] = tick;
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  double cost = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    cost += w.rp(u) * static_cast<double>(distinct_servers(u, push_sets[u]));
+    cost += w.rc(u) * static_cast<double>(distinct_servers(u, pull_sets[u]));
+  }
+  return cost;
+}
+
+}  // namespace piggy

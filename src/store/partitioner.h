@@ -1,0 +1,62 @@
+// Data partitioning: mapping user views to data-store servers.
+//
+// The paper's prototype hashes user ids to servers (Sec. 4.3, "the view of a
+// user u is stored in a random server, selected by hashing the id"). Because
+// clients batch — one message per server per request — placement shapes the
+// measured throughput: co-located views are free to reach. The DISSEMINATION
+// problem deliberately ignores placement (it is dynamic and often hidden
+// inside the store layer); the placement-aware predicted cost here is the
+// quantity Figure 7 plots to show the schedules win anyway.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/schedule.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// \brief Maps users to data-store servers.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Server hosting the view of `user`, in [0, num_servers()).
+  virtual uint32_t ServerOf(NodeId user) const = 0;
+
+  /// Number of servers.
+  virtual size_t num_servers() const = 0;
+};
+
+/// \brief Salted-hash partitioning (deterministic pseudo-random placement).
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(size_t num_servers, uint64_t salt = 0x9a75a11ceULL);
+
+  uint32_t ServerOf(NodeId user) const override {
+    return static_cast<uint32_t>(Mix64(user ^ salt_) % num_servers_);
+  }
+
+  size_t num_servers() const override { return num_servers_; }
+
+ private:
+  size_t num_servers_;
+  uint64_t salt_;
+};
+
+/// \brief Predicted cost with data placement (Fig. 7):
+///
+///   cost = sum_u rp(u) * |servers({u} ∪ push_set(u))|
+///        + sum_u rc(u) * |servers({u} ∪ pull_set(u))|
+///
+/// With one server every request costs exactly one message (the optimum the
+/// figure normalizes by). The schedule must be finalized (every edge pushed,
+/// pulled or hub-covered).
+double PlacementAwareCost(const Graph& g, const Workload& w, const Schedule& s,
+                          const Partitioner& partitioner);
+
+}  // namespace piggy

@@ -1,0 +1,117 @@
+#include "store/prototype.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace piggy {
+
+Prototype::Prototype(const Graph& graph, const PrototypeOptions& options)
+    : graph_(graph), options_(options) {}
+
+Result<std::unique_ptr<Prototype>> Prototype::Create(const Graph& graph,
+                                                     const Schedule& schedule,
+                                                     const PrototypeOptions& options) {
+  if (options.num_servers == 0) {
+    return Status::InvalidArgument("need at least one server");
+  }
+  if (options.feed_size == 0) {
+    return Status::InvalidArgument("feed_size must be positive");
+  }
+  auto proto = std::unique_ptr<Prototype>(new Prototype(graph, options));
+  proto->partitioner_ = std::make_unique<HashPartitioner>(options.num_servers,
+                                                          options.partition_salt);
+  proto->servers_.reserve(options.num_servers);
+  for (size_t s = 0; s < options.num_servers; ++s) {
+    proto->servers_.emplace_back(static_cast<uint32_t>(s), options.view_capacity);
+  }
+  proto->client_ = std::make_unique<AppClient>(graph, schedule,
+                                               proto->partitioner_.get(),
+                                               &proto->servers_, options.feed_size);
+  return proto;
+}
+
+void Prototype::ShareEvent(NodeId u) {
+  EventTuple event{u, next_event_id_++, clock_++};
+  event_log_.push_back(event);
+  client_->ShareEvent(u, event.event_id, event.timestamp);
+}
+
+std::vector<EventTuple> Prototype::QueryStream(NodeId u) {
+  return client_->QueryStream(u);
+}
+
+Status Prototype::AuditStream(NodeId u, const std::vector<EventTuple>& stream) const {
+  // Soundness: only events of followed producers (or u itself), newest-first.
+  auto followees = graph_.InNeighbors(u);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const EventTuple& e = stream[i];
+    bool allowed = e.producer == u ||
+                   std::binary_search(followees.begin(), followees.end(), e.producer);
+    if (!allowed) {
+      return Status::Internal(StrFormat("stream of %u leaks producer %u", u,
+                                        e.producer));
+    }
+    if (i > 0 && NewerThan(e, stream[i - 1])) {
+      return Status::Internal(StrFormat("stream of %u not sorted at %zu", u, i));
+    }
+  }
+
+  if (TotalTrimmedEvents() > 0) return Status::OK();  // completeness not provable
+
+  // Completeness (bounded staleness with Theta = 0 in the simulator): the
+  // stream must be exactly the k newest oracle events.
+  std::vector<EventTuple> oracle;
+  for (const EventTuple& e : event_log_) {
+    if (e.producer == u ||
+        std::binary_search(followees.begin(), followees.end(), e.producer)) {
+      oracle.push_back(e);
+    }
+  }
+  oracle = TopKNewest(std::move(oracle), options_.feed_size);
+  if (oracle.size() != stream.size()) {
+    return Status::Internal(StrFormat("stream of %u has %zu events, oracle %zu", u,
+                                      stream.size(), oracle.size()));
+  }
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    if (!(oracle[i] == stream[i])) {
+      return Status::Internal(
+          StrFormat("stream of %u diverges from oracle at position %zu "
+                    "(event %lu vs %lu)",
+                    u, i, stream[i].event_id, oracle[i].event_id));
+    }
+  }
+  return Status::OK();
+}
+
+double Prototype::ActualThroughput() const {
+  double mpr = client_->metrics().MessagesPerRequest();
+  return mpr > 0 ? options_.client_messages_per_second / mpr : 0.0;
+}
+
+std::vector<uint64_t> Prototype::PerServerQueryLoad() const {
+  std::vector<uint64_t> load;
+  load.reserve(servers_.size());
+  for (const ViewStore& s : servers_) load.push_back(s.metrics().query_messages);
+  return load;
+}
+
+std::vector<uint64_t> Prototype::PerServerUpdateLoad() const {
+  std::vector<uint64_t> load;
+  load.reserve(servers_.size());
+  for (const ViewStore& s : servers_) load.push_back(s.metrics().update_messages);
+  return load;
+}
+
+uint64_t Prototype::TotalTrimmedEvents() const {
+  uint64_t total = 0;
+  for (const ViewStore& s : servers_) total += s.metrics().trimmed_events;
+  return total;
+}
+
+void Prototype::ResetMetrics() {
+  client_->ResetMetrics();
+  for (ViewStore& s : servers_) s.ResetMetrics();
+}
+
+}  // namespace piggy

@@ -1,0 +1,96 @@
+// The assembled social-networking system prototype (paper Sec. 4.3).
+//
+// Wires together a partitioned view-server fleet, an Algorithm-3 client, and
+// an event-log auditor. The paper measures *actual throughput* — requests per
+// second with the fleet saturated; in this simulator the binding resource is
+// server messages, so actual throughput is modeled as
+//
+//     throughput = messages_per_second_per_client / messages_per_request
+//
+// which reproduces the paper's per-client curves: with one server every
+// request costs exactly one message; as the fleet grows requests fan out to
+// more servers and per-client throughput drops, while better schedules
+// (fewer views per request) fan out less.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/schedule.h"
+#include "graph/graph.h"
+#include "store/app_client.h"
+#include "store/partitioner.h"
+#include "store/view_store.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// \brief Prototype configuration.
+struct PrototypeOptions {
+  size_t num_servers = 16;
+  size_t feed_size = 10;       ///< events per stream (paper: 10 latest)
+  size_t view_capacity = 128;  ///< events retained per view (0 = unbounded)
+  uint64_t partition_salt = 0x9a75a11ceULL;
+  /// Calibration constant: batched messages one client can issue per second.
+  /// Chosen so the 1-server point lands in the paper's 60-70k req/s range.
+  double client_messages_per_second = 70000.0;
+};
+
+/// \brief A running system instance.
+class Prototype {
+ public:
+  /// Builds the fleet and client for a graph + finalized schedule.
+  static Result<std::unique_ptr<Prototype>> Create(const Graph& graph,
+                                                   const Schedule& schedule,
+                                                   const PrototypeOptions& options);
+
+  /// User u shares an event; the event is also recorded in the audit log.
+  void ShareEvent(NodeId u);
+
+  /// Assembles u's event stream.
+  std::vector<EventTuple> QueryStream(NodeId u);
+
+  /// Checks a query result against the audit log oracle: with unbounded (or
+  /// untrimmed) views the stream must equal the k newest events of u's
+  /// followees (+ u); with trimming it must at least be sound (only followee
+  /// events, newest-first). Returns the first violation found.
+  Status AuditStream(NodeId u, const std::vector<EventTuple>& stream) const;
+
+  /// Modeled per-client actual throughput (requests/second) given the
+  /// messages-per-request observed since the last ResetMetrics.
+  double ActualThroughput() const;
+
+  /// Per-server query-message counts (Fig. 8's load metric).
+  std::vector<uint64_t> PerServerQueryLoad() const;
+  /// Per-server update-message counts.
+  std::vector<uint64_t> PerServerUpdateLoad() const;
+
+  AppClient& client() { return *client_; }
+  const AppClient& client() const { return *client_; }
+  std::vector<ViewStore>& servers() { return servers_; }
+  const Partitioner& partitioner() const { return *partitioner_; }
+  const Graph& graph() const { return graph_; }
+  const PrototypeOptions& options() const { return options_; }
+
+  /// Total events dropped by view trimming across the fleet.
+  uint64_t TotalTrimmedEvents() const;
+
+  void ResetMetrics();
+
+ private:
+  Prototype(const Graph& graph, const PrototypeOptions& options);
+
+  const Graph& graph_;
+  PrototypeOptions options_;
+  std::unique_ptr<HashPartitioner> partitioner_;
+  std::vector<ViewStore> servers_;
+  std::unique_ptr<AppClient> client_;
+
+  // Audit log: every shared event in timestamp order.
+  std::vector<EventTuple> event_log_;
+  uint64_t next_event_id_ = 1;
+  uint64_t clock_ = 1;
+};
+
+}  // namespace piggy

@@ -1,0 +1,60 @@
+#include "store/view_store.h"
+
+#include <algorithm>
+
+namespace piggy {
+
+std::vector<EventTuple> TopKNewest(std::vector<EventTuple> events, size_t k) {
+  std::sort(events.begin(), events.end(), NewerThan);
+  // The same event can arrive from several views (e.g. two hubs both storing
+  // a producer's events); streams have set semantics, so drop duplicates.
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  if (events.size() > k) events.resize(k);
+  return events;
+}
+
+void ViewStore::UpdateBatch(std::span<const NodeId> views, const EventTuple& event) {
+  ++metrics_.update_messages;
+  for (NodeId owner : views) {
+    std::vector<EventTuple>* view = views_.Find(owner);
+    if (view == nullptr) {
+      views_.Put(owner, {event});
+    } else {
+      view->push_back(event);
+      if (view_capacity_ > 0 && view->size() > view_capacity_) {
+        // Events arrive in timestamp order, so the front is the oldest.
+        view->erase(view->begin());
+        ++metrics_.trimmed_events;
+      }
+    }
+    ++metrics_.view_writes;
+  }
+}
+
+std::vector<EventTuple> ViewStore::QueryBatch(std::span<const NodeId> views,
+                                              std::span<const NodeId> interest,
+                                              size_t k) {
+  ++metrics_.query_messages;
+  std::vector<EventTuple> candidates;
+  for (NodeId owner : views) {
+    ++metrics_.view_reads;
+    const std::vector<EventTuple>* view = views_.Find(owner);
+    if (view == nullptr) continue;
+    // Scan newest-first; each view contributes at most k matching events.
+    size_t taken = 0;
+    for (auto it = view->rbegin(); it != view->rend() && taken < k; ++it) {
+      if (std::binary_search(interest.begin(), interest.end(), it->producer)) {
+        candidates.push_back(*it);
+        ++taken;
+      }
+    }
+  }
+  return TopKNewest(std::move(candidates), k);
+}
+
+std::vector<EventTuple> ViewStore::ReadView(NodeId owner) const {
+  const std::vector<EventTuple>* view = views_.Find(owner);
+  return view ? *view : std::vector<EventTuple>{};
+}
+
+}  // namespace piggy

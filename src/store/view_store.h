@@ -1,0 +1,84 @@
+// One data-store server holding materialized per-user views.
+//
+// Mirrors the paper's prototype (Sec. 4.3): memcached plus a thin server-side
+// layer that aggregates and filters tuples on queries and trims views on
+// insert. A view is a list of (producer, event id, timestamp) tuples — the
+// event-stream *index*; rendering (texts, pictures) is out of scope exactly
+// as in the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/u64_containers.h"
+
+namespace piggy {
+
+/// \brief The 24-byte event tuple of the paper's prototype.
+struct EventTuple {
+  NodeId producer = 0;
+  uint64_t event_id = 0;
+  uint64_t timestamp = 0;
+
+  bool operator==(const EventTuple&) const = default;
+};
+
+/// Orders events newest-first (timestamp desc, then event id desc).
+inline bool NewerThan(const EventTuple& a, const EventTuple& b) {
+  if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+  return a.event_id > b.event_id;
+}
+
+/// \brief Per-server counters (message = one batched client request).
+struct ServerMetrics {
+  uint64_t update_messages = 0;  ///< batched update requests received
+  uint64_t query_messages = 0;   ///< batched query requests received
+  uint64_t view_writes = 0;      ///< individual view insertions
+  uint64_t view_reads = 0;       ///< individual views scanned by queries
+  uint64_t trimmed_events = 0;   ///< events dropped by capacity trimming
+};
+
+/// \brief In-memory view server.
+class ViewStore {
+ public:
+  /// `view_capacity` caps events retained per view (0 = unbounded).
+  explicit ViewStore(uint32_t server_id, size_t view_capacity = 128)
+      : server_id_(server_id), view_capacity_(view_capacity) {}
+
+  uint32_t server_id() const { return server_id_; }
+
+  /// Applies one batched update message: inserts `event` into every view in
+  /// `views` (all hosted here). Events must arrive in nondecreasing
+  /// timestamp order (the simulator's driver guarantees it).
+  void UpdateBatch(std::span<const NodeId> views, const EventTuple& event);
+
+  /// Applies one batched query message: returns the `k` newest events across
+  /// `views` whose producer appears in the sorted `interest` span. The
+  /// interest filter is what keeps a pull from a hub's view from leaking
+  /// events of producers the querying user does not follow.
+  std::vector<EventTuple> QueryBatch(std::span<const NodeId> views,
+                                     std::span<const NodeId> interest, size_t k);
+
+  /// Direct read of a full view (tests / audits). Empty if absent.
+  std::vector<EventTuple> ReadView(NodeId owner) const;
+
+  size_t num_views() const { return views_.size(); }
+  const ServerMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_ = ServerMetrics{}; }
+
+ private:
+  uint32_t server_id_;
+  size_t view_capacity_;
+  // Views keyed by owner id; events stored oldest-first (append order).
+  U64Map<std::vector<EventTuple>> views_;
+  ServerMetrics metrics_;
+};
+
+/// Merges candidate lists and keeps the `k` newest (helper shared with the
+/// client-side merge).
+std::vector<EventTuple> TopKNewest(std::vector<EventTuple> events, size_t k);
+
+}  // namespace piggy

@@ -1,0 +1,50 @@
+// Request driver: replays a rate-weighted request mix against the prototype.
+//
+// Requests are sampled exactly as the cost model assumes: a request is a
+// share with probability R_p / (R_p + R_c) (total production over total
+// rate), the acting user drawn from the per-user rates via alias tables.
+// Deterministic per seed.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/prototype.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// \brief Driver configuration.
+struct DriverOptions {
+  size_t num_requests = 100000;
+  uint64_t seed = 7;
+  /// Audit every Nth query against the event-log oracle (0 = no audits).
+  size_t audit_every = 0;
+};
+
+/// \brief Measurements from one driver run.
+struct DriverReport {
+  ClientMetrics client;
+  std::vector<uint64_t> per_server_queries;
+  std::vector<uint64_t> per_server_updates;
+  double actual_throughput = 0;     ///< modeled requests/second per client
+  double messages_per_request = 0;
+  size_t audited_queries = 0;
+
+  /// Mean and variance of per-server query load normalized by total queries
+  /// (Fig. 8's y-axis).
+  double NormalizedQueryLoadMean() const;
+  double NormalizedQueryLoadVariance() const;
+
+  std::string ToString() const;
+};
+
+/// Runs `options.num_requests` sampled requests. Returns an error if any
+/// audited query diverges from the oracle.
+Result<DriverReport> RunWorkloadDriver(Prototype& prototype, const Workload& workload,
+                                       const DriverOptions& options);
+
+}  // namespace piggy

@@ -1,0 +1,66 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// PIGGY_CHECK* document and enforce internal invariants; they abort on
+// violation (programming error). Recoverable conditions use Status instead.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace piggy {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace piggy
+
+#define PIGGY_LOG(level)                                                     \
+  ::piggy::internal::LogMessage(::piggy::LogLevel::k##level, __FILE__, __LINE__)
+
+#define PIGGY_CHECK(cond)                                               \
+  if (!(cond))                                                          \
+  PIGGY_LOG(Fatal) << "Check failed: " #cond " "
+
+#define PIGGY_CHECK_OP(a, b, op) PIGGY_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define PIGGY_CHECK_EQ(a, b) PIGGY_CHECK_OP(a, b, ==)
+#define PIGGY_CHECK_NE(a, b) PIGGY_CHECK_OP(a, b, !=)
+#define PIGGY_CHECK_LT(a, b) PIGGY_CHECK_OP(a, b, <)
+#define PIGGY_CHECK_LE(a, b) PIGGY_CHECK_OP(a, b, <=)
+#define PIGGY_CHECK_GT(a, b) PIGGY_CHECK_OP(a, b, >)
+#define PIGGY_CHECK_GE(a, b) PIGGY_CHECK_OP(a, b, >=)
+
+#define PIGGY_CHECK_OK(expr)                           \
+  do {                                                 \
+    ::piggy::Status _st = (expr);                      \
+    PIGGY_CHECK(_st.ok()) << _st.ToString();           \
+  } while (0)

@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (generators, samplers, workload
+// synthesis, the prototype's request driver) take an explicit Rng so that
+// every experiment is reproducible from a seed. The engine is xoshiro256**,
+// seeded via splitmix64, both public-domain algorithms by Blackman & Vigna.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace piggy {
+
+/// splitmix64 single step; also usable as a cheap 64-bit mix/hash function.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a 64-bit value (for hashing node/edge ids).
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(s);
+}
+
+/// \brief Deterministic xoshiro256** generator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four-word state from a single seed via splitmix64.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return std::numeric_limits<uint64_t>::max(); }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound) {
+    PIGGY_CHECK_GT(bound, 0u);
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    PIGGY_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly samples one element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    PIGGY_CHECK(!v.empty());
+    return v[Uniform(v.size())];
+  }
+
+  /// Derives an independent child generator (for per-thread determinism).
+  Rng Fork() { return Rng((*this)()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace piggy

@@ -1,0 +1,67 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace piggy {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_shared<const Rep>(Rep{code, std::move(msg)});
+  }
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return rep_ ? rep_->msg : kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+namespace internal {
+
+void DieBecauseResultError(const Status& status) {
+  std::fprintf(stderr, "Result::ValueOrDie on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieBecauseResultOk() {
+  std::fprintf(stderr, "Result constructed from an OK Status\n");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace piggy

@@ -1,0 +1,198 @@
+// Status / Result error-handling primitives.
+//
+// The library follows the Arrow / RocksDB convention: fallible operations on
+// library paths return a Status (or a Result<T> carrying a value), never throw.
+// Programming errors (violated preconditions that indicate a bug, not bad
+// input) abort via PIGGY_CHECK in logging.h.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace piggy {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kFailedPrecondition,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode
+/// (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// The OK state is represented with no heap allocation; error states carry a
+/// heap-allocated message so that Status stays pointer-sized and cheap to
+/// return by value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// StatusCode::kOk (use the default constructor for success).
+  Status(StatusCode code, std::string msg);
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; kOk for a successful status.
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for a successful status.
+  const std::string& message() const;
+
+  /// True iff the status has the given error code.
+  bool Is(StatusCode code) const { return this->code() == code; }
+  bool IsInvalidArgument() const { return Is(StatusCode::kInvalidArgument); }
+  bool IsNotFound() const { return Is(StatusCode::kNotFound); }
+  bool IsAlreadyExists() const { return Is(StatusCode::kAlreadyExists); }
+  bool IsOutOfRange() const { return Is(StatusCode::kOutOfRange); }
+  bool IsIOError() const { return Is(StatusCode::kIOError); }
+  bool IsFailedPrecondition() const { return Is(StatusCode::kFailedPrecondition); }
+  bool IsNotImplemented() const { return Is(StatusCode::kNotImplemented); }
+  bool IsInternal() const { return Is(StatusCode::kInternal); }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr == OK. shared_ptr keeps Status copyable without duplicating the
+  // message; error paths are cold so the control block cost is irrelevant.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Access to the value when holding an error is a
+/// programming bug and aborts.
+template <typename T>
+class Result {
+ public:
+  using ValueType = T;
+
+  /// Implicit conversion from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit conversion from an error status. `status.ok()` must be false.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    AbortIfOk();
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  /// Borrowing accessors; require ok().
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return std::get<T>(v_);
+  }
+  T& ValueOrDie() & {
+    AbortIfError();
+    return std::get<T>(v_);
+  }
+  /// Moves the value out; requires ok().
+  T MoveValueOrDie() && {
+    AbortIfError();
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void AbortIfError() const;
+  void AbortIfOk() const;
+
+  std::variant<Status, T> v_;
+};
+
+namespace internal {
+[[noreturn]] void DieBecauseResultError(const Status& status);
+[[noreturn]] void DieBecauseResultOk();
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieBecauseResultError(std::get<Status>(v_));
+}
+
+template <typename T>
+void Result<T>::AbortIfOk() const {
+  if (ok()) internal::DieBecauseResultOk();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define PIGGY_RETURN_NOT_OK(expr)                   \
+  do {                                              \
+    ::piggy::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define PIGGY_CONCAT_IMPL(a, b) a##b
+#define PIGGY_CONCAT(a, b) PIGGY_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define PIGGY_ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto PIGGY_CONCAT(_piggy_res_, __LINE__) = (expr);                 \
+  if (!PIGGY_CONCAT(_piggy_res_, __LINE__).ok())                     \
+    return PIGGY_CONCAT(_piggy_res_, __LINE__).status();             \
+  lhs = std::move(PIGGY_CONCAT(_piggy_res_, __LINE__)).MoveValueOrDie()
+
+}  // namespace piggy

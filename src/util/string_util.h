@@ -1,0 +1,31 @@
+// Small string helpers used by I/O, logging and the bench harness.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace piggy {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a delimiter; consecutive delimiters produce empty fields unless
+/// `skip_empty` is set.
+std::vector<std::string> StrSplit(std::string_view s, char delim,
+                                  bool skip_empty = false);
+
+/// Joins elements with a separator.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithCommas(uint64_t n);
+
+}  // namespace piggy

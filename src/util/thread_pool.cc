@@ -1,0 +1,93 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace piggy {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> fut = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PIGGY_CHECK(!stop_) << "Submit after shutdown";
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::DefaultThreads() {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  return std::min<size_t>(16, std::max<size_t>(1, hw));
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForShards(pool, n, pool.num_threads() * 4,
+                    [&fn](size_t, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) fn(i);
+                    });
+}
+
+void ParallelForShards(
+    ThreadPool& pool, size_t n, size_t shards,
+    const std::function<void(size_t shard, size_t begin, size_t end)>& fn) {
+  if (n == 0) return;
+  shards = std::max<size_t>(1, std::min(shards, n));
+  const size_t chunk = (n + shards - 1) / shards;
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    futures.push_back(pool.Submit([s, begin, end, &fn] { fn(s, begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace piggy

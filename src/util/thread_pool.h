@@ -1,0 +1,63 @@
+// Fixed-size thread pool and a blocking ParallelFor helper.
+//
+// Used by the MapReduce substrate (src/mapreduce) and the PARALLELNOSY
+// parallel executor. Tasks must not throw.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace piggy {
+
+/// \brief A fixed-size worker pool executing posted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Posts a task; returns a future completed when the task finishes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void WaitIdle();
+
+  /// Default pool size: hardware concurrency clamped to [1, 16].
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Runs fn(i) for i in [0, n) across the pool, in chunks; blocks until
+/// all iterations complete. `fn` must be thread-safe across distinct i.
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
+
+/// \brief Runs fn(shard, begin, end) for `shards` contiguous ranges covering
+/// [0, n); blocks until done. Useful when per-shard state is needed.
+void ParallelForShards(
+    ThreadPool& pool, size_t n, size_t shards,
+    const std::function<void(size_t shard, size_t begin, size_t end)>& fn);
+
+}  // namespace piggy

@@ -1,0 +1,30 @@
+// Wall-clock timing helper for benches and progress logging.
+
+#pragma once
+
+#include <chrono>
+
+namespace piggy {
+
+/// \brief Monotonic stopwatch started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace piggy

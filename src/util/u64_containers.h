@@ -1,0 +1,237 @@
+// Open-addressing hash set / map specialized for dense uint64 keys.
+//
+// The scheduling algorithms index edges by a packed 64-bit key (src<<32|dst)
+// and perform tens of millions of membership tests; std::unordered_set's
+// node-based layout is a measurable bottleneck there. These containers use
+// linear probing over a power-of-two table with tombstone-free deletion
+// (backward-shift), splitmix64 key mixing, and a reserved empty sentinel.
+//
+// Restrictions: the key value UINT64_MAX is reserved and must not be inserted.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace piggy {
+
+namespace internal {
+constexpr uint64_t kEmptyKey = ~0ULL;
+
+inline size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace internal
+
+/// \brief Hash set of uint64 keys (UINT64_MAX reserved).
+class U64Set {
+ public:
+  explicit U64Set(size_t expected = 0) { Rehash(internal::NextPow2(expected * 2 + 16)); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts `key`; returns true if newly inserted.
+  bool Insert(uint64_t key) {
+    PIGGY_CHECK_NE(key, internal::kEmptyKey);
+    if ((size_ + 1) * 10 >= capacity() * 7) Rehash(capacity() * 2);
+    size_t i = Probe(key);
+    if (slots_[i] == key) return false;
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  /// True iff `key` is present.
+  bool Contains(uint64_t key) const {
+    return slots_[Probe(key)] == key;
+  }
+
+  /// Removes `key`; returns true if it was present. Uses backward-shift
+  /// deletion so lookups never scan tombstones.
+  bool Erase(uint64_t key) {
+    size_t i = Probe(key);
+    if (slots_[i] != key) return false;
+    RemoveAt(i);
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    std::fill(slots_.begin(), slots_.end(), internal::kEmptyKey);
+    size_ = 0;
+  }
+
+  /// Calls fn(key) for every element (unspecified order).
+  template <typename F>
+  void ForEach(F fn) const {
+    for (uint64_t k : slots_) {
+      if (k != internal::kEmptyKey) fn(k);
+    }
+  }
+
+  /// Copies elements into a vector (unspecified order).
+  std::vector<uint64_t> ToVector() const {
+    std::vector<uint64_t> out;
+    out.reserve(size_);
+    ForEach([&out](uint64_t k) { out.push_back(k); });
+    return out;
+  }
+
+ private:
+  size_t capacity() const { return slots_.size(); }
+  size_t Mask() const { return slots_.size() - 1; }
+
+  size_t Probe(uint64_t key) const {
+    size_t i = Mix64(key) & Mask();
+    while (slots_[i] != internal::kEmptyKey && slots_[i] != key) {
+      i = (i + 1) & Mask();
+    }
+    return i;
+  }
+
+  void RemoveAt(size_t i) {
+    slots_[i] = internal::kEmptyKey;
+    size_t j = i;
+    for (;;) {
+      j = (j + 1) & Mask();
+      if (slots_[j] == internal::kEmptyKey) return;
+      size_t home = Mix64(slots_[j]) & Mask();
+      // Shift back if the element's home position does not lie in (i, j].
+      if (((j - home) & Mask()) >= ((j - i) & Mask())) {
+        slots_[i] = slots_[j];
+        slots_[j] = internal::kEmptyKey;
+        i = j;
+      }
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(new_cap, internal::kEmptyKey);
+    for (uint64_t k : old) {
+      if (k != internal::kEmptyKey) slots_[Probe(k)] = k;
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  size_t size_ = 0;
+};
+
+/// \brief Hash map from uint64 keys (UINT64_MAX reserved) to values V.
+template <typename V>
+class U64Map {
+ public:
+  explicit U64Map(size_t expected = 0) {
+    size_t cap = internal::NextPow2(expected * 2 + 16);
+    keys_.assign(cap, internal::kEmptyKey);
+    values_.resize(cap);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts or overwrites; returns true if newly inserted.
+  bool Put(uint64_t key, V value) {
+    PIGGY_CHECK_NE(key, internal::kEmptyKey);
+    if ((size_ + 1) * 10 >= keys_.size() * 7) Rehash(keys_.size() * 2);
+    size_t i = Probe(key);
+    bool fresh = keys_[i] != key;
+    keys_[i] = key;
+    values_[i] = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Inserts only if absent (no overwrite); returns true if inserted.
+  bool PutIfAbsent(uint64_t key, V value) {
+    if (Contains(key)) return false;
+    return Put(key, std::move(value));
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  const V* Find(uint64_t key) const {
+    size_t i = Probe(key);
+    return keys_[i] == key ? &values_[i] : nullptr;
+  }
+  V* Find(uint64_t key) {
+    size_t i = Probe(key);
+    return keys_[i] == key ? &values_[i] : nullptr;
+  }
+
+  bool Contains(uint64_t key) const { return Find(key) != nullptr; }
+
+  /// Removes `key`; returns true if it was present.
+  bool Erase(uint64_t key) {
+    size_t i = Probe(key);
+    if (keys_[i] != key) return false;
+    RemoveAt(i);
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), internal::kEmptyKey);
+    size_ = 0;
+  }
+
+  /// Calls fn(key, const V&) for every entry (unspecified order).
+  template <typename F>
+  void ForEach(F fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != internal::kEmptyKey) fn(keys_[i], values_[i]);
+    }
+  }
+
+ private:
+  size_t Mask() const { return keys_.size() - 1; }
+
+  size_t Probe(uint64_t key) const {
+    size_t i = Mix64(key) & Mask();
+    while (keys_[i] != internal::kEmptyKey && keys_[i] != key) {
+      i = (i + 1) & Mask();
+    }
+    return i;
+  }
+
+  void RemoveAt(size_t i) {
+    keys_[i] = internal::kEmptyKey;
+    size_t j = i;
+    for (;;) {
+      j = (j + 1) & Mask();
+      if (keys_[j] == internal::kEmptyKey) return;
+      size_t home = Mix64(keys_[j]) & Mask();
+      if (((j - home) & Mask()) >= ((j - i) & Mask())) {
+        keys_[i] = keys_[j];
+        values_[i] = std::move(values_[j]);
+        keys_[j] = internal::kEmptyKey;
+        i = j;
+      }
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(new_cap, internal::kEmptyKey);
+    values_.assign(new_cap, V());
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != internal::kEmptyKey) {
+        size_t j = Probe(old_keys[i]);
+        keys_[j] = old_keys[i];
+        values_[j] = std::move(old_values[i]);
+      }
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+  size_t size_ = 0;
+};
+
+}  // namespace piggy

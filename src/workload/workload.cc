@@ -1,0 +1,67 @@
+#include "workload/workload.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace piggy {
+
+double Workload::TotalProduction() const {
+  return std::accumulate(production.begin(), production.end(), 0.0);
+}
+
+double Workload::TotalConsumption() const {
+  return std::accumulate(consumption.begin(), consumption.end(), 0.0);
+}
+
+double Workload::ReadWriteRatio() const {
+  double p = TotalProduction();
+  return p > 0 ? TotalConsumption() / p : 0.0;
+}
+
+Result<Workload> GenerateWorkload(const Graph& g, const WorkloadOptions& options) {
+  if (options.read_write_ratio <= 0) {
+    return Status::InvalidArgument("read_write_ratio must be positive");
+  }
+  if (options.mean_production <= 0) {
+    return Status::InvalidArgument("mean_production must be positive");
+  }
+  const size_t n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  Workload w;
+  w.production.resize(n);
+  w.consumption.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    // Followers of u = consumers of u = out-neighbors under the paper's edge
+    // orientation (u -> v means v subscribes to u).
+    w.production[u] =
+        std::log1p(static_cast<double>(g.OutDegree(u))) + options.min_rate;
+    w.consumption[u] =
+        std::log1p(static_cast<double>(g.InDegree(u))) + options.min_rate;
+  }
+
+  double sum_p = w.TotalProduction();
+  double sum_c = w.TotalConsumption();
+  if (sum_p <= 0 || sum_c <= 0) {
+    return Status::InvalidArgument(
+        "graph has no edges; cannot scale rates (set min_rate > 0)");
+  }
+  const double p_scale = options.mean_production * static_cast<double>(n) / sum_p;
+  const double c_scale =
+      options.read_write_ratio * options.mean_production * static_cast<double>(n) /
+      sum_c;
+  for (NodeId u = 0; u < n; ++u) {
+    w.production[u] *= p_scale;
+    w.consumption[u] *= c_scale;
+  }
+  return w;
+}
+
+Workload UniformWorkload(size_t num_users, double rp, double rc) {
+  Workload w;
+  w.production.assign(num_users, rp);
+  w.consumption.assign(num_users, rc);
+  return w;
+}
+
+}  // namespace piggy

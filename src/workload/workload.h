@@ -1,0 +1,56 @@
+// Workload model: per-user production and consumption rates.
+//
+// Following the paper (Sec. 4.1), rates are synthesized from the graph
+// structure per Huberman et al.'s observation: users with many followers
+// produce more; users following many others consume more. Production is
+// proportional to log(1 + followers) and consumption to log(1 + followees),
+// scaled so that mean(consumption) / mean(production) equals the configured
+// read/write ratio (the paper's reference value is 5; Sec. 4.4 sweeps it up
+// to 100).
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// \brief Per-user request rates.
+struct Workload {
+  std::vector<double> production;   ///< rp(u): event shares per unit time
+  std::vector<double> consumption;  ///< rc(u): feed queries per unit time
+
+  size_t num_users() const { return production.size(); }
+  double rp(NodeId u) const { return production[u]; }
+  double rc(NodeId u) const { return consumption[u]; }
+
+  /// Sum of production rates.
+  double TotalProduction() const;
+  /// Sum of consumption rates.
+  double TotalConsumption() const;
+  /// mean(consumption) / mean(production).
+  double ReadWriteRatio() const;
+};
+
+/// \brief Knobs of the synthetic workload.
+struct WorkloadOptions {
+  /// Target mean(consumption) / mean(production). Paper reference: 5.
+  double read_write_ratio = 5.0;
+  /// Mean production rate after scaling (sets the time unit).
+  double mean_production = 1.0;
+  /// Additive floor applied to both raw rates, for graphs with isolated
+  /// nodes. Keep 0 to match the paper (edge endpoints always have positive
+  /// degree in the relevant direction).
+  double min_rate = 0.0;
+};
+
+/// Synthesizes a workload from graph structure. Deterministic (no RNG).
+Result<Workload> GenerateWorkload(const Graph& g, const WorkloadOptions& options);
+
+/// Uniform workload (all users share rate rp, query at rate rc); used in
+/// tests where hand-computed costs are wanted.
+Workload UniformWorkload(size_t num_users, double rp, double rc);
+
+}  // namespace piggy

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/alias_table.h"
+#include "util/rng.h"
+#include "util/u64_containers.h"
+
+namespace piggy {
+namespace {
+
+// ---------------------------------------------------------------- U64Set
+
+TEST(U64SetTest, InsertContainsErase) {
+  U64Set s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.Insert(42));
+  EXPECT_FALSE(s.Insert(42));
+  EXPECT_TRUE(s.Contains(42));
+  EXPECT_FALSE(s.Contains(43));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Erase(42));
+  EXPECT_FALSE(s.Erase(42));
+  EXPECT_FALSE(s.Contains(42));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(U64SetTest, ZeroKeyAllowed) {
+  U64Set s;
+  EXPECT_TRUE(s.Insert(0));
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Erase(0));
+}
+
+TEST(U64SetTest, GrowsThroughRehash) {
+  U64Set s;
+  for (uint64_t i = 0; i < 10000; ++i) EXPECT_TRUE(s.Insert(i * 7919));
+  EXPECT_EQ(s.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) EXPECT_TRUE(s.Contains(i * 7919));
+  EXPECT_FALSE(s.Contains(3));
+}
+
+TEST(U64SetTest, ForEachVisitsAll) {
+  U64Set s;
+  for (uint64_t i = 1; i <= 100; ++i) s.Insert(i);
+  std::set<uint64_t> seen;
+  s.ForEach([&seen](uint64_t k) { seen.insert(k); });
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 1u);
+  EXPECT_EQ(*seen.rbegin(), 100u);
+  EXPECT_EQ(s.ToVector().size(), 100u);
+}
+
+TEST(U64SetTest, ClearEmpties) {
+  U64Set s;
+  for (uint64_t i = 0; i < 50; ++i) s.Insert(i);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(7));
+  EXPECT_TRUE(s.Insert(7));
+}
+
+// Randomized differential test against std::unordered_set, exercising
+// backward-shift deletion under mixed insert/erase/lookups.
+TEST(U64SetTest, DifferentialAgainstStd) {
+  U64Set mine;
+  std::unordered_set<uint64_t> ref;
+  Rng rng(99);
+  for (int op = 0; op < 50000; ++op) {
+    uint64_t key = rng.Uniform(500);  // small key space forces collisions
+    switch (rng.Uniform(3)) {
+      case 0:
+        EXPECT_EQ(mine.Insert(key), ref.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(mine.Erase(key), ref.erase(key) > 0);
+        break;
+      default:
+        EXPECT_EQ(mine.Contains(key), ref.count(key) > 0);
+    }
+    EXPECT_EQ(mine.size(), ref.size());
+  }
+}
+
+// ---------------------------------------------------------------- U64Map
+
+TEST(U64MapTest, PutFindErase) {
+  U64Map<int> m;
+  EXPECT_TRUE(m.Put(5, 50));
+  EXPECT_FALSE(m.Put(5, 51));  // overwrite is not fresh
+  ASSERT_NE(m.Find(5), nullptr);
+  EXPECT_EQ(*m.Find(5), 51);
+  EXPECT_EQ(m.Find(6), nullptr);
+  EXPECT_TRUE(m.Erase(5));
+  EXPECT_EQ(m.Find(5), nullptr);
+}
+
+TEST(U64MapTest, MutableFind) {
+  U64Map<std::vector<int>> m;
+  m.Put(1, {1});
+  m.Find(1)->push_back(2);
+  EXPECT_EQ(m.Find(1)->size(), 2u);
+}
+
+TEST(U64MapTest, DifferentialAgainstStd) {
+  U64Map<uint64_t> mine;
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(101);
+  for (int op = 0; op < 30000; ++op) {
+    uint64_t key = rng.Uniform(300);
+    uint64_t val = rng();
+    switch (rng.Uniform(3)) {
+      case 0: {
+        bool fresh = ref.find(key) == ref.end();
+        EXPECT_EQ(mine.Put(key, val), fresh);
+        ref[key] = val;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(mine.Erase(key), ref.erase(key) > 0);
+        break;
+      default: {
+        auto it = ref.find(key);
+        const uint64_t* found = mine.Find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+    EXPECT_EQ(mine.size(), ref.size());
+  }
+}
+
+TEST(U64MapTest, ForEachVisitsAll) {
+  U64Map<int> m;
+  for (int i = 0; i < 64; ++i) m.Put(static_cast<uint64_t>(i), i * i);
+  int count = 0;
+  int64_t sum = 0;
+  m.ForEach([&](uint64_t k, int v) {
+    ++count;
+    EXPECT_EQ(static_cast<int>(k * k), v);
+    sum += v;
+  });
+  EXPECT_EQ(count, 64);
+  EXPECT_GT(sum, 0);
+}
+
+// ---------------------------------------------------------------- Alias
+
+TEST(AliasTableTest, SingleCategory) {
+  AliasTable t({3.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable t({1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(t.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, MatchesDistribution) {
+  std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasTable t(weights);
+  EXPECT_DOUBLE_EQ(t.total_weight(), 10.0);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[t.Sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    double expected = weights[i] / 10.0;
+    EXPECT_NEAR(counts[i] / static_cast<double>(kSamples), expected, 0.01);
+  }
+}
+
+TEST(AliasTableTest, DeterministicPerSeed) {
+  AliasTable t({1.0, 5.0, 2.0});
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(t.Sample(a), t.Sample(b));
+}
+
+}  // namespace
+}  // namespace piggy

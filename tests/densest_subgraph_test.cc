@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/densest_subgraph.h"
+#include "util/rng.h"
+
+namespace piggy {
+namespace {
+
+// Builds an instance with uniform weights and all links uncovered.
+HubGraphInstance MakeInstance(size_t np, size_t nc, double pw, double cw,
+                              std::vector<std::pair<uint32_t, uint32_t>> cross) {
+  HubGraphInstance inst;
+  inst.hub = 1000;
+  for (size_t p = 0; p < np; ++p) {
+    inst.producers.push_back(static_cast<NodeId>(p));
+    inst.producer_weight.push_back(pw);
+    inst.producer_link_in_z.push_back(1);
+  }
+  for (size_t c = 0; c < nc; ++c) {
+    inst.consumers.push_back(static_cast<NodeId>(100 + c));
+    inst.consumer_weight.push_back(cw);
+    inst.consumer_link_in_z.push_back(1);
+  }
+  inst.cross_edges = std::move(cross);
+  return inst;
+}
+
+TEST(EvaluateSelectionTest, CountsLinksAndCrossEdges) {
+  HubGraphInstance inst = MakeInstance(2, 1, 1.0, 5.0, {{0, 0}, {1, 0}});
+  auto sol = EvaluateSelection(inst, {0, 1}, {0});
+  // 2 push links + 1 pull link + 2 cross edges = 5 covered; cost 1+1+5 = 7.
+  EXPECT_EQ(sol.covered, 5u);
+  EXPECT_DOUBLE_EQ(sol.cost, 7.0);
+  EXPECT_DOUBLE_EQ(sol.density, 5.0 / 7.0);
+}
+
+TEST(EvaluateSelectionTest, CrossEdgeNeedsBothEndpoints) {
+  HubGraphInstance inst = MakeInstance(1, 1, 1.0, 1.0, {{0, 0}});
+  auto only_p = EvaluateSelection(inst, {0}, {});
+  EXPECT_EQ(only_p.covered, 1u);  // just the push link
+  auto both = EvaluateSelection(inst, {0}, {0});
+  EXPECT_EQ(both.covered, 3u);
+}
+
+TEST(EvaluateSelectionTest, EmptySelection) {
+  HubGraphInstance inst = MakeInstance(2, 2, 1.0, 1.0, {});
+  auto sol = EvaluateSelection(inst, {}, {});
+  EXPECT_EQ(sol.covered, 0u);
+  EXPECT_DOUBLE_EQ(sol.density, 0.0);
+  EXPECT_TRUE(std::isinf(sol.CostPerElement()));
+}
+
+TEST(EvaluateSelectionTest, ZeroCostPositiveCoverageIsInfiniteDensity) {
+  HubGraphInstance inst = MakeInstance(1, 0, 0.0, 0.0, {});
+  auto sol = EvaluateSelection(inst, {0}, {});
+  EXPECT_EQ(sol.covered, 1u);
+  EXPECT_TRUE(std::isinf(sol.density));
+  EXPECT_DOUBLE_EQ(sol.CostPerElement(), 0.0);
+}
+
+TEST(PeelingTest, EmptyInstance) {
+  HubGraphInstance inst;
+  auto sol = SolveWeightedDensestSubgraph(inst);
+  EXPECT_EQ(sol.covered, 0u);
+}
+
+TEST(PeelingTest, KeepsDenseCoreDropsPendant) {
+  // Dense core: 3 producers x 2 consumers fully crossed; pendant producer 3
+  // with no cross edges and a heavy weight.
+  HubGraphInstance inst = MakeInstance(4, 2, 1.0, 1.0,
+                                       {{0, 0}, {0, 1}, {1, 0}, {1, 1},
+                                        {2, 0}, {2, 1}});
+  inst.producer_weight[3] = 50.0;  // expensive, covers only its own link
+  auto sol = SolveWeightedDensestSubgraph(inst);
+  // The expensive pendant must be peeled away.
+  for (uint32_t p : sol.producer_idx) EXPECT_NE(p, 3u);
+  EXPECT_EQ(sol.producer_idx.size(), 3u);
+  EXPECT_EQ(sol.consumer_idx.size(), 2u);
+  // covered = 3 push + 2 pull + 6 cross = 11, cost = 5.
+  EXPECT_EQ(sol.covered, 11u);
+  EXPECT_DOUBLE_EQ(sol.cost, 5.0);
+}
+
+TEST(PeelingTest, FreeNodesAlwaysKept) {
+  HubGraphInstance inst = MakeInstance(2, 1, 1.0, 1.0, {{0, 0}});
+  inst.producer_weight[1] = 0.0;  // already in H: free coverage
+  auto sol = SolveWeightedDensestSubgraph(inst);
+  bool has_free = false;
+  for (uint32_t p : sol.producer_idx) has_free |= (p == 1);
+  EXPECT_TRUE(has_free);
+}
+
+TEST(PeelingTest, MatchesHandComputedDensity) {
+  // One producer (weight 1), one consumer (weight 3), one cross edge.
+  // Candidates: {p} -> 1/1 = 1.0; {c} -> 1/3; {p,c} -> 3/4. Optimum is the
+  // producer alone, and peeling must find it (it removes c first).
+  HubGraphInstance inst = MakeInstance(1, 1, 1.0, 3.0, {{0, 0}});
+  auto sol = SolveWeightedDensestSubgraph(inst);
+  EXPECT_EQ(sol.covered, 1u);
+  EXPECT_DOUBLE_EQ(sol.cost, 1.0);
+  EXPECT_DOUBLE_EQ(sol.density, 1.0);
+  // With a cheap consumer (weight 0.5), keeping both is optimal:
+  // {p,c} -> 3/1.5 = 2.0 beats {p} -> 1.0 and {c} -> 2.0 ties... covered wins.
+  HubGraphInstance inst2 = MakeInstance(1, 1, 1.0, 0.5, {{0, 0}});
+  auto sol2 = SolveWeightedDensestSubgraph(inst2);
+  EXPECT_EQ(sol2.covered, 3u);
+  EXPECT_DOUBLE_EQ(sol2.cost, 1.5);
+}
+
+TEST(PeelingTest, CoveredLinksReduceValue) {
+  HubGraphInstance inst = MakeInstance(1, 1, 1.0, 1.0, {{0, 0}});
+  inst.producer_link_in_z[0] = 0;  // x->hub already covered
+  auto sol = SolveWeightedDensestSubgraph(inst);
+  EXPECT_EQ(sol.covered, 2u);  // pull link + cross edge only
+}
+
+// The exhaustive solver is the ground truth; Lemma 1 guarantees peeling is a
+// factor-2 approximation of the optimal weighted density.
+TEST(PeelingTest, WithinFactorTwoOfExhaustive) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t np = 1 + rng.Uniform(5);
+    size_t nc = 1 + rng.Uniform(5);
+    HubGraphInstance inst;
+    inst.hub = 0;
+    for (size_t p = 0; p < np; ++p) {
+      inst.producers.push_back(static_cast<NodeId>(p));
+      inst.producer_weight.push_back(rng.Bernoulli(0.15) ? 0.0
+                                                         : 0.5 + rng.UniformDouble());
+      inst.producer_link_in_z.push_back(rng.Bernoulli(0.8) ? 1 : 0);
+    }
+    for (size_t c = 0; c < nc; ++c) {
+      inst.consumers.push_back(static_cast<NodeId>(100 + c));
+      inst.consumer_weight.push_back(rng.Bernoulli(0.15) ? 0.0
+                                                         : 0.5 + rng.UniformDouble());
+      inst.consumer_link_in_z.push_back(rng.Bernoulli(0.8) ? 1 : 0);
+    }
+    for (uint32_t p = 0; p < np; ++p) {
+      for (uint32_t c = 0; c < nc; ++c) {
+        if (rng.Bernoulli(0.45)) inst.cross_edges.emplace_back(p, c);
+      }
+    }
+    auto greedy = SolveWeightedDensestSubgraph(inst);
+    auto exact = SolveDensestSubgraphExhaustive(inst);
+    if (exact.covered == 0) {
+      EXPECT_EQ(greedy.covered, 0u);
+      continue;
+    }
+    if (std::isinf(exact.density)) {
+      // Optimal density infinite (free coverage); greedy must find free
+      // coverage too.
+      EXPECT_TRUE(std::isinf(greedy.density));
+      continue;
+    }
+    EXPECT_GE(greedy.density * 2.0 + 1e-9, exact.density)
+        << "trial " << trial << ": greedy " << greedy.density << " vs exact "
+        << exact.density;
+    // And greedy never reports a better density than the true optimum.
+    EXPECT_LE(greedy.density, exact.density + 1e-9);
+  }
+}
+
+TEST(PeelingTest, SolutionSelfConsistent) {
+  // The (covered, cost) reported must match re-evaluating the selection.
+  Rng rng(88);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t np = 1 + rng.Uniform(8);
+    size_t nc = 1 + rng.Uniform(8);
+    std::vector<std::pair<uint32_t, uint32_t>> cross;
+    for (uint32_t p = 0; p < np; ++p) {
+      for (uint32_t c = 0; c < nc; ++c) {
+        if (rng.Bernoulli(0.3)) cross.emplace_back(p, c);
+      }
+    }
+    HubGraphInstance inst =
+        MakeInstance(np, nc, 0.5 + rng.UniformDouble(), 0.5 + rng.UniformDouble(),
+                     std::move(cross));
+    auto sol = SolveWeightedDensestSubgraph(inst);
+    auto check = EvaluateSelection(inst, sol.producer_idx, sol.consumer_idx);
+    EXPECT_EQ(sol.covered, check.covered);
+    EXPECT_NEAR(sol.cost, check.cost, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace piggy

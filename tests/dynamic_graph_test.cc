@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace piggy {
+namespace {
+
+TEST(DynamicGraphTest, AddAndRemoveEdges) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));  // duplicate
+  EXPECT_FALSE(g.AddEdge(1, 1));  // self-loop
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DynamicGraphTest, AdjacencyStaysSorted) {
+  DynamicGraph g(5);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 4);
+  g.AddEdge(0, 2);
+  auto out = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(DynamicGraphTest, InNeighborsTracked) {
+  DynamicGraph g(4);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 0);
+  g.AddEdge(3, 0);
+  auto in = g.InNeighbors(0);
+  EXPECT_EQ(in.size(), 3u);
+  g.RemoveEdge(2, 0);
+  in = g.InNeighbors(0);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_FALSE(std::binary_search(in.begin(), in.end(), NodeId{2}));
+}
+
+TEST(DynamicGraphTest, AddNodeAndEnsureNodes) {
+  DynamicGraph g(2);
+  EXPECT_EQ(g.AddNode(), 2u);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  g.EnsureNodes(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  g.EnsureNodes(5);  // never shrinks
+  EXPECT_EQ(g.num_nodes(), 10u);
+}
+
+TEST(DynamicGraphTest, FromImmutableGraph) {
+  Graph source = GenerateErdosRenyi(50, 300, 7).ValueOrDie();
+  DynamicGraph dyn(source);
+  EXPECT_EQ(dyn.num_nodes(), source.num_nodes());
+  EXPECT_EQ(dyn.num_edges(), source.num_edges());
+  source.ForEachEdge(
+      [&dyn](const Edge& e) { EXPECT_TRUE(dyn.HasEdge(e.src, e.dst)); });
+}
+
+TEST(DynamicGraphTest, SnapshotRoundTrip) {
+  Graph source = GenerateErdosRenyi(40, 200, 11).ValueOrDie();
+  DynamicGraph dyn(source);
+  Graph snap = dyn.Snapshot().ValueOrDie();
+  EXPECT_EQ(snap.num_nodes(), source.num_nodes());
+  EXPECT_EQ(snap.num_edges(), source.num_edges());
+  EXPECT_EQ(snap.Edges(), source.Edges());
+}
+
+TEST(DynamicGraphTest, SnapshotAfterChurn) {
+  DynamicGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.RemoveEdge(1, 2);
+  g.AddEdge(3, 4);
+  Graph snap = g.Snapshot().ValueOrDie();
+  EXPECT_EQ(snap.num_edges(), 3u);
+  EXPECT_TRUE(snap.HasEdge(0, 1));
+  EXPECT_FALSE(snap.HasEdge(1, 2));
+}
+
+// Differential churn test against a simple reference.
+TEST(DynamicGraphTest, DifferentialChurn) {
+  DynamicGraph g(20);
+  std::set<std::pair<NodeId, NodeId>> ref;
+  Rng rng(5);
+  for (int op = 0; op < 20000; ++op) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(20));
+    NodeId v = static_cast<NodeId>(rng.Uniform(20));
+    if (rng.Bernoulli(0.6)) {
+      bool fresh = u != v && ref.emplace(u, v).second;
+      EXPECT_EQ(g.AddEdge(u, v), fresh);
+    } else {
+      bool present = ref.erase({u, v}) > 0;
+      EXPECT_EQ(g.RemoveEdge(u, v), present);
+    }
+    EXPECT_EQ(g.num_edges(), ref.size());
+  }
+  for (const auto& [u, v] : ref) EXPECT_TRUE(g.HasEdge(u, v));
+}
+
+TEST(DynamicGraphTest, ForEachEdgeCanonicalOrder) {
+  DynamicGraph g(4);
+  g.AddEdge(2, 1);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 1);
+  std::vector<Edge> edges;
+  g.ForEachEdge([&edges](const Edge& e) { edges.push_back(e); });
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  EXPECT_EQ(edges.size(), 3u);
+}
+
+}  // namespace
+}  // namespace piggy

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gen/generators.h"
+#include "gen/presets.h"
+#include "graph/graph_stats.h"
+
+namespace piggy {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Graph g = GenerateErdosRenyi(100, 1234, 1).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 1234u);
+}
+
+TEST(ErdosRenyiTest, RejectsOverfullGraph) {
+  EXPECT_FALSE(GenerateErdosRenyi(3, 7, 1).ok());  // max 6 directed edges
+  EXPECT_TRUE(GenerateErdosRenyi(3, 6, 1).ok());
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  Graph a = GenerateErdosRenyi(50, 200, 9).ValueOrDie();
+  Graph b = GenerateErdosRenyi(50, 200, 9).ValueOrDie();
+  Graph c = GenerateErdosRenyi(50, 200, 10).ValueOrDie();
+  EXPECT_EQ(a.Edges(), b.Edges());
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(SmallWorldTest, NoRewireIsRingLattice) {
+  Graph g = GenerateSmallWorld(10, 2, 0.0, 1).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 20u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(9, 0));
+  EXPECT_TRUE(g.HasEdge(9, 1));
+}
+
+TEST(SmallWorldTest, RewireKeepsScale) {
+  Graph g = GenerateSmallWorld(200, 3, 0.2, 2).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 200u);
+  // Rewiring can create duplicates that dedup; allow slack.
+  EXPECT_GE(g.num_edges(), 550u);
+  EXPECT_LE(g.num_edges(), 600u);
+}
+
+TEST(FixtureGeneratorsTest, Shapes) {
+  Graph star = GenerateStar(5, 2).ValueOrDie();
+  EXPECT_EQ(star.OutDegree(2), 4u);
+  EXPECT_EQ(star.num_edges(), 4u);
+
+  Graph cycle = GenerateCycle(4).ValueOrDie();
+  EXPECT_TRUE(cycle.HasEdge(3, 0));
+  EXPECT_EQ(cycle.num_edges(), 4u);
+
+  Graph bip = GenerateBipartite(3, 4).ValueOrDie();
+  EXPECT_EQ(bip.num_nodes(), 7u);
+  EXPECT_EQ(bip.num_edges(), 12u);
+  EXPECT_TRUE(bip.HasEdge(0, 3));
+  EXPECT_FALSE(bip.HasEdge(3, 0));
+
+  Graph complete = GenerateComplete(4).ValueOrDie();
+  EXPECT_EQ(complete.num_edges(), 12u);
+}
+
+TEST(SocialNetworkTest, RespectsNodeCount) {
+  Graph g = GenerateSocialNetwork({.num_nodes = 500, .edges_per_node = 8}, 1)
+                .ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 500u);
+  double avg = static_cast<double>(g.num_edges()) / 500.0;
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 20.0);
+}
+
+TEST(SocialNetworkTest, DeterministicPerSeed) {
+  SocialNetworkOptions opt{.num_nodes = 300, .edges_per_node = 6};
+  Graph a = GenerateSocialNetwork(opt, 5).ValueOrDie();
+  Graph b = GenerateSocialNetwork(opt, 5).ValueOrDie();
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(SocialNetworkTest, RejectsBadOptions) {
+  EXPECT_FALSE(GenerateSocialNetwork({.num_nodes = 1}, 1).ok());
+  EXPECT_FALSE(
+      GenerateSocialNetwork({.num_nodes = 10, .edges_per_node = 0.5}, 1).ok());
+  EXPECT_FALSE(
+      GenerateSocialNetwork({.num_nodes = 10, .triadic_closure = 1.5}, 1).ok());
+  EXPECT_FALSE(
+      GenerateSocialNetwork({.num_nodes = 10, .reciprocation = -0.1}, 1).ok());
+}
+
+TEST(SocialNetworkTest, ReciprocationKnobRaisesReciprocity) {
+  SocialNetworkOptions low{.num_nodes = 2000, .edges_per_node = 8,
+                           .reciprocation = 0.05};
+  SocialNetworkOptions high = low;
+  high.reciprocation = 0.7;
+  GraphStats s_low =
+      ComputeGraphStats(GenerateSocialNetwork(low, 3).ValueOrDie(), 0);
+  GraphStats s_high =
+      ComputeGraphStats(GenerateSocialNetwork(high, 3).ValueOrDie(), 0);
+  EXPECT_GT(s_high.reciprocity, s_low.reciprocity + 0.2);
+}
+
+TEST(SocialNetworkTest, TriadicClosureKnobRaisesClustering) {
+  // Preferential attachment alone already closes many wedges at hubs, so the
+  // global triangle count is not a clean signal; mean local clustering is.
+  SocialNetworkOptions low{.num_nodes = 2000, .edges_per_node = 8,
+                           .triadic_closure = 0.0};
+  SocialNetworkOptions high = low;
+  high.triadic_closure = 0.7;
+  GraphStats s_low =
+      ComputeGraphStats(GenerateSocialNetwork(low, 3).ValueOrDie(), 0);
+  GraphStats s_high =
+      ComputeGraphStats(GenerateSocialNetwork(high, 3).ValueOrDie(), 0);
+  EXPECT_GT(s_high.clustering, s_low.clustering * 1.3);
+  // Hub wedges must not collapse either (piggybacking's raw material).
+  EXPECT_GT(s_high.hub_triangles, s_low.hub_triangles / 2);
+}
+
+TEST(SocialNetworkTest, HeavyTailEmerges) {
+  Graph g = GenerateSocialNetwork({.num_nodes = 3000, .edges_per_node = 8}, 4)
+                .ValueOrDie();
+  GraphStats s = ComputeGraphStats(g, 0);
+  // Preferential attachment should create hubs far above the average.
+  EXPECT_GT(static_cast<double>(s.max_out_degree), 10 * s.avg_degree);
+}
+
+TEST(PresetsTest, FlickrLikeVsTwitterLike) {
+  Graph flickr = MakeFlickrLike(3000, 11).ValueOrDie();
+  Graph twitter = MakeTwitterLike(3000, 11).ValueOrDie();
+  GraphStats sf = ComputeGraphStats(flickr, 0);
+  GraphStats st = ComputeGraphStats(twitter, 0);
+  // Twitter-like is denser; flickr-like is far more reciprocal.
+  EXPECT_GT(st.avg_degree, sf.avg_degree * 0.9);
+  EXPECT_GT(sf.reciprocity, st.reciprocity + 0.15);
+  // Both must have hub triangles for piggybacking to exploit.
+  EXPECT_GT(sf.hub_triangles, flickr.num_edges());
+  EXPECT_GT(st.hub_triangles, twitter.num_edges());
+}
+
+// Property sweep: structural invariants across families, sizes and seeds.
+class GeneratorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(GeneratorPropertyTest, SocialNetworkInvariants) {
+  auto [n, seed] = GetParam();
+  Graph g =
+      GenerateSocialNetwork({.num_nodes = n, .edges_per_node = 6}, seed)
+          .ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_GT(g.num_edges(), n);  // at least ~1 follow per node
+  g.ForEachEdge([&](const Edge& e) {
+    EXPECT_NE(e.src, e.dst);  // no self-loops
+    EXPECT_LT(e.src, n);
+    EXPECT_LT(e.dst, n);
+  });
+}
+
+TEST_P(GeneratorPropertyTest, ErdosRenyiInvariants) {
+  auto [n, seed] = GetParam();
+  size_t m = n * 4;
+  Graph g = GenerateErdosRenyi(n, m, seed).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), m);
+  g.ForEachEdge([&](const Edge& e) { EXPECT_NE(e.src, e.dst); });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, GeneratorPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(50, 200, 1000),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace piggy

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+
+namespace piggy {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("piggy_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(GraphIoTest, TextRoundTrip) {
+  Graph g = GenerateErdosRenyi(100, 500, 3).ValueOrDie();
+  std::string path = Path("g.txt");
+  ASSERT_TRUE(WriteEdgeListText(g, path).ok());
+  Graph back = ReadEdgeListText(path).ValueOrDie();
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.Edges(), g.Edges());
+}
+
+TEST_F(GraphIoTest, BinaryRoundTrip) {
+  Graph g = GenerateErdosRenyi(200, 2000, 5).ValueOrDie();
+  std::string path = Path("g.bin");
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+  Graph back = ReadGraphBinary(path).ValueOrDie();
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.Edges(), g.Edges());
+}
+
+TEST_F(GraphIoTest, TextPreservesIsolatedNodes) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureNodes(50);
+  Graph g = std::move(b).Build().ValueOrDie();
+  std::string path = Path("iso.txt");
+  ASSERT_TRUE(WriteEdgeListText(g, path).ok());
+  Graph back = ReadEdgeListText(path).ValueOrDie();
+  EXPECT_EQ(back.num_nodes(), 50u);
+}
+
+TEST_F(GraphIoTest, TextSkipsCommentsAndBlanks) {
+  std::string path = Path("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\n  \n0 1\n# more\n1 2\n";
+  }
+  Graph g = ReadEdgeListText(path).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST_F(GraphIoTest, TextMalformedLineFails) {
+  std::string path = Path("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot-an-edge\n";
+  }
+  auto result = ReadEdgeListText(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST_F(GraphIoTest, MissingFileFails) {
+  EXPECT_TRUE(ReadEdgeListText(Path("nope.txt")).status().IsIOError());
+  EXPECT_TRUE(ReadGraphBinary(Path("nope.bin")).status().IsIOError());
+}
+
+TEST_F(GraphIoTest, BinaryBadMagicFails) {
+  std::string path = Path("junk.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a graph file at all, not even close";
+  }
+  auto result = ReadGraphBinary(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(GraphIoTest, BinaryTruncatedFails) {
+  Graph g = GenerateErdosRenyi(10, 30, 1).ValueOrDie();
+  std::string path = Path("trunc.bin");
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 4);
+  EXPECT_FALSE(ReadGraphBinary(path).ok());
+}
+
+TEST_F(GraphIoTest, EmptyGraphRoundTrips) {
+  Graph g = GraphBuilder().Build().ValueOrDie();
+  std::string t = Path("empty.txt"), b = Path("empty.bin");
+  ASSERT_TRUE(WriteEdgeListText(g, t).ok());
+  ASSERT_TRUE(WriteGraphBinary(g, b).ok());
+  EXPECT_EQ(ReadEdgeListText(t).ValueOrDie().num_edges(), 0u);
+  EXPECT_EQ(ReadGraphBinary(b).ValueOrDie().num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace piggy

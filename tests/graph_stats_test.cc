@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+
+namespace piggy {
+namespace {
+
+TEST(GraphStatsTest, CompleteGraphIsFullyClustered) {
+  Graph g = GenerateComplete(6).ValueOrDie();
+  GraphStats s = ComputeGraphStats(g, /*clustering_samples=*/0);
+  EXPECT_EQ(s.num_nodes, 6u);
+  EXPECT_EQ(s.num_edges, 30u);
+  EXPECT_DOUBLE_EQ(s.reciprocity, 1.0);
+  EXPECT_DOUBLE_EQ(s.clustering, 1.0);
+  // Every ordered triple (x, w, y) of distinct nodes is a hub triangle.
+  EXPECT_EQ(s.hub_triangles, 6u * 5u * 4u);
+}
+
+TEST(GraphStatsTest, CycleHasNoTriangles) {
+  Graph g = GenerateCycle(10).ValueOrDie();
+  GraphStats s = ComputeGraphStats(g, 0);
+  EXPECT_EQ(s.num_edges, 10u);
+  EXPECT_DOUBLE_EQ(s.reciprocity, 0.0);
+  EXPECT_DOUBLE_EQ(s.clustering, 0.0);
+  EXPECT_EQ(s.hub_triangles, 0u);
+}
+
+TEST(GraphStatsTest, StarDegrees) {
+  Graph g = GenerateStar(11, 0).ValueOrDie();
+  GraphStats s = ComputeGraphStats(g, 0);
+  EXPECT_EQ(s.max_out_degree, 10u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+  EXPECT_EQ(s.hub_triangles, 0u);
+}
+
+TEST(GraphStatsTest, PaperTriangleHasOneHubWedge) {
+  // Art -> Charlie, Charlie -> Billie, Art -> Billie: Charlie is the hub.
+  Graph g = BuildGraph(3, {{0, 2}, {2, 1}, {0, 1}}).ValueOrDie();
+  EXPECT_EQ(CountHubTrianglesExact(g), 1u);
+}
+
+TEST(GraphStatsTest, ReciprocityCountsBothDirections) {
+  Graph g = BuildGraph(4, {{0, 1}, {1, 0}, {2, 3}}).ValueOrDie();
+  GraphStats s = ComputeGraphStats(g, 0);
+  EXPECT_NEAR(s.reciprocity, 2.0 / 3.0, 1e-9);
+}
+
+TEST(GraphStatsTest, SampledEstimateTracksExact) {
+  Graph g = GenerateSocialNetwork({.num_nodes = 800, .edges_per_node = 6}, 42)
+                .ValueOrDie();
+  GraphStats exact = ComputeGraphStats(g, 0);
+  GraphStats sampled = ComputeGraphStats(g, 400, 7);
+  // Clustering estimates should be in the same ballpark.
+  EXPECT_NEAR(sampled.clustering, exact.clustering, 0.1);
+  EXPECT_EQ(sampled.num_edges, exact.num_edges);
+}
+
+TEST(GraphStatsTest, DegreeHistogramBuckets) {
+  Graph g = GenerateStar(9, 0).ValueOrDie();  // center out-degree 8
+  auto out_hist = DegreeHistogramLog2(g, /*out_direction=*/true);
+  // Bucket 0 holds degrees 0..1 (the 8 leaves), bucket 3 holds degree 8.
+  ASSERT_GE(out_hist.size(), 4u);
+  EXPECT_EQ(out_hist[0], 8u);
+  EXPECT_EQ(out_hist[3], 1u);
+  size_t total = 0;
+  for (size_t c : out_hist) total += c;
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(GraphStatsTest, ToStringMentionsCounts) {
+  Graph g = GenerateCycle(5).ValueOrDie();
+  std::string s = ComputeGraphStats(g, 0).ToString();
+  EXPECT_NE(s.find("nodes=5"), std::string::npos);
+  EXPECT_NE(s.find("edges=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace piggy

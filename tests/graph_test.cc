@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace piggy {
+namespace {
+
+Graph Triangle() {
+  // The paper's Figure 2: Art(0) -> Charlie(2), Charlie -> Billie(1),
+  // Art -> Billie.
+  GraphBuilder b;
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 1);
+  b.AddEdge(0, 1);
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(EdgeKeyTest, RoundTrip) {
+  Edge e{123456, 654321};
+  EXPECT_EQ(EdgeFromKey(EdgeKey(e)), e);
+  EXPECT_EQ(EdgeKey(0, 0), 0u);
+  EXPECT_NE(EdgeKey(1, 2), EdgeKey(2, 1));
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  Graph g = GraphBuilder().Build().ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsIgnored) {
+  GraphBuilder b;
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphBuilderTest, DuplicatesDeduplicated) {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddEdge(0, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, EnsureNodesAddsIsolated) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureNodes(10);
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.OutDegree(9), 0u);
+  EXPECT_EQ(g.InDegree(9), 0u);
+}
+
+TEST(GraphBuilderTest, NodesGrowToMaxId) {
+  GraphBuilder b;
+  b.AddEdge(3, 7);
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 8u);
+}
+
+TEST(GraphTest, AdjacencyAndDegrees) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);  // Art produces for Billie and Charlie
+  EXPECT_EQ(g.InDegree(1), 2u);   // Billie follows Art and Charlie
+  auto out0 = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(out0.begin(), out0.end()));
+  EXPECT_EQ(std::vector<NodeId>(out0.begin(), out0.end()),
+            (std::vector<NodeId>{1, 2}));
+  auto in1 = g.InNeighbors(1);
+  EXPECT_EQ(std::vector<NodeId>(in1.begin(), in1.end()),
+            (std::vector<NodeId>{0, 2}));
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = Triangle();
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(99, 0));  // out of range is just absent
+}
+
+TEST(GraphTest, EdgeIndexRoundTrip) {
+  Graph g = Triangle();
+  for (size_t i = 0; i < g.num_edges(); ++i) {
+    Edge e = g.EdgeAt(i);
+    EXPECT_EQ(g.EdgeIndex(e.src, e.dst), i);
+  }
+  EXPECT_EQ(g.EdgeIndex(1, 0), g.num_edges());  // absent
+}
+
+TEST(GraphTest, EdgesCanonicalOrder) {
+  Graph g = Triangle();
+  std::vector<Edge> edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 1}));
+}
+
+TEST(GraphTest, ForEachEdgeMatchesEdges) {
+  Graph g = Triangle();
+  std::vector<Edge> collected;
+  g.ForEachEdge([&collected](const Edge& e) { collected.push_back(e); });
+  EXPECT_EQ(collected, g.Edges());
+}
+
+TEST(GraphTest, InOutConsistency) {
+  // Every out-edge must appear as an in-edge and vice versa.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  size_t in_sum = 0, out_sum = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out_sum += g.OutDegree(u);
+    in_sum += g.InDegree(u);
+    for (NodeId v : g.OutNeighbors(u)) {
+      auto in_v = g.InNeighbors(v);
+      EXPECT_TRUE(std::binary_search(in_v.begin(), in_v.end(), u));
+    }
+  }
+  EXPECT_EQ(in_sum, g.num_edges());
+  EXPECT_EQ(out_sum, g.num_edges());
+}
+
+TEST(BuildGraphTest, FromEdgeList) {
+  Graph g = BuildGraph(4, {{0, 1}, {1, 2}, {0, 1}}).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace piggy

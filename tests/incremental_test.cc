@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/cost_model.h"
+#include "core/incremental.h"
+#include "core/parallel_nosy.h"
+#include "core/validator.h"
+#include "gen/presets.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+// Triangle with a profitable hub at node 2 (see parallel_nosy_test).
+struct TriangleFixture {
+  TriangleFixture() {
+    Graph g = BuildGraph(3, {{0, 2}, {2, 1}, {0, 1}}).ValueOrDie();
+    workload.production = {1.0, 0.1, 1.0};
+    workload.consumption = {10.0, 0.5, 10.0};
+    auto result = RunParallelNosy(g, workload).ValueOrDie();
+    schedule = std::move(result.schedule);
+    graph = DynamicGraph(g);
+  }
+  DynamicGraph graph{0};
+  Schedule schedule;
+  Workload workload;
+};
+
+TEST(IncrementalTest, AddEdgeServesDirectly) {
+  TriangleFixture f;
+  IncrementalMaintainer m(&f.graph, &f.schedule, &f.workload);
+  ASSERT_TRUE(m.AddEdge(1, 0).ok());  // Billie -> Art (Art follows Billie)
+  EXPECT_TRUE(f.graph.HasEdge(1, 0));
+  EXPECT_TRUE(f.schedule.IsAssigned(1, 0));
+  // rp(1)=0.1 < rc(0)=10 so the new edge is pushed.
+  EXPECT_TRUE(f.schedule.IsPush(1, 0));
+  EXPECT_TRUE(ValidateSchedule(f.graph, f.schedule).ok());
+}
+
+TEST(IncrementalTest, AddExistingEdgeIsNoop) {
+  TriangleFixture f;
+  IncrementalMaintainer m(&f.graph, &f.schedule, &f.workload);
+  size_t pushes = f.schedule.push_size();
+  ASSERT_TRUE(m.AddEdge(0, 2).ok());
+  EXPECT_EQ(f.schedule.push_size(), pushes);
+}
+
+TEST(IncrementalTest, AddSelfLoopRejected) {
+  TriangleFixture f;
+  IncrementalMaintainer m(&f.graph, &f.schedule, &f.workload);
+  EXPECT_TRUE(m.AddEdge(1, 1).IsInvalidArgument());
+}
+
+TEST(IncrementalTest, AddOutsideWorkloadRejected) {
+  TriangleFixture f;
+  IncrementalMaintainer m(&f.graph, &f.schedule, &f.workload);
+  EXPECT_TRUE(m.AddEdge(0, 99).IsOutOfRange());
+}
+
+TEST(IncrementalTest, RemoveSupportingPushRepairsCover) {
+  TriangleFixture f;
+  ASSERT_TRUE(f.schedule.IsHubCovered(0, 1));
+  IncrementalMaintainer m(&f.graph, &f.schedule, &f.workload);
+  // Removing the push edge 0->2 (supporting hub 2) must re-serve 0->1.
+  ASSERT_TRUE(m.RemoveEdge(0, 2).ok());
+  EXPECT_FALSE(f.graph.HasEdge(0, 2));
+  EXPECT_FALSE(f.schedule.IsHubCovered(0, 1));
+  EXPECT_TRUE(f.schedule.IsAssigned(0, 1));
+  EXPECT_EQ(m.repairs(), 1u);
+  EXPECT_TRUE(ValidateSchedule(f.graph, f.schedule).ok());
+}
+
+TEST(IncrementalTest, RemoveSupportingPullRepairsCover) {
+  TriangleFixture f;
+  IncrementalMaintainer m(&f.graph, &f.schedule, &f.workload);
+  // Removing the pull edge 2->1 must also re-serve 0->1.
+  ASSERT_TRUE(m.RemoveEdge(2, 1).ok());
+  EXPECT_FALSE(f.schedule.IsHubCovered(0, 1));
+  EXPECT_TRUE(f.schedule.IsAssigned(0, 1));
+  EXPECT_EQ(m.repairs(), 1u);
+  EXPECT_TRUE(ValidateSchedule(f.graph, f.schedule).ok());
+}
+
+TEST(IncrementalTest, RemoveCoveredEdgeItself) {
+  TriangleFixture f;
+  IncrementalMaintainer m(&f.graph, &f.schedule, &f.workload);
+  ASSERT_TRUE(m.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(f.schedule.IsHubCovered(0, 1));
+  EXPECT_EQ(m.repairs(), 0u);  // nothing to re-serve, the edge is gone
+  EXPECT_TRUE(ValidateSchedule(f.graph, f.schedule).ok());
+  // The hub wiring for remaining edges is intact.
+  EXPECT_TRUE(f.schedule.IsPush(0, 2));
+  EXPECT_TRUE(f.schedule.IsPull(2, 1));
+}
+
+TEST(IncrementalTest, RemoveMissingEdgeFails) {
+  TriangleFixture f;
+  IncrementalMaintainer m(&f.graph, &f.schedule, &f.workload);
+  EXPECT_TRUE(m.RemoveEdge(1, 2).IsNotFound());
+}
+
+TEST(IncrementalTest, ValidityUnderRandomChurn) {
+  Graph g0 = MakeFlickrLike(300, 21).ValueOrDie();
+  Workload w = GenerateWorkload(g0, {.min_rate = 0.05}).ValueOrDie();
+  auto pn = RunParallelNosy(g0, w).ValueOrDie();
+  DynamicGraph g(g0);
+  Schedule s = std::move(pn.schedule);
+  IncrementalMaintainer m(&g, &s, &w);
+
+  Rng rng(33);
+  const size_t n = g.num_nodes();
+  size_t added = 0, removed = 0;
+  for (int op = 0; op < 3000; ++op) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    if (u == v) continue;
+    if (rng.Bernoulli(0.55)) {
+      ASSERT_TRUE(m.AddEdge(u, v).ok());
+      ++added;
+    } else if (g.HasEdge(u, v)) {
+      ASSERT_TRUE(m.RemoveEdge(u, v).ok());
+      ++removed;
+    }
+    if (op % 500 == 0) {
+      ASSERT_TRUE(ValidateSchedule(g, s).ok()) << "op " << op;
+    }
+  }
+  EXPECT_GT(added, 0u);
+  EXPECT_GT(removed, 0u);
+  EXPECT_TRUE(ValidateSchedule(g, s).ok());
+}
+
+TEST(IncrementalTest, IncrementalCostDegradesGracefully) {
+  // Optimize half the graph, add the other half incrementally; the schedule
+  // stays valid and its cost stays within the FF baseline.
+  Graph full = MakeFlickrLike(500, 23).ValueOrDie();
+  Workload w = GenerateWorkload(full, {.min_rate = 0.05}).ValueOrDie();
+  std::vector<Edge> edges = full.Edges();
+  Rng rng(3);
+  rng.Shuffle(edges);
+  size_t half = edges.size() / 2;
+  GraphBuilder b(full.num_nodes());
+  b.EnsureNodes(full.num_nodes());
+  for (size_t i = 0; i < half; ++i) b.AddEdge(edges[i].src, edges[i].dst);
+  Graph half_graph = std::move(b).Build().ValueOrDie();
+
+  auto pn = RunParallelNosy(half_graph, w).ValueOrDie();
+  DynamicGraph g(half_graph);
+  Schedule s = std::move(pn.schedule);
+  IncrementalMaintainer m(&g, &s, &w);
+  for (size_t i = half; i < edges.size(); ++i) {
+    ASSERT_TRUE(m.AddEdge(edges[i].src, edges[i].dst).ok());
+  }
+  EXPECT_EQ(g.num_edges(), full.num_edges());
+  EXPECT_TRUE(ValidateSchedule(g, s).ok());
+  double incremental_cost = ScheduleCost(g, w, s, ResidualPolicy::kFree);
+  double ff_cost = HybridCost(full, w);
+  EXPECT_LE(incremental_cost, ff_cost + 1e-6);
+  // Re-optimizing from scratch is at least as good.
+  auto reopt = RunParallelNosy(full, w).ValueOrDie();
+  EXPECT_LE(reopt.final_cost, incremental_cost + 1e-6);
+}
+
+TEST(IncrementalTest, RebuildIndexesAfterReoptimization) {
+  TriangleFixture f;
+  IncrementalMaintainer m(&f.graph, &f.schedule, &f.workload);
+  // Re-optimize wholesale: clear and rebuild the same schedule.
+  Schedule fresh;
+  fresh.AddPush(0, 2);
+  fresh.AddPull(2, 1);
+  fresh.SetHubCover(0, 1, 2);
+  f.schedule = fresh;
+  m.RebuildIndexes();
+  ASSERT_TRUE(m.RemoveEdge(0, 2).ok());
+  EXPECT_TRUE(f.schedule.IsAssigned(0, 1));  // repair still works
+  EXPECT_TRUE(ValidateSchedule(f.graph, f.schedule).ok());
+}
+
+}  // namespace
+}  // namespace piggy

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/mapreduce.h"
+
+namespace piggy {
+namespace {
+
+// The canonical word-count job.
+TEST(MapReduceTest, WordCount) {
+  ThreadPool pool(4);
+  std::vector<std::string> docs = {"a b a", "b c", "a", "c c c"};
+  using Out = std::pair<std::string, int>;
+  auto out = mr::RunMapReduce<std::string, std::string, int, Out>(
+      pool, docs,
+      [](const std::string& doc, mr::Emitter<std::string, int>& em) {
+        size_t pos = 0;
+        while (pos < doc.size()) {
+          size_t end = doc.find(' ', pos);
+          if (end == std::string::npos) end = doc.size();
+          if (end > pos) em.Emit(doc.substr(pos, end - pos), 1);
+          pos = end + 1;
+        }
+      },
+      [](const std::string& word, std::vector<int>& counts, std::vector<Out>& out) {
+        int total = 0;
+        for (int c : counts) total += c;
+        out.emplace_back(word, total);
+      });
+  std::map<std::string, int> result(out.begin(), out.end());
+  EXPECT_EQ(result.size(), 3u);
+  EXPECT_EQ(result["a"], 3);
+  EXPECT_EQ(result["b"], 2);
+  EXPECT_EQ(result["c"], 4);
+}
+
+TEST(MapReduceTest, EmptyInputProducesNoOutput) {
+  ThreadPool pool(2);
+  std::vector<int> inputs;
+  auto out = mr::RunMapReduce<int, int, int, int>(
+      pool, inputs, [](const int&, mr::Emitter<int, int>&) {},
+      [](const int&, std::vector<int>&, std::vector<int>&) {});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MapReduceTest, MapperMayEmitNothing) {
+  ThreadPool pool(2);
+  std::vector<int> inputs{1, 2, 3, 4, 5, 6};
+  auto out = mr::RunMapReduce<int, int, int, int>(
+      pool, inputs,
+      [](const int& x, mr::Emitter<int, int>& em) {
+        if (x % 2 == 0) em.Emit(0, x);
+      },
+      [](const int&, std::vector<int>& vs, std::vector<int>& out) {
+        int sum = 0;
+        for (int v : vs) sum += v;
+        out.push_back(sum);
+      });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 12);
+}
+
+TEST(MapReduceTest, DeterministicAcrossThreadCounts) {
+  std::vector<int> inputs;
+  for (int i = 0; i < 5000; ++i) inputs.push_back(i);
+  auto run = [&inputs](size_t threads) {
+    ThreadPool pool(threads);
+    return mr::RunMapReduce<int, int, int, std::pair<int, int>>(
+        pool, inputs,
+        [](const int& x, mr::Emitter<int, int>& em) { em.Emit(x % 97, x); },
+        [](const int& key, std::vector<int>& vs, std::vector<std::pair<int, int>>& out) {
+          int sum = 0;
+          for (int v : vs) sum += v;
+          out.emplace_back(key, sum);
+        });
+  };
+  auto a = run(1);
+  auto b = run(4);
+  auto c = run(13);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(MapReduceTest, ValuesArriveInShardOrder) {
+  // With a single-threaded pool and one shard, values for a key must appear
+  // in emission order.
+  ThreadPool pool(1);
+  std::vector<int> inputs{10, 20, 30};
+  mr::JobOptions options;
+  options.num_map_shards = 1;
+  options.num_reduce_partitions = 1;
+  auto out = mr::RunMapReduce<int, int, int, std::vector<int>>(
+      pool, inputs,
+      [](const int& x, mr::Emitter<int, int>& em) { em.Emit(7, x); },
+      [](const int&, std::vector<int>& vs, std::vector<std::vector<int>>& out) {
+        out.push_back(vs);
+      },
+      options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::vector<int>{10, 20, 30}));
+}
+
+TEST(MapReduceTest, StatsAreReported) {
+  ThreadPool pool(2);
+  std::vector<int> inputs{1, 2, 3, 4};
+  mr::JobStats stats;
+  auto out = mr::RunMapReduce<int, int, int, int>(
+      pool, inputs,
+      [](const int& x, mr::Emitter<int, int>& em) { em.Emit(x % 2, x); },
+      [](const int& k, std::vector<int>&, std::vector<int>& out) {
+        out.push_back(k);
+      },
+      {}, &stats);
+  EXPECT_EQ(stats.map_inputs, 4u);
+  EXPECT_EQ(stats.distinct_keys, 2u);
+  EXPECT_EQ(stats.outputs, 2u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(MapReduceTest, ManyKeysAllReduced) {
+  ThreadPool pool(8);
+  std::vector<int> inputs;
+  for (int i = 0; i < 10000; ++i) inputs.push_back(i);
+  auto out = mr::RunMapReduce<int, int, int, int>(
+      pool, inputs,
+      [](const int& x, mr::Emitter<int, int>& em) { em.Emit(x, 1); },
+      [](const int& k, std::vector<int>& vs, std::vector<int>& out) {
+        ASSERT_EQ(vs.size(), 1u);
+        out.push_back(k);
+      });
+  EXPECT_EQ(out.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace piggy

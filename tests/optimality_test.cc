@@ -1,0 +1,163 @@
+// Cross-checks the scheduling algorithms against the true DISSEMINATION
+// optimum, computed by brute force on small graphs.
+//
+// Every edge can be served as push, pull, or left to piggybacking; a
+// configuration is feasible iff each unserved edge has a hub w with
+// u -> w in H and w -> v in L (Theorem 1). Enumerating the 3^m
+// configurations and keeping the cheapest feasible one yields the optimum.
+// CHITCHAT carries an O(log n) guarantee; on these tiny instances both it
+// and PARALLELNOSY should land within a modest constant of the optimum and
+// never below it (no algorithm may beat the exhaustive bound — that would
+// mean a cost-accounting or validity bug).
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/chitchat.h"
+#include "core/cost_model.h"
+#include "core/parallel_nosy.h"
+#include "core/validator.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+// Brute-force optimum over all push/pull/piggyback assignments.
+// Requires m <= 12 (3^12 = 531k configurations).
+double OptimalDisseminationCost(const Graph& g, const Workload& w) {
+  std::vector<Edge> edges = g.Edges();
+  const size_t m = edges.size();
+  PIGGY_CHECK_LE(m, 12u);
+  size_t configs = 1;
+  for (size_t i = 0; i < m; ++i) configs *= 3;
+
+  double best = std::numeric_limits<double>::infinity();
+  ValidatorOptions options;
+  options.allow_implicit_hubs = true;  // piggybacked edges carry no C entry
+  for (size_t mask = 0; mask < configs; ++mask) {
+    Schedule s;
+    size_t rest = mask;
+    double cost = 0;
+    for (size_t i = 0; i < m; ++i) {
+      switch (rest % 3) {
+        case 0:
+          s.AddPush(edges[i].src, edges[i].dst);
+          cost += w.rp(edges[i].src);
+          break;
+        case 1:
+          s.AddPull(edges[i].src, edges[i].dst);
+          cost += w.rc(edges[i].dst);
+          break;
+        default:
+          break;  // hope for a hub; checked below
+      }
+      rest /= 3;
+    }
+    if (cost >= best) continue;  // cannot improve even if feasible
+    if (ValidateSchedule(g, s, options).ok()) best = cost;
+  }
+  return best;
+}
+
+struct Instance {
+  std::string name;
+  Graph graph;
+  Workload workload;
+};
+
+std::vector<Instance> SmallInstances() {
+  std::vector<Instance> out;
+
+  {
+    // The paper's Figure 2 triangle with hub-friendly rates.
+    Graph g = BuildGraph(3, {{0, 2}, {2, 1}, {0, 1}}).ValueOrDie();
+    Workload w;
+    w.production = {1.0, 0.1, 2.0};
+    w.consumption = {10.0, 0.5, 10.0};
+    out.push_back({"fig2-triangle", std::move(g), std::move(w)});
+  }
+  {
+    // Shared hub: three producers, one hub, one consumer, all cross edges.
+    Graph g = BuildGraph(5, {{0, 3}, {1, 3}, {2, 3}, {3, 4},
+                             {0, 4}, {1, 4}, {2, 4}})
+                  .ValueOrDie();
+    Workload w = UniformWorkload(5, 1.0, 2.5);
+    out.push_back({"shared-hub", std::move(g), std::move(w)});
+  }
+  {
+    // Two competing hubs for the same cross edges.
+    Graph g = BuildGraph(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {0, 3}})
+                  .ValueOrDie();
+    Workload w = UniformWorkload(4, 1.0, 3.0);
+    out.push_back({"two-hubs", std::move(g), std::move(w)});
+  }
+  // Random small graphs with random rates.
+  Rng rng(2024);
+  for (int i = 0; i < 6; ++i) {
+    Graph g = GenerateErdosRenyi(5, 10, 100 + i).ValueOrDie();
+    Workload w;
+    for (int u = 0; u < 5; ++u) {
+      w.production.push_back(0.2 + 3.0 * rng.UniformDouble());
+      w.consumption.push_back(0.2 + 6.0 * rng.UniformDouble());
+    }
+    out.push_back({"random-" + std::to_string(i), std::move(g), std::move(w)});
+  }
+  return out;
+}
+
+class OptimalityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OptimalityTest, AlgorithmsBracketTheOptimum) {
+  Instance inst = std::move(SmallInstances()[GetParam()]);
+  SCOPED_TRACE(inst.name);
+  const double opt = OptimalDisseminationCost(inst.graph, inst.workload);
+  const double ff = HybridCost(inst.graph, inst.workload);
+
+  Schedule cc = RunChitChat(inst.graph, inst.workload).ValueOrDie();
+  double cc_cost = ScheduleCost(inst.graph, inst.workload, cc, ResidualPolicy::kFree);
+  auto pn = RunParallelNosy(inst.graph, inst.workload).ValueOrDie();
+
+  // Sanity: the optimum is feasible and no worse than FF (FF is feasible).
+  EXPECT_LE(opt, ff + 1e-9);
+
+  // No algorithm may beat the exhaustive optimum...
+  EXPECT_GE(cc_cost, opt - 1e-9);
+  EXPECT_GE(pn.final_cost, opt - 1e-9);
+  // ...and none may exceed the FF baseline.
+  EXPECT_LE(cc_cost, ff + 1e-9);
+  EXPECT_LE(pn.final_cost, ff + 1e-9);
+
+  // Quality: on these tiny instances the greedy should be near-optimal.
+  // (The formal guarantee is O(log n); 2x is a generous practical bound.)
+  EXPECT_LE(cc_cost, 2.0 * opt + 1e-9) << "CHITCHAT far from optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallInstances, OptimalityTest,
+                         ::testing::Range<size_t>(0, 9));
+
+TEST(OptimalityFixtureTest, Fig2OptimumIsTheHub) {
+  // On the Figure 2 triangle with the quickstart's rates, the optimum is
+  // push Art->Charlie (1.0) + pull Charlie->Billie (0.5) = 1.5, and CHITCHAT
+  // attains it exactly.
+  Graph g = BuildGraph(3, {{0, 2}, {2, 1}, {0, 1}}).ValueOrDie();
+  Workload w;
+  w.production = {1.0, 0.1, 2.0};
+  w.consumption = {10.0, 0.5, 10.0};
+  EXPECT_NEAR(OptimalDisseminationCost(g, w), 1.5, 1e-9);
+  Schedule cc = RunChitChat(g, w).ValueOrDie();
+  EXPECT_NEAR(ScheduleCost(g, w, cc, ResidualPolicy::kFree), 1.5, 1e-9);
+}
+
+TEST(OptimalityFixtureTest, NoTriangleMeansOptimumIsFF) {
+  // Without 2-paths closed by cross edges, piggybacking cannot help, so the
+  // DISSEMINATION optimum equals the hybrid baseline.
+  Graph g = BuildGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}).ValueOrDie();
+  Workload w = UniformWorkload(4, 1.3, 2.7);
+  EXPECT_NEAR(OptimalDisseminationCost(g, w), HybridCost(g, w), 1e-9);
+}
+
+}  // namespace
+}  // namespace piggy

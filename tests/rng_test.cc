@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace piggy {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a();
+    EXPECT_EQ(va, b());
+    (void)c;
+  }
+  Rng d(123), e(124);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= d() != e();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(9);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 7000; ++i) ++seen[rng.Uniform(7)];
+  for (int count : seen) EXPECT_GT(count, 700);  // each ~1000 expected
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+  Rng rng2(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.Bernoulli(0.0));
+    EXPECT_TRUE(rng2.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ChoicePicksExistingElement) {
+  Rng rng(19);
+  std::vector<int> v{4, 8, 15, 16, 23, 42};
+  for (int i = 0; i < 200; ++i) {
+    int c = rng.Choice(v);
+    EXPECT_NE(std::find(v.begin(), v.end(), c), v.end());
+  }
+}
+
+TEST(RngTest, ForkDivergesFromParent) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) differ |= parent() != child();
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, Mix64IsStable) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(RngTest, SplitMix64AdvancesState) {
+  uint64_t s = 1;
+  uint64_t a = SplitMix64(s);
+  uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace piggy

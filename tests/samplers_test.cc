@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/graph_builder.h"
+#include "gen/generators.h"
+#include "gen/presets.h"
+#include "sampling/samplers.h"
+
+namespace piggy {
+namespace {
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  Graph g = BuildGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}).ValueOrDie();
+  GraphSample s = InducedSubgraph(g, {0, 1, 2}).ValueOrDie();
+  EXPECT_EQ(s.graph.num_nodes(), 3u);
+  EXPECT_EQ(s.graph.num_edges(), 2u);  // 0->1, 1->2
+  EXPECT_EQ(s.original_ids.size(), 3u);
+}
+
+TEST(InducedSubgraphTest, RemapIsConsistent) {
+  Graph g = BuildGraph(6, {{5, 3}, {3, 1}, {5, 1}}).ValueOrDie();
+  GraphSample s = InducedSubgraph(g, {5, 3, 1}).ValueOrDie();
+  // Every sampled edge must exist in the original graph under the id map.
+  s.graph.ForEachEdge([&](const Edge& e) {
+    EXPECT_TRUE(g.HasEdge(s.original_ids[e.src], s.original_ids[e.dst]));
+  });
+  EXPECT_EQ(s.graph.num_edges(), 3u);
+}
+
+TEST(InducedSubgraphTest, DuplicateNodesIgnored) {
+  Graph g = BuildGraph(3, {{0, 1}}).ValueOrDie();
+  GraphSample s = InducedSubgraph(g, {0, 1, 0, 1}).ValueOrDie();
+  EXPECT_EQ(s.graph.num_nodes(), 2u);
+}
+
+TEST(InducedSubgraphTest, OutOfRangeNodeFails) {
+  Graph g = BuildGraph(3, {{0, 1}}).ValueOrDie();
+  EXPECT_FALSE(InducedSubgraph(g, {0, 99}).ok());
+}
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { graph_ = MakeFlickrLike(4000, 17).ValueOrDie(); }
+  Graph graph_;
+};
+
+TEST_F(SamplerTest, RandomWalkReachesTarget) {
+  const size_t target = 3000;
+  GraphSample s = RandomWalkSample(graph_, target, 3).ValueOrDie();
+  EXPECT_GE(s.graph.num_edges(), target);
+  EXPECT_LT(s.graph.num_nodes(), graph_.num_nodes());
+}
+
+TEST_F(SamplerTest, BreadthFirstReachesTarget) {
+  const size_t target = 3000;
+  GraphSample s = BreadthFirstSample(graph_, target, 3).ValueOrDie();
+  EXPECT_GE(s.graph.num_edges(), target);
+  EXPECT_LT(s.graph.num_nodes(), graph_.num_nodes());
+}
+
+TEST_F(SamplerTest, SamplesAreDeterministic) {
+  GraphSample a = RandomWalkSample(graph_, 2000, 5).ValueOrDie();
+  GraphSample b = RandomWalkSample(graph_, 2000, 5).ValueOrDie();
+  EXPECT_EQ(a.graph.Edges(), b.graph.Edges());
+  EXPECT_EQ(a.original_ids, b.original_ids);
+  GraphSample c = RandomWalkSample(graph_, 2000, 6).ValueOrDie();
+  EXPECT_NE(a.original_ids, c.original_ids);
+}
+
+TEST_F(SamplerTest, OriginalIdsAreUniqueAndValid) {
+  for (uint64_t seed : {1, 2, 3}) {
+    GraphSample s = BreadthFirstSample(graph_, 1500, seed).ValueOrDie();
+    std::set<NodeId> ids(s.original_ids.begin(), s.original_ids.end());
+    EXPECT_EQ(ids.size(), s.original_ids.size());
+    for (NodeId id : ids) EXPECT_LT(id, graph_.num_nodes());
+  }
+}
+
+TEST_F(SamplerTest, SampledEdgesExistInSource) {
+  GraphSample s = RandomWalkSample(graph_, 1000, 9).ValueOrDie();
+  s.graph.ForEachEdge([&](const Edge& e) {
+    EXPECT_TRUE(graph_.HasEdge(s.original_ids[e.src], s.original_ids[e.dst]));
+  });
+}
+
+TEST_F(SamplerTest, WholeGraphWhenTargetExceedsEdges) {
+  GraphSample s =
+      RandomWalkSample(graph_, graph_.num_edges() * 2, 11).ValueOrDie();
+  EXPECT_EQ(s.graph.num_nodes(), graph_.num_nodes());
+  EXPECT_EQ(s.graph.num_edges(), graph_.num_edges());
+}
+
+TEST(SamplerEdgeCaseTest, DisconnectedGraphBfsRestarts) {
+  // Two disjoint complete digraphs of 5 nodes each: 40 edges total.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      if (u != v) {
+        b.AddEdge(u, v);
+        b.AddEdge(u + 5, v + 5);
+      }
+    }
+  }
+  Graph g = std::move(b).Build().ValueOrDie();
+  GraphSample s = BreadthFirstSample(g, 40, 1).ValueOrDie();
+  EXPECT_EQ(s.graph.num_edges(), 40u);
+  EXPECT_EQ(s.graph.num_nodes(), 10u);
+}
+
+TEST(SamplerEdgeCaseTest, EmptyGraphFails) {
+  Graph g = GraphBuilder().Build().ValueOrDie();
+  EXPECT_FALSE(RandomWalkSample(g, 10, 1).ok());
+  EXPECT_FALSE(BreadthFirstSample(g, 10, 1).ok());
+}
+
+}  // namespace
+}  // namespace piggy

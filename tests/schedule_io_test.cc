@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/cost_model.h"
+#include "core/parallel_nosy.h"
+#include "core/schedule_io.h"
+#include "core/validator.h"
+#include "gen/presets.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+class ScheduleIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("piggy_sched_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ScheduleIoTest, RoundTripSmall) {
+  Schedule s;
+  s.AddPush(0, 2);
+  s.AddPull(2, 1);
+  s.SetHubCover(0, 1, 2);
+  std::string path = Path("s.txt");
+  ASSERT_TRUE(WriteScheduleText(s, path).ok());
+  Schedule back = ReadScheduleText(path).ValueOrDie();
+  EXPECT_TRUE(back.IsPush(0, 2));
+  EXPECT_TRUE(back.IsPull(2, 1));
+  ASSERT_TRUE(back.HubFor(0, 1).has_value());
+  EXPECT_EQ(*back.HubFor(0, 1), 2u);
+  EXPECT_EQ(back.push_size(), 1u);
+  EXPECT_EQ(back.pull_size(), 1u);
+  EXPECT_EQ(back.hub_covered_size(), 1u);
+}
+
+TEST_F(ScheduleIoTest, RoundTripOptimizedSchedule) {
+  Graph g = MakeFlickrLike(600, 3).ValueOrDie();
+  Workload w = GenerateWorkload(g, {.min_rate = 0.05}).ValueOrDie();
+  auto pn = RunParallelNosy(g, w).ValueOrDie();
+  std::string path = Path("pn.txt");
+  ASSERT_TRUE(WriteScheduleText(pn.schedule, path).ok());
+  Schedule back = ReadScheduleText(path).ValueOrDie();
+
+  EXPECT_EQ(back.push_size(), pn.schedule.push_size());
+  EXPECT_EQ(back.pull_size(), pn.schedule.pull_size());
+  EXPECT_EQ(back.hub_covered_size(), pn.schedule.hub_covered_size());
+  EXPECT_TRUE(ValidateSchedule(g, back).ok());
+  EXPECT_DOUBLE_EQ(ScheduleCost(g, w, back, ResidualPolicy::kFree),
+                   ScheduleCost(g, w, pn.schedule, ResidualPolicy::kFree));
+}
+
+TEST_F(ScheduleIoTest, OutputIsDeterministic) {
+  Graph g = MakeFlickrLike(300, 5).ValueOrDie();
+  Workload w = GenerateWorkload(g, {.min_rate = 0.05}).ValueOrDie();
+  auto pn = RunParallelNosy(g, w).ValueOrDie();
+  std::string a = Path("a.txt"), b = Path("b.txt");
+  ASSERT_TRUE(WriteScheduleText(pn.schedule, a).ok());
+  ASSERT_TRUE(WriteScheduleText(pn.schedule, b).ok());
+  std::ifstream fa(a), fb(b);
+  std::string ca((std::istreambuf_iterator<char>(fa)),
+                 std::istreambuf_iterator<char>());
+  std::string cb((std::istreambuf_iterator<char>(fb)),
+                 std::istreambuf_iterator<char>());
+  EXPECT_EQ(ca, cb);
+  EXPECT_FALSE(ca.empty());
+}
+
+TEST_F(ScheduleIoTest, CommentsAndBlanksIgnored) {
+  std::string path = Path("c.txt");
+  {
+    std::ofstream out(path);
+    out << "piggy-schedule v1\n# comment\n\nH 1 2\n  \nL 3 4\n";
+  }
+  Schedule s = ReadScheduleText(path).ValueOrDie();
+  EXPECT_TRUE(s.IsPush(1, 2));
+  EXPECT_TRUE(s.IsPull(3, 4));
+}
+
+TEST_F(ScheduleIoTest, MissingHeaderFails) {
+  std::string path = Path("h.txt");
+  {
+    std::ofstream out(path);
+    out << "H 1 2\n";
+  }
+  EXPECT_TRUE(ReadScheduleText(path).status().IsIOError());
+}
+
+TEST_F(ScheduleIoTest, MalformedLineFails) {
+  std::string path = Path("m.txt");
+  {
+    std::ofstream out(path);
+    out << "piggy-schedule v1\nH 1\n";
+  }
+  EXPECT_TRUE(ReadScheduleText(path).status().IsIOError());
+}
+
+TEST_F(ScheduleIoTest, UnknownKindFails) {
+  std::string path = Path("u.txt");
+  {
+    std::ofstream out(path);
+    out << "piggy-schedule v1\nX 1 2\n";
+  }
+  EXPECT_TRUE(ReadScheduleText(path).status().IsIOError());
+}
+
+TEST_F(ScheduleIoTest, CoverWithoutHubFails) {
+  std::string path = Path("cc.txt");
+  {
+    std::ofstream out(path);
+    out << "piggy-schedule v1\nC 1 2\n";
+  }
+  EXPECT_TRUE(ReadScheduleText(path).status().IsIOError());
+}
+
+TEST_F(ScheduleIoTest, MissingFileFails) {
+  EXPECT_TRUE(ReadScheduleText(Path("nope.txt")).status().IsIOError());
+}
+
+}  // namespace
+}  // namespace piggy

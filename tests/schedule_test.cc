@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+
+namespace piggy {
+namespace {
+
+TEST(ScheduleTest, PushSetOperations) {
+  Schedule s;
+  EXPECT_FALSE(s.IsPush(0, 1));
+  EXPECT_TRUE(s.AddPush(0, 1));
+  EXPECT_FALSE(s.AddPush(0, 1));
+  EXPECT_TRUE(s.IsPush(0, 1));
+  EXPECT_FALSE(s.IsPush(1, 0));  // direction matters
+  EXPECT_EQ(s.push_size(), 1u);
+  EXPECT_TRUE(s.RemovePush(0, 1));
+  EXPECT_FALSE(s.RemovePush(0, 1));
+  EXPECT_EQ(s.push_size(), 0u);
+}
+
+TEST(ScheduleTest, PullSetOperations) {
+  Schedule s;
+  EXPECT_TRUE(s.AddPull(2, 3));
+  EXPECT_TRUE(s.IsPull(2, 3));
+  EXPECT_FALSE(s.IsPush(2, 3));  // H and L are independent
+  EXPECT_EQ(s.pull_size(), 1u);
+}
+
+TEST(ScheduleTest, EdgeCanBeInBothSets) {
+  Schedule s;
+  s.AddPush(1, 2);
+  s.AddPull(1, 2);
+  EXPECT_TRUE(s.IsPush(1, 2));
+  EXPECT_TRUE(s.IsPull(1, 2));
+}
+
+TEST(ScheduleTest, HubCoverBookkeeping) {
+  Schedule s;
+  EXPECT_FALSE(s.HubFor(0, 1).has_value());
+  EXPECT_TRUE(s.SetHubCover(0, 1, 9));
+  EXPECT_FALSE(s.SetHubCover(0, 1, 8));  // overwrite is not fresh
+  ASSERT_TRUE(s.HubFor(0, 1).has_value());
+  EXPECT_EQ(*s.HubFor(0, 1), 8u);
+  EXPECT_TRUE(s.IsHubCovered(0, 1));
+  EXPECT_EQ(s.hub_covered_size(), 1u);
+  EXPECT_TRUE(s.ClearHubCover(0, 1));
+  EXPECT_FALSE(s.ClearHubCover(0, 1));
+  EXPECT_FALSE(s.IsHubCovered(0, 1));
+}
+
+TEST(ScheduleTest, IsAssignedCoversAllKinds) {
+  Schedule s;
+  EXPECT_FALSE(s.IsAssigned(0, 1));
+  s.AddPush(0, 1);
+  EXPECT_TRUE(s.IsAssigned(0, 1));
+  s.AddPull(2, 3);
+  EXPECT_TRUE(s.IsAssigned(2, 3));
+  s.SetHubCover(4, 5, 6);
+  EXPECT_TRUE(s.IsAssigned(4, 5));
+  EXPECT_FALSE(s.IsAssigned(6, 7));
+}
+
+TEST(ScheduleTest, ForEachIteratesEverything) {
+  Schedule s;
+  s.AddPush(0, 1);
+  s.AddPush(0, 2);
+  s.AddPull(3, 4);
+  s.SetHubCover(5, 6, 7);
+  size_t pushes = 0, pulls = 0, covers = 0;
+  s.ForEachPush([&](const Edge&) { ++pushes; });
+  s.ForEachPull([&](const Edge&) { ++pulls; });
+  s.ForEachHubCover([&](const Edge& e, NodeId hub) {
+    ++covers;
+    EXPECT_EQ(e, (Edge{5, 6}));
+    EXPECT_EQ(hub, 7u);
+  });
+  EXPECT_EQ(pushes, 2u);
+  EXPECT_EQ(pulls, 1u);
+  EXPECT_EQ(covers, 1u);
+}
+
+TEST(ScheduleTest, BuildPushSetsGroupsBySource) {
+  Schedule s;
+  s.AddPush(0, 3);
+  s.AddPush(0, 1);
+  s.AddPush(2, 1);
+  auto sets = s.BuildPushSets(4);
+  ASSERT_EQ(sets.size(), 4u);
+  EXPECT_EQ(sets[0], (std::vector<NodeId>{1, 3}));  // sorted
+  EXPECT_EQ(sets[2], (std::vector<NodeId>{1}));
+  EXPECT_TRUE(sets[1].empty());
+}
+
+TEST(ScheduleTest, BuildPullSetsGroupsByDestination) {
+  Schedule s;
+  s.AddPull(5, 0);  // user 0 pulls from 5
+  s.AddPull(2, 0);
+  s.AddPull(1, 3);
+  auto sets = s.BuildPullSets(6);
+  EXPECT_EQ(sets[0], (std::vector<NodeId>{2, 5}));
+  EXPECT_EQ(sets[3], (std::vector<NodeId>{1}));
+  EXPECT_TRUE(sets[5].empty());
+}
+
+TEST(ScheduleTest, BuildSetsIgnoreOutOfRangeUsers) {
+  Schedule s;
+  s.AddPush(0, 100);
+  s.AddPush(0, 1);
+  auto sets = s.BuildPushSets(2);
+  EXPECT_EQ(sets[0], (std::vector<NodeId>{1}));
+}
+
+}  // namespace
+}  // namespace piggy

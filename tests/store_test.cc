@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "core/baselines.h"
+#include "gen/generators.h"
+#include "store/app_client.h"
+#include "store/partitioner.h"
+#include "store/view_store.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+// ------------------------------------------------------------- Partitioner
+
+TEST(HashPartitionerTest, StaysInRangeAndDeterministic) {
+  HashPartitioner p(7);
+  for (NodeId u = 0; u < 1000; ++u) {
+    uint32_t s = p.ServerOf(u);
+    EXPECT_LT(s, 7u);
+    EXPECT_EQ(s, p.ServerOf(u));
+  }
+}
+
+TEST(HashPartitionerTest, SaltChangesPlacement) {
+  HashPartitioner a(16, 1), b(16, 2);
+  size_t diff = 0;
+  for (NodeId u = 0; u < 1000; ++u) diff += a.ServerOf(u) != b.ServerOf(u);
+  EXPECT_GT(diff, 500u);
+}
+
+TEST(HashPartitionerTest, RoughlyBalanced) {
+  HashPartitioner p(10);
+  std::vector<int> counts(10, 0);
+  for (NodeId u = 0; u < 10000; ++u) ++counts[p.ServerOf(u)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(PlacementCostTest, OneServerIsSumOfRates) {
+  Graph g = GenerateErdosRenyi(40, 200, 1).ValueOrDie();
+  Workload w = UniformWorkload(40, 2.0, 3.0);
+  Schedule s = HybridSchedule(g, w);
+  HashPartitioner one(1);
+  // Every request touches exactly one server: cost = sum rp + sum rc.
+  EXPECT_NEAR(PlacementAwareCost(g, w, s, one), 40 * (2.0 + 3.0), 1e-9);
+}
+
+TEST(PlacementCostTest, MoreServersNeverCheaper) {
+  Graph g = GenerateErdosRenyi(60, 400, 2).ValueOrDie();
+  Workload w = UniformWorkload(60, 1.0, 5.0);
+  Schedule s = HybridSchedule(g, w);
+  double prev = PlacementAwareCost(g, w, s, HashPartitioner(1));
+  for (size_t servers : {2, 8, 64, 1024}) {
+    double cost = PlacementAwareCost(g, w, s, HashPartitioner(servers));
+    EXPECT_GE(cost, prev - 1e-9);
+    prev = cost;
+  }
+}
+
+TEST(PlacementCostTest, ConvergesToPlacementFreeCost) {
+  // With far more servers than users, no two views share a server, so the
+  // placement cost equals rate-weighted (1 + set size) sums.
+  Graph g = GenerateErdosRenyi(30, 150, 3).ValueOrDie();
+  Workload w = UniformWorkload(30, 1.0, 1.0);
+  Schedule s = PushAllSchedule(g);
+  double cost = PlacementAwareCost(g, w, s, HashPartitioner(1u << 20));
+  double expected = 0;
+  for (NodeId u = 0; u < 30; ++u) {
+    expected += 1.0 * (1.0 + static_cast<double>(g.OutDegree(u)));  // updates
+    expected += 1.0;                                                // own-view query
+  }
+  EXPECT_NEAR(cost, expected, expected * 0.01);
+}
+
+// ------------------------------------------------------------- ViewStore
+
+TEST(ViewStoreTest, UpdateAndReadBack) {
+  ViewStore store(0, 10);
+  EventTuple e{1, 100, 5};
+  std::vector<NodeId> views{7, 8};
+  store.UpdateBatch(views, e);
+  EXPECT_EQ(store.num_views(), 2u);
+  EXPECT_EQ(store.ReadView(7).size(), 1u);
+  EXPECT_EQ(store.ReadView(8)[0].event_id, 100u);
+  EXPECT_TRUE(store.ReadView(9).empty());
+  EXPECT_EQ(store.metrics().update_messages, 1u);
+  EXPECT_EQ(store.metrics().view_writes, 2u);
+}
+
+TEST(ViewStoreTest, CapacityTrimsOldest) {
+  ViewStore store(0, 3);
+  std::vector<NodeId> views{1};
+  for (uint64_t i = 1; i <= 5; ++i) {
+    store.UpdateBatch(views, EventTuple{0, i, i});
+  }
+  auto view = store.ReadView(1);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0].event_id, 3u);  // 1 and 2 trimmed
+  EXPECT_EQ(store.metrics().trimmed_events, 2u);
+}
+
+TEST(ViewStoreTest, UnboundedCapacityNeverTrims) {
+  ViewStore store(0, 0);
+  std::vector<NodeId> views{1};
+  for (uint64_t i = 1; i <= 500; ++i) {
+    store.UpdateBatch(views, EventTuple{0, i, i});
+  }
+  EXPECT_EQ(store.ReadView(1).size(), 500u);
+  EXPECT_EQ(store.metrics().trimmed_events, 0u);
+}
+
+TEST(ViewStoreTest, QueryFiltersByInterest) {
+  ViewStore store(0, 0);
+  std::vector<NodeId> views{9};
+  store.UpdateBatch(views, EventTuple{3, 1, 1});
+  store.UpdateBatch(views, EventTuple{4, 2, 2});
+  store.UpdateBatch(views, EventTuple{5, 3, 3});
+  std::vector<NodeId> interest{3, 5};  // not following 4
+  auto result = store.QueryBatch(views, interest, 10);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].producer, 5u);  // newest first
+  EXPECT_EQ(result[1].producer, 3u);
+}
+
+TEST(ViewStoreTest, QueryReturnsTopKAcrossViews) {
+  ViewStore store(0, 0);
+  store.UpdateBatch(std::vector<NodeId>{1}, EventTuple{0, 1, 10});
+  store.UpdateBatch(std::vector<NodeId>{2}, EventTuple{0, 2, 20});
+  store.UpdateBatch(std::vector<NodeId>{1}, EventTuple{0, 3, 30});
+  std::vector<NodeId> views{1, 2};
+  std::vector<NodeId> interest{0};
+  auto result = store.QueryBatch(views, interest, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].event_id, 3u);
+  EXPECT_EQ(result[1].event_id, 2u);
+  EXPECT_EQ(store.metrics().query_messages, 1u);
+  EXPECT_EQ(store.metrics().view_reads, 2u);
+}
+
+TEST(TopKNewestTest, SortsAndTruncates) {
+  std::vector<EventTuple> events{{0, 1, 5}, {0, 2, 9}, {0, 3, 1}, {0, 4, 9}};
+  auto top = TopKNewest(events, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].event_id, 4u);  // ts 9, higher id wins tie
+  EXPECT_EQ(top[1].event_id, 2u);
+  EXPECT_EQ(top[2].event_id, 1u);
+}
+
+// ------------------------------------------------------------- AppClient
+
+TEST(AppClientTest, OneServerMeansOneMessagePerRequest) {
+  Graph g = GenerateErdosRenyi(20, 80, 4).ValueOrDie();
+  Workload w = UniformWorkload(20, 1.0, 5.0);
+  Schedule s = HybridSchedule(g, w);
+  HashPartitioner part(1);
+  std::vector<ViewStore> servers;
+  servers.emplace_back(0, size_t{0});
+  AppClient client(g, s, &part, &servers, 10);
+  client.ShareEvent(3, 1, 1);
+  client.QueryStream(5);
+  client.ShareEvent(7, 2, 2);
+  EXPECT_EQ(client.metrics().requests(), 3u);
+  EXPECT_EQ(client.metrics().update_messages, 2u);
+  EXPECT_EQ(client.metrics().query_messages, 1u);
+  EXPECT_DOUBLE_EQ(client.metrics().MessagesPerRequest(), 1.0);
+}
+
+TEST(AppClientTest, PushDeliversToFollowerView) {
+  // 0 -> 1 pushed: sharing by 0 must land in 1's view; 1's query sees it.
+  Graph g = BuildGraph(2, {{0, 1}}).ValueOrDie();
+  Schedule s;
+  s.AddPush(0, 1);
+  HashPartitioner part(4);
+  std::vector<ViewStore> servers;
+  for (uint32_t i = 0; i < 4; ++i) servers.emplace_back(i, size_t{0});
+  AppClient client(g, s, &part, &servers, 10);
+  client.ShareEvent(0, 42, 7);
+  auto stream = client.QueryStream(1);
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].event_id, 42u);
+  EXPECT_EQ(stream[0].producer, 0u);
+}
+
+TEST(AppClientTest, PullReadsProducerView) {
+  Graph g = BuildGraph(2, {{0, 1}}).ValueOrDie();
+  Schedule s;
+  s.AddPull(0, 1);  // 1 pulls from 0's view
+  HashPartitioner part(4);
+  std::vector<ViewStore> servers;
+  for (uint32_t i = 0; i < 4; ++i) servers.emplace_back(i, size_t{0});
+  AppClient client(g, s, &part, &servers, 10);
+  client.ShareEvent(0, 43, 8);  // goes only to 0's own view
+  auto stream = client.QueryStream(1);
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].event_id, 43u);
+}
+
+TEST(AppClientTest, HubDeliversViaPiggyback) {
+  // Figure 2 wiring: Art(0) pushes to Charlie(2); Billie(1) pulls from
+  // Charlie. Billie must see Art's events without any direct 0->1 service.
+  Graph g = BuildGraph(3, {{0, 2}, {2, 1}, {0, 1}}).ValueOrDie();
+  Schedule s;
+  s.AddPush(0, 2);
+  s.AddPull(2, 1);
+  s.SetHubCover(0, 1, 2);
+  HashPartitioner part(8);
+  std::vector<ViewStore> servers;
+  for (uint32_t i = 0; i < 8; ++i) servers.emplace_back(i, size_t{0});
+  AppClient client(g, s, &part, &servers, 10);
+  client.ShareEvent(0, 99, 9);
+  auto stream = client.QueryStream(1);
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].producer, 0u);
+  EXPECT_EQ(stream[0].event_id, 99u);
+}
+
+TEST(AppClientTest, HubDoesNotLeakUnfollowedProducers) {
+  // 3 -> 2 (hub) pushed, 2 -> 1 pulled, but 1 does NOT follow 3.
+  Graph g = BuildGraph(4, {{0, 2}, {2, 1}, {0, 1}, {3, 2}}).ValueOrDie();
+  Schedule s;
+  s.AddPush(0, 2);
+  s.AddPush(3, 2);
+  s.AddPull(2, 1);
+  s.SetHubCover(0, 1, 2);
+  HashPartitioner part(4);
+  std::vector<ViewStore> servers;
+  for (uint32_t i = 0; i < 4; ++i) servers.emplace_back(i, size_t{0});
+  AppClient client(g, s, &part, &servers, 10);
+  client.ShareEvent(3, 7, 1);  // producer 1 does not follow
+  client.ShareEvent(0, 8, 2);
+  auto stream = client.QueryStream(1);
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].producer, 0u);
+}
+
+TEST(AppClientTest, ViewListsIncludeOwnView) {
+  Graph g = BuildGraph(2, {{0, 1}}).ValueOrDie();
+  Schedule s;
+  s.AddPush(0, 1);
+  HashPartitioner part(2);
+  std::vector<ViewStore> servers;
+  servers.emplace_back(0, size_t{0});
+  servers.emplace_back(1, size_t{0});
+  AppClient client(g, s, &part, &servers, 10);
+  ASSERT_EQ(client.PushViews(0).size(), 2u);
+  EXPECT_EQ(client.PushViews(0)[0], 0u);
+  EXPECT_EQ(client.PushViews(0)[1], 1u);
+  ASSERT_EQ(client.PullViews(1).size(), 1u);
+  EXPECT_EQ(client.PullViews(1)[0], 1u);
+}
+
+}  // namespace
+}  // namespace piggy

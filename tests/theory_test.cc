@@ -1,0 +1,157 @@
+// Executable checks of the paper's theory section (Sec. 2), beyond what the
+// per-module tests cover:
+//
+//  * Theorem 1 (characterization): serving an edge by anything other than a
+//    direct push, a direct pull, or push-to-hub + pull-from-hub does NOT
+//    deliver within bounded staleness. We demonstrate the failure modes in
+//    the prototype: with a push-push chain (or pull-pull chain) through an
+//    idle middle user, the consumer's stream misses the event no matter how
+//    often it queries, until the middle user acts.
+//  * The cost metric's k-factor remark (Sec. 2.1): modeling pulls k times
+//    more expensive than pushes by scaling consumption rates flips hybrid
+//    decisions exactly as the direct cost comparison does.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/cost_model.h"
+#include "core/validator.h"
+#include "graph/graph_builder.h"
+#include "store/prototype.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+// Art(0) -> Charlie(2) -> Billie(1) with the cross edge Art -> Billie.
+Graph Fig2Graph() {
+  return BuildGraph(3, {{0, 2}, {2, 1}, {0, 1}}).ValueOrDie();
+}
+
+std::unique_ptr<Prototype> MakeProto(const Graph& g, const Schedule& s) {
+  PrototypeOptions opt;
+  opt.num_servers = 4;
+  opt.view_capacity = 0;
+  return Prototype::Create(g, s, opt).MoveValueOrDie();
+}
+
+bool StreamContainsProducer(const std::vector<EventTuple>& stream, NodeId p) {
+  for (const EventTuple& e : stream) {
+    if (e.producer == p) return true;
+  }
+  return false;
+}
+
+TEST(Theorem1Test, PushPushChainDoesNotDeliver) {
+  // Serve Art -> Billie via "Art pushes to Charlie, Charlie pushes to
+  // Billie". The second hop is a push *by Charlie*, so Art's event sits in
+  // Charlie's view until Charlie himself shares something — unbounded
+  // staleness while Charlie is idle.
+  Graph g = Fig2Graph();
+  Schedule s;
+  s.AddPush(0, 2);  // Art -> Charlie pushed
+  s.AddPush(2, 1);  // Charlie -> Billie pushed (delivers CHARLIE's events)
+  auto proto = MakeProto(g, s);
+
+  proto->ShareEvent(0);  // Art posts; Charlie stays idle
+  auto stream = proto->QueryStream(1);
+  // Billie sees nothing from Art, however many times she queries.
+  EXPECT_FALSE(StreamContainsProducer(stream, 0));
+  stream = proto->QueryStream(1);
+  EXPECT_FALSE(StreamContainsProducer(stream, 0));
+
+  // And the validator rejects this schedule for exactly that edge.
+  Status st = ValidateSchedule(g, s);
+  ASSERT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("0->1"), std::string::npos);
+}
+
+TEST(Theorem1Test, PullPullChainDoesNotDeliver) {
+  // Serve Art -> Billie via "Charlie pulls from Art, Billie pulls from
+  // Charlie". Billie's pull reads Charlie's *view*, into which Art's events
+  // are never materialized (Charlie's pull assembles his own stream, it does
+  // not write views) — again unbounded staleness.
+  Graph g = Fig2Graph();
+  Schedule s;
+  s.AddPull(0, 2);  // Charlie pulls Art
+  s.AddPull(2, 1);  // Billie pulls Charlie
+  auto proto = MakeProto(g, s);
+
+  proto->ShareEvent(0);
+  proto->QueryStream(2);  // even if Charlie queries (sees Art's event)...
+  auto stream = proto->QueryStream(1);
+  EXPECT_FALSE(StreamContainsProducer(stream, 0));  // ...Billie still misses it
+
+  EXPECT_TRUE(ValidateSchedule(g, s).IsFailedPrecondition());
+}
+
+TEST(Theorem1Test, PushThenPullThroughHubDelivers) {
+  // The one admissible 2-path pattern: Art pushes into the hub's view and
+  // Billie pulls from it — delivery is immediate (Theta = 2*Delta).
+  Graph g = Fig2Graph();
+  Schedule s;
+  s.AddPush(0, 2);
+  s.AddPull(2, 1);
+  s.SetHubCover(0, 1, 2);
+  auto proto = MakeProto(g, s);
+
+  proto->ShareEvent(0);
+  auto stream = proto->QueryStream(1);
+  EXPECT_TRUE(StreamContainsProducer(stream, 0));
+  EXPECT_TRUE(proto->AuditStream(1, stream).ok());
+  EXPECT_TRUE(ValidateSchedule(g, s).ok());
+}
+
+TEST(Theorem1Test, DirectPushAndDirectPullDeliver) {
+  Graph g = Fig2Graph();
+  for (bool push : {true, false}) {
+    Schedule s = push ? PushAllSchedule(g) : PullAllSchedule(g);
+    auto proto = MakeProto(g, s);
+    proto->ShareEvent(0);
+    auto stream = proto->QueryStream(1);
+    EXPECT_TRUE(StreamContainsProducer(stream, 0)) << "push=" << push;
+    EXPECT_TRUE(proto->AuditStream(1, stream).ok()) << "push=" << push;
+  }
+}
+
+TEST(CostMetricTest, PullCostFactorKViaRateScaling) {
+  // Sec. 2.1: "to model scenarios where the cost of a pull operation is k
+  // times the cost of a push ... multiply all consumption rates by k".
+  Graph g = BuildGraph(2, {{0, 1}}).ValueOrDie();
+  Workload w = UniformWorkload(2, 3.0, 2.0);
+  // Unscaled: pull (2.0) beats push (3.0).
+  EXPECT_TRUE(HybridSchedule(g, w).IsPull(0, 1));
+  // With pulls 4x as expensive, push wins: min(3, 4*2) = push.
+  Workload scaled = w;
+  for (double& rc : scaled.consumption) rc *= 4.0;
+  EXPECT_TRUE(HybridSchedule(g, scaled).IsPush(0, 1));
+  // Cost accounting scales consistently.
+  Schedule pull_all = PullAllSchedule(g);
+  EXPECT_DOUBLE_EQ(ScheduleCost(g, scaled, pull_all, ResidualPolicy::kFree),
+                   4.0 * ScheduleCost(g, w, pull_all, ResidualPolicy::kFree));
+}
+
+TEST(CostMetricTest, OwnViewCostIsImplicit) {
+  // "the cost of updating and querying a user's own view is not represented
+  // in the cost metric": an empty schedule over an edgeless graph costs 0,
+  // yet the prototype still writes/reads own views (1 message per request).
+  GraphBuilder b;
+  b.EnsureNodes(2);
+  Graph g = std::move(b).Build().ValueOrDie();
+  Workload w = UniformWorkload(2, 1.0, 1.0);
+  Schedule s;
+  EXPECT_DOUBLE_EQ(ScheduleCost(g, w, s, ResidualPolicy::kFree), 0.0);
+
+  PrototypeOptions opt;
+  opt.num_servers = 2;
+  opt.view_capacity = 0;
+  auto proto = Prototype::Create(g, s, opt).MoveValueOrDie();
+  proto->ShareEvent(0);
+  auto stream = proto->QueryStream(0);  // a user always sees their own events
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].producer, 0u);
+  EXPECT_DOUBLE_EQ(proto->client().metrics().MessagesPerRequest(), 1.0);
+}
+
+}  // namespace
+}  // namespace piggy

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace piggy {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, MinimumOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto f = pool.Submit([] {});
+  f.get();
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsBounded) {
+  size_t n = ThreadPool::DefaultThreads();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 16u);
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  ParallelFor(pool, 0, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, ComputesCorrectSum) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(pool, 10000,
+              [&sum](size_t i) { sum.fetch_add(static_cast<int64_t>(i)); });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ParallelForShardsTest, ShardsPartitionRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  ParallelForShards(pool, 777, 10, [&hits](size_t, size_t begin, size_t end) {
+    EXPECT_LE(begin, end);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForShardsTest, MoreShardsThanItems) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  ParallelForShards(pool, 3, 100, [&total](size_t, size_t begin, size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+}  // namespace
+}  // namespace piggy

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace piggy {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructors) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::InvalidArgument("bad edge count");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad edge count");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad edge count");
+}
+
+TEST(StatusTest, CopyAndEquality) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "missing");
+  Status c = Status::NotFound("other");
+  EXPECT_FALSE(a == c);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+}
+
+// ---------------------------------------------------------------- Result
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Half(7);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).MoveValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  PIGGY_ASSIGN_OR_RETURN(int half, Half(x));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_TRUE(UseAssignOrReturn(9, &out).IsInvalidArgument());
+}
+
+Status UseReturnNotOk(bool fail) {
+  PIGGY_RETURN_NOT_OK(fail ? Status::IOError("disk") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(UseReturnNotOk(false).ok());
+  EXPECT_TRUE(UseReturnNotOk(true).IsIOError());
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, StrSplitBasic) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, StrSplitEmptyFields) {
+  auto parts = StrSplit("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+  auto skipped = StrSplit("a,,c,", ',', /*skip_empty=*/true);
+  ASSERT_EQ(skipped.size(), 2u);
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StrTrim) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim("\t\n"), "");
+  EXPECT_EQ(StrTrim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("# nodes 5", "# nodes "));
+  EXPECT_FALSE(StartsWith("#", "# nodes "));
+}
+
+TEST(StringUtilTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1423194279ULL), "1,423,194,279");
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  double a = t.Seconds();
+  double b = t.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.Reset();
+  EXPECT_GE(t.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace piggy

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/validator.h"
+#include "graph/graph_builder.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+Graph PaperTriangle() {
+  return BuildGraph(3, {{0, 2}, {2, 1}, {0, 1}}).ValueOrDie();
+}
+
+TEST(ValidatorTest, HybridScheduleIsValid) {
+  Graph g = PaperTriangle();
+  Workload w = UniformWorkload(3, 1.0, 5.0);
+  Schedule s = HybridSchedule(g, w);
+  EXPECT_TRUE(ValidateSchedule(g, s).ok());
+}
+
+TEST(ValidatorTest, PushAllAndPullAllAreValid) {
+  Graph g = PaperTriangle();
+  EXPECT_TRUE(ValidateSchedule(g, PushAllSchedule(g)).ok());
+  EXPECT_TRUE(ValidateSchedule(g, PullAllSchedule(g)).ok());
+}
+
+TEST(ValidatorTest, ProperHubCoverIsValid) {
+  Graph g = PaperTriangle();
+  Schedule s;
+  s.AddPush(0, 2);
+  s.AddPull(2, 1);
+  s.SetHubCover(0, 1, 2);
+  EXPECT_TRUE(ValidateSchedule(g, s).ok());
+}
+
+TEST(ValidatorTest, UncoveredEdgeFails) {
+  Graph g = PaperTriangle();
+  Schedule s;
+  s.AddPush(0, 2);
+  s.AddPull(2, 1);
+  // Edge 0->1 unserved.
+  Status st = ValidateSchedule(g, s);
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("0->1"), std::string::npos);
+}
+
+TEST(ValidatorTest, AllowUnassignedAcceptsPartial) {
+  Graph g = PaperTriangle();
+  Schedule s;
+  EXPECT_FALSE(ValidateSchedule(g, s).ok());
+  EXPECT_TRUE(ValidateSchedule(g, s, {.allow_unassigned = true}).ok());
+}
+
+TEST(ValidatorTest, ImplicitHubAcceptedWhenAllowed) {
+  Graph g = PaperTriangle();
+  Schedule s;
+  s.AddPush(0, 2);
+  s.AddPull(2, 1);
+  // No C entry for 0->1, but hub 2 serves it implicitly.
+  EXPECT_FALSE(ValidateSchedule(g, s).ok());
+  EXPECT_TRUE(ValidateSchedule(g, s, {.allow_implicit_hubs = true}).ok());
+}
+
+TEST(ValidatorTest, PhantomPushEntryFails) {
+  Graph g = PaperTriangle();
+  Schedule s = PushAllSchedule(g);
+  s.AddPush(1, 0);  // 1->0 is not a graph edge
+  Status st = ValidateSchedule(g, s);
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("push entry"), std::string::npos);
+}
+
+TEST(ValidatorTest, PhantomPullEntryFails) {
+  Graph g = PaperTriangle();
+  Schedule s = PushAllSchedule(g);
+  s.AddPull(1, 2);  // not a graph edge
+  EXPECT_TRUE(ValidateSchedule(g, s).IsFailedPrecondition());
+}
+
+TEST(ValidatorTest, CoverEntryWithoutPushFails) {
+  Graph g = PaperTriangle();
+  Schedule s;
+  s.AddPull(2, 1);
+  s.SetHubCover(0, 1, 2);  // 0->2 not in H
+  s.AddPush(0, 1);         // serve 0->1 anyway so only the C entry is broken
+  s.AddPush(0, 2);
+  s.RemovePush(0, 2);
+  Status st = ValidateSchedule(g, s);
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("not in H"), std::string::npos);
+}
+
+TEST(ValidatorTest, CoverEntryWithoutPullFails) {
+  Graph g = PaperTriangle();
+  Schedule s;
+  s.AddPush(0, 2);
+  s.SetHubCover(0, 1, 2);  // 2->1 not in L
+  Status st = ValidateSchedule(g, s);
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("not in L"), std::string::npos);
+}
+
+TEST(ValidatorTest, CoverEntryWithBogusHubFails) {
+  Graph g = BuildGraph(4, {{0, 1}, {0, 3}, {3, 2}}).ValueOrDie();
+  Schedule s;
+  s.AddPush(0, 3);
+  s.AddPull(3, 2);
+  s.SetHubCover(0, 1, 3);  // 3->1 is not a graph edge: bad hub wiring
+  Status st = ValidateSchedule(g, s);
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("lacks graph edges"), std::string::npos);
+}
+
+TEST(ValidatorTest, WorksOnDynamicGraph) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(0, 1);
+  Schedule s;
+  s.AddPush(0, 2);
+  s.AddPull(2, 1);
+  s.SetHubCover(0, 1, 2);
+  EXPECT_TRUE(ValidateSchedule(g, s).ok());
+  g.RemoveEdge(0, 2);
+  EXPECT_FALSE(ValidateSchedule(g, s).ok());  // hub wiring broken
+}
+
+}  // namespace
+}  // namespace piggy

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "gen/generators.h"
+#include "gen/presets.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+TEST(WorkloadTest, UniformWorkload) {
+  Workload w = UniformWorkload(10, 2.0, 6.0);
+  EXPECT_EQ(w.num_users(), 10u);
+  EXPECT_DOUBLE_EQ(w.rp(3), 2.0);
+  EXPECT_DOUBLE_EQ(w.rc(7), 6.0);
+  EXPECT_DOUBLE_EQ(w.TotalProduction(), 20.0);
+  EXPECT_DOUBLE_EQ(w.TotalConsumption(), 60.0);
+  EXPECT_DOUBLE_EQ(w.ReadWriteRatio(), 3.0);
+}
+
+TEST(WorkloadTest, ReadWriteRatioIsHonored) {
+  Graph g = MakeFlickrLike(2000, 1).ValueOrDie();
+  for (double ratio : {1.0, 5.0, 20.0, 100.0}) {
+    Workload w = GenerateWorkload(g, {.read_write_ratio = ratio}).ValueOrDie();
+    EXPECT_NEAR(w.ReadWriteRatio(), ratio, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, MeanProductionIsHonored) {
+  Graph g = MakeFlickrLike(1000, 2).ValueOrDie();
+  Workload w = GenerateWorkload(g, {.read_write_ratio = 5.0,
+                                    .mean_production = 3.0})
+                   .ValueOrDie();
+  EXPECT_NEAR(w.TotalProduction() / static_cast<double>(g.num_nodes()), 3.0, 1e-9);
+}
+
+TEST(WorkloadTest, RatesFollowDegrees) {
+  // Paper Sec 4.1 (Huberman et al.): production grows with followers
+  // (out-degree), consumption with followees (in-degree).
+  Graph g = GenerateStar(10, 0).ValueOrDie();  // node 0 has 9 followers
+  Workload w = GenerateWorkload(g, {}).ValueOrDie();
+  for (NodeId u = 1; u < 10; ++u) {
+    EXPECT_GT(w.rp(0), w.rp(u));
+    EXPECT_GT(w.rc(u), w.rc(0));
+  }
+}
+
+TEST(WorkloadTest, LogarithmicDamping) {
+  // Doubling degree should much-less-than-double the rate.
+  GraphBuilder b;
+  for (NodeId v = 1; v <= 4; ++v) b.AddEdge(0, v);       // node 0: 4 followers
+  for (NodeId v = 5; v <= 12; ++v) b.AddEdge(13, v);     // node 13: 8 followers
+  Graph g = std::move(b).Build().ValueOrDie();
+  Workload w = GenerateWorkload(g, {}).ValueOrDie();
+  EXPECT_LT(w.rp(13) / w.rp(0), 2.0);
+  EXPECT_GT(w.rp(13), w.rp(0));
+}
+
+TEST(WorkloadTest, IsolatedNodesHaveZeroRates) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureNodes(3);
+  Graph g = std::move(b).Build().ValueOrDie();
+  Workload w = GenerateWorkload(g, {}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(w.rp(2), 0.0);
+  EXPECT_DOUBLE_EQ(w.rc(2), 0.0);
+  EXPECT_GT(w.rp(0), 0.0);  // has a follower
+  EXPECT_GT(w.rc(1), 0.0);  // follows someone
+}
+
+TEST(WorkloadTest, MinRateFloorsIsolatedNodes) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureNodes(3);
+  Graph g = std::move(b).Build().ValueOrDie();
+  Workload w = GenerateWorkload(g, {.min_rate = 0.01}).ValueOrDie();
+  EXPECT_GT(w.rp(2), 0.0);
+  EXPECT_GT(w.rc(2), 0.0);
+}
+
+TEST(WorkloadTest, InvalidOptionsRejected) {
+  Graph g = GenerateCycle(5).ValueOrDie();
+  EXPECT_FALSE(GenerateWorkload(g, {.read_write_ratio = 0}).ok());
+  EXPECT_FALSE(GenerateWorkload(g, {.read_write_ratio = -1}).ok());
+  EXPECT_FALSE(
+      GenerateWorkload(g, {.read_write_ratio = 5, .mean_production = 0}).ok());
+}
+
+TEST(WorkloadTest, EdgelessGraphRejectedWithoutFloor) {
+  GraphBuilder b;
+  b.EnsureNodes(5);
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_FALSE(GenerateWorkload(g, {}).ok());
+  EXPECT_TRUE(GenerateWorkload(g, {.min_rate = 0.1}).ok());
+}
+
+TEST(WorkloadTest, DeterministicNoRng) {
+  Graph g = MakeTwitterLike(500, 3).ValueOrDie();
+  Workload a = GenerateWorkload(g, {}).ValueOrDie();
+  Workload b = GenerateWorkload(g, {}).ValueOrDie();
+  EXPECT_EQ(a.production, b.production);
+  EXPECT_EQ(a.consumption, b.consumption);
+}
+
+}  // namespace
+}  // namespace piggy

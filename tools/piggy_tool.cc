@@ -1,0 +1,231 @@
+// piggy_tool — command-line driver for the social-piggybacking pipeline.
+//
+//   piggy_tool generate --preset flickr --nodes 20000 --seed 1 --out g.bin
+//   piggy_tool stats    --graph g.bin
+//   piggy_tool sample   --graph g.bin --method bfs --edges 20000 --out s.bin
+//   piggy_tool optimize --graph g.bin --algorithm parallelnosy --ratio 5
+//                       --out schedule.txt
+//   piggy_tool evaluate --graph g.bin --schedule schedule.txt --ratio 5
+//                       --servers 500 --requests 50000
+//
+// Graphs use the binary format of graph_io.h (or .txt edge lists); schedules
+// use the text format of schedule_io.h.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/piggy.h"
+#include "core/schedule_io.h"
+#include "store/partitioner.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace piggy {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, "%s",
+               "usage: piggy_tool <command> [--key value ...]\n"
+               "\n"
+               "commands:\n"
+               "  generate  --preset flickr|twitter|er --nodes N [--edges M]\n"
+               "            [--seed S] --out FILE\n"
+               "  stats     --graph FILE\n"
+               "  sample    --graph FILE --method rw|bfs --edges N [--seed S]\n"
+               "            --out FILE\n"
+               "  optimize  --graph FILE --algorithm ff|parallelnosy|chitchat\n"
+               "            [--ratio R] [--iterations K] --out FILE\n"
+               "  evaluate  --graph FILE --schedule FILE [--ratio R]\n"
+               "            [--servers N] [--requests N] [--seed S]\n");
+  return 2;
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc + 1 && i + 1 <= argc; i += 2) {
+      if (i + 1 < argc) values_[argv[i]] = argv[i + 1];
+    }
+  }
+  std::string Str(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find("--" + key);
+    return it == values_.end() ? def : it->second;
+  }
+  int64_t Int(const std::string& key, int64_t def) const {
+    std::string v = Str(key);
+    return v.empty() ? def : std::atoll(v.c_str());
+  }
+  double Double(const std::string& key, double def) const {
+    std::string v = Str(key);
+    return v.empty() ? def : std::atof(v.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Result<Graph> LoadGraph(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("--graph is required");
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    return ReadEdgeListText(path);
+  }
+  return ReadGraphBinary(path);
+}
+
+Status SaveGraph(const Graph& g, const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("--out is required");
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    return WriteEdgeListText(g, path);
+  }
+  return WriteGraphBinary(g, path);
+}
+
+Status CmdGenerate(const Args& args) {
+  const std::string preset = args.Str("preset", "flickr");
+  const size_t nodes = static_cast<size_t>(args.Int("nodes", 20000));
+  const uint64_t seed = static_cast<uint64_t>(args.Int("seed", 42));
+  Result<Graph> graph = Status::InvalidArgument("unknown preset: " + preset);
+  if (preset == "flickr") {
+    graph = MakeFlickrLike(nodes, seed);
+  } else if (preset == "twitter") {
+    graph = MakeTwitterLike(nodes, seed);
+  } else if (preset == "er") {
+    graph = GenerateErdosRenyi(nodes,
+                               static_cast<size_t>(args.Int("edges", nodes * 10)),
+                               seed);
+  }
+  PIGGY_RETURN_NOT_OK(graph.status());
+  PIGGY_RETURN_NOT_OK(SaveGraph(*graph, args.Str("out")));
+  std::printf("wrote %s: %s\n", args.Str("out").c_str(),
+              ComputeGraphStats(*graph, 2000).ToString().c_str());
+  return Status::OK();
+}
+
+Status CmdStats(const Args& args) {
+  PIGGY_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.Str("graph")));
+  std::printf("%s\n", ComputeGraphStats(g, 2000).ToString().c_str());
+  auto out_hist = DegreeHistogramLog2(g, true);
+  std::printf("out-degree histogram (log2 buckets): ");
+  for (size_t i = 0; i < out_hist.size(); ++i) {
+    std::printf("%zu:%zu ", i, out_hist[i]);
+  }
+  std::printf("\n");
+  return Status::OK();
+}
+
+Status CmdSample(const Args& args) {
+  PIGGY_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.Str("graph")));
+  const std::string method = args.Str("method", "bfs");
+  const size_t edges = static_cast<size_t>(args.Int("edges", 20000));
+  const uint64_t seed = static_cast<uint64_t>(args.Int("seed", 42));
+  Result<GraphSample> sample =
+      method == "rw" ? RandomWalkSample(g, edges, seed)
+      : method == "bfs"
+          ? BreadthFirstSample(g, edges, seed)
+          : Result<GraphSample>(Status::InvalidArgument("method must be rw|bfs"));
+  PIGGY_RETURN_NOT_OK(sample.status());
+  PIGGY_RETURN_NOT_OK(SaveGraph(sample->graph, args.Str("out")));
+  std::printf("wrote %s: %zu nodes, %zu edges\n", args.Str("out").c_str(),
+              sample->graph.num_nodes(), sample->graph.num_edges());
+  return Status::OK();
+}
+
+Status CmdOptimize(const Args& args) {
+  PIGGY_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.Str("graph")));
+  PIGGY_ASSIGN_OR_RETURN(
+      Workload w,
+      GenerateWorkload(g, {.read_write_ratio = args.Double("ratio", 5.0),
+                           .min_rate = 0.01}));
+  const std::string algorithm = args.Str("algorithm", "parallelnosy");
+  const double ff = HybridCost(g, w);
+
+  WallTimer timer;
+  Schedule schedule;
+  if (algorithm == "ff") {
+    schedule = HybridSchedule(g, w);
+  } else if (algorithm == "parallelnosy") {
+    ParallelNosyOptions opt;
+    opt.max_iterations = static_cast<size_t>(args.Int("iterations", 50));
+    PIGGY_ASSIGN_OR_RETURN(ParallelNosyResult result, RunParallelNosy(g, w, opt));
+    std::printf("converged=%d after %zu iterations\n", result.converged,
+                result.iterations.size());
+    schedule = std::move(result.schedule);
+  } else if (algorithm == "chitchat") {
+    ChitChatStats stats;
+    PIGGY_ASSIGN_OR_RETURN(schedule, RunChitChat(g, w, {}, &stats));
+    std::printf("%s\n", stats.ToString().c_str());
+  } else {
+    return Status::InvalidArgument("algorithm must be ff|parallelnosy|chitchat");
+  }
+
+  PIGGY_RETURN_NOT_OK(ValidateSchedule(g, schedule));
+  double cost = ScheduleCost(g, w, schedule, ResidualPolicy::kFree);
+  std::printf("optimized in %.1fs: cost %.1f, FF %.1f, improvement %.3fx\n",
+              timer.Seconds(), cost, ff, ImprovementRatio(ff, cost));
+  std::string out = args.Str("out");
+  if (!out.empty()) {
+    PIGGY_RETURN_NOT_OK(WriteScheduleText(schedule, out));
+    std::printf("wrote %s (H=%zu L=%zu C=%zu)\n", out.c_str(),
+                schedule.push_size(), schedule.pull_size(),
+                schedule.hub_covered_size());
+  }
+  return Status::OK();
+}
+
+Status CmdEvaluate(const Args& args) {
+  PIGGY_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.Str("graph")));
+  PIGGY_ASSIGN_OR_RETURN(Schedule schedule,
+                         ReadScheduleText(args.Str("schedule")));
+  PIGGY_RETURN_NOT_OK(ValidateSchedule(g, schedule));
+  PIGGY_ASSIGN_OR_RETURN(
+      Workload w,
+      GenerateWorkload(g, {.read_write_ratio = args.Double("ratio", 5.0),
+                           .min_rate = 0.01}));
+
+  double cost = ScheduleCost(g, w, schedule, ResidualPolicy::kFree);
+  std::printf("predicted: cost %.1f, throughput ratio over FF %.3fx\n", cost,
+              ImprovementRatio(HybridCost(g, w), cost));
+
+  const size_t servers = static_cast<size_t>(args.Int("servers", 100));
+  HashPartitioner part(servers);
+  double placed = PlacementAwareCost(g, w, schedule, part);
+  std::printf("placement-aware (%zu servers): %.2f messages/request\n", servers,
+              placed / (w.TotalProduction() + w.TotalConsumption()));
+
+  PrototypeOptions popt;
+  popt.num_servers = servers;
+  PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<Prototype> proto,
+                         Prototype::Create(g, schedule, popt));
+  DriverOptions d;
+  d.num_requests = static_cast<size_t>(args.Int("requests", 50000));
+  d.seed = static_cast<uint64_t>(args.Int("seed", 42));
+  d.audit_every = 1000;
+  PIGGY_ASSIGN_OR_RETURN(DriverReport report, RunWorkloadDriver(*proto, w, d));
+  std::printf("measured: %s\n", report.ToString().c_str());
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  Status status = Status::InvalidArgument("unknown command: " + command);
+  if (command == "generate") status = CmdGenerate(args);
+  if (command == "stats") status = CmdStats(args);
+  if (command == "sample") status = CmdSample(args);
+  if (command == "optimize") status = CmdOptimize(args);
+  if (command == "evaluate") status = CmdEvaluate(args);
+  if (command == "help" || command == "--help") return Usage();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace piggy
+
+int main(int argc, char** argv) { return piggy::Main(argc, argv); }
