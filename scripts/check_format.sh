@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Hard formatting invariants for the C++ tree, enforced in CI (the "format"
+# job) and runnable locally with no dependencies beyond grep/awk:
+#
+#   - no tab characters
+#   - no trailing whitespace
+#   - lines at most 100 columns
+#   - every file ends with a newline
+#
+# clang-format (.clang-format, Google style) is the canonical style; CI runs
+# it as an advisory step until the tree has been machine-formatted once.
+set -u
+
+cd "$(dirname "$0")/.."
+
+tab=$(printf '\t')
+fail=0
+while IFS= read -r f; do
+  if grep -q "$tab" "$f"; then
+    echo "error: tab character in $f:$(grep -n "$tab" "$f" | head -1 | cut -d: -f1)"
+    fail=1
+  fi
+  if grep -Eqn "[ ]+$" "$f"; then
+    echo "error: trailing whitespace in $f:$(grep -En '[ ]+$' "$f" | head -1 | cut -d: -f1)"
+    fail=1
+  fi
+  long=$(awk 'length($0) > 100 { print NR; exit }' "$f")
+  if [ -n "$long" ]; then
+    echo "error: line longer than 100 columns in $f:$long"
+    fail=1
+  fi
+  if [ -s "$f" ] && [ -n "$(tail -c1 "$f")" ]; then
+    echo "error: missing trailing newline in $f"
+    fail=1
+  fi
+done < <(find src tests bench examples tools -type f \
+           \( -name "*.cc" -o -name "*.h" -o -name "*.cpp" \) | sort)
+
+if [ "$fail" -ne 0 ]; then
+  echo "format check FAILED"
+  exit 1
+fi
+echo "format check OK"

@@ -1,6 +1,9 @@
 #include "core/active_store.h"
 
+#include <cstdint>
 #include <deque>
+#include <utility>
+#include <vector>
 
 #include "util/string_util.h"
 

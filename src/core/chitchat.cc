@@ -1,8 +1,12 @@
 #include "core/chitchat.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <queue>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cost_model.h"
 #include "core/densest_subgraph.h"

@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <algorithm>
+
 #include "core/schedule.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"

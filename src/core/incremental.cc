@@ -1,6 +1,8 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "core/cost_model.h"
 #include "util/string_util.h"

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/baselines.h"
 #include "core/cost_model.h"

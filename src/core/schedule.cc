@@ -1,6 +1,8 @@
 #include "core/schedule.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 namespace piggy {
 

@@ -1,8 +1,11 @@
 #include "core/schedule_io.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/string_util.h"

@@ -1,5 +1,7 @@
 #include "gen/presets.h"
 
+#include <cstdint>
+
 namespace piggy {
 
 SocialNetworkOptions FlickrLikeOptions(const PresetScale& scale) {

@@ -1,6 +1,8 @@
 #include "graph/dynamic_graph.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace piggy {
 

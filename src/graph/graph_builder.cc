@@ -1,6 +1,9 @@
 #include "graph/graph_builder.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/string_util.h"
 

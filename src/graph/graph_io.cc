@@ -1,10 +1,13 @@
 #include "graph/graph_io.h"
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "graph/graph_builder.h"
 #include "util/string_util.h"

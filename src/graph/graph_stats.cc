@@ -1,6 +1,9 @@
 #include "graph/graph_stats.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "util/string_util.h"
 

@@ -2,6 +2,8 @@
 
 #include "util/string_util.h"
 
+#include <string>
+
 namespace piggy::mr {
 
 std::string JobStats::ToString() const {

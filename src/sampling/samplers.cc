@@ -1,7 +1,10 @@
 #include "sampling/samplers.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
+#include <utility>
+#include <vector>
 
 #include "graph/graph_builder.h"
 #include "util/rng.h"

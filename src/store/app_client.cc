@@ -1,6 +1,10 @@
 #include "store/app_client.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 

@@ -1,5 +1,6 @@
 #include "store/partitioner.h"
 
+#include <cstdint>
 #include <vector>
 
 #include "util/logging.h"

@@ -1,6 +1,10 @@
 #include "store/prototype.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "util/string_util.h"
 

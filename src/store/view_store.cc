@@ -1,6 +1,9 @@
 #include "store/view_store.h"
 
 #include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
 
 namespace piggy {
 

@@ -1,6 +1,9 @@
 #include "store/workload_driver.h"
 
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "util/alias_table.h"
 #include "util/rng.h"

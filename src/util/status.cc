@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
 
 namespace piggy {
 

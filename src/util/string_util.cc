@@ -1,7 +1,10 @@
 #include "util/string_util.h"
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 namespace piggy {
 

@@ -1,6 +1,12 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -87,7 +93,18 @@ void ParallelForShards(
     if (begin >= end) break;
     futures.push_back(pool.Submit([s, begin, end, &fn] { fn(s, begin, end); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future before propagating: rethrowing on the first failed
+  // shard would unwind the caller's frame while later shards still hold a
+  // reference to `fn` (packaged_task futures do not block on destruction).
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace piggy

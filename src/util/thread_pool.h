@@ -1,7 +1,8 @@
 // Fixed-size thread pool and a blocking ParallelFor helper.
 //
 // Used by the MapReduce substrate (src/mapreduce) and the PARALLELNOSY
-// parallel executor. Tasks must not throw.
+// parallel executor. ParallelFor/ParallelForShards propagate the first
+// exception thrown by a shard, after all shards have finished.
 
 #pragma once
 

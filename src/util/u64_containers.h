@@ -10,7 +10,9 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"

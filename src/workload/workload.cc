@@ -1,5 +1,6 @@
 #include "workload/workload.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 

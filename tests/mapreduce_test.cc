@@ -25,10 +25,10 @@ TEST(MapReduceTest, WordCount) {
           pos = end + 1;
         }
       },
-      [](const std::string& word, std::vector<int>& counts, std::vector<Out>& out) {
+      [](const std::string& word, std::vector<int>& counts, std::vector<Out>& sink) {
         int total = 0;
         for (int c : counts) total += c;
-        out.emplace_back(word, total);
+        sink.emplace_back(word, total);
       });
   std::map<std::string, int> result(out.begin(), out.end());
   EXPECT_EQ(result.size(), 3u);
@@ -54,10 +54,10 @@ TEST(MapReduceTest, MapperMayEmitNothing) {
       [](const int& x, mr::Emitter<int, int>& em) {
         if (x % 2 == 0) em.Emit(0, x);
       },
-      [](const int&, std::vector<int>& vs, std::vector<int>& out) {
+      [](const int&, std::vector<int>& vs, std::vector<int>& sink) {
         int sum = 0;
         for (int v : vs) sum += v;
-        out.push_back(sum);
+        sink.push_back(sum);
       });
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], 12);
@@ -71,10 +71,10 @@ TEST(MapReduceTest, DeterministicAcrossThreadCounts) {
     return mr::RunMapReduce<int, int, int, std::pair<int, int>>(
         pool, inputs,
         [](const int& x, mr::Emitter<int, int>& em) { em.Emit(x % 97, x); },
-        [](const int& key, std::vector<int>& vs, std::vector<std::pair<int, int>>& out) {
+        [](const int& key, std::vector<int>& vs, std::vector<std::pair<int, int>>& sink) {
           int sum = 0;
           for (int v : vs) sum += v;
-          out.emplace_back(key, sum);
+          sink.emplace_back(key, sum);
         });
   };
   auto a = run(1);
@@ -95,8 +95,8 @@ TEST(MapReduceTest, ValuesArriveInShardOrder) {
   auto out = mr::RunMapReduce<int, int, int, std::vector<int>>(
       pool, inputs,
       [](const int& x, mr::Emitter<int, int>& em) { em.Emit(7, x); },
-      [](const int&, std::vector<int>& vs, std::vector<std::vector<int>>& out) {
-        out.push_back(vs);
+      [](const int&, std::vector<int>& vs, std::vector<std::vector<int>>& sink) {
+        sink.push_back(vs);
       },
       options);
   ASSERT_EQ(out.size(), 1u);
@@ -110,8 +110,8 @@ TEST(MapReduceTest, StatsAreReported) {
   auto out = mr::RunMapReduce<int, int, int, int>(
       pool, inputs,
       [](const int& x, mr::Emitter<int, int>& em) { em.Emit(x % 2, x); },
-      [](const int& k, std::vector<int>&, std::vector<int>& out) {
-        out.push_back(k);
+      [](const int& k, std::vector<int>&, std::vector<int>& sink) {
+        sink.push_back(k);
       },
       {}, &stats);
   EXPECT_EQ(stats.map_inputs, 4u);
@@ -127,9 +127,9 @@ TEST(MapReduceTest, ManyKeysAllReduced) {
   auto out = mr::RunMapReduce<int, int, int, int>(
       pool, inputs,
       [](const int& x, mr::Emitter<int, int>& em) { em.Emit(x, 1); },
-      [](const int& k, std::vector<int>& vs, std::vector<int>& out) {
+      [](const int& k, std::vector<int>& vs, std::vector<int>& sink) {
         ASSERT_EQ(vs.size(), 1u);
-        out.push_back(k);
+        sink.push_back(k);
       });
   EXPECT_EQ(out.size(), 10000u);
 }

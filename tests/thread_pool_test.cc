@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.h"
@@ -82,6 +85,40 @@ TEST(ParallelForShardsTest, MoreShardsThanItems) {
     total.fetch_add(static_cast<int>(end - begin));
   });
   EXPECT_EQ(total.load(), 3);
+}
+
+// Regression: a throwing shard used to make ParallelFor rethrow on the
+// first future while later shards were still running with a dangling
+// reference to the callback (stack-use-after-scope under ASan). All
+// shards must finish before the first exception propagates.
+TEST(ParallelForTest, ThrowingBodyDrainsAllShardsBeforeRethrow) {
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::atomic<size_t> ran{0};
+    auto body = [&ran](size_t i) {
+      if (i == 0) throw std::runtime_error("boom");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ran.fetch_add(1);
+    };
+    EXPECT_THROW(ParallelFor(pool, 64, body), std::runtime_error);
+    // The call must not return while shards are still executing: the count
+    // observed at return time is final (the callback is gone after this).
+    const size_t at_return = ran.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(ran.load(), at_return);
+    EXPECT_GT(at_return, 0u);
+  }
+}
+
+TEST(ParallelForShardsTest, PropagatesFirstShardException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelForShards(pool, 10, 5,
+                                 [](size_t shard, size_t, size_t) {
+                                   if (shard == 2) {
+                                     throw std::logic_error("shard failed");
+                                   }
+                                 }),
+               std::logic_error);
 }
 
 }  // namespace
