@@ -10,6 +10,7 @@
 //        wall-clock comparison).
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "core/chitchat.h"
@@ -26,6 +27,14 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t nodes = static_cast<size_t>(flags.Int("nodes", 8000));
   const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+
+  // Optional dumps: each ablation table goes to PATH.d1 .. PATH.d5.
+  const std::string csv = flags.Str("csv", "");
+  const std::string json = flags.Str("json", "");
+  auto dump = [&csv, &json](const Table& table, const std::string& tag) {
+    if (!csv.empty()) table.WriteCsv(csv + "." + tag);
+    if (!json.empty()) table.WriteJson(json + "." + tag);
+  };
 
   Graph g = MakeFlickrLike(nodes, seed).ValueOrDie();
   Workload w = GenerateWorkload(g, {.read_write_ratio = 5.0, .min_rate = 0.01})
@@ -46,6 +55,7 @@ int main(int argc, char** argv) {
                     std::to_string(result.iterations.size())});
     }
     table.Print();
+    dump(table, "d1");
   }
 
   Banner("Ablation D2 - CHITCHAT oracle: peeling vs exhaustive (small graph)",
@@ -68,6 +78,7 @@ int main(int argc, char** argv) {
                     Fmt(ImprovementRatio(small_ff, cost)), Fmt(timer.Seconds(), 2)});
     }
     table.Print();
+    dump(table, "d2");
   }
 
   Banner("Ablation D3 - lock tie-breaking",
@@ -83,6 +94,7 @@ int main(int argc, char** argv) {
                     Fmt(ImprovementRatio(ff, result.final_cost))});
     }
     table.Print();
+    dump(table, "d3");
   }
 
   Banner("Ablation D4 - candidate gain threshold epsilon",
@@ -98,6 +110,7 @@ int main(int argc, char** argv) {
                     std::to_string(result.schedule.hub_covered_size())});
     }
     table.Print();
+    dump(table, "d4");
   }
 
   Banner("Ablation D5 - executor: sequential vs MapReduce",
@@ -115,6 +128,7 @@ int main(int argc, char** argv) {
                     Fmt(timer.Seconds(), 2)});
     }
     table.Print();
+    dump(table, "d5");
   }
   return 0;
 }

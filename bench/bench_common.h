@@ -1,7 +1,10 @@
 // Shared helpers for the figure-reproduction harnesses: a tiny flag parser,
-// aligned table printing, and optional CSV dumping. Every harness runs with
-// no arguments at laptop scale; pass --nodes / --requests etc. to scale up,
-// and --csv PATH to dump the series for plotting.
+// aligned table printing, and optional CSV / JSON dumping. Every harness runs
+// with no arguments at laptop scale; pass --nodes / --requests etc. to scale
+// up, --csv PATH to dump the series for plotting, and --json PATH for
+// machine-readable output (the perf-trajectory format checked in as
+// BENCH_*.json). The google-benchmark micro harnesses accept the same
+// --json PATH spelling via TranslateJsonFlag.
 
 #pragma once
 
@@ -88,7 +91,61 @@ class Table {
     std::printf("[csv written to %s]\n", path.c_str());
   }
 
+  /// Writes the rows as a JSON array of objects keyed by column name.
+  /// Numeric-looking cells are emitted as JSON numbers so trajectory tooling
+  /// can diff runs without re-parsing strings.
+  void WriteJson(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    out << "[\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out << "  {";
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        out << (c == 0 ? "" : ", ") << JsonString(columns_[c]) << ": "
+            << JsonValue(rows_[r][c]);
+      }
+      out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    std::printf("[json written to %s]\n", path.c_str());
+  }
+
  private:
+  static std::string JsonString(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out += '\\';
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        out += StrFormat("\\u%04x", ch);
+        continue;
+      }
+      out += ch;
+    }
+    return out + "\"";
+  }
+
+  // Emits a cell verbatim when it is already valid JSON number syntax (no
+  // inf/nan/hex/leading zeros, which JSON cannot represent), quoted otherwise.
+  static std::string JsonValue(const std::string& s) {
+    size_t i = !s.empty() && s[0] == '-' ? 1 : 0;
+    const bool starts_numeric =
+        i < s.size() && s[i] >= '0' && s[i] <= '9' &&
+        !(s[i] == '0' && i + 1 < s.size() && s[i + 1] != '.' && s[i + 1] != 'e');
+    // JSON additionally requires a digit after any decimal point ("3." and
+    // "3.e5" parse via strtod but are not JSON numbers).
+    const size_t dot = s.find('.');
+    const bool dot_ok =
+        dot == std::string::npos ||
+        (dot + 1 < s.size() && s[dot + 1] >= '0' && s[dot + 1] <= '9');
+    if (starts_numeric && dot_ok && s.find_first_of("xX") == std::string::npos) {
+      char* end = nullptr;
+      double v = std::strtod(s.c_str(), &end);
+      const bool finite = v == v && v <= 1e308 && v >= -1e308;
+      if (end == s.c_str() + s.size() && finite) return s;
+    }
+    return JsonString(s);
+  }
+
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
@@ -96,6 +153,44 @@ class Table {
 inline std::string Fmt(double v, int precision = 3) {
   return StrFormat("%.*f", precision, v);
 }
+
+/// Rewrites a "--json PATH" flag pair into google-benchmark's native
+/// --benchmark_out=PATH / --benchmark_out_format=json flags, so the micro
+/// harnesses share the figure harnesses' spelling. `storage` owns the
+/// rewritten strings and must outlive the returned argv.
+inline std::vector<char*> TranslateJsonFlag(int argc, char** argv,
+                                            std::vector<std::string>& storage) {
+  storage.clear();
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      storage.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      storage.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> out;
+  out.reserve(storage.size());
+  for (std::string& s : storage) out.push_back(s.data());
+  return out;
+}
+
+// The shared main body for the google-benchmark micro harnesses. Only
+// defined when <benchmark/benchmark.h> was included first, so the figure
+// harnesses (which do not link google-benchmark) can keep using this header.
+#ifdef BENCHMARK_BENCHMARK_H_
+inline int RunBenchmarkMain(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args = TranslateJsonFlag(argc, argv, storage);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+#endif  // BENCHMARK_BENCHMARK_H_
 
 inline void Banner(const std::string& title, const std::string& expectation) {
   std::printf("\n=== %s ===\n%s\n\n", title.c_str(), expectation.c_str());

@@ -70,5 +70,6 @@ int main(int argc, char** argv) {
   std::printf("\n");
   table.Print();
   table.WriteCsv(flags.Str("csv", ""));
+  table.WriteJson(flags.Str("json", ""));
   return 0;
 }

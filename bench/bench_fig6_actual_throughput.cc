@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
 
   table.Print();
   table.WriteCsv(flags.Str("csv", ""));
+  table.WriteJson(flags.Str("json", ""));
   return 0;
 }

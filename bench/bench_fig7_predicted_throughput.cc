@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
               "ratio %.3f)\n",
               placement_free_ratio);
   table.WriteCsv(flags.Str("csv", ""));
+  table.WriteJson(flags.Str("json", ""));
   return 0;
 }

@@ -81,6 +81,8 @@ int main(int argc, char** argv) {
     table.Print();
     std::string csv = flags.Str("csv", "");
     if (!csv.empty()) table.WriteCsv(csv + "." + method);
+    std::string json = flags.Str("json", "");
+    if (!json.empty()) table.WriteJson(json + "." + method);
     std::printf("\n");
   }
   return 0;

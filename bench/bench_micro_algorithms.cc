@@ -1,14 +1,18 @@
 // Micro-benchmarks of the scheduling algorithms (google-benchmark).
+// Accepts --json PATH (in addition to the native --benchmark_* flags) to
+// emit the machine-readable trajectory format; see bench_common.h.
 
 #include <benchmark/benchmark.h>
 
 #include <map>
 
+#include "bench/bench_common.h"
 #include "core/baselines.h"
 #include "core/validator.h"
 #include "core/chitchat.h"
 #include "core/cost_model.h"
 #include "core/densest_subgraph.h"
+#include "core/oracle_scratch.h"
 #include "core/parallel_nosy.h"
 #include "gen/presets.h"
 #include "util/rng.h"
@@ -58,9 +62,8 @@ void BM_ScheduleCost(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleCost);
 
-void BM_DensestSubgraphPeeling(benchmark::State& state) {
-  // Synthetic hub-graph with the given side size and ~30% cross density.
-  const size_t side = static_cast<size_t>(state.range(0));
+// Synthetic hub-graph with the given side size and ~30% cross density.
+HubGraphInstance MakeSyntheticInstance(size_t side) {
   Rng rng(5);
   HubGraphInstance inst;
   inst.hub = 0;
@@ -79,6 +82,11 @@ void BM_DensestSubgraphPeeling(benchmark::State& state) {
       if (rng.Bernoulli(0.3)) inst.cross_edges.emplace_back(p, c);
     }
   }
+  return inst;
+}
+
+void BM_DensestSubgraphPeeling(benchmark::State& state) {
+  HubGraphInstance inst = MakeSyntheticInstance(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     auto sol = SolveWeightedDensestSubgraph(inst);
     benchmark::DoNotOptimize(sol.density);
@@ -87,6 +95,21 @@ void BM_DensestSubgraphPeeling(benchmark::State& state) {
                           static_cast<int64_t>(inst.cross_edges.size()));
 }
 BENCHMARK(BM_DensestSubgraphPeeling)->Arg(16)->Arg(64)->Arg(256);
+
+// The CHITCHAT-shaped hot path: repeated solves reusing one scratch arena
+// and one output object (zero steady-state heap allocations).
+void BM_DensestSubgraphPeelingScratch(benchmark::State& state) {
+  HubGraphInstance inst = MakeSyntheticInstance(static_cast<size_t>(state.range(0)));
+  OracleScratch scratch;
+  DensestSubgraphSolution sol;
+  for (auto _ : state) {
+    SolveWeightedDensestSubgraph(inst, scratch, &sol);
+    benchmark::DoNotOptimize(sol.density);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(inst.cross_edges.size()));
+}
+BENCHMARK(BM_DensestSubgraphPeelingScratch)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_ParallelNosyIteration(benchmark::State& state) {
   const Fixture& f = SharedFixture(static_cast<size_t>(state.range(0)));
@@ -112,14 +135,35 @@ void BM_ParallelNosyFull(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelNosyFull)->Unit(benchmark::kMillisecond);
 
+// Sequential reference (num_threads = 1): the number every BENCH_*.json
+// trajectory entry compares against.
 void BM_ChitChatFull(benchmark::State& state) {
   const Fixture& f = SharedFixture(static_cast<size_t>(state.range(0)));
+  ChitChatOptions opt;
+  opt.num_threads = 1;
   for (auto _ : state) {
-    Schedule s = RunChitChat(f.graph, f.workload).ValueOrDie();
+    Schedule s = RunChitChat(f.graph, f.workload, opt).ValueOrDie();
     benchmark::DoNotOptimize(s.hub_covered_size());
   }
 }
 BENCHMARK(BM_ChitChatFull)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+// Threaded oracle sweeps; args are {nodes, num_threads}. Produces the exact
+// same schedule as the sequential reference (see ChitChatParityTest).
+void BM_ChitChatThreaded(benchmark::State& state) {
+  const Fixture& f = SharedFixture(static_cast<size_t>(state.range(0)));
+  ChitChatOptions opt;
+  opt.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    Schedule s = RunChitChat(f.graph, f.workload, opt).ValueOrDie();
+    benchmark::DoNotOptimize(s.hub_covered_size());
+  }
+}
+BENCHMARK(BM_ChitChatThreaded)
+    ->Args({2000, 2})
+    ->Args({2000, 4})
+    ->Args({2000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ValidateSchedule(benchmark::State& state) {
   const Fixture& f = SharedFixture(10000);
@@ -135,4 +179,4 @@ BENCHMARK(BM_ValidateSchedule)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace piggy
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return piggy::bench::RunBenchmarkMain(argc, argv); }

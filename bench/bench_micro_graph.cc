@@ -1,6 +1,9 @@
 // Micro-benchmarks of the graph substrate (google-benchmark).
+// Accepts --json PATH for machine-readable output; see bench_common.h.
 
 #include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
 
 #include "gen/presets.h"
 #include "graph/dynamic_graph.h"
@@ -125,4 +128,4 @@ BENCHMARK(BM_TwoPointerIntersection);
 }  // namespace
 }  // namespace piggy
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return piggy::bench::RunBenchmarkMain(argc, argv); }

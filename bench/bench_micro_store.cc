@@ -1,6 +1,9 @@
 // Micro-benchmarks of the prototype store path (google-benchmark).
+// Accepts --json PATH for machine-readable output; see bench_common.h.
 
 #include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
 
 #include "core/baselines.h"
 #include "core/parallel_nosy.h"
@@ -103,4 +106,4 @@ BENCHMARK(BM_PlacementAwareCost)->Arg(10)->Arg(1000)->Unit(benchmark::kMilliseco
 }  // namespace
 }  // namespace piggy
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return piggy::bench::RunBenchmarkMain(argc, argv); }

@@ -3,15 +3,19 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <queue>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/cost_model.h"
 #include "core/densest_subgraph.h"
+#include "core/oracle_scratch.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace piggy {
 
@@ -22,6 +26,19 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 struct HubSlot {
   HubGraphInstance instance;
   DensestSubgraphSolution solution;
+  /// One cached cross pair of the hub's maximal hub-graph: producer index,
+  /// consumer index, and the cross edge's canonical index into the coverage
+  /// bitmap.
+  struct TopoCross {
+    uint32_t p;
+    uint32_t c;
+    uint64_t edge;
+  };
+  // The topology of the (capped) maximal hub-graph never changes during a
+  // run, so it is intersected exactly once; refreshes filter topo_cross
+  // against the coverage bitmap instead of re-scanning adjacency lists.
+  std::vector<TopoCross> topo_cross;
+  bool topo_built = false;
   uint64_t version = 0;
   // Set when an edge of the maximal hub-graph changed since the last oracle
   // run. A dirty slot's true density can only have DECREASED (coverage
@@ -65,7 +82,12 @@ class ChitChatRunner {
  public:
   ChitChatRunner(const Graph& g, const Workload& w, const ChitChatOptions& options)
       : g_(g), w_(w), options_(options), covered_(g.num_edges(), 0),
-        slots_(g.num_nodes()) {}
+        slots_(g.num_nodes()) {
+    const size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                                    : options.num_threads;
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+    scratch_.resize(pool_ != nullptr ? threads : 1);
+  }
 
   Result<Schedule> Run(ChitChatStats* stats) {
     uncovered_ = g_.num_edges();
@@ -82,11 +104,19 @@ class ChitChatRunner {
       singletons_ = SingletonQueue(SingletonCmp{}, std::move(entries));
     }
 
-    // Initial oracle pass over every potential hub.
-    for (NodeId hub = 0; hub < g_.num_nodes(); ++hub) {
-      if (g_.InDegree(hub) + g_.OutDegree(hub) == 0) continue;
-      RefreshHub(hub);
+    // Initial oracle pass over every potential hub, swept in parallel. Every
+    // hub with an incident edge builds its topology here; later refreshes
+    // (eager targets and dirty heap tops all have incident edges) only
+    // re-filter it, so the cross index built below stays complete.
+    {
+      std::vector<NodeId> hubs;
+      hubs.reserve(g_.num_nodes());
+      for (NodeId hub = 0; hub < g_.num_nodes(); ++hub) {
+        if (g_.InDegree(hub) + g_.OutDegree(hub) > 0) hubs.push_back(hub);
+      }
+      RefreshHubs(hubs);
     }
+    BuildCrossIndex();
 
     // Lazy greedy: heap entries may overstate a hub's density (its coverage
     // shrank since it was pushed), never understate it — so the first fresh,
@@ -102,7 +132,7 @@ class ChitChatRunner {
       const double singleton_density = singleton_cost > 0 ? 1.0 / singleton_cost : kInf;
 
       // Surface the best live hub entry, refreshing dirty slots on demand.
-      const HubSlot* best_slot = nullptr;
+      HubSlot* best_slot = nullptr;
       double hub_density = -1;
       while (!hub_queue_.empty()) {
         const HubEntry& top = hub_queue_.top();
@@ -112,6 +142,13 @@ class ChitChatRunner {
           continue;
         }
         if (slot.dirty) {
+          // Refresh dirty tops strictly one at a time, in every mode: the
+          // peeling oracle's value is an approximation that is not monotone
+          // under coverage shrinkage at ULP granularity (summation order
+          // inside the solver shifts when a cross edge drops out), so
+          // batching refreshes — though sound for the mathematical optimum —
+          // changes which near-tie surfaces first and breaks bit-parity
+          // between thread counts.
           NodeId hub = top.hub;
           hub_queue_.pop();
           RefreshHub(hub);  // recompute and reinsert at the true density
@@ -134,7 +171,7 @@ class ChitChatRunner {
       }
       // Eagerly refresh only the hubs whose node weights changed (edges
       // added to H or L); everything else was merely marked dirty.
-      for (NodeId hub : eager_refresh_) RefreshHub(hub);
+      RefreshHubs(eager_refresh_);
       eager_refresh_.clear();
     }
 
@@ -156,61 +193,73 @@ class ChitChatRunner {
       PIGGY_CHECK_GT(uncovered_, 0u);
       --uncovered_;
     }
-    TouchEdge(u, v);
+    TouchEdge(u, v, idx);
   }
 
-  bool IsCoveredEdge(NodeId u, NodeId v) const {
-    size_t idx = g_.EdgeIndex(u, v);
-    PIGGY_CHECK_LT(idx, g_.num_edges());
-    return covered_[idx] != 0;
-  }
-
-  // Collects every hub whose maximal hub-graph contains edge (u, v):
-  // u (as a pull link), v (as a push link), and every w on a directed
-  // 2-path u -> w -> v (as a cross edge).
-  void TouchEdge(NodeId u, NodeId v) {
+  // Marks every hub whose cached instance can see edge (u, v) dirty: the two
+  // endpoints (the edge is a link of G(u) and G(v)) and, via the inverted
+  // cross index, exactly the hubs caching it as a cross pair. Hubs on a
+  // 2-path u -> w -> v whose cap excluded the pair keep their fresh oracle
+  // entries — their instances cannot change.
+  void TouchEdge(NodeId u, NodeId v, size_t edge_idx) {
     TouchHub(u);
     TouchHub(v);
-    auto out_u = g_.OutNeighbors(u);
-    auto in_v = g_.InNeighbors(v);
-    // Two-pointer intersection of sorted spans.
-    size_t i = 0, j = 0;
-    while (i < out_u.size() && j < in_v.size()) {
-      if (out_u[i] < in_v[j]) {
-        ++i;
-      } else if (out_u[i] > in_v[j]) {
-        ++j;
-      } else {
-        TouchHub(out_u[i]);
-        ++i;
-        ++j;
+    for (uint64_t k = cross_index_offsets_[edge_idx];
+         k < cross_index_offsets_[edge_idx + 1]; ++k) {
+      TouchHub(cross_index_hubs_[k]);
+    }
+  }
+
+  // Inverts the cached topologies into edge -> interested hubs (CSR layout).
+  // Built once, after the initial pass materialized every hub's topology.
+  void BuildCrossIndex() {
+    cross_index_offsets_.assign(g_.num_edges() + 1, 0);
+    for (const HubSlot& slot : slots_) {
+      for (const HubSlot::TopoCross& t : slot.topo_cross) {
+        ++cross_index_offsets_[t.edge + 1];
       }
     }
+    for (size_t e = 0; e < g_.num_edges(); ++e) {
+      cross_index_offsets_[e + 1] += cross_index_offsets_[e];
+    }
+    cross_index_hubs_.resize(cross_index_offsets_.back());
+    std::vector<uint64_t> cursor(cross_index_offsets_.begin(),
+                                 cross_index_offsets_.end() - 1);
+    for (NodeId hub = 0; hub < slots_.size(); ++hub) {
+      for (const HubSlot::TopoCross& t : slots_[hub].topo_cross) {
+        cross_index_hubs_[cursor[t.edge]++] = hub;
+      }
+    }
+    cross_index_built_ = true;
   }
 
   void TouchHub(NodeId hub) { slots_[hub].dirty = true; }
 
-  void ApplyHub(const HubSlot& slot) {
-    const HubGraphInstance& inst = slot.instance;
+  void ApplyHub(HubSlot& slot) {
+    HubGraphInstance& inst = slot.instance;
     const DensestSubgraphSolution& sol = slot.solution;
 
-    std::vector<uint8_t> p_sel(inst.producers.size(), 0);
-    std::vector<uint8_t> c_sel(inst.consumers.size(), 0);
+    p_sel_.assign(inst.producers.size(), 0);
+    c_sel_.assign(inst.consumers.size(), 0);
 
+    // Cover() also dirties the link's interested hubs, so no extra touch is
+    // needed when an edge newly enters H or L.
     for (uint32_t p : sol.producer_idx) {
-      p_sel[p] = 1;
+      p_sel_[p] = 1;
       NodeId x = inst.producers[p];
-      if (schedule_.AddPush(x, inst.hub)) TouchEdge(x, inst.hub);
+      schedule_.AddPush(x, inst.hub);
+      inst.producer_weight[p] = 0.0;  // x -> hub entered H: g(x) is now free
       Cover(x, inst.hub);
     }
     for (uint32_t c : sol.consumer_idx) {
-      c_sel[c] = 1;
+      c_sel_[c] = 1;
       NodeId y = inst.consumers[c];
-      if (schedule_.AddPull(inst.hub, y)) TouchEdge(inst.hub, y);
+      schedule_.AddPull(inst.hub, y);
+      inst.consumer_weight[c] = 0.0;  // hub -> y entered L: g(y) is now free
       Cover(inst.hub, y);
     }
     for (const auto& [p, c] : inst.cross_edges) {
-      if (!p_sel[p] || !c_sel[c]) continue;
+      if (!p_sel_[p] || !c_sel_[c]) continue;
       NodeId x = inst.producers[p];
       NodeId y = inst.consumers[c];
       // Instance cross edges are uncovered by construction and the selected
@@ -228,22 +277,57 @@ class ChitChatRunner {
   void ApplySingleton(const Edge& e) {
     if (w_.rp(e.src) <= w_.rc(e.dst)) {
       schedule_.AddPush(e.src, e.dst);
-      eager_refresh_.push_back(e.dst);  // g(src) dropped to zero in G(dst)
+      ZeroProducerWeight(e.dst, e.src);  // g(src) dropped to zero in G(dst)
+      eager_refresh_.push_back(e.dst);
     } else {
       schedule_.AddPull(e.src, e.dst);
-      eager_refresh_.push_back(e.src);  // g(dst) dropped to zero in G(src)
+      ZeroConsumerWeight(e.src, e.dst);  // g(dst) dropped to zero in G(src)
+      eager_refresh_.push_back(e.src);
     }
     Cover(e.src, e.dst);
   }
 
-  void RefreshHub(NodeId hub) {
+  // Weight state is event-maintained: an edge enters H or L only in ApplyHub
+  // (indices known) or via a singleton, where the counterpart hub's cached
+  // entry is found by binary search — if within the producer/consumer cap.
+  void ZeroProducerWeight(NodeId hub, NodeId x) {
+    HubGraphInstance& inst = slots_[hub].instance;
+    auto it = std::lower_bound(inst.producers.begin(), inst.producers.end(), x);
+    if (it != inst.producers.end() && *it == x) {
+      inst.producer_weight[it - inst.producers.begin()] = 0.0;
+    }
+  }
+  void ZeroConsumerWeight(NodeId hub, NodeId y) {
+    HubGraphInstance& inst = slots_[hub].instance;
+    auto it = std::lower_bound(inst.consumers.begin(), inst.consumers.end(), y);
+    if (it != inst.consumers.end() && *it == y) {
+      inst.consumer_weight[it - inst.consumers.begin()] = 0.0;
+    }
+  }
+
+  // Recomputes one hub's instance and oracle solution into its slot, using
+  // the given arena. Reads only frozen state (graph, covered_, schedule_) and
+  // writes only the slot, so distinct hubs may solve concurrently.
+  void SolveSlot(NodeId hub, OracleScratch& scratch) {
     HubSlot& slot = slots_[hub];
-    slot.instance = BuildInstance(hub);
-    ++stats_.oracle_calls;
+    // Topologies may only materialize before the cross index is inverted;
+    // a later build would leave its pairs untracked and break dirtying.
+    PIGGY_CHECK(slot.topo_built || !cross_index_built_);
+    if (!slot.topo_built) BuildTopo(hub, &slot);
+    RefreshInstance(hub, &slot);
     const bool small = slot.instance.num_nodes() <= 14;
-    slot.solution = (options_.exhaustive_oracle_small && small)
-                        ? SolveDensestSubgraphExhaustive(slot.instance)
-                        : SolveWeightedDensestSubgraph(slot.instance);
+    if (options_.exhaustive_oracle_small && small) {
+      slot.solution = SolveDensestSubgraphExhaustive(slot.instance);
+    } else {
+      SolveWeightedDensestSubgraph(slot.instance, scratch, &slot.solution);
+    }
+  }
+
+  // Publishes a freshly solved slot: bumps its version and reinserts its heap
+  // entry. Must run on the coordinating thread.
+  void CommitSlot(NodeId hub) {
+    HubSlot& slot = slots_[hub];
+    ++stats_.oracle_calls;
     ++slot.version;
     slot.dirty = false;
     if (slot.solution.covered > 0) {
@@ -252,8 +336,39 @@ class ChitChatRunner {
     }
   }
 
-  HubGraphInstance BuildInstance(NodeId hub) const {
-    HubGraphInstance inst;
+  void RefreshHub(NodeId hub) {
+    SolveSlot(hub, scratch_[0]);
+    CommitSlot(hub);
+  }
+
+  // Refreshes a batch of distinct hubs — in parallel when a pool exists —
+  // then commits in vector order. Commits are deterministic and each solve
+  // depends only on the frozen coverage state, never on other solves in the
+  // batch, so any thread count yields the same heap contents: bit-identical
+  // schedules. (The heap pops in comparator order, a strict total order, so
+  // even the commit order is immaterial; keeping it fixed makes that easy to
+  // reason about.)
+  void RefreshHubs(const std::vector<NodeId>& hubs) {
+    if (pool_ != nullptr && hubs.size() > 1) {
+      ParallelForShards(*pool_, hubs.size(), scratch_.size(),
+                        [this, &hubs](size_t shard, size_t begin, size_t end) {
+                          for (size_t i = begin; i < end; ++i) {
+                            SolveSlot(hubs[i], scratch_[shard]);
+                          }
+                        });
+    } else {
+      for (NodeId hub : hubs) SolveSlot(hub, scratch_[0]);
+    }
+    for (NodeId hub : hubs) CommitSlot(hub);
+  }
+
+  // Builds the static part of `hub`'s capped maximal hub-graph exactly once:
+  // node lists, weights, and the cross-pair topology with canonical edge
+  // indices. Weights are event-maintained afterwards (ApplyHub and
+  // ApplySingleton zero an entry the moment its edge enters H or L), so
+  // refreshes never re-probe the schedule.
+  void BuildTopo(NodeId hub, HubSlot* slot) {
+    HubGraphInstance& inst = slot->instance;
     inst.hub = hub;
 
     auto in = g_.InNeighbors(hub);
@@ -264,7 +379,6 @@ class ChitChatRunner {
     for (size_t p = 0; p < np; ++p) {
       NodeId x = inst.producers[p];
       inst.producer_weight[p] = schedule_.IsPush(x, hub) ? 0.0 : w_.rp(x);
-      inst.producer_link_in_z[p] = IsCoveredEdge(x, hub) ? 0 : 1;
     }
 
     auto out = g_.OutNeighbors(hub);
@@ -275,33 +389,47 @@ class ChitChatRunner {
     for (size_t c = 0; c < ny; ++c) {
       NodeId y = inst.consumers[c];
       inst.consumer_weight[c] = schedule_.IsPull(hub, y) ? 0.0 : w_.rc(y);
-      inst.consumer_link_in_z[c] = IsCoveredEdge(hub, y) ? 0 : 1;
     }
 
-    // Uncovered cross edges x -> y via sorted intersection of out(x) with the
-    // consumer prefix.
+    // Cross pairs x -> y via sorted intersection of out(x) with the consumer
+    // prefix (galloping when a follower list dwarfs the prefix). The match
+    // position in out(x) doubles as the edge's canonical index, so coverage
+    // filtering is a plain bitmap read from here on.
+    const std::span<const NodeId> consumer_prefix(inst.consumers.data(), ny);
     for (uint32_t p = 0; p < np; ++p) {
-      if (inst.cross_edges.size() >= options_.max_cross_edges) break;
+      if (slot->topo_cross.size() >= options_.max_cross_edges) break;
       NodeId x = inst.producers[p];
-      auto out_x = g_.OutNeighbors(x);
-      size_t i = 0, j = 0;
-      while (i < out_x.size() && j < ny) {
-        if (out_x[i] < inst.consumers[j]) {
-          ++i;
-        } else if (out_x[i] > inst.consumers[j]) {
-          ++j;
-        } else {
-          NodeId y = inst.consumers[j];
-          if (y != x && !IsCoveredEdge(x, y)) {
-            inst.cross_edges.emplace_back(p, static_cast<uint32_t>(j));
-            if (inst.cross_edges.size() >= options_.max_cross_edges) break;
-          }
-          ++i;
-          ++j;
-        }
-      }
+      ForEachSortedIntersection(
+          g_.OutNeighbors(x), consumer_prefix,
+          [&](NodeId y, size_t ia, size_t j) {
+            if (y != x) {
+              slot->topo_cross.push_back({p, static_cast<uint32_t>(j),
+                                          g_.OutEdgeCanonicalIndex(x, ia)});
+              if (slot->topo_cross.size() >= options_.max_cross_edges) return false;
+            }
+            return true;
+          });
     }
-    return inst;
+    slot->topo_built = true;
+  }
+
+  // Re-derives the dynamic part of the instance from the coverage bitmap:
+  // link-in-Z flags and the uncovered subset of the cached cross topology.
+  // Allocation-free at steady state.
+  void RefreshInstance(NodeId hub, HubSlot* slot) const {
+    HubGraphInstance& inst = slot->instance;
+    const size_t np = inst.producers.size();
+    for (size_t p = 0; p < np; ++p) {
+      inst.producer_link_in_z[p] = covered_[g_.InEdgeCanonicalIndex(hub, p)] ? 0 : 1;
+    }
+    const size_t ny = inst.consumers.size();
+    for (size_t c = 0; c < ny; ++c) {
+      inst.consumer_link_in_z[c] = covered_[g_.OutEdgeCanonicalIndex(hub, c)] ? 0 : 1;
+    }
+    inst.cross_edges.clear();
+    for (const HubSlot::TopoCross& t : slot->topo_cross) {
+      if (!covered_[t.edge]) inst.cross_edges.emplace_back(t.p, t.c);
+    }
   }
 
   const Graph& g_;
@@ -318,6 +446,20 @@ class ChitChatRunner {
 
   // Hubs whose node weights changed this step (eager refresh targets).
   std::vector<NodeId> eager_refresh_;
+
+  // Inverted cross index: edge -> hubs caching it as a cross pair.
+  std::vector<uint64_t> cross_index_offsets_;
+  std::vector<NodeId> cross_index_hubs_;
+  bool cross_index_built_ = false;
+
+  // Oracle execution resources: a pool when num_threads allows, plus one
+  // scratch arena per worker (scratch_[0] doubles as the sequential arena).
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<OracleScratch> scratch_;
+
+  // Reused selection masks for ApplyHub.
+  std::vector<uint8_t> p_sel_;
+  std::vector<uint8_t> c_sel_;
 
   ChitChatStats stats_;
 };

@@ -13,6 +13,14 @@
 // oracle eagerly for every hub whose maximal hub-graph contains a changed
 // edge, exactly as Algorithm 1 prescribes.
 //
+// The initial all-hubs oracle pass fans out on a thread pool when
+// ChitChatOptions::num_threads allows; solves read a frozen snapshot and
+// commit in deterministic hub order, so schedules are bit-identical to the
+// sequential reference at any thread count. Per-step refreshes (the selected
+// candidate's eager target and dirty heap tops) are deliberately sequential —
+// today's greedy touches one hub per step, and batching dirty tops would
+// break bit-parity (see the note in chitchat.cc).
+//
 // Combined guarantee: O(2 ln n) = O(ln n) (Theorem 4).
 
 #pragma once
@@ -34,11 +42,27 @@ struct ChitChatOptions {
   size_t max_producers = 4096;
   /// Cap on |Y| (consumers) per hub-graph.
   size_t max_consumers = 4096;
-  /// Cap on cross edges materialized per hub-graph (the paper's bound b).
+  /// Cap on cross pairs cached per hub-graph (the paper's bound b). The
+  /// cross topology is intersected once per hub and filtered against the
+  /// coverage bitmap on refresh, so the cap bounds the cached pairs: when it
+  /// binds (a hub with more than this many cross pairs), excluded pairs stay
+  /// invisible for the whole run — unlike the pre-cache code, which re-ran
+  /// the intersection per refresh and could rotate freed cap budget onto
+  /// previously excluded pairs. A deliberate trade: identical until the cap
+  /// binds, and bounded memory + O(pairs) refresh cost after.
   size_t max_cross_edges = 200000;
   /// Use the exhaustive oracle instead of peeling when a hub-graph has at
   /// most 14 nodes (ablation D2); larger instances still use peeling.
   bool exhaustive_oracle_small = false;
+  /// Worker threads for the initial all-hubs oracle sweep (and any future
+  /// multi-hub refresh batch — RefreshHubs fans out whenever a batch has
+  /// more than one hub). 0 = ThreadPool::DefaultThreads(); 1 = the fully
+  /// sequential reference. Any thread count produces a bit-identical
+  /// schedule and identical stats: each solve reads a frozen snapshot of the
+  /// coverage state, results are committed in deterministic hub order, and
+  /// the greedy loop's per-step refreshes stay one-at-a-time in every mode
+  /// (see the parity note in chitchat.cc).
+  size_t num_threads = 0;
 };
 
 /// \brief Execution counters.

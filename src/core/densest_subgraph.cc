@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -66,119 +65,149 @@ DensestSubgraphSolution EvaluateSelection(const HubGraphInstance& instance,
   return sol;
 }
 
-DensestSubgraphSolution SolveWeightedDensestSubgraph(const HubGraphInstance& instance) {
+void SolveWeightedDensestSubgraph(const HubGraphInstance& instance,
+                                  OracleScratch& scratch,
+                                  DensestSubgraphSolution* out) {
+  out->producer_idx.clear();
+  out->consumer_idx.clear();
+  out->covered = 0;
+  out->cost = 0;
+  out->density = 0;
+
   const size_t np = instance.producers.size();
   const size_t nc = instance.consumers.size();
   const size_t n = np + nc;
-  if (n == 0) return DensestSubgraphSolution{};
+  if (n == 0) return;
+  const uint32_t np32 = static_cast<uint32_t>(np);
+  const uint32_t n32 = static_cast<uint32_t>(n);
 
-  // Node numbering: producers [0, np), consumers [np, np + nc).
-  // Cross adjacency between the two sides.
-  std::vector<std::vector<uint32_t>> adj(n);
+  // Flat CSR cross adjacency over the instance nodes (producers [0, np),
+  // consumers [np, n)), built by counting sort so per-node neighbor order
+  // matches cross_edges order.
+  scratch.csr_offsets.assign(n + 1, 0);
   for (const auto& [p, c] : instance.cross_edges) {
-    adj[p].push_back(static_cast<uint32_t>(np + c));
-    adj[np + c].push_back(p);
+    ++scratch.csr_offsets[p + 1];
+    ++scratch.csr_offsets[np32 + c + 1];
   }
-
-  auto weight_of = [&](uint32_t node) {
-    return node < np ? instance.producer_weight[node]
-                     : instance.consumer_weight[node - np];
-  };
-  auto link_in_z = [&](uint32_t node) -> size_t {
-    return node < np ? instance.producer_link_in_z[node]
-                     : instance.consumer_link_in_z[node - np];
-  };
+  for (uint32_t u = 0; u < n32; ++u) {
+    scratch.csr_offsets[u + 1] += scratch.csr_offsets[u];
+  }
+  scratch.csr_adj.resize(2 * instance.cross_edges.size());
+  scratch.cursor.assign(scratch.csr_offsets.begin(), scratch.csr_offsets.end() - 1);
+  for (const auto& [p, c] : instance.cross_edges) {
+    scratch.csr_adj[scratch.cursor[p]++] = np32 + c;
+    scratch.csr_adj[scratch.cursor[np32 + c]++] = p;
+  }
 
   // deg[u] = uncovered incident edges while u is alive: the hub link (if
   // uncovered) plus alive cross edges.
-  std::vector<size_t> deg(n);
+  scratch.weight.resize(n);
+  scratch.deg.resize(n);
+  scratch.alive.assign(n, 1);
+  scratch.removal_order.clear();
+  scratch.heap.clear();
+
   size_t covered = 0;
   double cost = 0;
   size_t weighted_alive = 0;  // nodes with positive weight still alive
-  for (uint32_t u = 0; u < n; ++u) {
-    deg[u] = link_in_z(u) + adj[u].size();
-    covered += link_in_z(u);
-    cost += weight_of(u);
-    if (weight_of(u) > 0) ++weighted_alive;
+  for (uint32_t u = 0; u < n32; ++u) {
+    const double g = u < np32 ? instance.producer_weight[u]
+                              : instance.consumer_weight[u - np32];
+    const uint32_t link = u < np32 ? instance.producer_link_in_z[u]
+                                   : instance.consumer_link_in_z[u - np32];
+    scratch.weight[u] = g;
+    scratch.deg[u] = link + (scratch.csr_offsets[u + 1] - scratch.csr_offsets[u]);
+    covered += link;
+    cost += g;
+    if (g > 0) ++weighted_alive;
   }
   covered += instance.cross_edges.size();
 
-  auto weighted_degree = [&](uint32_t u) {
-    double g = weight_of(u);
-    if (g <= 0) return deg[u] > 0 ? kInf : kInf;  // free nodes are never peeled
-    return static_cast<double>(deg[u]) / g;
-  };
-
   // Lazy min-heap of (weighted degree, node id); stale entries are skipped by
-  // comparing the recorded degree against the current one.
-  struct HeapEntry {
-    double wd;
-    uint32_t node;
-    size_t deg_at_push;
-  };
-  auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+  // comparing the recorded degree against the current one. Free nodes are
+  // never peeled (they can only help).
+  auto cmp = [](const OracleScratch::HeapEntry& a, const OracleScratch::HeapEntry& b) {
     if (a.wd != b.wd) return a.wd > b.wd;
     return a.node > b.node;  // deterministic tie-break: smaller id first
   };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(cmp);
-  for (uint32_t u = 0; u < n; ++u) {
-    if (weight_of(u) > 0) heap.push({weighted_degree(u), u, deg[u]});
+  auto heap_push = [&scratch, &cmp](uint32_t u) {
+    scratch.heap.push_back({static_cast<double>(scratch.deg[u]) / scratch.weight[u],
+                            u, scratch.deg[u]});
+    std::push_heap(scratch.heap.begin(), scratch.heap.end(), cmp);
+  };
+  // Bulk-load the initial entries and heapify once (O(n) instead of
+  // O(n log n) repeated pushes). Entries are pairwise distinct under the
+  // comparator, so the pop sequence — and hence the result — is independent
+  // of the heap's internal layout.
+  for (uint32_t u = 0; u < n32; ++u) {
+    if (scratch.weight[u] > 0) {
+      scratch.heap.push_back(
+          {static_cast<double>(scratch.deg[u]) / scratch.weight[u], u, scratch.deg[u]});
+    }
   }
+  std::make_heap(scratch.heap.begin(), scratch.heap.end(), cmp);
 
-  std::vector<uint8_t> alive(n, 1);
   // Track the best intermediate state; reconstruct it from the removal order.
   size_t best_covered = covered;
   double best_cost = cost;
   size_t best_removed_count = 0;
-  std::vector<uint32_t> removal_order;
-  removal_order.reserve(n);
 
-  while (!heap.empty()) {
-    HeapEntry top = heap.top();
-    heap.pop();
-    if (!alive[top.node] || top.deg_at_push != deg[top.node]) continue;
+  while (!scratch.heap.empty()) {
+    const OracleScratch::HeapEntry top = scratch.heap.front();
+    std::pop_heap(scratch.heap.begin(), scratch.heap.end(), cmp);
+    scratch.heap.pop_back();
+    if (!scratch.alive[top.node] || top.deg_at_push != scratch.deg[top.node]) continue;
 
     // Peel top.node.
-    uint32_t u = top.node;
-    alive[u] = 0;
-    removal_order.push_back(u);
-    covered -= deg[u];
-    cost -= weight_of(u);
+    const uint32_t u = top.node;
+    scratch.alive[u] = 0;
+    scratch.removal_order.push_back(u);
+    covered -= scratch.deg[u];
+    cost -= scratch.weight[u];
     // Only weighted nodes are ever peeled; once none remain alive the true
     // residual cost is exactly zero — clear the floating-point subtraction
     // residue so free coverage registers as infinite density.
     if (--weighted_alive == 0) cost = 0.0;
-    for (uint32_t v : adj[u]) {
-      if (!alive[v]) continue;
-      PIGGY_CHECK_GT(deg[v], 0u);
-      --deg[v];
-      if (weight_of(v) > 0) heap.push({weighted_degree(v), v, deg[v]});
+    for (uint32_t k = scratch.csr_offsets[u]; k < scratch.csr_offsets[u + 1]; ++k) {
+      const uint32_t v = scratch.csr_adj[k];
+      if (!scratch.alive[v]) continue;
+      PIGGY_CHECK_GT(scratch.deg[v], 0u);
+      --scratch.deg[v];
+      if (scratch.weight[v] > 0) heap_push(v);
     }
     // Note: deg[u] intentionally keeps its pre-removal value only for the
     // subtraction above; clear it so stale heap entries never match.
-    deg[u] = std::numeric_limits<size_t>::max();
+    scratch.deg[u] = std::numeric_limits<uint32_t>::max();
 
     if (BetterState(covered, cost, best_covered, best_cost)) {
       best_covered = covered;
       best_cost = cost;
-      best_removed_count = removal_order.size();
+      best_removed_count = scratch.removal_order.size();
     }
   }
 
-  // Survivors of the best prefix of removals form the solution.
-  std::vector<uint8_t> in_best(n, 1);
-  for (size_t i = 0; i < best_removed_count; ++i) in_best[removal_order[i]] = 0;
+  // Survivors of the best prefix of removals form the solution (alive is
+  // reused as the "in best" marker — every peel already set it to 0, so only
+  // the suffix removed after the best prefix needs restoring).
+  scratch.alive.assign(n, 1);
+  for (size_t i = 0; i < best_removed_count; ++i) {
+    scratch.alive[scratch.removal_order[i]] = 0;
+  }
+  for (uint32_t u = 0; u < np32; ++u) {
+    if (scratch.alive[u]) out->producer_idx.push_back(u);
+  }
+  for (uint32_t u = np32; u < n32; ++u) {
+    if (scratch.alive[u]) out->consumer_idx.push_back(u - np32);
+  }
+  out->covered = best_covered;
+  out->cost = best_cost;
+  out->density = DensityOf(best_covered, best_cost);
+}
 
+DensestSubgraphSolution SolveWeightedDensestSubgraph(const HubGraphInstance& instance) {
+  OracleScratch scratch;
   DensestSubgraphSolution sol;
-  for (uint32_t u = 0; u < np; ++u) {
-    if (in_best[u]) sol.producer_idx.push_back(u);
-  }
-  for (uint32_t u = static_cast<uint32_t>(np); u < n; ++u) {
-    if (in_best[u]) sol.consumer_idx.push_back(u - static_cast<uint32_t>(np));
-  }
-  sol.covered = best_covered;
-  sol.cost = best_cost;
-  sol.density = DensityOf(best_covered, best_cost);
+  SolveWeightedDensestSubgraph(instance, scratch, &sol);
   return sol;
 }
 

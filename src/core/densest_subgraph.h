@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/oracle_scratch.h"
 #include "graph/graph.h"
 
 namespace piggy {
@@ -70,7 +71,17 @@ DensestSubgraphSolution EvaluateSelection(const HubGraphInstance& instance,
                                           std::vector<uint32_t> producer_idx,
                                           std::vector<uint32_t> consumer_idx);
 
-/// Greedy weighted peeling (factor-2 approximation, linear-ish time).
+/// Greedy weighted peeling (factor-2 approximation, linear-ish time) into
+/// `out`, reusing the flat CSR buffers of `scratch` and the capacity of
+/// `out`'s index vectors. Steady-state calls perform zero heap allocations
+/// once the arena has warmed up; this is the hot path of CHITCHAT's oracle
+/// sweeps (one arena per worker thread).
+void SolveWeightedDensestSubgraph(const HubGraphInstance& instance,
+                                  OracleScratch& scratch,
+                                  DensestSubgraphSolution* out);
+
+/// Greedy weighted peeling, allocating a fresh arena per call. Convenience
+/// wrapper over the scratch-based overload; identical results.
 DensestSubgraphSolution SolveWeightedDensestSubgraph(const HubGraphInstance& instance);
 
 /// Exact solution by subset enumeration; requires num_nodes() <= 20.

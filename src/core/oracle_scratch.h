@@ -1,0 +1,42 @@
+// Reusable scratch arena for the weighted densest-subgraph oracle.
+//
+// CHITCHAT drives the oracle millions of times per schedule build; the
+// original solver allocated a vector<vector> adjacency (one heap allocation
+// per instance node) on every call, which dominated the solve cost. The
+// arena owns flat CSR buffers that are resized but never shrunk, so
+// steady-state solves perform zero heap allocations. Each worker thread of
+// the parallel oracle sweep owns one arena; an arena must not be shared by
+// concurrent solves.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace piggy {
+
+/// \brief Flat scratch buffers for SolveWeightedDensestSubgraph.
+///
+/// All vectors grow monotonically across calls (assign/resize reuse
+/// capacity), which is what makes repeated solves allocation-free once the
+/// largest instance seen so far has warmed the arena up.
+struct OracleScratch {
+  /// Lazy min-heap entry; stale entries are detected by comparing the degree
+  /// recorded at push time against the node's current degree.
+  struct HeapEntry {
+    double wd;             ///< weighted degree deg/g at push time
+    uint32_t node;         ///< instance node id (producers, then consumers)
+    uint32_t deg_at_push;  ///< degree when pushed; mismatch = stale
+  };
+
+  std::vector<uint32_t> csr_offsets;    ///< n + 1 offsets into csr_adj
+  std::vector<uint32_t> csr_adj;        ///< cross adjacency, both directions
+  std::vector<uint32_t> cursor;         ///< per-node fill cursor for the CSR build
+  std::vector<uint32_t> deg;            ///< uncovered incident edges while alive
+  std::vector<double> weight;           ///< g(u), cached from the instance
+  std::vector<uint8_t> alive;           ///< 1 until peeled; reused for "in best"
+  std::vector<uint32_t> removal_order;  ///< peel order, for reconstruction
+  std::vector<HeapEntry> heap;          ///< binary-heap storage
+};
+
+}  // namespace piggy

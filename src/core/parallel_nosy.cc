@@ -326,20 +326,10 @@ std::vector<Edge> ComputeActiveEdges(const Graph& g,
     Edge e = EdgeFromKey(u.edge_key);
     dirty.Insert(u.edge_key);
     for (NodeId y : g.OutNeighbors(e.dst)) dirty.Insert(EdgeKey(e.dst, y));
-    auto out_a = g.OutNeighbors(e.src);
-    auto in_b = g.InNeighbors(e.dst);
-    size_t i = 0, j = 0;
-    while (i < out_a.size() && j < in_b.size()) {
-      if (out_a[i] < in_b[j]) {
-        ++i;
-      } else if (out_a[i] > in_b[j]) {
-        ++j;
-      } else {
-        dirty.Insert(EdgeKey(out_a[i], e.dst));
-        ++i;
-        ++j;
-      }
-    }
+    ForEachSortedIntersection(g.OutNeighbors(e.src), g.InNeighbors(e.dst),
+                              [&dirty, &e](NodeId w, size_t, size_t) {
+                                dirty.Insert(EdgeKey(w, e.dst));
+                              });
   }
   std::vector<uint64_t> keys = dirty.ToVector();
   std::sort(keys.begin(), keys.end());

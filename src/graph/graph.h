@@ -8,8 +8,10 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "util/logging.h"
@@ -39,6 +41,77 @@ inline uint64_t EdgeKey(const Edge& e) { return EdgeKey(e.src, e.dst); }
 /// Unpacks an edge key.
 inline Edge EdgeFromKey(uint64_t key) {
   return Edge{static_cast<NodeId>(key >> 32), static_cast<NodeId>(key & 0xffffffffu)};
+}
+
+/// Size ratio at which ForEachSortedIntersection switches from the linear
+/// two-pointer merge to galloping (exponential probe + binary search) through
+/// the larger span. The merge has better constants on similar-size lists; a
+/// skewed pair — a celebrity's follower list against a small consumer prefix —
+/// wants the O(|small| log |large|) gallop instead.
+inline constexpr size_t kGallopIntersectRatio = 16;
+
+namespace internal {
+
+// Invokes an intersection callback that returns either void or bool
+// (false = stop the scan); normalizes both to "keep going?".
+template <typename F>
+inline bool CallIntersect(F& fn, NodeId v, size_t ia, size_t ib) {
+  if constexpr (std::is_void_v<std::invoke_result_t<F&, NodeId, size_t, size_t>>) {
+    fn(v, ia, ib);
+    return true;
+  } else {
+    return fn(v, ia, ib);
+  }
+}
+
+}  // namespace internal
+
+/// Intersects two sorted ascending spans, calling fn(v, ia, ib) for every
+/// common value v = a[ia] = b[ib] in ascending order. fn may return void, or
+/// bool where false stops the scan early. Spans of similar size use a linear
+/// two-pointer merge; once the sizes differ by kGallopIntersectRatio or more
+/// the scan gallops through the larger side, which is what makes
+/// common-predecessor scans against heavy-tailed adjacency cheap.
+template <typename F>
+void ForEachSortedIntersection(std::span<const NodeId> a, std::span<const NodeId> b,
+                               F&& fn) {
+  if (a.empty() || b.empty()) return;
+  if (a.size() >= kGallopIntersectRatio * b.size() ||
+      b.size() >= kGallopIntersectRatio * a.size()) {
+    const bool a_is_small = a.size() <= b.size();
+    const std::span<const NodeId> small = a_is_small ? a : b;
+    const std::span<const NodeId> large = a_is_small ? b : a;
+    size_t lo = 0;
+    for (size_t i = 0; i < small.size() && lo < large.size(); ++i) {
+      const NodeId x = small[i];
+      // Exponential probe: after the loop, the first element >= x (if any)
+      // lies in large[lo, lo + bound + 1).
+      size_t bound = 1;
+      while (lo + bound < large.size() && large[lo + bound] < x) bound <<= 1;
+      const size_t hi = std::min(lo + bound + 1, large.size());
+      lo = static_cast<size_t>(
+          std::lower_bound(large.data() + lo, large.data() + hi, x) - large.data());
+      if (lo < large.size() && large[lo] == x) {
+        if (!internal::CallIntersect(fn, x, a_is_small ? i : lo, a_is_small ? lo : i)) {
+          return;
+        }
+        ++lo;
+      }
+    }
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      if (!internal::CallIntersect(fn, a[i], i, j)) return;
+      ++i;
+      ++j;
+    }
+  }
 }
 
 class GraphBuilder;
@@ -86,6 +159,21 @@ class Graph {
   /// order, or num_edges() if absent. Used to key per-edge bitmaps.
   size_t EdgeIndex(NodeId u, NodeId v) const;
 
+  /// Canonical index of the edge behind OutNeighbors(u)[k]; O(1). The caller
+  /// already knowing a neighbor's position makes this the allocation- and
+  /// search-free way to key per-edge bitmaps on hot paths.
+  size_t OutEdgeCanonicalIndex(NodeId u, size_t k) const {
+    CheckNode(u);
+    return out_offsets_[u] + k;
+  }
+
+  /// Canonical index of the edge behind InNeighbors(v)[k]; O(1) via the
+  /// materialized in-to-canonical mapping.
+  size_t InEdgeCanonicalIndex(NodeId v, size_t k) const {
+    CheckNode(v);
+    return in_edge_index_[in_offsets_[v] + k];
+  }
+
   /// The idx-th edge in canonical order; idx < num_edges().
   Edge EdgeAt(size_t idx) const;
 
@@ -108,11 +196,13 @@ class Graph {
   void CheckNode(NodeId n) const { PIGGY_CHECK_LT(n, num_nodes()); }
 
   // CSR arrays. out_offsets_ has num_nodes()+1 entries; out_adj_ holds sorted
-  // destination ids. Likewise for the in-direction.
+  // destination ids. Likewise for the in-direction. in_edge_index_ maps each
+  // in_adj_ position to the edge's canonical (out-CSR) index.
   std::vector<uint64_t> out_offsets_;
   std::vector<NodeId> out_adj_;
   std::vector<uint64_t> in_offsets_;
   std::vector<NodeId> in_adj_;
+  std::vector<uint64_t> in_edge_index_;
 };
 
 }  // namespace piggy

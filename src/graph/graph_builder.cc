@@ -54,10 +54,18 @@ Result<Graph> GraphBuilder::Build() && {
     for (const Edge& e : edges_) g.out_adj_[cursor[e.src]++] = e.dst;
   }
   // For the in-direction the same pass yields per-destination lists whose
-  // sources arrive in ascending order (edges_ is sorted by src first).
+  // sources arrive in ascending order (edges_ is sorted by src first). The
+  // loop index is the edge's canonical (out-CSR) position, recorded so
+  // in-side scans can key per-edge bitmaps without a binary search.
   {
     std::vector<uint64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
-    for (const Edge& e : edges_) g.in_adj_[cursor[e.dst]++] = e.src;
+    g.in_edge_index_.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      const Edge& e = edges_[i];
+      g.in_adj_[cursor[e.dst]] = e.src;
+      g.in_edge_index_[cursor[e.dst]] = i;
+      ++cursor[e.dst];
+    }
   }
 
   edges_.clear();

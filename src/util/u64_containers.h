@@ -38,12 +38,20 @@ class U64Set {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Current table size (power of two); grows at ~0.7 load.
+  size_t capacity() const { return slots_.size(); }
+
   /// Inserts `key`; returns true if newly inserted.
   bool Insert(uint64_t key) {
     PIGGY_CHECK_NE(key, internal::kEmptyKey);
-    if ((size_ + 1) * 10 >= capacity() * 7) Rehash(capacity() * 2);
     size_t i = Probe(key);
     if (slots_[i] == key) return false;
+    // Grow only for genuinely new keys: a duplicate insert near the load
+    // threshold must not trigger a rehash.
+    if ((size_ + 1) * 10 >= capacity() * 7) {
+      Rehash(capacity() * 2);
+      i = Probe(key);
+    }
     slots_[i] = key;
     ++size_;
     return true;
@@ -86,7 +94,6 @@ class U64Set {
   }
 
  private:
-  size_t capacity() const { return slots_.size(); }
   size_t Mask() const { return slots_.size() - 1; }
 
   size_t Probe(uint64_t key) const {
@@ -138,16 +145,27 @@ class U64Map {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Current table size (power of two); grows at ~0.7 load.
+  size_t capacity() const { return keys_.size(); }
+
   /// Inserts or overwrites; returns true if newly inserted.
   bool Put(uint64_t key, V value) {
     PIGGY_CHECK_NE(key, internal::kEmptyKey);
-    if ((size_ + 1) * 10 >= keys_.size() * 7) Rehash(keys_.size() * 2);
     size_t i = Probe(key);
-    bool fresh = keys_[i] != key;
+    if (keys_[i] == key) {
+      values_[i] = std::move(value);
+      return false;
+    }
+    // Grow only for genuinely new keys: an overwrite near the load threshold
+    // must not trigger a rehash.
+    if ((size_ + 1) * 10 >= keys_.size() * 7) {
+      Rehash(keys_.size() * 2);
+      i = Probe(key);
+    }
     keys_[i] = key;
     values_[i] = std::move(value);
-    if (fresh) ++size_;
-    return fresh;
+    ++size_;
+    return true;
   }
 
   /// Inserts only if absent (no overwrite); returns true if inserted.

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "core/baselines.h"
 #include "core/chitchat.h"
@@ -170,6 +174,83 @@ TEST(ChitChatTest, ExhaustiveOracleAgreesOnSmallGraphs) {
   EXPECT_LE(cost_greedy, ff + 1e-9);
   EXPECT_LE(cost_exact, ff + 1e-9);
 }
+
+// ---------------------------------------------------------------------------
+// Schedule parity: threaded oracle sweeps must produce bit-identical
+// schedules to the sequential reference (num_threads = 1) — same H, same L,
+// same hub assignment for every covered edge — across graph families, seeds
+// and thread counts.
+
+struct ScheduleDump {
+  std::vector<uint64_t> pushes;
+  std::vector<uint64_t> pulls;
+  std::vector<std::pair<uint64_t, NodeId>> covers;
+
+  bool operator==(const ScheduleDump&) const = default;
+};
+
+ScheduleDump Dump(const Schedule& s) {
+  ScheduleDump d;
+  s.ForEachPush([&d](const Edge& e) { d.pushes.push_back(EdgeKey(e)); });
+  s.ForEachPull([&d](const Edge& e) { d.pulls.push_back(EdgeKey(e)); });
+  s.ForEachHubCover(
+      [&d](const Edge& e, NodeId hub) { d.covers.emplace_back(EdgeKey(e), hub); });
+  std::sort(d.pushes.begin(), d.pushes.end());
+  std::sort(d.pulls.begin(), d.pulls.end());
+  std::sort(d.covers.begin(), d.covers.end());
+  return d;
+}
+
+// Parameters: (graph family, seed).
+class ChitChatParityTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ public:
+  static Graph MakeGraph(int family, uint64_t seed) {
+    switch (family) {
+      case 0:
+        return MakeFlickrLike(300, seed).ValueOrDie();
+      case 1:
+        return MakeTwitterLike(300, seed).ValueOrDie();
+      default:
+        return GenerateSocialNetwork(
+                   {.num_nodes = 300, .edges_per_node = 6, .triadic_closure = 0.5},
+                   seed)
+            .ValueOrDie();
+    }
+  }
+};
+
+TEST_P(ChitChatParityTest, ThreadedSchedulesAreBitIdentical) {
+  auto [family, seed] = GetParam();
+  Graph g = MakeGraph(family, seed);
+  Workload w = GenerateWorkload(g, {.read_write_ratio = 5.0}).ValueOrDie();
+
+  ChitChatOptions sequential;
+  sequential.num_threads = 1;
+  ChitChatStats seq_stats;
+  Schedule reference = RunChitChat(g, w, sequential, &seq_stats).ValueOrDie();
+  ASSERT_TRUE(ValidateSchedule(g, reference).ok());
+  const ScheduleDump ref = Dump(reference);
+
+  for (size_t threads : {2, 4, 8}) {
+    ChitChatOptions threaded;
+    threaded.num_threads = threads;
+    ChitChatStats stats;
+    Schedule s = RunChitChat(g, w, threaded, &stats).ValueOrDie();
+    EXPECT_EQ(Dump(s), ref) << "diverged at num_threads=" << threads;
+    // Greedy decisions — and therefore every stat — must match exactly.
+    EXPECT_EQ(stats.hub_selections, seq_stats.hub_selections);
+    EXPECT_EQ(stats.singleton_selections, seq_stats.singleton_selections);
+    EXPECT_EQ(stats.oracle_calls, seq_stats.oracle_calls);
+    EXPECT_EQ(stats.edges_covered_by_hubs, seq_stats.edges_covered_by_hubs);
+    EXPECT_EQ(stats.final_cost, seq_stats.final_cost);  // bitwise, not NEAR
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, ChitChatParityTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
 
 // Property sweep: validity and FF-dominance across families / ratios / seeds.
 class ChitChatPropertyTest

@@ -53,6 +53,26 @@ TEST(U64SetTest, ForEachVisitsAll) {
   EXPECT_EQ(s.ToVector().size(), 100u);
 }
 
+// Regression: Insert used to decide growth before checking presence, so a
+// duplicate insert near the load threshold doubled the table for nothing.
+TEST(U64SetTest, DuplicateInsertNearThresholdDoesNotGrow) {
+  U64Set s;
+  const size_t cap = s.capacity();
+  // Fill to the last size whose insert stays below the 0.7 growth threshold,
+  // i.e. the next *new* insert would rehash.
+  uint64_t key = 0;
+  while ((s.size() + 1) * 10 < cap * 7) EXPECT_TRUE(s.Insert(++key));
+  ASSERT_EQ(s.capacity(), cap) << "fill should stay below the threshold";
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.Insert(1));  // duplicate: must not rehash
+  }
+  EXPECT_EQ(s.capacity(), cap);
+  // The next genuinely new key is the one that grows the table.
+  EXPECT_TRUE(s.Insert(++key));
+  EXPECT_GT(s.capacity(), cap);
+  for (uint64_t k = 1; k <= key; ++k) EXPECT_TRUE(s.Contains(k));
+}
+
 TEST(U64SetTest, ClearEmpties) {
   U64Set s;
   for (uint64_t i = 0; i < 50; ++i) s.Insert(i);
@@ -134,6 +154,25 @@ TEST(U64MapTest, DifferentialAgainstStd) {
     }
     EXPECT_EQ(mine.size(), ref.size());
   }
+}
+
+// Regression: Put used to rehash before probing, so overwriting an existing
+// key near the load threshold grew the table without adding an entry.
+TEST(U64MapTest, OverwriteNearThresholdDoesNotGrow) {
+  U64Map<int> m;
+  const size_t cap = m.capacity();
+  uint64_t key = 0;
+  while ((m.size() + 1) * 10 < cap * 7) EXPECT_TRUE(m.Put(++key, 1));
+  ASSERT_EQ(m.capacity(), cap) << "fill should stay below the threshold";
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(m.Put(1, i));  // overwrite: must not rehash
+  }
+  EXPECT_EQ(m.capacity(), cap);
+  ASSERT_NE(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(1), 99);  // overwrites still landed
+  EXPECT_TRUE(m.Put(++key, 7));
+  EXPECT_GT(m.capacity(), cap);
+  for (uint64_t k = 1; k <= key; ++k) EXPECT_NE(m.Find(k), nullptr);
 }
 
 TEST(U64MapTest, ForEachVisitsAll) {

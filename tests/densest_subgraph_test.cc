@@ -1,9 +1,47 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
 
 #include "core/densest_subgraph.h"
+#include "core/oracle_scratch.h"
 #include "util/rng.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the zero-steady-state-allocation regression
+// test. Kept out of the way under sanitizers, whose own allocator interposers
+// must stay in place.
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+#define PIGGY_COUNT_ALLOCATIONS 1
+#endif
+#else
+#define PIGGY_COUNT_ALLOCATIONS 1
+#endif
+#endif
+
+#ifdef PIGGY_COUNT_ALLOCATIONS
+
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // PIGGY_COUNT_ALLOCATIONS
 
 namespace piggy {
 namespace {
@@ -183,6 +221,62 @@ TEST(PeelingTest, SolutionSelfConsistent) {
     EXPECT_NEAR(sol.cost, check.cost, 1e-9);
   }
 }
+
+TEST(PeelingTest, ScratchReuseMatchesByValueApi) {
+  // One arena + one output object across instances of varying shapes must
+  // reproduce the by-value API exactly (indices, covered, cost, density).
+  Rng rng(123);
+  OracleScratch scratch;
+  DensestSubgraphSolution sol;
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t np = rng.Uniform(12);
+    size_t nc = rng.Uniform(12);
+    std::vector<std::pair<uint32_t, uint32_t>> cross;
+    for (uint32_t p = 0; p < np; ++p) {
+      for (uint32_t c = 0; c < nc; ++c) {
+        if (rng.Bernoulli(0.4)) cross.emplace_back(p, c);
+      }
+    }
+    HubGraphInstance inst =
+        MakeInstance(np, nc, 0.5 + rng.UniformDouble(), 0.5 + rng.UniformDouble(),
+                     std::move(cross));
+    // Zero a few weights / coverage flags to hit the free-node paths.
+    if (np > 0 && rng.Bernoulli(0.5)) inst.producer_weight[0] = 0.0;
+    if (nc > 0 && rng.Bernoulli(0.5)) inst.consumer_link_in_z[nc - 1] = 0;
+
+    SolveWeightedDensestSubgraph(inst, scratch, &sol);
+    DensestSubgraphSolution fresh = SolveWeightedDensestSubgraph(inst);
+    EXPECT_EQ(sol.producer_idx, fresh.producer_idx);
+    EXPECT_EQ(sol.consumer_idx, fresh.consumer_idx);
+    EXPECT_EQ(sol.covered, fresh.covered);
+    EXPECT_EQ(sol.cost, fresh.cost);
+    EXPECT_EQ(sol.density, fresh.density);
+  }
+}
+
+#ifdef PIGGY_COUNT_ALLOCATIONS
+TEST(PeelingTest, SteadyStateSolvesAreAllocationFree) {
+  // After one warm-up solve sized the arena, repeated solves must not touch
+  // the heap at all — this is what keeps CHITCHAT's oracle sweeps cheap.
+  HubGraphInstance inst = MakeInstance(64, 64, 1.0, 2.0, {});
+  Rng rng(9);
+  for (uint32_t p = 0; p < 64; ++p) {
+    for (uint32_t c = 0; c < 64; ++c) {
+      if (rng.Bernoulli(0.3)) inst.cross_edges.emplace_back(p, c);
+    }
+  }
+  OracleScratch scratch;
+  DensestSubgraphSolution sol;
+  SolveWeightedDensestSubgraph(inst, scratch, &sol);  // warm-up
+
+  const size_t before = g_alloc_count.load();
+  for (int i = 0; i < 100; ++i) {
+    SolveWeightedDensestSubgraph(inst, scratch, &sol);
+  }
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "steady-state oracle solves must be allocation-free";
+}
+#endif  // PIGGY_COUNT_ALLOCATIONS
 
 }  // namespace
 }  // namespace piggy

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
+#include <set>
+#include <span>
+#include <tuple>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
+#include "util/rng.h"
 
 namespace piggy {
 namespace {
@@ -136,6 +141,119 @@ TEST(GraphTest, InOutConsistency) {
   }
   EXPECT_EQ(in_sum, g.num_edges());
   EXPECT_EQ(out_sum, g.num_edges());
+}
+
+TEST(GraphTest, CanonicalEdgeIndexAccessors) {
+  // Both O(1) accessors must agree with the binary-search EdgeIndex for
+  // every edge, addressed from either adjacency direction.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 1);
+  b.AddEdge(3, 2);
+  Graph g = std::move(b).Build().ValueOrDie();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto out = g.OutNeighbors(u);
+    for (size_t k = 0; k < out.size(); ++k) {
+      EXPECT_EQ(g.OutEdgeCanonicalIndex(u, k), g.EdgeIndex(u, out[k]));
+    }
+    auto in = g.InNeighbors(u);
+    for (size_t k = 0; k < in.size(); ++k) {
+      EXPECT_EQ(g.InEdgeCanonicalIndex(u, k), g.EdgeIndex(in[k], u));
+    }
+  }
+}
+
+// ---------------------------------------------------------------- intersect
+
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  ForEachSortedIntersection(
+      std::span<const NodeId>(a), std::span<const NodeId>(b),
+      [&out](NodeId v, size_t, size_t) { out.push_back(v); });
+  return out;
+}
+
+TEST(SortedIntersectionTest, MatchesStdSetIntersection) {
+  // Random sorted sets across a range of size skews, so both the two-pointer
+  // merge and the galloping path (ratio >= kGallopIntersectRatio) run.
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t na = 1 + rng.Uniform(40);
+    const size_t nb = 1 + rng.Uniform(trial % 2 == 0 ? 40 : 2000);
+    std::set<NodeId> sa, sb;
+    while (sa.size() < na) sa.insert(static_cast<NodeId>(rng.Uniform(4000)));
+    while (sb.size() < nb) sb.insert(static_cast<NodeId>(rng.Uniform(4000)));
+    std::vector<NodeId> a(sa.begin(), sa.end()), b(sb.begin(), sb.end());
+    std::vector<NodeId> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(Intersect(a, b), expected) << "trial " << trial;
+    EXPECT_EQ(Intersect(b, a), expected) << "trial " << trial << " (swapped)";
+  }
+}
+
+TEST(SortedIntersectionTest, ReportsPositionsAndStops) {
+  const std::vector<NodeId> a{1, 5, 9, 12};
+  const std::vector<NodeId> b{0, 5, 7, 9, 20};
+  std::vector<std::tuple<NodeId, size_t, size_t>> hits;
+  ForEachSortedIntersection(std::span<const NodeId>(a), std::span<const NodeId>(b),
+                            [&hits](NodeId v, size_t ia, size_t ib) {
+                              hits.emplace_back(v, ia, ib);
+                            });
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], std::make_tuple(NodeId{5}, size_t{1}, size_t{1}));
+  EXPECT_EQ(hits[1], std::make_tuple(NodeId{9}, size_t{2}, size_t{3}));
+
+  // A bool-returning callback stops the scan on false.
+  size_t seen = 0;
+  ForEachSortedIntersection(std::span<const NodeId>(a), std::span<const NodeId>(b),
+                            [&seen](NodeId, size_t, size_t) {
+                              ++seen;
+                              return false;
+                            });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(SortedIntersectionTest, GallopPathReportsPositions) {
+  // Size ratio >= kGallopIntersectRatio forces the galloping branch; the
+  // (ia, ib) mapping must survive the internal small/large swap in both
+  // argument orders. CHITCHAT keys coverage bitmaps off these positions.
+  std::vector<NodeId> small{7, 64, 130};
+  std::vector<NodeId> big;
+  for (NodeId v = 0; v < 100; ++v) big.push_back(2 * v);  // 0, 2, ..., 198
+  ASSERT_GE(big.size(), kGallopIntersectRatio * small.size());
+
+  std::vector<std::tuple<NodeId, size_t, size_t>> hits;
+  auto record = [&hits](NodeId v, size_t ia, size_t ib) {
+    hits.emplace_back(v, ia, ib);
+  };
+  ForEachSortedIntersection(std::span<const NodeId>(small),
+                            std::span<const NodeId>(big), record);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], std::make_tuple(NodeId{64}, size_t{1}, size_t{32}));
+  EXPECT_EQ(hits[1], std::make_tuple(NodeId{130}, size_t{2}, size_t{65}));
+
+  hits.clear();
+  ForEachSortedIntersection(std::span<const NodeId>(big),
+                            std::span<const NodeId>(small), record);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], std::make_tuple(NodeId{64}, size_t{32}, size_t{1}));
+  EXPECT_EQ(hits[1], std::make_tuple(NodeId{130}, size_t{65}, size_t{2}));
+}
+
+TEST(SortedIntersectionTest, EmptyAndDisjointSpans) {
+  EXPECT_TRUE(Intersect({}, {1, 2, 3}).empty());
+  EXPECT_TRUE(Intersect({1, 2, 3}, {}).empty());
+  EXPECT_TRUE(Intersect({1, 3}, {2, 4}).empty());
+  // Skewed disjoint pair exercises the gallop fall-through.
+  std::vector<NodeId> big;
+  for (NodeId v = 100; v < 600; v += 2) big.push_back(v);
+  EXPECT_TRUE(Intersect({1, 3, 5}, big).empty());
+  EXPECT_EQ(Intersect({104, 105, 200}, big), (std::vector<NodeId>{104, 200}));
 }
 
 TEST(BuildGraphTest, FromEdgeList) {
