@@ -1,4 +1,6 @@
-// Ablations of the design decisions called out in DESIGN.md:
+// Ablations of the design decisions called out in DESIGN.md, driven through
+// the typed planner factories so every JSON row carries the planner registry
+// name and PlanContext settings:
 //
 //   D1 - PARALLELNOSY cross-edge cap b (the paper's MapReduce memory fix):
 //        quality vs cap size.
@@ -13,11 +15,9 @@
 #include <string>
 
 #include "bench/bench_common.h"
-#include "core/chitchat.h"
 #include "core/cost_model.h"
-#include "core/parallel_nosy.h"
+#include "core/planner.h"
 #include "gen/presets.h"
-#include "util/timer.h"
 #include "workload/workload.h"
 
 using namespace piggy;
@@ -36,23 +36,27 @@ int main(int argc, char** argv) {
     if (!json.empty()) table.WriteJson(json + "." + tag);
   };
 
+  PlanContext ctx;
+  const std::string ctx_str = ctx.ToString();
+
   Graph g = MakeFlickrLike(nodes, seed).ValueOrDie();
   Workload w = GenerateWorkload(g, {.read_write_ratio = 5.0, .min_rate = 0.01})
                    .ValueOrDie();
-  const double ff = HybridCost(g, w);
 
   Banner("Ablation D1 - PARALLELNOSY cross-edge cap b",
          "expect: quality saturates once b exceeds typical hub degree; tiny "
          "caps lose gains");
   {
-    Table table({"cap_b", "improvement_ratio", "iterations"});
+    Table table({"planner", "plan_context", "cap_b", "improvement_ratio",
+                 "iterations"});
     for (size_t cap : {1, 2, 4, 16, 64, 1024, 100000}) {
       ParallelNosyOptions opt;
       opt.max_hub_producers = cap;
-      auto result = RunParallelNosy(g, w, opt).ValueOrDie();
-      table.AddRow({std::to_string(cap),
-                    Fmt(ImprovementRatio(ff, result.final_cost)),
-                    std::to_string(result.iterations.size())});
+      PlanResult plan =
+          MakeParallelNosyPlanner(opt)->Plan(g, w, ctx).MoveValueOrDie();
+      table.AddRow({plan.planner, ctx_str, std::to_string(cap),
+                    Fmt(ImprovementRatio(plan.hybrid_cost, plan.final_cost)),
+                    std::to_string(plan.iterations.size())});
     }
     table.Print();
     dump(table, "d1");
@@ -66,16 +70,17 @@ int main(int argc, char** argv) {
     Workload sw = GenerateWorkload(small, {.read_write_ratio = 5.0,
                                            .min_rate = 0.01})
                       .ValueOrDie();
-    double small_ff = HybridCost(small, sw);
-    Table table({"oracle", "improvement_ratio", "seconds"});
+    Table table({"planner", "plan_context", "oracle", "improvement_ratio",
+                 "seconds"});
     for (bool exhaustive : {false, true}) {
       ChitChatOptions opt;
       opt.exhaustive_oracle_small = exhaustive;
-      WallTimer timer;
-      Schedule s = RunChitChat(small, sw, opt).ValueOrDie();
-      double cost = ScheduleCost(small, sw, s, ResidualPolicy::kFree);
-      table.AddRow({exhaustive ? "exhaustive(<=14)" : "peeling",
-                    Fmt(ImprovementRatio(small_ff, cost)), Fmt(timer.Seconds(), 2)});
+      PlanResult plan =
+          MakeChitChatPlanner(opt)->Plan(small, sw, ctx).MoveValueOrDie();
+      table.AddRow({plan.planner, ctx_str,
+                    exhaustive ? "exhaustive(<=14)" : "peeling",
+                    Fmt(ImprovementRatio(plan.hybrid_cost, plan.final_cost)),
+                    Fmt(plan.wall_seconds, 2)});
     }
     table.Print();
     dump(table, "d2");
@@ -85,13 +90,15 @@ int main(int argc, char** argv) {
          "expect: negligible quality difference; deterministic ids give "
          "reproducible schedules");
   {
-    Table table({"tie_break", "improvement_ratio"});
+    Table table({"planner", "plan_context", "tie_break", "improvement_ratio"});
     for (bool randomized : {false, true}) {
       ParallelNosyOptions opt;
       opt.randomized_tie_break = randomized;
-      auto result = RunParallelNosy(g, w, opt).ValueOrDie();
-      table.AddRow({randomized ? "salted-hash" : "hub-edge-id",
-                    Fmt(ImprovementRatio(ff, result.final_cost))});
+      PlanResult plan =
+          MakeParallelNosyPlanner(opt)->Plan(g, w, ctx).MoveValueOrDie();
+      table.AddRow({plan.planner, ctx_str,
+                    randomized ? "salted-hash" : "hub-edge-id",
+                    Fmt(ImprovementRatio(plan.hybrid_cost, plan.final_cost))});
     }
     table.Print();
     dump(table, "d3");
@@ -101,13 +108,16 @@ int main(int argc, char** argv) {
          "expect: epsilon=0 (the paper's rule) is best; large thresholds "
          "forgo marginal hubs");
   {
-    Table table({"min_gain", "improvement_ratio", "hub_covers"});
+    Table table({"planner", "plan_context", "min_gain", "improvement_ratio",
+                 "hub_covers"});
     for (double eps : {0.0, 0.01, 0.1, 1.0, 10.0}) {
       ParallelNosyOptions opt;
       opt.min_gain = eps;
-      auto result = RunParallelNosy(g, w, opt).ValueOrDie();
-      table.AddRow({Fmt(eps, 2), Fmt(ImprovementRatio(ff, result.final_cost)),
-                    std::to_string(result.schedule.hub_covered_size())});
+      PlanResult plan =
+          MakeParallelNosyPlanner(opt)->Plan(g, w, ctx).MoveValueOrDie();
+      table.AddRow({plan.planner, ctx_str, Fmt(eps, 2),
+                    Fmt(ImprovementRatio(plan.hybrid_cost, plan.final_cost)),
+                    std::to_string(plan.schedule.hub_covered_size())});
     }
     table.Print();
     dump(table, "d4");
@@ -117,15 +127,17 @@ int main(int argc, char** argv) {
          "expect: identical improvement ratios (bit-identical schedules); "
          "MapReduce wins wall-clock on multi-core");
   {
-    Table table({"executor", "improvement_ratio", "seconds"});
+    Table table({"planner", "plan_context", "executor", "improvement_ratio",
+                 "seconds"});
     for (bool mapreduce : {false, true}) {
       ParallelNosyOptions opt;
       opt.use_mapreduce = mapreduce;
-      WallTimer timer;
-      auto result = RunParallelNosy(g, w, opt).ValueOrDie();
-      table.AddRow({mapreduce ? "mapreduce" : "sequential",
-                    Fmt(ImprovementRatio(ff, result.final_cost)),
-                    Fmt(timer.Seconds(), 2)});
+      PlanResult plan =
+          MakeParallelNosyPlanner(opt)->Plan(g, w, ctx).MoveValueOrDie();
+      table.AddRow({plan.planner, ctx_str,
+                    mapreduce ? "mapreduce" : "sequential",
+                    Fmt(ImprovementRatio(plan.hybrid_cost, plan.final_cost)),
+                    Fmt(plan.wall_seconds, 2)});
     }
     table.Print();
     dump(table, "d5");

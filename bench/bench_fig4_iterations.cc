@@ -1,18 +1,20 @@
-// Figure 4: predicted improvement ratio of PARALLELNOSY over the FF hybrid
-// baseline, as a function of the optimization iteration, on the flickr-like
-// and twitter-like graphs (stand-ins for the full crawls; see DESIGN.md).
+// Figure 4: predicted improvement ratio of the iterative planner over the FF
+// hybrid baseline, as a function of the optimization iteration, on the
+// flickr-like and twitter-like graphs (stand-ins for the full crawls).
 //
 // Paper shape: sharp improvement over the first few iterations, then a
 // plateau below ~2.2x; the denser twitter graph plateaus above flickr.
+//
+// Rows are (planner, graph, iteration) so trajectories are comparable across
+// planners; pass --planner to trace any registered iterative planner.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "core/cost_model.h"
-#include "core/parallel_nosy.h"
+#include "core/planner.h"
 #include "gen/presets.h"
 #include "graph/graph_stats.h"
-#include "util/timer.h"
 #include "workload/workload.h"
 
 using namespace piggy;
@@ -23,13 +25,27 @@ int main(int argc, char** argv) {
   const size_t nodes = static_cast<size_t>(flags.Int("nodes", 20000));
   const size_t iterations = static_cast<size_t>(flags.Int("iterations", 20));
   const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  const std::string planner_name = flags.Str("planner", "nosy");
 
-  Banner("Figure 4 - predicted improvement ratio of ParallelNosy vs iteration",
+  Banner("Figure 4 - predicted improvement ratio vs optimization iteration",
          "expect: sharp rise in early iterations, plateau <= ~2.2x; "
          "twitter-like above flickr-like");
 
-  Table table({"iteration", "flickr_ratio", "twitter_ratio"});
-  std::vector<std::vector<double>> series;
+  // --iterations bounds the iterative planner's work (the x-axis); other
+  // registry planners ignore it and the table pads their single result.
+  std::unique_ptr<Planner> planner;
+  if (planner_name == "nosy" || planner_name == "parallelnosy") {
+    ParallelNosyOptions opt;
+    opt.max_iterations = iterations;
+    planner = MakeParallelNosyPlanner(opt);
+  } else {
+    planner = MakePlanner(planner_name).MoveValueOrDie();
+  }
+  PlanContext ctx;
+  const std::string ctx_str = ctx.ToString();
+
+  Table table({"planner", "plan_context", "graph", "iteration",
+               "improvement_ratio"});
 
   struct Dataset {
     const char* name;
@@ -43,30 +59,27 @@ int main(int argc, char** argv) {
     std::printf("%s-like: %s\n", name,
                 ComputeGraphStats(graph, 2000, seed).ToString().c_str());
     Workload w = GenerateWorkload(graph, {.read_write_ratio = 5.0}).ValueOrDie();
-    double ff = HybridCost(graph, w);
 
-    ParallelNosyOptions opt;
-    opt.max_iterations = iterations;
-    WallTimer timer;
-    auto result = RunParallelNosy(graph, w, opt).ValueOrDie();
-    std::printf("%s-like: %zu iterations in %.1fs (converged=%d), final ratio %.3f\n",
-                name, result.iterations.size(), timer.Seconds(),
-                result.converged, ImprovementRatio(ff, result.final_cost));
+    PlanResult plan = planner->Plan(graph, w, ctx).MoveValueOrDie();
+    std::printf("%s-like: %zu iterations in %.1fs (converged=%d), "
+                "final ratio %.3f\n",
+                name, plan.iterations.size(), plan.wall_seconds, plan.converged,
+                ImprovementRatio(plan.hybrid_cost, plan.final_cost));
 
-    std::vector<double> ratios;
-    for (const auto& it : result.iterations) {
-      ratios.push_back(ImprovementRatio(ff, it.cost_after));
-    }
     // Pad the series to the requested length with the converged value.
+    std::vector<double> ratios;
+    for (const PlanIterationStats& it : plan.iterations) {
+      ratios.push_back(ImprovementRatio(plan.hybrid_cost, it.cost_after));
+    }
     while (ratios.size() < iterations) {
       ratios.push_back(ratios.empty() ? 1.0 : ratios.back());
     }
-    series.push_back(std::move(ratios));
+    for (size_t i = 0; i < iterations; ++i) {
+      table.AddRow({plan.planner, ctx_str, name, std::to_string(i + 1),
+                    Fmt(ratios[i])});
+    }
   }
 
-  for (size_t i = 0; i < iterations; ++i) {
-    table.AddRow({std::to_string(i + 1), Fmt(series[0][i]), Fmt(series[1][i])});
-  }
   std::printf("\n");
   table.Print();
   table.WriteCsv(flags.Str("csv", ""));

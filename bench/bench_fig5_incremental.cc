@@ -1,9 +1,10 @@
 // Figure 5: incremental vs static re-optimization under graph growth.
 //
-// Protocol (paper Sec. 4.2): optimize half the flickr graph with
-// PARALLELNOSY; add batches of k random edges; compare two policies:
+// Protocol (paper Sec. 4.2): optimize half the flickr graph with the
+// configured planner (--planner, default "nosy"); add batches of k random
+// edges; compare two policies:
 //   incremental — serve new edges directly (Sec. 3.3), keep the old schedule;
-//   static      — re-run PARALLELNOSY on the grown graph.
+//   static      — re-run the planner on the grown graph.
 // Both are reported as predicted improvement ratio over FF on the grown
 // graph.
 //
@@ -17,7 +18,7 @@
 #include "bench/bench_common.h"
 #include "core/cost_model.h"
 #include "core/incremental.h"
-#include "core/parallel_nosy.h"
+#include "core/planner.h"
 #include "gen/presets.h"
 #include "graph/graph_builder.h"
 #include "util/rng.h"
@@ -30,10 +31,15 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t nodes = static_cast<size_t>(flags.Int("nodes", 15000));
   const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  const std::string planner_name = flags.Str("planner", "nosy");
 
-  Banner("Figure 5 - incremental vs static ParallelNosy under edge additions",
+  Banner("Figure 5 - incremental vs static re-optimization under edge additions",
          "expect: incremental ratio degrades slowly with batch size; static "
          "re-optimization stays flat above it");
+
+  auto planner = MakePlanner(planner_name).MoveValueOrDie();
+  PlanContext ctx;
+  const std::string ctx_str = ctx.ToString();
 
   // Full graph and workload (rates fixed from the full graph so both
   // policies are compared on identical request rates).
@@ -54,11 +60,13 @@ int main(int argc, char** argv) {
   std::printf("half graph: %zu/%zu edges; addition pool: %zu edges\n",
               half_graph.num_edges(), full.num_edges(), edges.size() - half);
 
-  auto base = RunParallelNosy(half_graph, w).ValueOrDie();
-  std::printf("base optimization: ratio %.3f over FF on half graph\n\n",
+  PlanResult base = planner->Plan(half_graph, w, ctx).MoveValueOrDie();
+  std::printf("base optimization (%s): ratio %.3f over FF on half graph\n\n",
+              base.planner.c_str(),
               ImprovementRatio(base.hybrid_cost, base.final_cost));
 
-  Table table({"batch_size", "incremental_ratio", "static_ratio"});
+  Table table({"planner", "plan_context", "batch_size", "incremental_ratio",
+               "static_ratio"});
 
   std::vector<size_t> batch_sizes;
   for (size_t k = 1000; k <= edges.size() - half; k *= 3) batch_sizes.push_back(k);
@@ -77,9 +85,10 @@ int main(int argc, char** argv) {
     double incremental_cost = ScheduleCost(grown, w, schedule, ResidualPolicy::kFree);
 
     // Static policy: re-optimize the grown graph from scratch.
-    auto reopt = RunParallelNosy(grown, w).ValueOrDie();
+    PlanResult reopt = planner->Plan(grown, w, ctx).MoveValueOrDie();
 
-    table.AddRow({std::to_string(k), Fmt(ImprovementRatio(ff, incremental_cost)),
+    table.AddRow({base.planner, ctx_str, std::to_string(k),
+                  Fmt(ImprovementRatio(ff, incremental_cost)),
                   Fmt(ImprovementRatio(ff, reopt.final_cost))});
   }
 

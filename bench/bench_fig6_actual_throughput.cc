@@ -1,26 +1,27 @@
 // Figure 6: actual per-client throughput of the prototype as a function of
-// the number of data-store servers, for PARALLELNOSY vs FF schedules.
+// the number of data-store servers, for piggybacking vs baseline planners.
 //
-// The prototype simulator replays a rate-weighted request mix through
-// Algorithm-3 clients against hash-partitioned view servers and measures
-// batched messages per request; throughput is messages-per-second-per-client
-// divided by messages per request (the quantity the paper's fleet saturates
-// on).
+// Each planner is run once through the registry; each fleet size rebuilds
+// only the serving plane and replays the rate-weighted request mix (the
+// quantity the paper's fleet saturates on is data-store messages).
 //
 // Paper shape: per-client throughput falls as servers grow (requests fan out
 // to more servers); FF is slightly ahead on tiny fleets (random co-location
 // makes direct edges free), PARALLELNOSY overtakes within a couple hundred
 // servers and the ratio keeps growing (paper: ~1.2x @500, ~1.35x @1000).
+//
+// Rows are (planner, servers) so curves are comparable across planners; pass
+// --planners with a comma-separated registry list to sweep others.
 
 #include <cstdio>
+#include <map>
 
 #include "bench/bench_common.h"
-#include "core/baselines.h"
-#include "core/cost_model.h"
-#include "core/parallel_nosy.h"
+#include "core/planner.h"
 #include "gen/presets.h"
 #include "store/prototype.h"
 #include "store/workload_driver.h"
+#include "util/string_util.h"
 #include "workload/workload.h"
 
 using namespace piggy;
@@ -31,41 +32,54 @@ int main(int argc, char** argv) {
   const size_t nodes = static_cast<size_t>(flags.Int("nodes", 15000));
   const size_t requests = static_cast<size_t>(flags.Int("requests", 60000));
   const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  const std::string planners = flags.Str("planners", "nosy,hybrid");
 
   Banner("Figure 6 - actual per-client throughput vs number of servers",
-         "expect: both curves fall with fleet size; FF >= PN on tiny fleets, "
-         "PN overtakes by a few hundred servers with a growing ratio");
+         "expect: curves fall with fleet size; hybrid >= nosy on tiny fleets, "
+         "nosy overtakes by a few hundred servers with a growing ratio");
 
   Graph g = MakeFlickrLike(nodes, seed).ValueOrDie();
   Workload w = GenerateWorkload(g, {.read_write_ratio = 5.0, .min_rate = 0.01})
                    .ValueOrDie();
-  Schedule ff = HybridSchedule(g, w);
-  auto pn = RunParallelNosy(g, w).ValueOrDie();
-  std::printf("placement-free predicted ratio: %.3f\n\n",
-              ImprovementRatio(pn.hybrid_cost, pn.final_cost));
 
-  Table table({"servers", "pn_throughput_req_s", "ff_throughput_req_s",
-               "actual_improvement_ratio"});
+  Table table({"planner", "plan_context", "servers", "throughput_req_s"});
+  const std::vector<size_t> fleets = {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000};
+  // curves[planner][servers] for the stdout ratio summary.
+  std::map<std::string, std::map<size_t, double>> curves;
 
-  auto measure = [&](const Schedule& schedule, size_t servers) {
-    PrototypeOptions opt;
-    opt.num_servers = servers;
-    auto proto = Prototype::Create(g, schedule, opt).MoveValueOrDie();
-    DriverOptions d;
-    d.num_requests = requests;
-    d.seed = seed;
-    auto report = RunWorkloadDriver(*proto, w, d).ValueOrDie();
-    return report.actual_throughput;
-  };
-
-  for (size_t servers : {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}) {
-    double t_pn = measure(pn.schedule, servers);
-    double t_ff = measure(ff, servers);
-    table.AddRow({std::to_string(servers), Fmt(t_pn, 0), Fmt(t_ff, 0),
-                  Fmt(t_pn / t_ff)});
+  PlanContext ctx;
+  const std::string ctx_str = ctx.ToString();
+  for (const std::string& name : StrSplit(planners, ',')) {
+    // Plan once per planner (graph and workload are fleet-invariant); only
+    // the serving plane is rebuilt per fleet size.
+    auto planner = MakePlanner(name).MoveValueOrDie();
+    PlanResult plan = planner->Plan(g, w, ctx).MoveValueOrDie();
+    for (size_t servers : fleets) {
+      PrototypeOptions opt;
+      opt.num_servers = servers;
+      auto proto = Prototype::Create(g, plan.schedule, opt).MoveValueOrDie();
+      DriverOptions d;
+      d.num_requests = requests;
+      d.seed = seed;
+      DriverReport report = RunWorkloadDriver(*proto, w, d).MoveValueOrDie();
+      curves[plan.planner][servers] = report.actual_throughput;
+      table.AddRow({plan.planner, ctx_str, std::to_string(servers),
+                    Fmt(report.actual_throughput, 0)});
+    }
   }
 
   table.Print();
+  if (curves.size() == 2) {
+    auto first = curves.begin();
+    auto second = std::next(first);
+    std::printf("\nactual throughput improvement of %s over %s: ",
+                second->first.c_str(), first->first.c_str());
+    for (size_t servers : fleets) {
+      std::printf("%zu:%.3f ", servers,
+                  second->second[servers] / first->second[servers]);
+    }
+    std::printf("\n");
+  }
   table.WriteCsv(flags.Str("csv", ""));
   table.WriteJson(flags.Str("json", ""));
   return 0;

@@ -8,15 +8,19 @@
 // Paper shape: normalized throughput falls with servers for both schedules;
 // FF wins below ~200 servers, PARALLELNOSY above; the ratio converges to the
 // placement-free ratio of Figure 4 as co-location becomes negligible.
+//
+// Rows are (planner, servers); pass --planners to sweep other registry
+// planners.
 
 #include <cstdio>
+#include <map>
 
 #include "bench/bench_common.h"
-#include "core/baselines.h"
 #include "core/cost_model.h"
-#include "core/parallel_nosy.h"
+#include "core/planner.h"
 #include "gen/presets.h"
 #include "store/partitioner.h"
+#include "util/string_util.h"
 #include "workload/workload.h"
 
 using namespace piggy;
@@ -26,6 +30,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t nodes = static_cast<size_t>(flags.Int("nodes", 15000));
   const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  const std::string planners = flags.Str("planners", "nosy,hybrid");
 
   Banner("Figure 7 - predicted throughput (with data placement) vs servers",
          "expect: normalized throughput falls with fleet size; crossover "
@@ -35,32 +40,48 @@ int main(int argc, char** argv) {
   Graph g = MakeFlickrLike(nodes, seed).ValueOrDie();
   Workload w = GenerateWorkload(g, {.read_write_ratio = 5.0, .min_rate = 0.01})
                    .ValueOrDie();
-  Schedule ff = HybridSchedule(g, w);
-  auto pn = RunParallelNosy(g, w).ValueOrDie();
 
-  const double placement_free_ratio = ImprovementRatio(pn.hybrid_cost, pn.final_cost);
-  std::printf("placement-free predicted improvement ratio: %.3f\n\n",
-              placement_free_ratio);
+  PlanContext ctx;
+  const std::string ctx_str = ctx.ToString();
 
   // One-server cost = total request rate: the normalization optimum.
   const double optimum_cost = w.TotalProduction() + w.TotalConsumption();
+  const std::vector<size_t> fleets = {1,   2,   5,    10,   20,   50,  100,
+                                      200, 500, 1000, 2000, 5000, 10000};
 
-  Table table({"servers", "pn_throughput_norm", "ff_throughput_norm",
-               "predicted_improvement_ratio"});
+  Table table({"planner", "plan_context", "servers", "throughput_norm"});
+  std::map<std::string, std::map<size_t, double>> curves;
 
-  for (size_t servers :
-       {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}) {
-    HashPartitioner part(servers);
-    double cost_pn = PlacementAwareCost(g, w, pn.schedule, part);
-    double cost_ff = PlacementAwareCost(g, w, ff, part);
-    table.AddRow({std::to_string(servers), Fmt(optimum_cost / cost_pn),
-                  Fmt(optimum_cost / cost_ff), Fmt(cost_ff / cost_pn)});
+  for (const std::string& name : StrSplit(planners, ',')) {
+    auto planner = MakePlanner(name).MoveValueOrDie();
+    PlanResult plan = planner->Plan(g, w, ctx).MoveValueOrDie();
+    std::printf("%s placement-free predicted improvement ratio: %.3f\n",
+                plan.planner.c_str(),
+                ImprovementRatio(plan.hybrid_cost, plan.final_cost));
+    for (size_t servers : fleets) {
+      HashPartitioner part(servers);
+      double cost = PlacementAwareCost(g, w, plan.schedule, part);
+      curves[plan.planner][servers] = cost;
+      table.AddRow({plan.planner, ctx_str, std::to_string(servers),
+                    Fmt(optimum_cost / cost)});
+    }
   }
 
+  std::printf("\n");
   table.Print();
-  std::printf("\n(ratio at 10000 servers should approach the placement-free "
-              "ratio %.3f)\n",
-              placement_free_ratio);
+  if (curves.size() == 2) {
+    auto first = curves.begin();
+    auto second = std::next(first);
+    std::printf("\npredicted improvement of %s over %s (should approach the "
+                "placement-free ratio at 10000 servers): ",
+                second->first.c_str(), first->first.c_str());
+    for (size_t servers : fleets) {
+      // Costs invert into throughput: improvement = cost(first)/cost(second).
+      std::printf("%zu:%.3f ", servers,
+                  first->second[servers] / second->second[servers]);
+    }
+    std::printf("\n");
+  }
   table.WriteCsv(flags.Str("csv", ""));
   table.WriteJson(flags.Str("json", ""));
   return 0;

@@ -1,20 +1,23 @@
 // Figure 8: load balancing — query rate per server (normalized), mean and
-// variance across the fleet, for PARALLELNOSY and FF schedules.
+// variance across the fleet, per planner.
 //
 // Paper shape: both schedules balance well; mean normalized load is exactly
 // 1/servers (a straight line on log-log axes) and the variance across
 // servers stays small, shrinking as the fleet grows.
+//
+// Rows are (planner, servers); pass --planners to sweep other registry
+// planners. Each planner plans once; only the serving plane is rebuilt per
+// fleet size, like Figure 6.
 
 #include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "core/baselines.h"
-#include "core/cost_model.h"
-#include "core/parallel_nosy.h"
+#include "core/planner.h"
 #include "gen/presets.h"
 #include "store/prototype.h"
 #include "store/workload_driver.h"
+#include "util/string_util.h"
 #include "workload/workload.h"
 
 using namespace piggy;
@@ -25,36 +28,36 @@ int main(int argc, char** argv) {
   const size_t nodes = static_cast<size_t>(flags.Int("nodes", 15000));
   const size_t requests = static_cast<size_t>(flags.Int("requests", 60000));
   const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  const std::string planners = flags.Str("planners", "nosy,hybrid");
 
   Banner("Figure 8 - query load per server (normalized), mean and stddev",
-         "expect: mean = 1/servers for both schedules (log-log straight "
-         "line); small relative spread for both");
+         "expect: mean = 1/servers for every planner (log-log straight "
+         "line); small relative spread throughout");
 
   Graph g = MakeFlickrLike(nodes, seed).ValueOrDie();
   Workload w = GenerateWorkload(g, {.read_write_ratio = 5.0, .min_rate = 0.01})
                    .ValueOrDie();
-  Schedule ff = HybridSchedule(g, w);
-  auto pn = RunParallelNosy(g, w).ValueOrDie();
 
-  Table table({"servers", "pn_mean", "pn_stddev", "ff_mean", "ff_stddev"});
+  Table table({"planner", "plan_context", "servers", "query_load_mean",
+               "query_load_stddev"});
 
-  auto measure = [&](const Schedule& schedule, size_t servers) {
-    PrototypeOptions opt;
-    opt.num_servers = servers;
-    auto proto = Prototype::Create(g, schedule, opt).MoveValueOrDie();
-    DriverOptions d;
-    d.num_requests = requests;
-    d.seed = seed;
-    auto report = RunWorkloadDriver(*proto, w, d).ValueOrDie();
-    return std::pair<double, double>(report.NormalizedQueryLoadMean(),
-                                     std::sqrt(report.NormalizedQueryLoadVariance()));
-  };
-
-  for (size_t servers : {2, 5, 10, 20, 50, 100, 200, 500, 1000}) {
-    auto [pn_mean, pn_sd] = measure(pn.schedule, servers);
-    auto [ff_mean, ff_sd] = measure(ff, servers);
-    table.AddRow({std::to_string(servers), Fmt(pn_mean, 6), Fmt(pn_sd, 6),
-                  Fmt(ff_mean, 6), Fmt(ff_sd, 6)});
+  PlanContext ctx;
+  const std::string ctx_str = ctx.ToString();
+  for (const std::string& name : StrSplit(planners, ',')) {
+    auto planner = MakePlanner(name).MoveValueOrDie();
+    PlanResult plan = planner->Plan(g, w, ctx).MoveValueOrDie();
+    for (size_t servers : {2, 5, 10, 20, 50, 100, 200, 500, 1000}) {
+      PrototypeOptions opt;
+      opt.num_servers = servers;
+      auto proto = Prototype::Create(g, plan.schedule, opt).MoveValueOrDie();
+      DriverOptions d;
+      d.num_requests = requests;
+      d.seed = seed;
+      DriverReport report = RunWorkloadDriver(*proto, w, d).MoveValueOrDie();
+      table.AddRow({plan.planner, ctx_str, std::to_string(servers),
+                    Fmt(report.NormalizedQueryLoadMean(), 6),
+                    Fmt(std::sqrt(report.NormalizedQueryLoadVariance()), 6)});
+    }
   }
 
   table.Print();

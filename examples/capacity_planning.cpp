@@ -2,14 +2,16 @@
 // serve more load with the same fleet" (paper Sec. 1).
 //
 // Given a target request rate and a per-server message budget, sweeps fleet
-// sizes under FF and PARALLELNOSY schedules using the placement-aware cost
-// model, and reports the smallest fleet that meets the target under each —
-// the operator-facing payoff of social piggybacking.
+// sizes under every registered planner using the placement-aware cost model,
+// and reports the smallest fleet that meets the target under each — the
+// operator-facing payoff of social piggybacking. The sweep is driven off the
+// planner registry, so a newly registered planner shows up automatically.
 //
 // Build & run:  ./examples/capacity_planning [nodes] [target_kreq_s]
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/piggy.h"
@@ -28,42 +30,55 @@ int main(int argc, char** argv) {
   Workload workload =
       GenerateWorkload(graph, {.read_write_ratio = 5.0, .min_rate = 0.01})
           .ValueOrDie();
-
-  Schedule ff = HybridSchedule(graph, workload);
-  auto pn = RunParallelNosy(graph, workload).ValueOrDie();
   std::printf("twitter-like community, %zu users; target load: %.0fk req/s\n\n",
               nodes, target_kreq);
 
   const double total_rate =
       workload.TotalProduction() + workload.TotalConsumption();
 
-  auto fleet_capacity_kreq = [&](const Schedule& s, size_t servers) {
-    // Messages per request under this placement, averaged over the mix.
-    HashPartitioner part(servers);
-    double msgs_per_request =
-        PlacementAwareCost(graph, workload, s, part) / total_rate;
-    // The fleet processes servers * budget messages/s in aggregate.
-    double requests_per_sec =
-        static_cast<double>(servers) * kServerMsgsPerSec / msgs_per_request;
-    return requests_per_sec / 1000.0;
+  struct Candidate {
+    std::string name;
+    PlanResult plan;
+    size_t first_fit = 0;
   };
+  std::vector<Candidate> candidates;
+  for (const PlannerInfo& info : RegisteredPlanners()) {
+    auto planner = MakePlanner(info.name).MoveValueOrDie();
+    candidates.push_back(
+        {info.name, planner->Plan(graph, workload).MoveValueOrDie(), 0});
+  }
 
-  std::printf("%-9s %-22s %-22s\n", "servers", "FF capacity (kreq/s)",
-              "PN capacity (kreq/s)");
-  size_t first_fit_ff = 0, first_fit_pn = 0;
+  std::printf("capacity (kreq/s) by fleet size:\n%-9s", "servers");
+  for (const Candidate& c : candidates) std::printf(" %-12s", c.name.c_str());
+  std::printf("\n");
+
   for (size_t servers : {4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
-    double cap_ff = fleet_capacity_kreq(ff, servers);
-    double cap_pn = fleet_capacity_kreq(pn.schedule, servers);
-    if (first_fit_ff == 0 && cap_ff >= target_kreq) first_fit_ff = servers;
-    if (first_fit_pn == 0 && cap_pn >= target_kreq) first_fit_pn = servers;
-    std::printf("%-9zu %-22.0f %-22.0f\n", servers, cap_ff, cap_pn);
+    HashPartitioner part(servers);
+    std::printf("%-9zu", servers);
+    for (Candidate& c : candidates) {
+      // Messages per request under this placement, averaged over the mix;
+      // the fleet processes servers * budget messages/s in aggregate.
+      double msgs_per_request =
+          PlacementAwareCost(graph, workload, c.plan.schedule, part) / total_rate;
+      double capacity_kreq =
+          static_cast<double>(servers) * kServerMsgsPerSec / msgs_per_request /
+          1000.0;
+      if (c.first_fit == 0 && capacity_kreq >= target_kreq) {
+        c.first_fit = servers;
+      }
+      std::printf(" %-12.0f", capacity_kreq);
+    }
+    std::printf("\n");
   }
 
-  std::printf("\nsmallest fleet meeting %.0fk req/s:  FF: %zu servers,  "
-              "ParallelNosy: %zu servers\n",
-              target_kreq, first_fit_ff, first_fit_pn);
-  if (first_fit_pn != 0 && first_fit_ff > first_fit_pn) {
-    std::printf("piggybacking saves hardware at identical load.\n");
+  std::printf("\nsmallest fleet meeting %.0fk req/s:\n", target_kreq);
+  for (const Candidate& c : candidates) {
+    if (c.first_fit != 0) {
+      std::printf("  %-10s %zu servers\n", c.name.c_str(), c.first_fit);
+    } else {
+      std::printf("  %-10s not within the sweep\n", c.name.c_str());
+    }
   }
+  std::printf("\npiggybacking planners save hardware at identical load.\n");
   return 0;
 }

@@ -1,9 +1,11 @@
-// Living social network: keep a piggybacking schedule valid and cheap while
-// users follow and unfollow (paper Sec. 3.3 / Fig. 5).
+// Living social network: keep a piggybacking deployment valid and cheap
+// while users follow and unfollow (paper Sec. 3.3 / Fig. 5), entirely
+// through the FeedService facade.
 //
-// Optimizes an initial graph, then applies churn through the incremental
-// maintainer, tracking how far the schedule drifts from a fresh optimization
-// before re-optimizing pays off.
+// The service plans with a registry planner, applies churn through the
+// incremental maintainer (schedules stay Theorem-1 valid after every
+// operation), and re-runs the planner when drift warrants it — here via the
+// replan_after_churn policy, plus one manual Replan() at the end.
 //
 // Build & run:  ./examples/dynamic_graph
 
@@ -16,21 +18,21 @@ using namespace piggy;
 int main() {
   const size_t kNodes = 4000;
   Graph initial = MakeFlickrLike(kNodes, /*seed=*/3).ValueOrDie();
-  Workload workload =
-      GenerateWorkload(initial, {.read_write_ratio = 5.0, .min_rate = 0.01})
-          .ValueOrDie();
 
-  auto pn = RunParallelNosy(initial, workload).ValueOrDie();
-  std::printf("initial optimization: %.2fx over FF (%zu piggybacked edges)\n\n",
-              ImprovementRatio(pn.hybrid_cost, pn.final_cost),
-              pn.schedule.hub_covered_size());
+  FeedServiceOptions options;
+  options.planner = "nosy";
+  options.workload = {.read_write_ratio = 5.0, .min_rate = 0.01};
+  options.prototype.num_servers = 32;
+  auto service = FeedService::Create(initial, options).MoveValueOrDie();
 
-  DynamicGraph graph(initial);
-  Schedule schedule = std::move(pn.schedule);
-  IncrementalMaintainer maintainer(&graph, &schedule, &workload);
+  FeedService::Metrics m = service->GetMetrics();
+  std::printf("initial optimization (%s): %.2fx over FF (%zu piggybacked "
+              "edges)\n\n", m.planner.c_str(),
+              m.hybrid_cost / m.schedule_cost,
+              service->schedule().hub_covered_size());
 
-  std::printf("%-10s %-12s %-14s %-10s\n", "churn_ops", "edges", "ratio_now",
-              "repairs");
+  std::printf("%-10s %-12s %-14s %-10s %-10s\n", "churn_ops", "edges",
+              "ratio_now", "repairs", "replans");
   Rng rng(17);
   const size_t kRounds = 8;
   const size_t kOpsPerRound = 2500;
@@ -40,31 +42,28 @@ int main() {
       NodeId v = static_cast<NodeId>(rng.Uniform(kNodes));
       if (u == v) continue;
       if (rng.Bernoulli(0.65)) {
-        PIGGY_CHECK_OK(maintainer.AddEdge(u, v));         // follow
-      } else if (graph.HasEdge(u, v)) {
-        PIGGY_CHECK_OK(maintainer.RemoveEdge(u, v));      // unfollow
+        PIGGY_CHECK_OK(service->Follow(/*follower=*/v, /*producer=*/u));
+      } else if (service->graph().HasEdge(u, v)) {
+        PIGGY_CHECK_OK(service->Unfollow(/*follower=*/v, /*producer=*/u));
       }
     }
     // The schedule must stay Theorem-1 valid through arbitrary churn.
-    PIGGY_CHECK_OK(ValidateSchedule(graph, schedule));
-    double cost = ScheduleCost(graph, workload, schedule, ResidualPolicy::kFree);
-    double ff = HybridCost(graph, workload);
-    std::printf("%-10zu %-12zu %-14.3f %-10zu\n", round * kOpsPerRound,
-                graph.num_edges(), ff / cost, maintainer.repairs());
+    PIGGY_CHECK_OK(service->Validate());
+    m = service->GetMetrics();
+    std::printf("%-10zu %-12zu %-14.3f %-10zu %-10zu\n", round * kOpsPerRound,
+                service->graph().num_edges(), m.hybrid_cost / m.schedule_cost,
+                m.repairs, m.replans);
   }
 
-  // After heavy churn, re-optimize and reset the maintainer's indexes.
-  Graph churned = graph.Snapshot().ValueOrDie();
-  double drifted = ScheduleCost(churned, workload, schedule, ResidualPolicy::kFree);
-  auto reopt = RunParallelNosy(churned, workload).ValueOrDie();
+  // After heavy churn, re-optimize in place: same facade, fresh schedule.
+  double drifted_ratio = m.hybrid_cost / m.schedule_cost;
+  PIGGY_CHECK_OK(service->Replan());
+  PIGGY_CHECK_OK(service->Validate());
+  m = service->GetMetrics();
   std::printf("\nafter churn:   incremental schedule ratio %.3f\n",
-              HybridCost(churned, workload) / drifted);
+              drifted_ratio);
   std::printf("re-optimized:  fresh schedule ratio      %.3f\n",
-              ImprovementRatio(reopt.hybrid_cost, reopt.final_cost));
-
-  schedule = std::move(reopt.schedule);
-  maintainer.RebuildIndexes();
-  PIGGY_CHECK_OK(ValidateSchedule(churned, schedule));
+              m.hybrid_cost / m.schedule_cost);
   std::printf("\nschedule swapped in and maintainer re-indexed; churn can "
               "continue.\n");
   return 0;

@@ -1,9 +1,11 @@
 // Feed assembly at scale: the workload the paper's introduction motivates
 // (event streams are ~70% of Tumblr page views).
 //
-// Generates a flickr-like community, computes FF and PARALLELNOSY schedules,
-// then serves the same request mix through the prototype under both and
-// compares data-store messages — the resource that bounds throughput.
+// Generates a flickr-like community, then stands up one FeedService
+// deployment per planner ("hybrid" = the FF baseline, "nosy" = social
+// piggybacking) and serves the same request mix through both, comparing
+// data-store messages — the resource that bounds throughput. The scenario
+// code is planner-agnostic: swapping schedules is a one-string change.
 //
 // Build & run:  ./examples/feed_assembly [nodes] [servers]
 
@@ -20,44 +22,34 @@ int main(int argc, char** argv) {
 
   std::printf("generating a flickr-like community of %zu users...\n", nodes);
   Graph graph = MakeFlickrLike(nodes, /*seed=*/7).ValueOrDie();
-  std::printf("  %s\n", ComputeGraphStats(graph, 1000).ToString().c_str());
-
-  Workload workload =
-      GenerateWorkload(graph, {.read_write_ratio = 5.0, .min_rate = 0.01})
-          .ValueOrDie();
-  std::printf("  read/write ratio: %.1f (paper reference: 5)\n\n",
-              workload.ReadWriteRatio());
-
-  Schedule ff = HybridSchedule(graph, workload);
-  auto pn = RunParallelNosy(graph, workload).ValueOrDie();
-  PIGGY_CHECK_OK(ValidateSchedule(graph, pn.schedule));
-  std::printf("schedules:\n");
-  std::printf("  FF hybrid:     cost %.0f\n", pn.hybrid_cost);
-  std::printf("  ParallelNosy:  cost %.0f  (%zu iterations, %zu edges "
-              "piggybacked, predicted ratio %.2fx)\n\n",
-              pn.final_cost, pn.iterations.size(),
-              pn.schedule.hub_covered_size(),
-              ImprovementRatio(pn.hybrid_cost, pn.final_cost));
+  std::printf("  %s\n\n", ComputeGraphStats(graph, 1000).ToString().c_str());
 
   DriverOptions traffic;
   traffic.num_requests = 50000;
   traffic.seed = 99;
   traffic.audit_every = 500;  // spot-check feeds against the event-log oracle
 
-  for (const auto& [name, schedule] :
-       std::vector<std::pair<const char*, const Schedule*>>{
-           {"FF hybrid", &ff}, {"ParallelNosy", &pn.schedule}}) {
-    PrototypeOptions opt;
-    opt.num_servers = servers;
-    opt.view_capacity = 0;
-    auto proto = Prototype::Create(graph, *schedule, opt).MoveValueOrDie();
-    auto report = RunWorkloadDriver(*proto, workload, traffic).ValueOrDie();
-    std::printf("%-13s on %zu servers: %s\n", name, servers,
+  for (const char* planner : {"hybrid", "nosy"}) {
+    FeedServiceOptions options;
+    options.planner = planner;
+    options.workload = {.read_write_ratio = 5.0, .min_rate = 0.01};
+    options.prototype.num_servers = servers;
+    options.prototype.view_capacity = 0;
+    auto service = FeedService::Create(graph, options).MoveValueOrDie();
+
+    FeedService::Metrics m = service->GetMetrics();
+    std::printf("%-8s planned: cost %.0f (%.2fx over FF, %zu edges "
+                "piggybacked)\n", planner, m.schedule_cost,
+                m.hybrid_cost / m.schedule_cost,
+                service->schedule().hub_covered_size());
+
+    DriverReport report = service->Drive(traffic).ValueOrDie();
+    std::printf("%-8s on %zu servers: %s\n\n", planner, servers,
                 report.ToString().c_str());
   }
 
   std::printf(
-      "\nthe schedule with fewer messages/request sustains more requests per\n"
+      "the schedule with fewer messages/request sustains more requests per\n"
       "second on the same fleet - or the same load on fewer servers.\n");
   return 0;
 }

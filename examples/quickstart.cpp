@@ -1,4 +1,5 @@
-// Quickstart: the paper's Figure 2 on three users, end to end.
+// Quickstart: the paper's Figure 2 on three users, end to end, through the
+// two public entry points — the planner registry and the FeedService facade.
 //
 //   Art -> Charlie, Charlie -> Billie, Art -> Billie
 //
@@ -28,43 +29,58 @@ int main() {
   workload.production = {1.0, 0.1, 2.0};   // events / unit time
   workload.consumption = {10.0, 0.5, 10.0};  // feed queries / unit time
 
-  // --- 3. Baseline: the Silberstein et al. hybrid (FF) schedule.
-  Schedule ff = HybridSchedule(graph, workload);
-  std::printf("FF hybrid cost:        %.2f\n", ScheduleCost(graph, workload, ff));
+  // --- 3. Any registered planner through one contract. The FF hybrid of
+  // Silberstein et al. is the no-piggybacking optimum; CHITCHAT beats it by
+  // covering Art -> Billie through Charlie.
+  for (const char* name : {"hybrid", "chitchat"}) {
+    PlanResult plan =
+        MakePlanner(name).ValueOrDie()->Plan(graph, workload).MoveValueOrDie();
+    std::printf("%-8s cost: %.2f  (%s)\n", name, plan.final_cost,
+                plan.stats_text.empty() ? "single-shot baseline"
+                                        : plan.stats_text.c_str());
+  }
 
-  // --- 4. Social piggybacking with CHITCHAT.
-  ChitChatStats stats;
-  Schedule piggyback = RunChitChat(graph, workload, {}, &stats).ValueOrDie();
-  PIGGY_CHECK_OK(ValidateSchedule(graph, piggyback));
-  std::printf("CHITCHAT cost:         %.2f  (%s)\n",
-              ScheduleCost(graph, workload, piggyback), stats.ToString().c_str());
-
-  if (auto hub = piggyback.HubFor(kArt, kBillie)) {
+  PlanResult piggyback = MakePlanner("chitchat")
+                             .ValueOrDie()
+                             ->Plan(graph, workload)
+                             .MoveValueOrDie();
+  if (auto hub = piggyback.schedule.HubFor(kArt, kBillie)) {
     std::printf("edge Art->Billie is piggybacked through user %u (Charlie)\n",
                 *hub);
   }
 
-  // --- 5. Serve real traffic through the prototype and inspect a feed.
-  PrototypeOptions options;
-  options.num_servers = 4;
-  options.view_capacity = 0;  // unbounded: exact audits
-  auto prototype = Prototype::Create(graph, piggyback, options).MoveValueOrDie();
+  // --- 4. Serve real traffic through the facade: it plans with the
+  // configured planner, owns the view-server fleet, and audits every feed
+  // against the event-log oracle.
+  FeedServiceOptions options;
+  options.planner = "chitchat";
+  options.prototype.num_servers = 4;
+  options.prototype.view_capacity = 0;  // unbounded: exact audits
+  options.audit_every = 1;
+  auto service =
+      FeedService::Create(graph, workload, options).MoveValueOrDie();
 
-  prototype->ShareEvent(kArt);      // Art posts twice
-  prototype->ShareEvent(kArt);
-  prototype->ShareEvent(kCharlie);  // Charlie posts once
+  PIGGY_CHECK_OK(service->Share(kArt));      // Art posts twice
+  PIGGY_CHECK_OK(service->Share(kArt));
+  PIGGY_CHECK_OK(service->Share(kCharlie));  // Charlie posts once
 
-  std::vector<EventTuple> feed = prototype->QueryStream(kBillie);
-  PIGGY_CHECK_OK(prototype->AuditStream(kBillie, feed));
-
-  std::printf("\nBillie's feed (%zu events, newest first):\n", feed.size());
+  std::vector<EventTuple> feed = service->QueryStream(kBillie).MoveValueOrDie();
+  std::printf("\nBillie's feed (%zu events, newest first, audited):\n",
+              feed.size());
   for (const EventTuple& e : feed) {
     const char* who = e.producer == kArt ? "Art" : "Charlie";
     std::printf("  t=%lu  event #%lu by %s\n",
                 static_cast<unsigned long>(e.timestamp),
                 static_cast<unsigned long>(e.event_id), who);
   }
-  std::printf("\nmessages per request so far: %.2f\n",
-              prototype->client().metrics().MessagesPerRequest());
+
+  // --- 5. Live churn: Billie unfollows Art; the schedule is repaired on the
+  // spot (stays Theorem-1 valid) and Art's events vanish from the feed.
+  PIGGY_CHECK_OK(service->Unfollow(kBillie, kArt));
+  feed = service->QueryStream(kBillie).MoveValueOrDie();
+  std::printf("\nafter Billie unfollows Art: %zu events in the feed\n",
+              feed.size());
+
+  std::printf("\nservice metrics: %s\n", service->GetMetrics().ToString().c_str());
   return 0;
 }

@@ -9,6 +9,12 @@
 //                against, and provably optimal among schedules that serve
 //                every edge directly.
 
+// The schedule-building functions here are deprecated legacy entry points:
+// prefer MakePlanner("push-all" | "pull-all" | "hybrid") from core/planner.h,
+// which wraps them in the uniform Planner contract (bit-identical schedules).
+// FinalizeWithHybrid stays: it is the optimizers' completion rule, not a
+// planning surface.
+
 #pragma once
 
 #include "core/schedule.h"

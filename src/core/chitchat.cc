@@ -122,7 +122,23 @@ class ChitChatRunner {
     // shrank since it was pushed), never understate it — so the first fresh,
     // non-dirty entry at the top is the true maximum. Dirty tops are
     // recomputed and reinserted before any selection.
+    const bool has_hooks =
+        options_.hooks.progress != nullptr || options_.hooks.should_stop != nullptr;
+    size_t selections = 0;
     while (uncovered_ > 0) {
+      // Cooperative control, throttled so the std::function indirection stays
+      // off the hot path. On stop, fall back to direct service for whatever
+      // is left — early but valid (the hooks contract in plan_hooks.h).
+      // Progress is covered edges out of the edge total; the running cost is
+      // not tracked incrementally, so report it as 0 (= untracked).
+      if (has_hooks && (selections++ & 0xffu) == 0) {
+        options_.hooks.Report("greedy", g_.num_edges() - uncovered_,
+                              g_.num_edges(), /*cost=*/0);
+        if (options_.hooks.ShouldStop()) {
+          ServeUncoveredDirect();
+          break;
+        }
+      }
       // Drop covered singletons permanently.
       while (!singletons_.empty() && covered_[singletons_.top().edge_idx]) {
         singletons_.pop();
@@ -272,6 +288,25 @@ class ChitChatRunner {
     // Weights in G(hub) dropped to zero (new H/L entries): its density may
     // have increased, which lazy dirtiness cannot represent — refresh now.
     eager_refresh_.push_back(inst.hub);
+  }
+
+  // Deadline/cancellation bail-out: serve every still-uncovered edge at the
+  // hybrid policy, without the usual dirtiness bookkeeping (the greedy loop
+  // is over). Keeps the Theorem-1 validity invariant under early exit.
+  void ServeUncoveredDirect() {
+    for (size_t idx = 0; idx < g_.num_edges(); ++idx) {
+      if (covered_[idx]) continue;
+      const Edge e = g_.EdgeAt(idx);
+      if (w_.rp(e.src) <= w_.rc(e.dst)) {
+        schedule_.AddPush(e.src, e.dst);
+      } else {
+        schedule_.AddPull(e.src, e.dst);
+      }
+      covered_[idx] = 1;
+      --uncovered_;
+      ++stats_.singleton_selections;
+    }
+    PIGGY_CHECK_EQ(uncovered_, 0u);
   }
 
   void ApplySingleton(const Edge& e) {

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/plan_hooks.h"
 #include "core/schedule.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -63,6 +64,11 @@ struct ChitChatOptions {
   /// the greedy loop's per-step refreshes stay one-at-a-time in every mode
   /// (see the parity note in chitchat.cc).
   size_t num_threads = 0;
+  /// Optional progress/cancellation callbacks (core/plan_hooks.h), checked
+  /// between greedy selections. When the stop predicate fires, the remaining
+  /// uncovered edges are served directly at the hybrid cost, so the returned
+  /// schedule is always valid. Unset hooks change nothing (bit-parity).
+  PlanHooks hooks;
 };
 
 /// \brief Execution counters.
@@ -78,6 +84,10 @@ struct ChitChatStats {
 
 /// Runs CHITCHAT; the returned schedule explicitly serves every edge
 /// (validator passes with default options).
+///
+/// Deprecated legacy entry point: prefer MakePlanner("chitchat") or
+/// MakeChitChatPlanner(options) from core/planner.h (bit-identical schedules,
+/// uniform PlanResult/PlanContext).
 Result<Schedule> RunChitChat(const Graph& g, const Workload& w,
                              const ChitChatOptions& options = {},
                              ChitChatStats* stats = nullptr);

@@ -204,13 +204,6 @@ void SolveWeightedDensestSubgraph(const HubGraphInstance& instance,
   out->density = DensityOf(best_covered, best_cost);
 }
 
-DensestSubgraphSolution SolveWeightedDensestSubgraph(const HubGraphInstance& instance) {
-  OracleScratch scratch;
-  DensestSubgraphSolution sol;
-  SolveWeightedDensestSubgraph(instance, scratch, &sol);
-  return sol;
-}
-
 DensestSubgraphSolution SolveDensestSubgraphExhaustive(const HubGraphInstance& instance) {
   const size_t np = instance.producers.size();
   const size_t nc = instance.consumers.size();

@@ -75,14 +75,12 @@ DensestSubgraphSolution EvaluateSelection(const HubGraphInstance& instance,
 /// `out`, reusing the flat CSR buffers of `scratch` and the capacity of
 /// `out`'s index vectors. Steady-state calls perform zero heap allocations
 /// once the arena has warmed up; this is the hot path of CHITCHAT's oracle
-/// sweeps (one arena per worker thread).
+/// sweeps (one arena per worker thread). Callers solving one-off instances
+/// declare a local OracleScratch — the old by-value convenience wrapper hid
+/// an allocation per call on the hot path and has been removed.
 void SolveWeightedDensestSubgraph(const HubGraphInstance& instance,
                                   OracleScratch& scratch,
                                   DensestSubgraphSolution* out);
-
-/// Greedy weighted peeling, allocating a fresh arena per call. Convenience
-/// wrapper over the scratch-based overload; identical results.
-DensestSubgraphSolution SolveWeightedDensestSubgraph(const HubGraphInstance& instance);
 
 /// Exact solution by subset enumeration; requires num_nodes() <= 20.
 DensestSubgraphSolution SolveDensestSubgraphExhaustive(const HubGraphInstance& instance);

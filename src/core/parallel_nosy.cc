@@ -370,6 +370,7 @@ Result<ParallelNosyResult> RunParallelNosy(const Graph& g, const Workload& w,
   }
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (options.hooks.ShouldStop()) break;  // early but valid: finalize below
     NosyIterationStats it_stats;
     size_t applied = 0;
     const uint64_t salt = Mix64(iter + 1);
@@ -381,6 +382,8 @@ Result<ParallelNosyResult> RunParallelNosy(const Graph& g, const Workload& w,
     it_stats.edges_covered = state.Merge(updates);
     it_stats.cost_after = ScheduleCost(g, w, state.schedule_, ResidualPolicy::kHybrid);
     result.iterations.push_back(it_stats);
+    options.hooks.Report("iteration", iter + 1, options.max_iterations,
+                         it_stats.cost_after);
     if (applied == 0) {
       result.converged = true;
       break;

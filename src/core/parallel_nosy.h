@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/plan_hooks.h"
 #include "core/schedule.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -55,6 +56,11 @@ struct ParallelNosyOptions {
   bool randomized_tie_break = false;
   /// Assign leftover edges to the cheaper direct side before returning.
   bool finalize_hybrid = true;
+  /// Optional progress/cancellation callbacks (core/plan_hooks.h), checked
+  /// once per optimization iteration. A firing stop predicate ends the
+  /// iteration loop early (converged stays false); finalize_hybrid then
+  /// completes the schedule as usual. Unset hooks change nothing.
+  PlanHooks hooks;
 };
 
 /// \brief Per-iteration counters (Fig. 4's x-axis).
@@ -79,6 +85,10 @@ struct ParallelNosyResult {
 
 /// Runs PARALLELNOSY. The result's schedule passes the validator with default
 /// options when `finalize_hybrid` is on.
+///
+/// Deprecated legacy entry point: prefer MakePlanner("nosy") or
+/// MakeParallelNosyPlanner(options) from core/planner.h (bit-identical
+/// schedules, uniform PlanResult/PlanContext).
 Result<ParallelNosyResult> RunParallelNosy(const Graph& g, const Workload& w,
                                            const ParallelNosyOptions& options = {});
 

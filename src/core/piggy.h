@@ -1,6 +1,7 @@
 // Umbrella header: the full public API of the social-piggybacking library.
 //
-// Typical pipeline:
+// The two entry points are the Planner registry (offline optimization) and
+// the FeedService facade (online serving):
 //
 //   #include "core/piggy.h"
 //   using namespace piggy;
@@ -8,14 +9,26 @@
 //   Graph g = MakeFlickrLike(20000, /*seed=*/1).ValueOrDie();
 //   Workload w = GenerateWorkload(g, {.read_write_ratio = 5.0}).ValueOrDie();
 //
-//   Schedule ff = HybridSchedule(g, w);                      // FF baseline
-//   auto pn = RunParallelNosy(g, w).ValueOrDie();            // heuristic
-//   Schedule cc = RunChitChat(g, w).ValueOrDie();            // O(log n) approx
+//   // Offline: any registered planner through one contract.
+//   auto planner = MakePlanner("chitchat").MoveValueOrDie();   // or "nosy",
+//   PlanResult plan = planner->Plan(g, w).MoveValueOrDie();    // "hybrid", ...
+//   double ratio = ImprovementRatio(plan.hybrid_cost, plan.final_cost);
 //
-//   double ratio = ImprovementRatio(HybridCost(g, w), pn.final_cost);
+//   // Online: a serving deployment around the planned schedule.
+//   FeedServiceOptions opts;
+//   opts.planner = "chitchat";
+//   opts.prototype.num_servers = 500;
+//   auto service = FeedService::Create(g, opts).MoveValueOrDie();
+//   service->Share(42);
+//   auto feed = service->QueryStream(7).MoveValueOrDie();
+//   service->Follow(/*follower=*/7, /*producer=*/42);  // schedule stays valid
 //
-//   auto proto = Prototype::Create(g, pn.schedule, {.num_servers = 500});
-//   auto report = RunWorkloadDriver(**proto, w, {.num_requests = 100000});
+// DEPRECATED LEGACY SURFACE — the per-algorithm free functions RunChitChat,
+// RunParallelNosy, HybridSchedule, PushAllSchedule and PullAllSchedule remain
+// for compatibility (the registry planners are proven bit-identical to them
+// by planner_registry_test), but new code should go through MakePlanner /
+// FeedService; the free functions will eventually be demoted out of this
+// umbrella.
 
 #pragma once
 
@@ -26,6 +39,8 @@
 #include "core/densest_subgraph.h"   // IWYU pragma: export
 #include "core/incremental.h"        // IWYU pragma: export
 #include "core/parallel_nosy.h"      // IWYU pragma: export
+#include "core/plan_hooks.h"         // IWYU pragma: export
+#include "core/planner.h"            // IWYU pragma: export
 #include "core/schedule.h"           // IWYU pragma: export
 #include "core/schedule_io.h"        // IWYU pragma: export
 #include "core/validator.h"          // IWYU pragma: export
@@ -37,6 +52,7 @@
 #include "graph/graph_io.h"          // IWYU pragma: export
 #include "graph/graph_stats.h"       // IWYU pragma: export
 #include "sampling/samplers.h"       // IWYU pragma: export
+#include "store/feed_service.h"      // IWYU pragma: export
 #include "store/prototype.h"         // IWYU pragma: export
 #include "store/workload_driver.h"   // IWYU pragma: export
 #include "workload/workload.h"       // IWYU pragma: export

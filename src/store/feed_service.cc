@@ -1,0 +1,211 @@
+#include "store/feed_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/cost_model.h"
+#include "core/validator.h"
+#include "util/string_util.h"
+
+namespace piggy {
+
+namespace {
+
+ClientMetrics SumMetrics(const ClientMetrics& a, const ClientMetrics& b) {
+  ClientMetrics sum;
+  sum.share_requests = a.share_requests + b.share_requests;
+  sum.query_requests = a.query_requests + b.query_requests;
+  sum.update_messages = a.update_messages + b.update_messages;
+  sum.query_messages = a.query_messages + b.query_messages;
+  return sum;
+}
+
+}  // namespace
+
+std::string FeedService::Metrics::ToString() const {
+  return StrFormat(
+      "planner=%s cost=%.1f ff=%.1f ratio=%.3fx replans=%zu repairs=%zu "
+      "churn=%zu rebuilds=%zu shares=%lu queries=%lu audited=%lu mpr=%.2f "
+      "throughput=%.0f req/s",
+      planner.c_str(), schedule_cost, hybrid_cost,
+      ImprovementRatio(hybrid_cost, schedule_cost), replans, repairs, churn_ops,
+      serving_rebuilds, static_cast<unsigned long>(shares),
+      static_cast<unsigned long>(queries),
+      static_cast<unsigned long>(audited_queries), messages_per_request,
+      actual_throughput);
+}
+
+FeedService::FeedService(const Graph& graph, Workload workload,
+                         FeedServiceOptions options)
+    : options_(std::move(options)),
+      graph_(graph),
+      workload_(std::move(workload)) {}
+
+Result<std::unique_ptr<FeedService>> FeedService::Create(
+    const Graph& graph, const FeedServiceOptions& options) {
+  PIGGY_ASSIGN_OR_RETURN(Workload workload,
+                         GenerateWorkload(graph, options.workload));
+  return Create(graph, std::move(workload), options);
+}
+
+Result<std::unique_ptr<FeedService>> FeedService::Create(
+    const Graph& graph, Workload workload, const FeedServiceOptions& options) {
+  if (workload.num_users() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("workload covers %zu users but graph has %zu nodes",
+                  workload.num_users(), graph.num_nodes()));
+  }
+  auto service = std::unique_ptr<FeedService>(
+      new FeedService(graph, std::move(workload), options));
+  service->maintainer_ = std::make_unique<IncrementalMaintainer>(
+      &service->graph_, &service->schedule_, &service->workload_);
+  PIGGY_RETURN_NOT_OK(service->Replan());
+  PIGGY_RETURN_NOT_OK(service->RefreshServing());
+  return service;
+}
+
+Status FeedService::Replan() {
+  PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<Planner> planner,
+                         MakePlanner(options_.planner));
+  PIGGY_ASSIGN_OR_RETURN(Graph snapshot, graph_.Snapshot());
+  PIGGY_ASSIGN_OR_RETURN(PlanResult plan,
+                         planner->Plan(snapshot, workload_, options_.plan_context));
+  schedule_ = std::move(plan.schedule);
+  maintainer_->RebuildIndexes();
+  options_.planner = plan.planner;  // canonicalize aliases ("ff" -> "hybrid")
+  ++replans_;
+  churn_since_plan_ = 0;
+  serving_dirty_ = true;
+  return Status::OK();
+}
+
+Status FeedService::RefreshServing() {
+  if (prototype_ != nullptr && !serving_dirty_) return Status::OK();
+
+  std::vector<EventTuple> log;
+  if (prototype_ != nullptr) {
+    AccumulateClientMetrics();
+    log = prototype_->EventLog();
+    prototype_.reset();  // must drop its borrow before snapshot_ is replaced
+    ++serving_rebuilds_;
+  }
+  PIGGY_ASSIGN_OR_RETURN(snapshot_, graph_.Snapshot());
+  PIGGY_ASSIGN_OR_RETURN(prototype_, Prototype::Create(snapshot_, schedule_,
+                                                       options_.prototype));
+  if (!log.empty()) {
+    PIGGY_RETURN_NOT_OK(prototype_->RestoreEvents(log));
+    // Replay traffic is bookkeeping, not served requests: keep it out of the
+    // messages-per-request accounting (accumulated_ holds the real history).
+    // Only the client counters — the fleet's ServerMetrics must survive, or
+    // zeroing trimmed_events would defeat AuditStream's "completeness not
+    // provable once trimming happened" guard and fail correct queries.
+    prototype_->client().ResetMetrics();
+  }
+  serving_dirty_ = false;
+  return Status::OK();
+}
+
+void FeedService::AccumulateClientMetrics() {
+  if (prototype_ == nullptr) return;
+  accumulated_ = SumMetrics(accumulated_, prototype_->client().metrics());
+  prototype_->client().ResetMetrics();
+}
+
+Status FeedService::Share(NodeId u) {
+  if (u >= graph_.num_nodes()) {
+    return Status::InvalidArgument(StrFormat("unknown user %u", u));
+  }
+  PIGGY_RETURN_NOT_OK(RefreshServing());
+  prototype_->ShareEvent(u);
+  return Status::OK();
+}
+
+Result<std::vector<EventTuple>> FeedService::QueryStream(NodeId u) {
+  if (u >= graph_.num_nodes()) {
+    return Status::InvalidArgument(StrFormat("unknown user %u", u));
+  }
+  PIGGY_RETURN_NOT_OK(RefreshServing());
+  std::vector<EventTuple> stream = prototype_->QueryStream(u);
+  if (options_.audit_every > 0 &&
+      ++queries_since_audit_ >= options_.audit_every) {
+    queries_since_audit_ = 0;
+    PIGGY_RETURN_NOT_OK(prototype_->AuditStream(u, stream));
+    ++audited_queries_;
+  }
+  return stream;
+}
+
+Status FeedService::ApplyChurn(Status churn_result) {
+  PIGGY_RETURN_NOT_OK(churn_result);
+  ++churn_ops_;
+  ++churn_since_plan_;
+  serving_dirty_ = true;
+  if (options_.replan_after_churn > 0 &&
+      churn_since_plan_ >= options_.replan_after_churn) {
+    return Replan();
+  }
+  return Status::OK();
+}
+
+Status FeedService::Follow(NodeId follower, NodeId producer) {
+  if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
+    return Status::InvalidArgument("unknown user in Follow");
+  }
+  if (follower == producer) {
+    return Status::InvalidArgument("users may not follow themselves");
+  }
+  if (graph_.HasEdge(producer, follower)) return Status::OK();  // already follows
+  return ApplyChurn(maintainer_->AddEdge(producer, follower));
+}
+
+Status FeedService::Unfollow(NodeId follower, NodeId producer) {
+  if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
+    return Status::InvalidArgument("unknown user in Unfollow");
+  }
+  if (!graph_.HasEdge(producer, follower)) return Status::OK();  // not following
+  return ApplyChurn(maintainer_->RemoveEdge(producer, follower));
+}
+
+Result<DriverReport> FeedService::Drive(const DriverOptions& options) {
+  PIGGY_RETURN_NOT_OK(RefreshServing());
+  PIGGY_ASSIGN_OR_RETURN(DriverReport report,
+                         RunWorkloadDriver(*prototype_, workload_, options));
+  audited_queries_ += report.audited_queries;
+  return report;
+}
+
+Result<Prototype*> FeedService::ServingPlane() {
+  PIGGY_RETURN_NOT_OK(RefreshServing());
+  return prototype_.get();
+}
+
+Status FeedService::Validate() const {
+  return ValidateSchedule(graph_, schedule_);
+}
+
+FeedService::Metrics FeedService::GetMetrics() const {
+  Metrics m;
+  m.planner = options_.planner;
+  m.schedule_cost =
+      ScheduleCost(graph_, workload_, schedule_, ResidualPolicy::kFree);
+  m.hybrid_cost = HybridCost(graph_, workload_);
+  m.replans = replans_;
+  m.repairs = maintainer_->repairs();
+  m.churn_ops = churn_ops_;
+  m.serving_rebuilds = serving_rebuilds_;
+  ClientMetrics client = accumulated_;
+  if (prototype_ != nullptr) {
+    client = SumMetrics(client, prototype_->client().metrics());
+  }
+  m.shares = client.share_requests;
+  m.queries = client.query_requests;
+  m.audited_queries = audited_queries_;
+  m.messages_per_request = client.MessagesPerRequest();
+  m.actual_throughput =
+      m.messages_per_request > 0
+          ? options_.prototype.client_messages_per_second / m.messages_per_request
+          : 0.0;
+  return m;
+}
+
+}  // namespace piggy

@@ -1,0 +1,170 @@
+// FeedService: the production-style facade over the whole piggybacking
+// pipeline.
+//
+// Owns everything a serving deployment needs — the evolving social graph, the
+// request schedule produced by a registry planner, the Prototype serving
+// plane (partitioned view fleet + Algorithm-3 client + audit oracle), and the
+// IncrementalMaintainer that keeps the schedule Theorem-1 valid under churn —
+// behind an online API:
+//
+//   auto service = FeedService::Create(graph, options).MoveValueOrDie();
+//   service->Share(user);                   // write path
+//   auto feed = service->QueryStream(user); // read path (optionally audited)
+//   service->Follow(alice, bob);            // churn; schedule repaired locally
+//   service->Replan();                      // full re-optimization, any time
+//   auto m = service->Metrics();            // cost + serving counters
+//
+// Lifecycle under churn: Follow/Unfollow apply the paper's Sec.-3.3 local
+// rules immediately (the schedule never goes invalid), and the serving plane
+// (whose per-user view lists are materialized from the schedule) is rebuilt
+// lazily before the next Share/Query — stored events survive rebuilds via
+// Prototype::RestoreEvents. Accumulated churn degrades schedule *quality*,
+// never validity; configure replan_after_churn to re-run the planner
+// automatically every N churn operations, or call Replan() on your own
+// policy. Scenario code never reaches into Prototype internals.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/planner.h"
+#include "core/schedule.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "store/prototype.h"
+#include "store/view_store.h"
+#include "store/workload_driver.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// \brief FeedService configuration.
+struct FeedServiceOptions {
+  /// Registry name of the planner computing (and re-computing) the schedule.
+  std::string planner = "nosy";
+  /// Thread budget / deadline / cancellation / progress for every plan run.
+  PlanContext plan_context;
+  /// Serving-plane sizing (fleet, feed size, view capacity, calibration).
+  PrototypeOptions prototype;
+  /// Workload synthesis knobs, used by the Create overload without an
+  /// explicit workload.
+  WorkloadOptions workload;
+  /// Re-run the planner automatically after this many Follow/Unfollow
+  /// operations since the last plan (0 = only explicit Replan calls).
+  size_t replan_after_churn = 0;
+  /// Audit every Nth query against the event-log oracle (0 = no audits).
+  size_t audit_every = 0;
+};
+
+/// \brief A running feed-serving deployment.
+class FeedService {
+ public:
+  /// Plans an initial schedule for `graph` with the configured planner and
+  /// builds the serving plane. The graph is copied into an internal dynamic
+  /// graph; the caller's instance is not referenced afterwards.
+  static Result<std::unique_ptr<FeedService>> Create(
+      const Graph& graph, const FeedServiceOptions& options);
+
+  /// Same, with explicit per-user rates (must cover every node).
+  static Result<std::unique_ptr<FeedService>> Create(
+      const Graph& graph, Workload workload, const FeedServiceOptions& options);
+
+  /// User u shares an event.
+  Status Share(NodeId u);
+
+  /// Assembles u's event stream; audited against the oracle every
+  /// options.audit_every queries.
+  Result<std::vector<EventTuple>> QueryStream(NodeId u);
+
+  /// `follower` starts following `producer` (graph edge producer ->
+  /// follower). The new edge is served directly at the cheaper side
+  /// immediately; OK if already following.
+  Status Follow(NodeId follower, NodeId producer);
+
+  /// `follower` stops following `producer`. Hub covers that piggybacked on
+  /// the removed edge are re-served directly; OK if not following.
+  Status Unfollow(NodeId follower, NodeId producer);
+
+  /// Re-runs the configured planner on the current graph and swaps the fresh
+  /// schedule in (stored events are preserved).
+  Status Replan();
+
+  /// Replays a rate-weighted request mix through the service (the paper's
+  /// measurement loop). Uses the service's own workload and audit oracle.
+  Result<DriverReport> Drive(const DriverOptions& options);
+
+  /// \brief Cost + serving counters, aggregated across serving-plane
+  /// rebuilds.
+  struct Metrics {
+    std::string planner;          ///< registry name of the planning policy
+    double schedule_cost = 0;     ///< current schedule cost on current graph
+    double hybrid_cost = 0;       ///< FF baseline cost on current graph
+    size_t replans = 0;           ///< full planner runs (incl. the initial)
+    size_t repairs = 0;           ///< hub covers re-served due to unfollows
+    size_t churn_ops = 0;         ///< Follow/Unfollow ops applied
+    size_t serving_rebuilds = 0;  ///< lazy serving-plane reconstructions
+    uint64_t shares = 0;
+    uint64_t queries = 0;
+    uint64_t audited_queries = 0;
+    double messages_per_request = 0;
+    double actual_throughput = 0;  ///< modeled req/s per client
+
+    std::string ToString() const;
+  };
+  Metrics GetMetrics() const;
+
+  /// Re-checks the Theorem-1 validity of the current schedule against the
+  /// current graph (the maintainer guarantees it; tests assert it).
+  Status Validate() const;
+
+  const DynamicGraph& graph() const { return graph_; }
+  const Workload& workload() const { return workload_; }
+  const Schedule& schedule() const { return schedule_; }
+  const FeedServiceOptions& options() const { return options_; }
+
+  /// The serving plane, rebuilt first if churn left it stale. Exposed for
+  /// measurement code (benches) that inspects per-server load.
+  Result<Prototype*> ServingPlane();
+
+ private:
+  FeedService(const Graph& graph, Workload workload, FeedServiceOptions options);
+
+  /// Rebuilds the Prototype around the current graph + schedule, replaying
+  /// the stored event log. No-op when the plane is fresh.
+  Status RefreshServing();
+
+  /// Folds the live client counters into the accumulated totals (called
+  /// before the serving plane is torn down, and by GetMetrics).
+  void AccumulateClientMetrics();
+
+  Status ApplyChurn(Status churn_result);
+
+  FeedServiceOptions options_;
+  DynamicGraph graph_;
+  Workload workload_;
+  Schedule schedule_;
+  std::unique_ptr<IncrementalMaintainer> maintainer_;
+
+  // Serving plane: a CSR snapshot of graph_ plus the prototype bound to it.
+  // serving_dirty_ means graph_/schedule_ moved on and both must be rebuilt
+  // before the next request.
+  Graph snapshot_;
+  std::unique_ptr<Prototype> prototype_;
+  bool serving_dirty_ = false;
+
+  // Counters that survive serving-plane rebuilds.
+  ClientMetrics accumulated_;
+  size_t replans_ = 0;
+  size_t churn_ops_ = 0;
+  size_t churn_since_plan_ = 0;
+  size_t serving_rebuilds_ = 0;
+  uint64_t audited_queries_ = 0;
+  uint64_t queries_since_audit_ = 0;
+};
+
+}  // namespace piggy

@@ -107,6 +107,28 @@ std::vector<uint64_t> Prototype::PerServerUpdateLoad() const {
   return load;
 }
 
+Status Prototype::RestoreEvents(const std::vector<EventTuple>& log) {
+  if (!event_log_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreEvents requires a fresh prototype (events already shared)");
+  }
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (i > 0 && log[i].timestamp < log[i - 1].timestamp) {
+      return Status::InvalidArgument("event log not in share (timestamp) order");
+    }
+    if (log[i].producer >= graph_.num_nodes()) {
+      return Status::InvalidArgument("event log references unknown producer");
+    }
+  }
+  event_log_ = log;
+  for (const EventTuple& e : log) {
+    client_->ShareEvent(e.producer, e.event_id, e.timestamp);
+    next_event_id_ = std::max(next_event_id_, e.event_id + 1);
+    clock_ = std::max(clock_, e.timestamp + 1);
+  }
+  return Status::OK();
+}
+
 uint64_t Prototype::TotalTrimmedEvents() const {
   uint64_t total = 0;
   for (const ViewStore& s : servers_) total += s.metrics().trimmed_events;

@@ -77,6 +77,17 @@ class Prototype {
   /// Total events dropped by view trimming across the fleet.
   uint64_t TotalTrimmedEvents() const;
 
+  /// Every event shared so far, in share order (the audit oracle's input).
+  const std::vector<EventTuple>& EventLog() const { return event_log_; }
+
+  /// Replays a previously captured event log into a freshly built instance:
+  /// each event is written through the client into the fleet and appended to
+  /// the audit log, preserving ids and timestamps; the id/clock counters
+  /// resume past the replayed maxima. Used by FeedService to rebuild the
+  /// serving plane around a new schedule without losing stored events.
+  /// Fails if events were already shared or the log is not in share order.
+  Status RestoreEvents(const std::vector<EventTuple>& log);
+
   void ResetMetrics();
 
  private:

@@ -30,6 +30,13 @@ namespace {
 std::atomic<size_t> g_alloc_count{0};
 }  // namespace
 
+// GCC's -Wmismatched-new-delete heuristic flags the malloc/free pairing
+// below, but a replacing operator new is free to use malloc as long as the
+// replacing operator delete frees the same way — which these do.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void* operator new(std::size_t size) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   void* p = std::malloc(size ? size : 1);
@@ -45,6 +52,15 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace piggy {
 namespace {
+
+// One-off solve with a fresh arena; unit-test convenience for the
+// scratch-based API (the library's only oracle entry point).
+DensestSubgraphSolution Solve(const HubGraphInstance& inst) {
+  OracleScratch scratch;
+  DensestSubgraphSolution sol;
+  SolveWeightedDensestSubgraph(inst, scratch, &sol);
+  return sol;
+}
 
 // Builds an instance with uniform weights and all links uncovered.
 HubGraphInstance MakeInstance(size_t np, size_t nc, double pw, double cw,
@@ -100,7 +116,7 @@ TEST(EvaluateSelectionTest, ZeroCostPositiveCoverageIsInfiniteDensity) {
 
 TEST(PeelingTest, EmptyInstance) {
   HubGraphInstance inst;
-  auto sol = SolveWeightedDensestSubgraph(inst);
+  auto sol = Solve(inst);
   EXPECT_EQ(sol.covered, 0u);
 }
 
@@ -111,7 +127,7 @@ TEST(PeelingTest, KeepsDenseCoreDropsPendant) {
                                        {{0, 0}, {0, 1}, {1, 0}, {1, 1},
                                         {2, 0}, {2, 1}});
   inst.producer_weight[3] = 50.0;  // expensive, covers only its own link
-  auto sol = SolveWeightedDensestSubgraph(inst);
+  auto sol = Solve(inst);
   // The expensive pendant must be peeled away.
   for (uint32_t p : sol.producer_idx) EXPECT_NE(p, 3u);
   EXPECT_EQ(sol.producer_idx.size(), 3u);
@@ -124,7 +140,7 @@ TEST(PeelingTest, KeepsDenseCoreDropsPendant) {
 TEST(PeelingTest, FreeNodesAlwaysKept) {
   HubGraphInstance inst = MakeInstance(2, 1, 1.0, 1.0, {{0, 0}});
   inst.producer_weight[1] = 0.0;  // already in H: free coverage
-  auto sol = SolveWeightedDensestSubgraph(inst);
+  auto sol = Solve(inst);
   bool has_free = false;
   for (uint32_t p : sol.producer_idx) has_free |= (p == 1);
   EXPECT_TRUE(has_free);
@@ -135,14 +151,14 @@ TEST(PeelingTest, MatchesHandComputedDensity) {
   // Candidates: {p} -> 1/1 = 1.0; {c} -> 1/3; {p,c} -> 3/4. Optimum is the
   // producer alone, and peeling must find it (it removes c first).
   HubGraphInstance inst = MakeInstance(1, 1, 1.0, 3.0, {{0, 0}});
-  auto sol = SolveWeightedDensestSubgraph(inst);
+  auto sol = Solve(inst);
   EXPECT_EQ(sol.covered, 1u);
   EXPECT_DOUBLE_EQ(sol.cost, 1.0);
   EXPECT_DOUBLE_EQ(sol.density, 1.0);
   // With a cheap consumer (weight 0.5), keeping both is optimal:
   // {p,c} -> 3/1.5 = 2.0 beats {p} -> 1.0 and {c} -> 2.0 ties... covered wins.
   HubGraphInstance inst2 = MakeInstance(1, 1, 1.0, 0.5, {{0, 0}});
-  auto sol2 = SolveWeightedDensestSubgraph(inst2);
+  auto sol2 = Solve(inst2);
   EXPECT_EQ(sol2.covered, 3u);
   EXPECT_DOUBLE_EQ(sol2.cost, 1.5);
 }
@@ -150,7 +166,7 @@ TEST(PeelingTest, MatchesHandComputedDensity) {
 TEST(PeelingTest, CoveredLinksReduceValue) {
   HubGraphInstance inst = MakeInstance(1, 1, 1.0, 1.0, {{0, 0}});
   inst.producer_link_in_z[0] = 0;  // x->hub already covered
-  auto sol = SolveWeightedDensestSubgraph(inst);
+  auto sol = Solve(inst);
   EXPECT_EQ(sol.covered, 2u);  // pull link + cross edge only
 }
 
@@ -180,7 +196,7 @@ TEST(PeelingTest, WithinFactorTwoOfExhaustive) {
         if (rng.Bernoulli(0.45)) inst.cross_edges.emplace_back(p, c);
       }
     }
-    auto greedy = SolveWeightedDensestSubgraph(inst);
+    auto greedy = Solve(inst);
     auto exact = SolveDensestSubgraphExhaustive(inst);
     if (exact.covered == 0) {
       EXPECT_EQ(greedy.covered, 0u);
@@ -215,16 +231,17 @@ TEST(PeelingTest, SolutionSelfConsistent) {
     HubGraphInstance inst =
         MakeInstance(np, nc, 0.5 + rng.UniformDouble(), 0.5 + rng.UniformDouble(),
                      std::move(cross));
-    auto sol = SolveWeightedDensestSubgraph(inst);
+    auto sol = Solve(inst);
     auto check = EvaluateSelection(inst, sol.producer_idx, sol.consumer_idx);
     EXPECT_EQ(sol.covered, check.covered);
     EXPECT_NEAR(sol.cost, check.cost, 1e-9);
   }
 }
 
-TEST(PeelingTest, ScratchReuseMatchesByValueApi) {
+TEST(PeelingTest, ScratchReuseMatchesFreshArena) {
   // One arena + one output object across instances of varying shapes must
-  // reproduce the by-value API exactly (indices, covered, cost, density).
+  // reproduce a fresh arena per call exactly (indices, covered, cost,
+  // density) — no state may leak between solves.
   Rng rng(123);
   OracleScratch scratch;
   DensestSubgraphSolution sol;
@@ -245,7 +262,7 @@ TEST(PeelingTest, ScratchReuseMatchesByValueApi) {
     if (nc > 0 && rng.Bernoulli(0.5)) inst.consumer_link_in_z[nc - 1] = 0;
 
     SolveWeightedDensestSubgraph(inst, scratch, &sol);
-    DensestSubgraphSolution fresh = SolveWeightedDensestSubgraph(inst);
+    DensestSubgraphSolution fresh = Solve(inst);
     EXPECT_EQ(sol.producer_idx, fresh.producer_idx);
     EXPECT_EQ(sol.consumer_idx, fresh.consumer_idx);
     EXPECT_EQ(sol.covered, fresh.covered);

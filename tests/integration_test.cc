@@ -20,41 +20,46 @@ class PipelineTest : public ::testing::Test {
   Workload workload_;
 };
 
-TEST_F(PipelineTest, CostOrderingAcrossAlgorithms) {
+TEST_F(PipelineTest, CostOrderingAcrossPlanners) {
+  auto plan = [this](const char* name) {
+    return MakePlanner(name)
+        .ValueOrDie()
+        ->Plan(graph_, workload_)
+        .MoveValueOrDie();
+  };
   double ff = HybridCost(graph_, workload_);
-  double push_all = ScheduleCost(graph_, workload_, PushAllSchedule(graph_));
-  double pull_all = ScheduleCost(graph_, workload_, PullAllSchedule(graph_));
-  auto pn = RunParallelNosy(graph_, workload_).ValueOrDie();
-  Schedule cc = RunChitChat(graph_, workload_).ValueOrDie();
-  double cc_cost = ScheduleCost(graph_, workload_, cc, ResidualPolicy::kFree);
+  PlanResult push_all = plan("push-all");
+  PlanResult pull_all = plan("pull-all");
+  PlanResult pn = plan("nosy");
+  PlanResult cc = plan("chitchat");
 
   // FF dominates the naive baselines; piggybacking dominates FF.
-  EXPECT_LE(ff, push_all + 1e-9);
-  EXPECT_LE(ff, pull_all + 1e-9);
+  EXPECT_LE(ff, push_all.final_cost + 1e-9);
+  EXPECT_LE(ff, pull_all.final_cost + 1e-9);
   EXPECT_LE(pn.final_cost, ff + 1e-6);
-  EXPECT_LE(cc_cost, ff + 1e-6);
+  EXPECT_LE(cc.final_cost, ff + 1e-6);
   // On a clustered graph at the reference ratio both must find real savings.
   EXPECT_LT(pn.final_cost, ff * 0.995);
-  EXPECT_LT(cc_cost, ff * 0.995);
+  EXPECT_LT(cc.final_cost, ff * 0.995);
   // CHITCHAT searches a richer hub-graph space than single-consumer
   // PARALLELNOSY (paper Sec. 4.4: "the difference is large").
-  EXPECT_LE(cc_cost, pn.final_cost * 1.02);
+  EXPECT_LE(cc.final_cost, pn.final_cost * 1.02);
 }
 
-TEST_F(PipelineTest, AllSchedulesValidateAndServe) {
-  std::vector<std::pair<const char*, Schedule>> schedules;
-  schedules.emplace_back("ff", HybridSchedule(graph_, workload_));
-  schedules.emplace_back("pn",
-                         RunParallelNosy(graph_, workload_).ValueOrDie().schedule);
-  schedules.emplace_back("cc", RunChitChat(graph_, workload_).ValueOrDie());
-
-  for (auto& [name, schedule] : schedules) {
-    SCOPED_TRACE(name);
-    ASSERT_TRUE(ValidateSchedule(graph_, schedule).ok());
+TEST_F(PipelineTest, EveryRegisteredPlannerValidatesAndServes) {
+  // The full pipeline must work for whatever the registry knows about —
+  // the schedule-agnostic serving layer is the paper's core design claim.
+  for (const PlannerInfo& info : RegisteredPlanners()) {
+    SCOPED_TRACE(info.name);
+    PlanResult plan = MakePlanner(info.name)
+                          .ValueOrDie()
+                          ->Plan(graph_, workload_)
+                          .MoveValueOrDie();
+    ASSERT_TRUE(ValidateSchedule(graph_, plan.schedule).ok());
     PrototypeOptions opt;
     opt.num_servers = 32;
     opt.view_capacity = 0;  // exact audits
-    auto proto = Prototype::Create(graph_, schedule, opt).MoveValueOrDie();
+    auto proto = Prototype::Create(graph_, plan.schedule, opt).MoveValueOrDie();
     DriverOptions d;
     d.num_requests = 3000;
     d.audit_every = 20;

@@ -14,13 +14,14 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "core/piggy.h"
 #include "core/schedule_io.h"
 #include "store/partitioner.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 namespace piggy {
 namespace {
@@ -35,11 +36,22 @@ int Usage() {
                "  stats     --graph FILE\n"
                "  sample    --graph FILE --method rw|bfs --edges N [--seed S]\n"
                "            --out FILE\n"
-               "  optimize  --graph FILE --algorithm ff|parallelnosy|chitchat\n"
-               "            [--ratio R] [--iterations K] --out FILE\n"
+               "  optimize  --graph FILE --planner NAME [--ratio R]\n"
+               "            [--iterations K] [--threads T] [--deadline SECS]\n"
+               "            --out FILE       (--planner list shows the registry;\n"
+               "                              --algorithm is a legacy alias)\n"
                "  evaluate  --graph FILE --schedule FILE [--ratio R]\n"
                "            [--servers N] [--requests N] [--seed S]\n");
   return 2;
+}
+
+int ListPlanners() {
+  std::printf("registered planners:\n");
+  for (const PlannerInfo& info : RegisteredPlanners()) {
+    std::printf("  %-10s %s\n", info.name.c_str(), info.description.c_str());
+  }
+  std::printf("aliases: ff -> hybrid, parallelnosy -> nosy\n");
+  return 0;
 }
 
 class Args {
@@ -132,44 +144,53 @@ Status CmdSample(const Args& args) {
   return Status::OK();
 }
 
+// Maps the legacy --algorithm spellings onto registry names; everything else
+// passes through to the registry (which reports unknown names itself).
+std::string ResolvePlannerName(const Args& args) {
+  std::string name = args.Str("planner");
+  if (!name.empty()) return name;
+  const std::string legacy = args.Str("algorithm");
+  if (legacy.empty()) return "nosy";
+  if (legacy == "ff") return "hybrid";
+  if (legacy == "parallelnosy") return "nosy";
+  return legacy;
+}
+
 Status CmdOptimize(const Args& args) {
   PIGGY_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.Str("graph")));
   PIGGY_ASSIGN_OR_RETURN(
       Workload w,
       GenerateWorkload(g, {.read_write_ratio = args.Double("ratio", 5.0),
                            .min_rate = 0.01}));
-  const std::string algorithm = args.Str("algorithm", "parallelnosy");
-  const double ff = HybridCost(g, w);
+  const std::string name = ResolvePlannerName(args);
 
-  WallTimer timer;
-  Schedule schedule;
-  if (algorithm == "ff") {
-    schedule = HybridSchedule(g, w);
-  } else if (algorithm == "parallelnosy") {
+  // --iterations only makes sense for the iterative planner; honor it via
+  // the typed factory, otherwise instantiate from the registry.
+  std::unique_ptr<Planner> planner;
+  const int64_t iterations = args.Int("iterations", 0);
+  if (iterations > 0 && (name == "nosy" || name == "parallelnosy")) {
     ParallelNosyOptions opt;
-    opt.max_iterations = static_cast<size_t>(args.Int("iterations", 50));
-    PIGGY_ASSIGN_OR_RETURN(ParallelNosyResult result, RunParallelNosy(g, w, opt));
-    std::printf("converged=%d after %zu iterations\n", result.converged,
-                result.iterations.size());
-    schedule = std::move(result.schedule);
-  } else if (algorithm == "chitchat") {
-    ChitChatStats stats;
-    PIGGY_ASSIGN_OR_RETURN(schedule, RunChitChat(g, w, {}, &stats));
-    std::printf("%s\n", stats.ToString().c_str());
+    opt.max_iterations = static_cast<size_t>(iterations);
+    planner = MakeParallelNosyPlanner(opt);
   } else {
-    return Status::InvalidArgument("algorithm must be ff|parallelnosy|chitchat");
+    PIGGY_ASSIGN_OR_RETURN(planner, MakePlanner(name));
   }
 
-  PIGGY_RETURN_NOT_OK(ValidateSchedule(g, schedule));
-  double cost = ScheduleCost(g, w, schedule, ResidualPolicy::kFree);
-  std::printf("optimized in %.1fs: cost %.1f, FF %.1f, improvement %.3fx\n",
-              timer.Seconds(), cost, ff, ImprovementRatio(ff, cost));
+  PlanContext ctx;
+  ctx.num_threads = static_cast<size_t>(args.Int("threads", 0));
+  ctx.deadline_seconds = args.Double("deadline", 0.0);
+
+  PIGGY_ASSIGN_OR_RETURN(PlanResult plan, planner->Plan(g, w, ctx));
+  if (!plan.stats_text.empty()) std::printf("%s\n", plan.stats_text.c_str());
+
+  PIGGY_RETURN_NOT_OK(ValidateSchedule(g, plan.schedule));
+  std::printf("%s\n", plan.ToString().c_str());
   std::string out = args.Str("out");
   if (!out.empty()) {
-    PIGGY_RETURN_NOT_OK(WriteScheduleText(schedule, out));
+    PIGGY_RETURN_NOT_OK(WriteScheduleText(plan.schedule, out));
     std::printf("wrote %s (H=%zu L=%zu C=%zu)\n", out.c_str(),
-                schedule.push_size(), schedule.pull_size(),
-                schedule.hub_covered_size());
+                plan.schedule.push_size(), plan.schedule.pull_size(),
+                plan.schedule.hub_covered_size());
   }
   return Status::OK();
 }
@@ -211,6 +232,10 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Args args(argc, argv);
+  if (command == "planners" ||
+      (command == "optimize" && args.Str("planner") == "list")) {
+    return ListPlanners();
+  }
   Status status = Status::InvalidArgument("unknown command: " + command);
   if (command == "generate") status = CmdGenerate(args);
   if (command == "stats") status = CmdStats(args);
