@@ -9,11 +9,14 @@
 // FF wins below ~200 servers, PARALLELNOSY above; the ratio converges to the
 // placement-free ratio of Figure 4 as co-location becomes negligible.
 //
-// Rows are (planner, servers); pass --planners to sweep other registry
-// planners.
+// Rows are (planner, partitioner, servers); pass --planners / --partitioners
+// to sweep other registry planners and placement policies (e.g.
+// --partitioners hash,edge-cut shows how much graph-aware placement recovers
+// of the co-location the hash default gives away).
 
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "bench/bench_common.h"
 #include "core/cost_model.h"
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
   const size_t nodes = static_cast<size_t>(flags.Int("nodes", 15000));
   const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
   const std::string planners = flags.Str("planners", "nosy,hybrid");
+  const std::string partitioners = flags.Str("partitioners", "hash");
 
   Banner("Figure 7 - predicted throughput (with data placement) vs servers",
          "expect: normalized throughput falls with fleet size; crossover "
@@ -49,8 +53,19 @@ int main(int argc, char** argv) {
   const std::vector<size_t> fleets = {1,   2,   5,    10,   20,   50,  100,
                                       200, 500, 1000, 2000, 5000, 10000};
 
-  Table table({"planner", "plan_context", "servers", "throughput_norm"});
+  Table table(
+      {"planner", "plan_context", "partitioner", "servers", "throughput_norm"});
   std::map<std::string, std::map<size_t, double>> curves;
+
+  // Placements depend only on (policy, servers), not on the planner: build
+  // each once up front (the edge-cut build is the expensive part).
+  const std::vector<std::string> policies = StrSplit(partitioners, ',');
+  std::map<std::string, std::map<size_t, std::unique_ptr<Partitioner>>> parts;
+  for (const std::string& policy : policies) {
+    for (size_t servers : fleets) {
+      parts[policy][servers] = MakePartitioner(policy, g, w, servers).MoveValueOrDie();
+    }
+  }
 
   for (const std::string& name : StrSplit(planners, ',')) {
     auto planner = MakePlanner(name).MoveValueOrDie();
@@ -58,12 +73,15 @@ int main(int argc, char** argv) {
     std::printf("%s placement-free predicted improvement ratio: %.3f\n",
                 plan.planner.c_str(),
                 ImprovementRatio(plan.hybrid_cost, plan.final_cost));
-    for (size_t servers : fleets) {
-      HashPartitioner part(servers);
-      double cost = PlacementAwareCost(g, w, plan.schedule, part);
-      curves[plan.planner][servers] = cost;
-      table.AddRow({plan.planner, ctx_str, std::to_string(servers),
-                    Fmt(optimum_cost / cost)});
+    for (const std::string& policy : policies) {
+      for (size_t servers : fleets) {
+        const Partitioner& part = *parts[policy][servers];
+        double cost = PlacementAwareCost(g, w, plan.schedule, part);
+        // The planner-comparison summary below tracks the first policy only.
+        if (policy == policies.front()) curves[plan.planner][servers] = cost;
+        table.AddRow({plan.planner, ctx_str, part.name(),
+                      std::to_string(servers), Fmt(optimum_cost / cost)});
+      }
     }
   }
 

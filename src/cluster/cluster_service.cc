@@ -1,0 +1,493 @@
+#include "cluster/cluster_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/alias_table.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace piggy {
+
+namespace {
+
+// Push/pull decision for a cross-shard edge: the hybrid (FF) rule, same
+// tie-break as HybridSchedule — push iff rp(producer) <= rc(consumer).
+CrossEdgeMode DecideMode(const Workload& w, NodeId producer, NodeId consumer) {
+  return w.rp(producer) <= w.rc(consumer) ? CrossEdgeMode::kPush
+                                          : CrossEdgeMode::kPull;
+}
+
+double MaxOverMean(const std::vector<uint64_t>& loads) {
+  if (loads.empty()) return 0;
+  uint64_t total = 0, max = 0;
+  for (uint64_t x : loads) {
+    total += x;
+    max = std::max(max, x);
+  }
+  if (total == 0) return 0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(loads.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace
+
+std::string ClusterMetrics::ToString() const {
+  return StrFormat(
+      "shards=%zu partitioner=%s planner=%s cost=%.1f (intra=%.1f cross=%.1f) "
+      "cross_edges=%zu replicas=%zu replans=%zu repairs=%zu churn=%zu "
+      "shares=%lu queries=%lu audited=%lu cross_msgs=%lu+%lu mpr=%.2f "
+      "imbalance=%.2f",
+      shards, partitioner.c_str(), planner.c_str(), total_cost, intra_cost,
+      cross_cost, cross_edges, replicas, replans, repairs, churn_ops,
+      static_cast<unsigned long>(shares), static_cast<unsigned long>(queries),
+      static_cast<unsigned long>(audited_queries),
+      static_cast<unsigned long>(cross_update_messages),
+      static_cast<unsigned long>(cross_query_messages), messages_per_request,
+      imbalance);
+}
+
+std::string ClusterDriveReport::ToString() const {
+  return StrFormat(
+      "requests=%lu (shares=%lu queries=%lu) msgs/req=%.3f cross/req=%.3f "
+      "imbalance=%.2f audits=%zu",
+      static_cast<unsigned long>(requests), static_cast<unsigned long>(shares),
+      static_cast<unsigned long>(queries), messages_per_request,
+      cross_messages_per_request, imbalance, audited_queries);
+}
+
+ClusterService::ClusterService(ClusterOptions options, ShardMap map,
+                               Workload workload, size_t feed_size)
+    : options_(std::move(options)),
+      map_(std::move(map)),
+      workload_(std::move(workload)),
+      cross_(map_.num_shards(), feed_size),
+      feed_size_(feed_size),
+      producer_seqs_(map_.num_nodes()),
+      per_shard_requests_(map_.num_shards(), 0) {}
+
+Result<std::unique_ptr<ClusterService>> ClusterService::Create(
+    const Graph& graph, const ClusterOptions& options) {
+  PIGGY_ASSIGN_OR_RETURN(Workload workload,
+                         GenerateWorkload(graph, options.shard.workload));
+  return Create(graph, std::move(workload), options);
+}
+
+Result<std::unique_ptr<ClusterService>> ClusterService::Create(
+    const Graph& graph, Workload workload, const ClusterOptions& options) {
+  if (workload.num_users() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("workload covers %zu users but graph has %zu nodes",
+                  workload.num_users(), graph.num_nodes()));
+  }
+  if (options.shard.prototype.feed_size == 0) {
+    return Status::InvalidArgument("feed_size must be positive");
+  }
+  PIGGY_ASSIGN_OR_RETURN(
+      std::unique_ptr<Partitioner> partitioner,
+      MakePartitioner(options.partitioner, graph, workload, options.num_shards,
+                      options.partition_salt));
+  PIGGY_ASSIGN_OR_RETURN(ShardMap map, ShardMap::Build(graph, *partitioner));
+
+  ClusterOptions opts = options;
+  opts.partitioner = partitioner->name();  // canonicalize aliases
+  auto cluster = std::unique_ptr<ClusterService>(
+      new ClusterService(std::move(opts), std::move(map), std::move(workload),
+                         options.shard.prototype.feed_size));
+  cluster->graph_ = DynamicGraph(graph);
+
+  const size_t shards = cluster->map_.num_shards();
+  std::vector<Graph> subgraphs(shards);
+  std::vector<Workload> locals(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    PIGGY_ASSIGN_OR_RETURN(subgraphs[s],
+                           cluster->map_.InducedSubgraph(graph, s));
+    locals[s] = cluster->map_.ProjectWorkload(cluster->workload_, s);
+  }
+
+  // Every shard plans concurrently on its induced subgraph; with an auto
+  // thread budget each shard planner stays single-threaded (the cluster is
+  // the parallel dimension, and oversubscribing k shards x p planner threads
+  // helps nobody).
+  FeedServiceOptions shard_opts = cluster->options_.shard;
+  if (shards > 1 && shard_opts.plan_context.num_threads == 0) {
+    shard_opts.plan_context.num_threads = 1;
+  }
+  cluster->shards_.resize(shards);
+  std::vector<Status> status(shards);
+  {
+    ThreadPool pool(std::min(shards, ThreadPool::DefaultThreads()));
+    ParallelFor(pool, shards, [&](size_t s) {
+      auto service =
+          FeedService::Create(subgraphs[s], std::move(locals[s]), shard_opts);
+      if (service.ok()) {
+        cluster->shards_[s].service = std::move(service).MoveValueOrDie();
+      } else {
+        status[s] = service.status();
+      }
+    });
+  }
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (!status[s].ok()) {
+      return Status(status[s].code(),
+                    StrFormat("shard %u: %s", s, status[s].message().c_str()));
+    }
+  }
+
+  // Hand every cross-shard edge to the router at the cheaper side. No events
+  // exist yet, so replica backfills are empty (and the backfill messages
+  // below are the one-off materialization cost, not steady-state traffic).
+  graph.ForEachEdge([&](const Edge& e) {
+    const uint32_t sp = cluster->map_.ShardOf(e.src);
+    const uint32_t sc = cluster->map_.ShardOf(e.dst);
+    if (sp == sc) return;
+    cluster->cross_.AddEdge(e.src, sp, e.dst, sc,
+                            DecideMode(cluster->workload_, e.src, e.dst), {});
+  });
+  return cluster;
+}
+
+Status ClusterService::Share(NodeId u) {
+  if (u >= map_.num_nodes()) {
+    return Status::InvalidArgument(StrFormat("unknown user %u", u));
+  }
+  const uint32_t s = map_.ShardOf(u);
+  PIGGY_RETURN_NOT_OK(shards_[s].service->Share(map_.LocalId(u)));
+  const uint64_t seq = next_seq_++;
+  std::vector<uint64_t>& history = producer_seqs_[u];
+  history.push_back(seq);
+  if (history.size() > feed_size_) history.erase(history.begin());
+  cross_.Publish(u, seq);
+  ++per_shard_requests_[s];
+  ++shares_;
+  return Status::OK();
+}
+
+Result<std::vector<EventTuple>> ClusterService::QueryStream(NodeId u) {
+  const bool audit = options_.audit_every > 0 &&
+                     queries_since_audit_ + 1 >= options_.audit_every;
+  if (audit) queries_since_audit_ = 0;
+  else ++queries_since_audit_;
+  return QueryInternal(u, audit);
+}
+
+Result<std::vector<EventTuple>> ClusterService::QueryInternal(NodeId u,
+                                                              bool force_audit) {
+  if (u >= map_.num_nodes()) {
+    return Status::InvalidArgument(StrFormat("unknown user %u", u));
+  }
+  const uint32_t s = map_.ShardOf(u);
+  PIGGY_ASSIGN_OR_RETURN(std::vector<EventTuple> local,
+                         shards_[s].service->QueryStream(map_.LocalId(u)));
+  ++per_shard_requests_[s];
+  ++queries_;
+
+  // Collect (seq, producer) candidates. Local feed events map back to global
+  // sequence numbers by per-producer position: the feed is newest-first and
+  // holds each producer's newest events, so the c-th occurrence of a producer
+  // (counting from the newest) is its c-th newest share.
+  std::vector<std::pair<uint64_t, NodeId>> candidates;
+  candidates.reserve(local.size() + 8);
+  {
+    U64Map<uint32_t> seen;  // local producer -> occurrences so far
+    for (const EventTuple& e : local) {
+      const NodeId producer = map_.GlobalId(s, e.producer);
+      uint32_t* count = seen.Find(producer);
+      const uint32_t c = count ? (*count)++ : 0;
+      if (!count) seen.Put(producer, 1);
+      const std::vector<uint64_t>& history = producer_seqs_[producer];
+      PIGGY_CHECK_LT(c, history.size());
+      candidates.emplace_back(history[history.size() - 1 - c], producer);
+    }
+  }
+  // Remote push producers: replicas materialized in u's own shard, free.
+  for (NodeId producer : cross_.PushProducers(u)) {
+    for (uint64_t seq : cross_.ReadReplica(s, producer)) {
+      candidates.emplace_back(seq, producer);
+    }
+  }
+  // Remote pulls: one batched message per touched shard.
+  std::span<const uint32_t> pull_shards = cross_.PullShards(u);
+  for (uint32_t remote : pull_shards) {
+    for (NodeId producer : cross_.PullProducers(u, remote)) {
+      for (uint64_t seq : producer_seqs_[producer]) {
+        candidates.emplace_back(seq, producer);
+      }
+    }
+  }
+  cross_.CountQueryFanout(pull_shards.size());
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (candidates.size() > feed_size_) candidates.resize(feed_size_);
+  std::vector<EventTuple> stream;
+  stream.reserve(candidates.size());
+  for (const auto& [seq, producer] : candidates) {
+    stream.push_back(EventTuple{producer, seq, seq});
+  }
+
+  if (force_audit) {
+    PIGGY_RETURN_NOT_OK(AuditMerged(u, stream));
+    ++audited_queries_;
+  }
+  return stream;
+}
+
+Status ClusterService::AuditMerged(NodeId u, const std::vector<EventTuple>& stream) {
+  auto followees = graph_.InNeighbors(u);
+  auto allowed = [&](NodeId producer) {
+    return producer == u ||
+           std::binary_search(followees.begin(), followees.end(), producer);
+  };
+  // Soundness: only events of followed producers, newest-first, no repeats.
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (!allowed(stream[i].producer)) {
+      return Status::Internal(StrFormat("merged stream of %u leaks producer %u",
+                                        u, stream[i].producer));
+    }
+    if (i > 0 && stream[i].event_id >= stream[i - 1].event_id) {
+      return Status::Internal(
+          StrFormat("merged stream of %u not newest-first at %zu", u, i));
+    }
+  }
+
+  // Completeness is provable only while u's shard has not trimmed any view
+  // (same guard as Prototype::AuditStream).
+  const uint32_t s = map_.ShardOf(u);
+  PIGGY_ASSIGN_OR_RETURN(Prototype * plane, shards_[s].service->ServingPlane());
+  if (plane->TotalTrimmedEvents() > 0) return Status::OK();
+
+  std::vector<std::pair<uint64_t, NodeId>> oracle;
+  auto add_producer = [&](NodeId p) {
+    for (uint64_t seq : producer_seqs_[p]) oracle.emplace_back(seq, p);
+  };
+  add_producer(u);
+  for (NodeId p : followees) add_producer(p);
+  std::sort(oracle.begin(), oracle.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (oracle.size() > feed_size_) oracle.resize(feed_size_);
+  if (oracle.size() != stream.size()) {
+    return Status::Internal(StrFormat("merged stream of %u has %zu events, oracle %zu",
+                                      u, stream.size(), oracle.size()));
+  }
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    if (stream[i].event_id != oracle[i].first ||
+        stream[i].producer != oracle[i].second) {
+      return Status::Internal(
+          StrFormat("merged stream of %u diverges from oracle at %zu", u, i));
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterService::ApplyChurn() {
+  ++churn_ops_;
+  ++churn_since_replan_;
+  if (options_.replan_after_churn > 0 &&
+      churn_since_replan_ >= options_.replan_after_churn) {
+    return Replan();
+  }
+  return Status::OK();
+}
+
+Status ClusterService::Follow(NodeId follower, NodeId producer) {
+  if (follower >= map_.num_nodes() || producer >= map_.num_nodes()) {
+    return Status::InvalidArgument("unknown user in Follow");
+  }
+  if (follower == producer) {
+    return Status::InvalidArgument("users may not follow themselves");
+  }
+  if (graph_.HasEdge(producer, follower)) return Status::OK();
+  const uint32_t sp = map_.ShardOf(producer);
+  const uint32_t sc = map_.ShardOf(follower);
+  if (sp == sc) {
+    PIGGY_RETURN_NOT_OK(shards_[sp].service->Follow(map_.LocalId(follower),
+                                                    map_.LocalId(producer)));
+  } else {
+    cross_.AddEdge(producer, sp, follower, sc,
+                   DecideMode(workload_, producer, follower),
+                   producer_seqs_[producer]);
+  }
+  graph_.AddEdge(producer, follower);
+  return ApplyChurn();
+}
+
+Status ClusterService::Unfollow(NodeId follower, NodeId producer) {
+  if (follower >= map_.num_nodes() || producer >= map_.num_nodes()) {
+    return Status::InvalidArgument("unknown user in Unfollow");
+  }
+  if (!graph_.HasEdge(producer, follower)) return Status::OK();
+  const uint32_t sp = map_.ShardOf(producer);
+  const uint32_t sc = map_.ShardOf(follower);
+  if (sp == sc) {
+    PIGGY_RETURN_NOT_OK(shards_[sp].service->Unfollow(map_.LocalId(follower),
+                                                      map_.LocalId(producer)));
+  } else {
+    cross_.RemoveEdge(producer, follower);
+  }
+  graph_.RemoveEdge(producer, follower);
+  return ApplyChurn();
+}
+
+Status ClusterService::Replan() {
+  const size_t shards = shards_.size();
+  std::vector<Status> status(shards);
+  {
+    ThreadPool pool(std::min(shards, ThreadPool::DefaultThreads()));
+    ParallelFor(pool, shards,
+                [&](size_t s) { status[s] = shards_[s].service->Replan(); });
+  }
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (!status[s].ok()) {
+      return Status(status[s].code(),
+                    StrFormat("shard %u: %s", s, status[s].message().c_str()));
+    }
+  }
+  churn_since_replan_ = 0;
+  return Status::OK();
+}
+
+Result<ClusterDriveReport> ClusterService::Drive(const DriverOptions& options) {
+  const double total_p = workload_.TotalProduction();
+  const double total_c = workload_.TotalConsumption();
+  if (total_p <= 0 || total_c <= 0) {
+    return Status::InvalidArgument("workload must have positive total rates");
+  }
+  AliasTable share_sampler(workload_.production);
+  AliasTable query_sampler(workload_.consumption);
+  const double p_share = total_p / (total_p + total_c);
+  Rng rng(options.seed);
+
+  // Raw counter snapshots: the report is a per-run delta, excluding both
+  // earlier runs and the one-off replica-backfill traffic of cluster setup.
+  const CrossTraffic cross_before = cross_.traffic();
+  const double shard_messages_before = ShardMessages();
+  const std::vector<uint64_t> shard_requests_before = per_shard_requests_;
+
+  ClusterDriveReport report;
+  for (size_t i = 0; i < options.num_requests; ++i) {
+    if (rng.Bernoulli(p_share)) {
+      PIGGY_RETURN_NOT_OK(Share(share_sampler.Sample(rng)));
+      ++report.shares;
+    } else {
+      const NodeId u = query_sampler.Sample(rng);
+      const bool audit =
+          options.audit_every > 0 && report.queries % options.audit_every == 0;
+      PIGGY_RETURN_NOT_OK(QueryInternal(u, audit).status());
+      ++report.queries;
+      report.audited_queries += audit;
+    }
+  }
+  report.requests = report.shares + report.queries;
+
+  if (report.requests > 0) {
+    const CrossTraffic& cross_after = cross_.traffic();
+    const uint64_t cross_delta =
+        cross_after.update_messages + cross_after.query_messages -
+        cross_before.update_messages - cross_before.query_messages;
+    const double requests = static_cast<double>(report.requests);
+    report.messages_per_request =
+        (ShardMessages() - shard_messages_before +
+         static_cast<double>(cross_delta)) /
+        requests;
+    report.cross_messages_per_request =
+        static_cast<double>(cross_delta) / requests;
+  }
+  std::vector<uint64_t> routed(per_shard_requests_.size());
+  for (size_t s = 0; s < routed.size(); ++s) {
+    routed[s] = per_shard_requests_[s] - shard_requests_before[s];
+  }
+  report.imbalance = MaxOverMean(routed);
+  return report;
+}
+
+double ClusterService::ShardMessages() const {
+  // Exact despite going through the per-request ratio: a shard with zero
+  // requests has zero client messages.
+  double total = 0;
+  for (const Shard& shard : shards_) {
+    const FeedService::Metrics sm = shard.service->GetMetrics();
+    total += sm.messages_per_request * static_cast<double>(sm.shares + sm.queries);
+  }
+  return total;
+}
+
+ClusterMetrics ClusterService::GetMetrics() const {
+  ClusterMetrics m;
+  m.shards = shards_.size();
+  m.partitioner = options_.partitioner;
+  m.cross_edges = cross_.num_edges();
+  m.replicas = cross_.num_replicas();
+  m.cross_cost = cross_.PredictedCost(workload_);
+  m.churn_ops = churn_ops_;
+  m.shares = shares_;
+  m.queries = queries_;
+  m.audited_queries = audited_queries_;
+  m.cross_update_messages = cross_.traffic().update_messages;
+  m.cross_query_messages = cross_.traffic().query_messages;
+  m.per_shard_requests = per_shard_requests_;
+  m.imbalance = MaxOverMean(per_shard_requests_);
+
+  for (const Shard& shard : shards_) {
+    const FeedService::Metrics sm = shard.service->GetMetrics();
+    m.planner = sm.planner;
+    m.intra_cost += sm.schedule_cost;
+    m.replans += sm.replans;
+    m.repairs += sm.repairs;
+  }
+  m.total_cost = m.intra_cost + m.cross_cost;
+  const uint64_t requests = m.shares + m.queries;
+  if (requests > 0) {
+    // Lifetime average, so the one-off backfill messages of setup and
+    // cross-shard Follows are included (unlike Drive's per-run delta).
+    m.messages_per_request =
+        (ShardMessages() +
+         static_cast<double>(m.cross_update_messages + m.cross_query_messages)) /
+        static_cast<double>(requests);
+  }
+  return m;
+}
+
+Status ClusterService::Validate() const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Status st = shards_[s].service->Validate();
+    if (!st.ok()) {
+      return Status(st.code(), StrFormat("shard %zu: %s", s, st.message().c_str()));
+    }
+  }
+  // Every cluster edge must have exactly one serving owner: its shard's
+  // schedule (same-shard) or the router (cross-shard).
+  Status st = Status::OK();
+  size_t cross_seen = 0;
+  graph_.ForEachEdge([&](const Edge& e) {
+    if (!st.ok()) return;
+    const uint32_t sp = map_.ShardOf(e.src);
+    const uint32_t sc = map_.ShardOf(e.dst);
+    if (sp == sc) {
+      if (!shards_[sp].service->graph().HasEdge(map_.LocalId(e.src),
+                                                map_.LocalId(e.dst))) {
+        st = Status::Internal(StrFormat("edge %u->%u missing from shard %u",
+                                        e.src, e.dst, sp));
+      } else if (cross_.HasEdge(e.src, e.dst)) {
+        st = Status::Internal(StrFormat("same-shard edge %u->%u tracked by router",
+                                        e.src, e.dst));
+      }
+    } else {
+      ++cross_seen;
+      if (!cross_.HasEdge(e.src, e.dst)) {
+        st = Status::Internal(StrFormat("cross edge %u->%u not tracked by router",
+                                        e.src, e.dst));
+      }
+    }
+  });
+  PIGGY_RETURN_NOT_OK(st);
+  if (cross_seen != cross_.num_edges()) {
+    return Status::Internal(StrFormat("router tracks %zu cross edges, graph has %zu",
+                                      cross_.num_edges(), cross_seen));
+  }
+  return Status::OK();
+}
+
+}  // namespace piggy

@@ -1,0 +1,220 @@
+// ClusterService: a sharded serving cluster behind the FeedService surface.
+//
+// The paper's prototype serves feeds from a fleet of data-store servers where
+// placement shapes throughput (Sec. 4.3, Figs. 7-8). ClusterService takes the
+// next step: the social graph itself is partitioned across N shards by a
+// pluggable Partitioner ("hash" or the graph-aware "edge-cut"), every shard
+// runs a full shard-local FeedService — planned by the registry planner on
+// the shard-induced subgraph, all shards planned in parallel — and a router
+// presents the single-deployment API:
+//
+//   auto cluster = ClusterService::Create(graph, options).MoveValueOrDie();
+//   cluster->Share(user);                   // routed to the user's shard
+//   auto feed = cluster->QueryStream(user); // merged local + cross-shard
+//   cluster->Follow(a, b);                  // intra- or cross-shard churn
+//   cluster->Replan();                      // all shards replan in parallel
+//   auto m = cluster->GetMetrics();         // per-shard load + cross traffic
+//
+// Cross-shard edges are served by the router (see cluster/cross_shard.h):
+// pushes materialize the producer's events into the consumer's shard (one
+// replica per shard, one batched update message per touched shard), pulls fan
+// out one batched query message per touched shard — the paper's
+// one-message-per-server batching rule lifted to shard granularity. A 1-shard
+// cluster degenerates to exactly one FeedService with no router overhead:
+// schedules and query results are bit-identical to the single-process
+// deployment (cluster_test proves it).
+//
+// Feeds stay audit-exact under churn: the router merges by global share
+// order, and QueryStream can audit the merged stream against a cluster-wide
+// oracle over the full dynamic graph, every audit_every-th query.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cross_shard.h"
+#include "cluster/shard_map.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "store/feed_service.h"
+#include "store/partitioner.h"
+#include "store/view_store.h"
+#include "store/workload_driver.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// \brief ClusterService configuration.
+struct ClusterOptions {
+  /// Number of serving shards.
+  size_t num_shards = 1;
+  /// Registry name of the placement policy (see RegisteredPartitioners()).
+  std::string partitioner = "hash";
+  /// Salt for the hash policy (ignored by graph-aware partitioners).
+  uint64_t partition_salt = kDefaultPartitionSalt;
+  /// Per-shard FeedService configuration: planner, PlanContext, serving-plane
+  /// sizing, shard-local audits and auto-replan. When shards are planned in
+  /// parallel and plan_context.num_threads is 0 (auto), each shard planner
+  /// runs single-threaded — the cluster already parallelizes across shards.
+  FeedServiceOptions shard;
+  /// Audit every Nth merged stream against the cluster-wide oracle (0 = no
+  /// cluster-level audits; shard-local audits are configured in shard).
+  size_t audit_every = 0;
+  /// Re-plan every shard after this many cluster churn ops (0 = only explicit
+  /// Replan calls; shard.replan_after_churn additionally applies per shard to
+  /// its local churn).
+  size_t replan_after_churn = 0;
+};
+
+/// \brief Cluster-wide cost + traffic counters.
+struct ClusterMetrics {
+  size_t shards = 0;
+  std::string partitioner;  ///< placement policy name
+  std::string planner;      ///< registry planner name (canonicalized)
+  double intra_cost = 0;    ///< sum of shard schedule costs
+  double cross_cost = 0;    ///< predicted batched cross-shard cost
+  double total_cost = 0;    ///< intra + cross
+  size_t cross_edges = 0;   ///< edges currently crossing shards
+  size_t replicas = 0;      ///< (producer, shard) replicas materialized
+  size_t replans = 0;       ///< planner runs summed over shards
+  size_t repairs = 0;       ///< Sec.-3.3 repairs summed over shards
+  size_t churn_ops = 0;     ///< cluster Follow/Unfollow ops applied
+  uint64_t shares = 0;
+  uint64_t queries = 0;
+  uint64_t audited_queries = 0;         ///< cluster-level merged-stream audits
+  uint64_t cross_update_messages = 0;   ///< remote-push fan-out + backfills
+  uint64_t cross_query_messages = 0;    ///< remote-pull fan-out
+  std::vector<uint64_t> per_shard_requests;  ///< requests routed per shard
+  double imbalance = 0;  ///< max/mean of per_shard_requests (1 = even)
+  double messages_per_request = 0;  ///< shard-local + cross messages
+
+  std::string ToString() const;
+};
+
+/// \brief Measurements from one cluster Drive run.
+struct ClusterDriveReport {
+  uint64_t requests = 0;
+  uint64_t shares = 0;
+  uint64_t queries = 0;
+  size_t audited_queries = 0;
+  double messages_per_request = 0;       ///< incl. cross-shard messages
+  double cross_messages_per_request = 0;
+  double imbalance = 0;                  ///< max/mean requests per shard
+
+  std::string ToString() const;
+};
+
+/// \brief A running sharded deployment.
+class ClusterService {
+ public:
+  /// Partitions `graph`, plans every shard in parallel with the configured
+  /// registry planner, and builds the shard-local serving planes. The
+  /// workload is synthesized once from the full graph (options.shard.workload
+  /// knobs) and projected per shard, so rates — and the cross-edge push/pull
+  /// decisions — are placement-independent.
+  static Result<std::unique_ptr<ClusterService>> Create(
+      const Graph& graph, const ClusterOptions& options);
+
+  /// Same, with explicit per-user rates (must cover every node).
+  static Result<std::unique_ptr<ClusterService>> Create(
+      const Graph& graph, Workload workload, const ClusterOptions& options);
+
+  /// User u shares an event: served by u's shard, then fanned out to every
+  /// shard replicating u (one batched update message per touched shard).
+  Status Share(NodeId u);
+
+  /// Assembles u's merged event stream: the shard-local feed, plus replicas
+  /// of remote push producers (free, they live in u's shard), plus one
+  /// batched pull message per remote shard. Audited against the cluster-wide
+  /// oracle every options.audit_every queries.
+  Result<std::vector<EventTuple>> QueryStream(NodeId u);
+
+  /// `follower` starts following `producer`. Same-shard edges go through the
+  /// shard FeedService (local Sec.-3.3 repair); cross-shard edges are taken
+  /// over by the router at the cheaper side (hybrid rule), materializing a
+  /// replica on push. OK if already following.
+  Status Follow(NodeId follower, NodeId producer);
+
+  /// `follower` stops following `producer`; drops the replica when the last
+  /// push edge into its shard disappears. OK if not following.
+  Status Unfollow(NodeId follower, NodeId producer);
+
+  /// Re-runs the configured planner on every shard's current subgraph, in
+  /// parallel (stored events are preserved per shard).
+  Status Replan();
+
+  /// Replays a rate-weighted request mix through the router (the paper's
+  /// measurement loop at cluster scale). options.audit_every audits merged
+  /// streams regardless of the service-level audit cadence.
+  Result<ClusterDriveReport> Drive(const DriverOptions& options);
+
+  ClusterMetrics GetMetrics() const;
+
+  /// Re-checks every shard schedule (Theorem 1) and the router's cross-edge
+  /// index against the cluster graph: every edge must be served by exactly
+  /// one owner (its shard's schedule, or the router).
+  Status Validate() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardMap& shard_map() const { return map_; }
+  const CrossShardIndex& cross_index() const { return cross_; }
+  const DynamicGraph& graph() const { return graph_; }
+  const Workload& workload() const { return workload_; }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Shard-local FeedService (measurement code; shard < num_shards()).
+  const FeedService& shard(size_t i) const { return *shards_[i].service; }
+  FeedService& shard(size_t i) { return *shards_[i].service; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<FeedService> service;
+  };
+
+  ClusterService(ClusterOptions options, ShardMap map, Workload workload,
+                 size_t feed_size);
+
+  /// Routes one query and optionally audits the merged stream.
+  Result<std::vector<EventTuple>> QueryInternal(NodeId u, bool force_audit);
+
+  /// Checks the merged stream of `u` against the cluster-wide event oracle.
+  Status AuditMerged(NodeId u, const std::vector<EventTuple>& stream);
+
+  /// Total batched messages issued by the shard-local clients (cross-shard
+  /// router traffic not included).
+  double ShardMessages() const;
+
+  Status ApplyChurn();
+
+  ClusterOptions options_;
+  ShardMap map_;
+  DynamicGraph graph_;  // the full cluster graph (churn applies here too)
+  Workload workload_;
+  std::vector<Shard> shards_;
+  CrossShardIndex cross_;
+  size_t feed_size_;
+
+  // Global share order: seq is 1-based so a 1-shard cluster's (event_id,
+  // timestamp) pairs coincide with the shard prototype's own numbering.
+  uint64_t next_seq_ = 1;
+  // Per-producer newest share seqs (ascending, trimmed to feed_size): the
+  // pull/backfill source and the cluster audit oracle. A feed can never
+  // surface more than feed_size events of one producer, so trimming is
+  // lossless for serving and auditing.
+  std::vector<std::vector<uint64_t>> producer_seqs_;
+
+  // Router counters.
+  std::vector<uint64_t> per_shard_requests_;
+  uint64_t shares_ = 0;
+  uint64_t queries_ = 0;
+  uint64_t audited_queries_ = 0;
+  uint64_t queries_since_audit_ = 0;
+  size_t churn_ops_ = 0;
+  size_t churn_since_replan_ = 0;
+};
+
+}  // namespace piggy

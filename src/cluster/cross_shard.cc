@@ -1,0 +1,167 @@
+#include "cluster/cross_shard.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace piggy {
+
+namespace {
+
+// Appends to the vector stored under `key`, creating it on first use.
+template <typename V>
+std::vector<V>& GetOrCreate(U64Map<std::vector<V>>& map, uint64_t key) {
+  std::vector<V>* v = map.Find(key);
+  if (v != nullptr) return *v;
+  map.Put(key, {});
+  return *map.Find(key);
+}
+
+// Removes one occurrence of `value`, erasing the map entry once empty.
+template <typename V>
+void EraseValue(U64Map<std::vector<V>>& map, uint64_t key, V value) {
+  std::vector<V>* v = map.Find(key);
+  PIGGY_CHECK(v != nullptr);
+  auto it = std::find(v->begin(), v->end(), value);
+  PIGGY_CHECK(it != v->end());
+  v->erase(it);
+  if (v->empty()) map.Erase(key);
+}
+
+void SortedInsert(std::vector<uint32_t>& v, uint32_t x) {
+  v.insert(std::lower_bound(v.begin(), v.end(), x), x);
+}
+
+}  // namespace
+
+CrossShardIndex::CrossShardIndex(size_t num_shards, size_t feed_size)
+    : num_shards_(num_shards), feed_size_(feed_size) {
+  PIGGY_CHECK_GT(num_shards, 0u);
+  PIGGY_CHECK_GT(feed_size, 0u);
+}
+
+std::optional<CrossEdgeMode> CrossShardIndex::ModeOf(NodeId producer,
+                                                     NodeId consumer) const {
+  const EdgeRec* rec = edges_.Find(EdgeKey(producer, consumer));
+  return rec ? std::optional<CrossEdgeMode>(rec->mode) : std::nullopt;
+}
+
+bool CrossShardIndex::AddEdge(NodeId producer, uint32_t producer_shard,
+                              NodeId consumer, uint32_t consumer_shard,
+                              CrossEdgeMode mode,
+                              std::span<const uint64_t> producer_history) {
+  PIGGY_CHECK_LT(producer_shard, num_shards_);
+  PIGGY_CHECK_LT(consumer_shard, num_shards_);
+  PIGGY_CHECK_NE(producer_shard, consumer_shard);
+  if (!edges_.PutIfAbsent(EdgeKey(producer, consumer),
+                          EdgeRec{mode, producer_shard, consumer_shard})) {
+    return false;
+  }
+  if (mode == CrossEdgeMode::kPush) {
+    const uint64_t target = EdgeKey(producer, consumer_shard);
+    if (uint32_t* count = push_target_count_.Find(target)) {
+      ++*count;  // shard already replicates the producer: nothing to move
+    } else {
+      push_target_count_.Put(target, 1);
+      SortedInsert(GetOrCreate(push_shards_, producer), consumer_shard);
+      // Materialize the replica: backfill the producer's newest events so
+      // pre-follow shares appear in the consumer's feed (one state-transfer
+      // message, like any batched update).
+      const size_t keep = std::min(producer_history.size(), feed_size_);
+      std::vector<uint64_t> seqs(producer_history.end() - keep,
+                                 producer_history.end());
+      replicas_.Put(EdgeKey(consumer_shard, producer), std::move(seqs));
+      ++replica_count_;
+      ++traffic_.update_messages;
+      ++traffic_.replica_backfills;
+    }
+    GetOrCreate(push_producers_, consumer).push_back(producer);
+  } else {
+    const uint64_t source = EdgeKey(consumer, producer_shard);
+    if (uint32_t* count = pull_source_count_.Find(source)) {
+      ++*count;
+    } else {
+      pull_source_count_.Put(source, 1);
+      SortedInsert(GetOrCreate(pull_shards_, consumer), producer_shard);
+    }
+    GetOrCreate(pull_producers_, EdgeKey(consumer, producer_shard))
+        .push_back(producer);
+  }
+  return true;
+}
+
+bool CrossShardIndex::RemoveEdge(NodeId producer, NodeId consumer) {
+  const EdgeRec* found = edges_.Find(EdgeKey(producer, consumer));
+  if (found == nullptr) return false;
+  const EdgeRec rec = *found;
+  edges_.Erase(EdgeKey(producer, consumer));
+  if (rec.mode == CrossEdgeMode::kPush) {
+    const uint64_t target = EdgeKey(producer, rec.consumer_shard);
+    uint32_t* count = push_target_count_.Find(target);
+    PIGGY_CHECK(count != nullptr);
+    if (--*count == 0) {
+      push_target_count_.Erase(target);
+      EraseValue(push_shards_, producer, rec.consumer_shard);
+      replicas_.Erase(EdgeKey(rec.consumer_shard, producer));
+      --replica_count_;
+    }
+    EraseValue(push_producers_, consumer, producer);
+  } else {
+    const uint64_t source = EdgeKey(consumer, rec.producer_shard);
+    uint32_t* count = pull_source_count_.Find(source);
+    PIGGY_CHECK(count != nullptr);
+    if (--*count == 0) {
+      pull_source_count_.Erase(source);
+      EraseValue(pull_shards_, consumer, rec.producer_shard);
+    }
+    EraseValue(pull_producers_, EdgeKey(consumer, rec.producer_shard), producer);
+  }
+  return true;
+}
+
+void CrossShardIndex::Publish(NodeId producer, uint64_t seq) {
+  const std::vector<uint32_t>* shards = push_shards_.Find(producer);
+  if (shards == nullptr) return;
+  for (uint32_t shard : *shards) {
+    std::vector<uint64_t>* replica = replicas_.Find(EdgeKey(shard, producer));
+    PIGGY_CHECK(replica != nullptr);
+    replica->push_back(seq);
+    if (replica->size() > feed_size_) replica->erase(replica->begin());
+  }
+  traffic_.update_messages += shards->size();
+}
+
+std::span<const NodeId> CrossShardIndex::PushProducers(NodeId consumer) const {
+  const std::vector<NodeId>* v = push_producers_.Find(consumer);
+  return v ? std::span<const NodeId>(*v) : std::span<const NodeId>();
+}
+
+std::span<const uint32_t> CrossShardIndex::PullShards(NodeId consumer) const {
+  const std::vector<uint32_t>* v = pull_shards_.Find(consumer);
+  return v ? std::span<const uint32_t>(*v) : std::span<const uint32_t>();
+}
+
+std::span<const NodeId> CrossShardIndex::PullProducers(NodeId consumer,
+                                                       uint32_t shard) const {
+  const std::vector<NodeId>* v = pull_producers_.Find(EdgeKey(consumer, shard));
+  return v ? std::span<const NodeId>(*v) : std::span<const NodeId>();
+}
+
+std::span<const uint64_t> CrossShardIndex::ReadReplica(uint32_t shard,
+                                                       NodeId producer) const {
+  const std::vector<uint64_t>* v = replicas_.Find(EdgeKey(shard, producer));
+  return v ? std::span<const uint64_t>(*v) : std::span<const uint64_t>();
+}
+
+double CrossShardIndex::PredictedCost(const Workload& w) const {
+  double cost = 0;
+  push_shards_.ForEach([&](uint64_t producer, const std::vector<uint32_t>& shards) {
+    cost += w.rp(static_cast<NodeId>(producer)) * static_cast<double>(shards.size());
+  });
+  pull_shards_.ForEach([&](uint64_t consumer, const std::vector<uint32_t>& shards) {
+    cost += w.rc(static_cast<NodeId>(consumer)) * static_cast<double>(shards.size());
+  });
+  return cost;
+}
+
+}  // namespace piggy

@@ -1,0 +1,134 @@
+// CrossShardIndex: the router's state for edges whose endpoints live on
+// different shards.
+//
+// Intra-shard edges are served by the shard-local FeedService (hub
+// piggybacking included). A cross-shard edge producer -> consumer cannot ride
+// a shard-local schedule, so the router serves it directly on the cheaper
+// side — the hybrid rule min(rp(producer), rc(consumer)) — with the paper's
+// batching rule applied at shard granularity (one message per touched shard,
+// Sec. 4.3):
+//
+//   push  The producer's events are *materialized into the consumer's shard*:
+//         one replica per (producer, shard) no matter how many followers the
+//         shard holds. A share costs one batched update message per shard
+//         replicating the producer; queries then read the replica locally for
+//         free. Creating the first push edge into a shard backfills the
+//         replica (one state-transfer message).
+//   pull  The consumer fans out on query: one batched query message per
+//         distinct producer shard, covering every pulled producer there.
+//
+// The index stores, per producer, the shards replicating it (update fan-out
+// list) and, per consumer, the local replicas to read and the remote shards
+// to pull — everything the router needs in O(touched shards) per request.
+// Replicas hold global share sequence numbers, newest `feed_size` per
+// producer (a feed can never need more).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/u64_containers.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// \brief How a cross-shard edge is served.
+enum class CrossEdgeMode : uint8_t { kPush, kPull };
+
+/// \brief Router-side message counters (batched messages, the throughput
+/// currency — same units as ClientMetrics).
+struct CrossTraffic {
+  uint64_t update_messages = 0;    ///< remote-push fan-out incl. backfills
+  uint64_t query_messages = 0;     ///< remote-pull fan-out
+  uint64_t replica_backfills = 0;  ///< replicas materialized by Follow
+};
+
+/// \brief Cross-shard edge table + per-shard producer replicas.
+class CrossShardIndex {
+ public:
+  CrossShardIndex(size_t num_shards, size_t feed_size);
+
+  size_t num_shards() const { return num_shards_; }
+  /// Cross-shard edges currently tracked.
+  size_t num_edges() const { return edges_.size(); }
+  /// (producer, shard) replicas currently materialized.
+  size_t num_replicas() const { return replica_count_; }
+
+  bool HasEdge(NodeId producer, NodeId consumer) const {
+    return edges_.Contains(EdgeKey(producer, consumer));
+  }
+  /// Serving mode of the edge, if tracked.
+  std::optional<CrossEdgeMode> ModeOf(NodeId producer, NodeId consumer) const;
+
+  /// Tracks a new cross edge. For the first push edge from `producer` into
+  /// `consumer_shard` the replica is materialized from `producer_history`
+  /// (ascending global sequence numbers; the newest feed_size are kept) and
+  /// one backfill update message is counted. Returns false if already
+  /// tracked.
+  bool AddEdge(NodeId producer, uint32_t producer_shard, NodeId consumer,
+               uint32_t consumer_shard, CrossEdgeMode mode,
+               std::span<const uint64_t> producer_history);
+
+  /// Untracks an edge; drops the (producer, shard) replica when the last push
+  /// edge into that shard disappears. Returns false if not tracked.
+  bool RemoveEdge(NodeId producer, NodeId consumer);
+
+  /// Share fan-out: appends `seq` to every shard replicating `producer`, one
+  /// batched update message per touched shard.
+  void Publish(NodeId producer, uint64_t seq);
+
+  /// Remote producers whose replicas live in the consumer's own shard
+  /// (push-mode edges): read locally, zero messages.
+  std::span<const NodeId> PushProducers(NodeId consumer) const;
+
+  /// Distinct remote shards the consumer pulls from (sorted ascending).
+  std::span<const uint32_t> PullShards(NodeId consumer) const;
+
+  /// Producers the consumer pulls from `shard` (one batched message covers
+  /// them all).
+  std::span<const NodeId> PullProducers(NodeId consumer, uint32_t shard) const;
+
+  /// Replica contents: newest global sequence numbers of `producer`
+  /// materialized in `shard`, ascending. Empty if not replicated.
+  std::span<const uint64_t> ReadReplica(uint32_t shard, NodeId producer) const;
+
+  /// Counts the batched messages of one query's pull fan-out.
+  void CountQueryFanout(size_t shards_touched) {
+    traffic_.query_messages += shards_touched;
+  }
+
+  const CrossTraffic& traffic() const { return traffic_; }
+
+  /// Predicted steady-state cross-shard cost under the batching rule:
+  ///   sum_u rp(u) * |shards replicating u|
+  /// + sum_v rc(v) * |shards v pulls from|.
+  /// The cluster analogue of PlacementAwareCost's cross-server terms.
+  double PredictedCost(const Workload& w) const;
+
+ private:
+  struct EdgeRec {
+    CrossEdgeMode mode;
+    uint32_t producer_shard;
+    uint32_t consumer_shard;
+  };
+
+  size_t num_shards_;
+  size_t feed_size_;
+
+  U64Map<EdgeRec> edges_;                       // EdgeKey(producer, consumer)
+  U64Map<uint32_t> push_target_count_;          // EdgeKey(producer, shard)
+  U64Map<std::vector<uint32_t>> push_shards_;   // producer -> sorted shards
+  U64Map<std::vector<NodeId>> push_producers_;  // consumer -> producers
+  U64Map<uint32_t> pull_source_count_;          // EdgeKey(consumer, shard)
+  U64Map<std::vector<uint32_t>> pull_shards_;   // consumer -> sorted shards
+  U64Map<std::vector<NodeId>> pull_producers_;  // EdgeKey(consumer, shard)
+  U64Map<std::vector<uint64_t>> replicas_;      // EdgeKey(shard, producer)
+  size_t replica_count_ = 0;
+  CrossTraffic traffic_;
+};
+
+}  // namespace piggy

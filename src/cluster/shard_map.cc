@@ -1,0 +1,54 @@
+#include "cluster/shard_map.h"
+
+#include <utility>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace piggy {
+
+Result<ShardMap> ShardMap::Build(const Graph& g, const Partitioner& partitioner) {
+  const size_t shards = partitioner.num_servers();
+  if (shards == 0) return Status::InvalidArgument("need at least one shard");
+  ShardMap map;
+  const size_t n = g.num_nodes();
+  map.shard_of_.resize(n);
+  map.local_id_.resize(n);
+  map.members_.resize(shards);
+  for (NodeId u = 0; u < n; ++u) {
+    const uint32_t s = partitioner.ServerOf(u);
+    if (s >= shards) {
+      return Status::InvalidArgument(
+          StrFormat("partitioner placed user %u on shard %u of %zu", u, s, shards));
+    }
+    map.shard_of_[u] = s;
+    map.local_id_[u] = static_cast<NodeId>(map.members_[s].size());
+    map.members_[s].push_back(u);
+  }
+  return map;
+}
+
+Result<Graph> ShardMap::InducedSubgraph(const Graph& g, uint32_t shard) const {
+  PIGGY_CHECK_LT(shard, members_.size());
+  GraphBuilder builder(members_[shard].size());
+  for (NodeId u : members_[shard]) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (shard_of_[v] == shard) builder.AddEdge(local_id_[u], local_id_[v]);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Workload ShardMap::ProjectWorkload(const Workload& w, uint32_t shard) const {
+  PIGGY_CHECK_LT(shard, members_.size());
+  Workload local;
+  local.production.reserve(members_[shard].size());
+  local.consumption.reserve(members_[shard].size());
+  for (NodeId u : members_[shard]) {
+    local.production.push_back(w.rp(u));
+    local.consumption.push_back(w.rc(u));
+  }
+  return local;
+}
+
+}  // namespace piggy

@@ -1,0 +1,71 @@
+// ShardMap: the cluster's node-placement table.
+//
+// Freezes a Partitioner's user -> shard assignment and materializes the two
+// translations every router operation needs: global id -> (shard, local id)
+// and (shard, local id) -> global id. Local ids are dense per shard (the
+// shard-local FeedService runs on the shard-induced subgraph re-indexed to
+// [0, shard_size)), assigned in ascending global-id order so that a 1-shard
+// cluster's local ids are bit-identical to the global ids.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "store/partitioner.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// \brief Immutable user -> shard placement with local-id translation.
+class ShardMap {
+ public:
+  /// Snapshots `partitioner`'s assignment for every node of `g`.
+  static Result<ShardMap> Build(const Graph& g, const Partitioner& partitioner);
+
+  size_t num_shards() const { return members_.size(); }
+  size_t num_nodes() const { return shard_of_.size(); }
+
+  /// Shard hosting `global` (and all its serving state).
+  uint32_t ShardOf(NodeId global) const {
+    PIGGY_CHECK_LT(global, shard_of_.size());
+    return shard_of_[global];
+  }
+
+  /// `global`'s dense id inside its shard.
+  NodeId LocalId(NodeId global) const {
+    PIGGY_CHECK_LT(global, local_id_.size());
+    return local_id_[global];
+  }
+
+  /// Inverse of LocalId for `shard`.
+  NodeId GlobalId(uint32_t shard, NodeId local) const {
+    PIGGY_CHECK_LT(shard, members_.size());
+    PIGGY_CHECK_LT(local, members_[shard].size());
+    return members_[shard][local];
+  }
+
+  /// Global ids hosted by `shard`, ascending (index = local id).
+  const std::vector<NodeId>& Members(uint32_t shard) const {
+    PIGGY_CHECK_LT(shard, members_.size());
+    return members_[shard];
+  }
+
+  /// Extracts the shard-induced subgraph (both endpoints in `shard`),
+  /// re-indexed to local ids.
+  Result<Graph> InducedSubgraph(const Graph& g, uint32_t shard) const;
+
+  /// Projects per-user rates onto `shard`'s local id space.
+  Workload ProjectWorkload(const Workload& w, uint32_t shard) const;
+
+ private:
+  ShardMap() = default;
+
+  std::vector<uint32_t> shard_of_;            // global -> shard
+  std::vector<NodeId> local_id_;              // global -> local
+  std::vector<std::vector<NodeId>> members_;  // shard -> sorted globals
+};
+
+}  // namespace piggy

@@ -23,6 +23,12 @@
 //   auto feed = service->QueryStream(7).MoveValueOrDie();
 //   service->Follow(/*follower=*/7, /*producer=*/42);  // schedule stays valid
 //
+//   // Scale out: the same surface over N shards (cluster/cluster_service.h).
+//   ClusterOptions copts;
+//   copts.num_shards = 16;
+//   copts.partitioner = "edge-cut";   // or "hash"
+//   auto cluster = ClusterService::Create(g, copts).MoveValueOrDie();
+//
 // DEPRECATED LEGACY SURFACE — the per-algorithm free functions RunChitChat,
 // RunParallelNosy, HybridSchedule, PushAllSchedule and PullAllSchedule remain
 // for compatibility (the registry planners are proven bit-identical to them
@@ -32,6 +38,7 @@
 
 #pragma once
 
+#include "cluster/cluster_service.h" // IWYU pragma: export
 #include "core/active_store.h"       // IWYU pragma: export
 #include "core/baselines.h"          // IWYU pragma: export
 #include "core/chitchat.h"           // IWYU pragma: export

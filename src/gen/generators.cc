@@ -213,4 +213,27 @@ Result<Graph> GenerateBipartite(size_t producers, size_t consumers) {
   return std::move(builder).Build();
 }
 
+Result<Graph> GeneratePlantedPartition(size_t num_communities,
+                                       size_t nodes_per_community, double p_intra,
+                                       double p_out, uint64_t seed) {
+  if (num_communities == 0 || nodes_per_community == 0) {
+    return Status::InvalidArgument("need at least one non-empty community");
+  }
+  if (p_intra < 0 || p_intra > 1 || p_out < 0 || p_out > 1) {
+    return Status::InvalidArgument("edge probabilities must be in [0, 1]");
+  }
+  const size_t n = num_communities * nodes_per_community;
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.EnsureNodes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const bool same_block = u % num_communities == v % num_communities;
+      if (rng.Bernoulli(same_block ? p_intra : p_out)) builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
 }  // namespace piggy

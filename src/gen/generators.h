@@ -66,4 +66,14 @@ Result<Graph> GenerateCycle(size_t num_nodes);
 /// has an edge to every one of the following `consumers` nodes.
 Result<Graph> GenerateBipartite(size_t producers, size_t consumers);
 
+/// Planted partition (stochastic block model): `num_communities` blocks of
+/// `nodes_per_community` nodes each; a directed edge exists with probability
+/// `p_intra` inside a block and `p_out` across blocks (p_out << p_intra gives
+/// the community structure that graph-aware placement exploits). Node ids are
+/// interleaved across blocks (node i belongs to block i % num_communities) so
+/// contiguous-range placements cannot cheat.
+Result<Graph> GeneratePlantedPartition(size_t num_communities,
+                                       size_t nodes_per_community, double p_intra,
+                                       double p_out, uint64_t seed);
+
 }  // namespace piggy

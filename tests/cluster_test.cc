@@ -1,0 +1,370 @@
+// ClusterService end-to-end: 1-shard parity with the single-process
+// FeedService (schedules and audited query results identical), cross-shard
+// push/pull mechanics with replica materialization and batched fan-out, a
+// 2000-op churn lifecycle with every merged stream audited across >= 4
+// shards, and the edge-cut partitioner's cross-traffic win over hash
+// placement.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_service.h"
+#include "gen/generators.h"
+#include "gen/presets.h"
+#include "graph/graph_builder.h"
+#include "store/feed_service.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace piggy {
+namespace {
+
+ClusterOptions SmallCluster(size_t shards, const std::string& planner) {
+  ClusterOptions options;
+  options.num_shards = shards;
+  options.shard.planner = planner;
+  options.shard.prototype.num_servers = 4;
+  options.shard.prototype.view_capacity = 0;  // unbounded views: exact audits
+  options.shard.workload = {.read_write_ratio = 5.0, .min_rate = 0.05};
+  options.shard.audit_every = 1;  // shard-local audits on every local feed
+  options.audit_every = 1;        // cluster audits on every merged stream
+  return options;
+}
+
+void ExpectSameSchedule(const Schedule& a, const Schedule& b) {
+  EXPECT_EQ(a.push_size(), b.push_size());
+  EXPECT_EQ(a.pull_size(), b.pull_size());
+  EXPECT_EQ(a.hub_covered_size(), b.hub_covered_size());
+  a.ForEachPush([&](const Edge& e) { EXPECT_TRUE(b.IsPush(e.src, e.dst)); });
+  a.ForEachPull([&](const Edge& e) { EXPECT_TRUE(b.IsPull(e.src, e.dst)); });
+  a.ForEachHubCover([&](const Edge& e, NodeId hub) {
+    EXPECT_EQ(b.HubFor(e.src, e.dst).value_or(hub + 1), hub);
+  });
+}
+
+// The acceptance bar: a 1-shard cluster is the single-process deployment.
+// Same planner, same graph, same op sequence => the shard schedule equals the
+// FeedService schedule and every query returns identical tuples.
+TEST(ClusterServiceTest, OneShardParityWithFeedService) {
+  for (const char* planner : {"nosy", "chitchat", "hybrid"}) {
+    SCOPED_TRACE(planner);
+    const size_t kNodes = 220;
+    Graph g = MakeFlickrLike(kNodes, 5).ValueOrDie();
+
+    ClusterOptions copts = SmallCluster(1, planner);
+    FeedServiceOptions fopts = copts.shard;
+    auto single = FeedService::Create(g, fopts).MoveValueOrDie();
+    auto cluster = ClusterService::Create(g, copts).MoveValueOrDie();
+
+    ASSERT_EQ(cluster->num_shards(), 1u);
+    EXPECT_EQ(cluster->cross_index().num_edges(), 0u);
+    ExpectSameSchedule(single->schedule(), cluster->shard(0).schedule());
+
+    Rng rng(17);
+    for (int op = 0; op < 600; ++op) {
+      const double dice = rng.UniformDouble();
+      NodeId u = static_cast<NodeId>(rng.Uniform(kNodes));
+      NodeId v = static_cast<NodeId>(rng.Uniform(kNodes));
+      if (dice < 0.35) {
+        ASSERT_TRUE(single->Share(u).ok());
+        ASSERT_TRUE(cluster->Share(u).ok());
+      } else if (dice < 0.85) {
+        auto a = single->QueryStream(u);
+        auto b = cluster->QueryStream(u);
+        ASSERT_TRUE(a.ok() && b.ok()) << "op " << op;
+        ASSERT_EQ(*a, *b) << "op " << op;
+      } else if (u != v && dice < 0.95) {
+        ASSERT_TRUE(single->Follow(u, v).ok());
+        ASSERT_TRUE(cluster->Follow(u, v).ok());
+      } else if (u != v) {
+        ASSERT_TRUE(single->Unfollow(u, v).ok());
+        ASSERT_TRUE(cluster->Unfollow(u, v).ok());
+      }
+    }
+    ASSERT_TRUE(cluster->Validate().ok());
+    ExpectSameSchedule(single->schedule(), cluster->shard(0).schedule());
+
+    ClusterMetrics m = cluster->GetMetrics();
+    FeedService::Metrics sm = single->GetMetrics();
+    EXPECT_EQ(m.planner, sm.planner);
+    EXPECT_DOUBLE_EQ(m.intra_cost, sm.schedule_cost);
+    EXPECT_DOUBLE_EQ(m.cross_cost, 0.0);
+    EXPECT_EQ(m.cross_update_messages + m.cross_query_messages, 0u);
+    EXPECT_GT(m.audited_queries, 0u);
+  }
+}
+
+TEST(ClusterServiceTest, RejectsBadConfigurations) {
+  Graph g = MakeFlickrLike(100, 2).ValueOrDie();
+  ClusterOptions options = SmallCluster(2, "nosy");
+  options.partitioner = "metis";
+  auto unknown = ClusterService::Create(g, options);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_TRUE(unknown.status().IsInvalidArgument());
+  EXPECT_NE(unknown.status().message().find("edge-cut"), std::string::npos);
+
+  options = SmallCluster(0, "nosy");
+  EXPECT_FALSE(ClusterService::Create(g, options).ok());
+
+  options = SmallCluster(2, "no-such-planner");
+  auto planner = ClusterService::Create(g, options);
+  ASSERT_FALSE(planner.ok());
+  EXPECT_TRUE(planner.status().IsInvalidArgument());
+
+  options = SmallCluster(2, "nosy");
+  auto cluster = ClusterService::Create(g, options).MoveValueOrDie();
+  EXPECT_TRUE(cluster->Share(1000).IsInvalidArgument());
+  EXPECT_FALSE(cluster->QueryStream(1000).ok());
+  EXPECT_TRUE(cluster->Follow(1000, 1).IsInvalidArgument());
+  EXPECT_TRUE(cluster->Follow(1, 1).IsInvalidArgument());
+  EXPECT_TRUE(cluster->Unfollow(1000, 1).IsInvalidArgument());
+}
+
+// Remote pushes materialize one replica per (producer, shard) — not per
+// follower — and each share then costs one batched update message per
+// replicating shard. Backfill delivers pre-follow events.
+TEST(ClusterServiceTest, RemotePushMaterializesOneReplicaPerShard) {
+  // 24 isolated users; rp < rc forces every cross edge to push mode.
+  Graph g = BuildGraph(24, {}).ValueOrDie();
+  ClusterOptions options = SmallCluster(2, "hybrid");
+  auto cluster =
+      ClusterService::Create(g, UniformWorkload(24, 1.0, 5.0), options)
+          .MoveValueOrDie();
+
+  const ShardMap& map = cluster->shard_map();
+  NodeId producer = 0;
+  NodeId c1 = 0, c2 = 0;
+  // A producer and two consumers on the *other* shard.
+  while (map.ShardOf(c1) == map.ShardOf(producer)) ++c1;
+  c2 = c1 + 1;
+  while (c2 == producer || map.ShardOf(c2) != map.ShardOf(c1)) ++c2;
+
+  ASSERT_TRUE(cluster->Share(producer).ok());
+  ASSERT_TRUE(cluster->Share(producer).ok());  // pre-follow events
+
+  ASSERT_TRUE(cluster->Follow(c1, producer).ok());
+  EXPECT_EQ(cluster->cross_index().ModeOf(producer, c1), CrossEdgeMode::kPush);
+  ClusterMetrics m = cluster->GetMetrics();
+  EXPECT_EQ(m.replicas, 1u);
+  EXPECT_EQ(m.cross_update_messages, 1u);  // the backfill transfer
+
+  // Backfilled events are served locally: no pull messages.
+  std::vector<EventTuple> feed = cluster->QueryStream(c1).MoveValueOrDie();
+  ASSERT_EQ(feed.size(), 2u);
+  EXPECT_EQ(feed[0].producer, producer);
+  EXPECT_EQ(cluster->GetMetrics().cross_query_messages, 0u);
+
+  // Second follower in the same shard: the replica is shared, no backfill.
+  ASSERT_TRUE(cluster->Follow(c2, producer).ok());
+  m = cluster->GetMetrics();
+  EXPECT_EQ(m.replicas, 1u);
+  EXPECT_EQ(m.cross_update_messages, 1u);
+
+  // A new share fans out exactly one batched message to the one shard.
+  ASSERT_TRUE(cluster->Share(producer).ok());
+  m = cluster->GetMetrics();
+  EXPECT_EQ(m.cross_update_messages, 2u);
+  feed = cluster->QueryStream(c2).MoveValueOrDie();
+  ASSERT_EQ(feed.size(), 3u);
+
+  // Unfollowing the last pushing edge into the shard drops the replica.
+  ASSERT_TRUE(cluster->Unfollow(c1, producer).ok());
+  EXPECT_EQ(cluster->GetMetrics().replicas, 1u);
+  ASSERT_TRUE(cluster->Unfollow(c2, producer).ok());
+  EXPECT_EQ(cluster->GetMetrics().replicas, 0u);
+  feed = cluster->QueryStream(c2).MoveValueOrDie();
+  EXPECT_TRUE(feed.empty());
+  ASSERT_TRUE(cluster->Validate().ok());
+}
+
+// Remote pulls fan out one batched message per touched shard, covering every
+// pulled producer hosted there (the paper's batching rule).
+TEST(ClusterServiceTest, RemotePullsBatchOneMessagePerShard) {
+  // rp > rc forces every cross edge to pull mode.
+  Graph g = BuildGraph(24, {}).ValueOrDie();
+  ClusterOptions options = SmallCluster(2, "hybrid");
+  auto cluster =
+      ClusterService::Create(g, UniformWorkload(24, 5.0, 1.0), options)
+          .MoveValueOrDie();
+
+  const ShardMap& map = cluster->shard_map();
+  NodeId consumer = 0;
+  // Two producers on the other shard.
+  NodeId p1 = 0, p2 = 0;
+  while (map.ShardOf(p1) == map.ShardOf(consumer)) ++p1;
+  p2 = p1 + 1;
+  while (p2 == consumer || map.ShardOf(p2) != map.ShardOf(p1)) ++p2;
+
+  ASSERT_TRUE(cluster->Share(p1).ok());
+  ASSERT_TRUE(cluster->Follow(consumer, p1).ok());
+  ASSERT_TRUE(cluster->Follow(consumer, p2).ok());
+  EXPECT_EQ(cluster->cross_index().ModeOf(p1, consumer), CrossEdgeMode::kPull);
+  EXPECT_EQ(cluster->GetMetrics().replicas, 0u);
+  ASSERT_TRUE(cluster->Share(p2).ok());
+  EXPECT_EQ(cluster->GetMetrics().cross_update_messages, 0u);
+
+  // Both producers live on one shard: a query costs exactly one message.
+  std::vector<EventTuple> feed = cluster->QueryStream(consumer).MoveValueOrDie();
+  ASSERT_EQ(feed.size(), 2u);
+  EXPECT_EQ(feed[0].producer, p2);  // newest-first
+  EXPECT_EQ(feed[1].producer, p1);
+  EXPECT_EQ(cluster->GetMetrics().cross_query_messages, 1u);
+
+  ASSERT_TRUE(cluster->Unfollow(consumer, p1).ok());
+  ASSERT_TRUE(cluster->Unfollow(consumer, p2).ok());
+  feed = cluster->QueryStream(consumer).MoveValueOrDie();
+  EXPECT_TRUE(feed.empty());
+  // The unfollowed query touched no remote shard.
+  EXPECT_EQ(cluster->GetMetrics().cross_query_messages, 1u);
+  ASSERT_TRUE(cluster->Validate().ok());
+}
+
+// The acceptance scenario: a long interleaved share / query / follow /
+// unfollow run across >= 4 shards with every merged stream audited against
+// the cluster-wide oracle, ending in a cluster-wide parallel replan.
+TEST(ClusterServiceTest, ChurnLifecycleStaysAuditCleanAcrossShards) {
+  for (const char* partitioner : {"hash", "edge-cut"}) {
+    SCOPED_TRACE(partitioner);
+    const size_t kNodes = 260;
+    Graph g = MakeFlickrLike(kNodes, 7).ValueOrDie();
+    ClusterOptions options = SmallCluster(4, "nosy");
+    options.partitioner = partitioner;
+    auto cluster = ClusterService::Create(g, options).MoveValueOrDie();
+    ASSERT_TRUE(cluster->Validate().ok());
+    EXPECT_GT(cluster->cross_index().num_edges(), 0u);
+
+    Rng rng(99);
+    for (int op = 0; op < 2000; ++op) {
+      const double dice = rng.UniformDouble();
+      NodeId u = static_cast<NodeId>(rng.Uniform(kNodes));
+      NodeId v = static_cast<NodeId>(rng.Uniform(kNodes));
+      if (dice < 0.35) {
+        ASSERT_TRUE(cluster->Share(u).ok());
+      } else if (dice < 0.85) {
+        ASSERT_TRUE(cluster->QueryStream(u).ok()) << "audit failed at op " << op;
+      } else if (u != v && dice < 0.95) {
+        ASSERT_TRUE(cluster->Follow(u, v).ok());
+      } else if (u != v) {
+        ASSERT_TRUE(cluster->Unfollow(u, v).ok());
+      }
+    }
+    ASSERT_TRUE(cluster->Validate().ok());
+
+    ClusterMetrics m = cluster->GetMetrics();
+    EXPECT_EQ(m.shards, 4u);
+    EXPECT_EQ(m.partitioner, partitioner);
+    EXPECT_GT(m.shares, 0u);
+    EXPECT_GT(m.queries, 0u);
+    EXPECT_GT(m.audited_queries, 0u);
+    EXPECT_GT(m.churn_ops, 0u);
+    EXPECT_GT(m.cross_edges, 0u);
+    EXPECT_GT(m.cross_cost, 0.0);
+    EXPECT_GT(m.messages_per_request, 0.0);
+    EXPECT_GE(m.imbalance, 1.0);
+    EXPECT_EQ(m.replans, 4u);  // the initial plan of each shard
+    ASSERT_EQ(m.per_shard_requests.size(), 4u);
+    for (uint64_t load : m.per_shard_requests) EXPECT_GT(load, 0u);
+    EXPECT_FALSE(m.ToString().empty());
+
+    // Full parallel replan on the churned shard subgraphs; serving state and
+    // audit-exactness must survive.
+    ASSERT_TRUE(cluster->Replan().ok());
+    ASSERT_TRUE(cluster->Validate().ok());
+    EXPECT_EQ(cluster->GetMetrics().replans, 8u);
+    for (int i = 0; i < 50; ++i) {
+      NodeId u = static_cast<NodeId>(rng.Uniform(kNodes));
+      ASSERT_TRUE(cluster->QueryStream(u).ok());
+    }
+  }
+}
+
+TEST(ClusterServiceTest, EmptyShardsAreTolerated) {
+  // 3 users on 6 shards: at least three shards are empty.
+  Graph g = BuildGraph(3, {{0, 1}}).ValueOrDie();
+  ClusterOptions options = SmallCluster(6, "nosy");
+  auto cluster = ClusterService::Create(g, UniformWorkload(3, 1.0, 5.0), options)
+                     .MoveValueOrDie();
+  ASSERT_TRUE(cluster->Share(0).ok());
+  std::vector<EventTuple> feed = cluster->QueryStream(1).MoveValueOrDie();
+  ASSERT_EQ(feed.size(), 1u);
+  EXPECT_EQ(feed[0].producer, 0u);
+  ASSERT_TRUE(cluster->Validate().ok());
+}
+
+TEST(ClusterServiceTest, AutoReplanTriggersAfterConfiguredChurn) {
+  Graph g = MakeFlickrLike(150, 9).ValueOrDie();
+  ClusterOptions options = SmallCluster(2, "hybrid");
+  options.replan_after_churn = 5;
+  auto cluster = ClusterService::Create(g, options).MoveValueOrDie();
+
+  Rng rng(5);
+  size_t applied = 0;
+  while (applied < 11) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(150));
+    NodeId v = static_cast<NodeId>(rng.Uniform(150));
+    if (u == v || cluster->graph().HasEdge(v, u)) continue;
+    ASSERT_TRUE(cluster->Follow(u, v).ok());
+    ++applied;
+  }
+  // 11 churn ops, threshold 5: initial plan + 2 cluster replans, per shard.
+  ClusterMetrics m = cluster->GetMetrics();
+  EXPECT_EQ(m.replans, 2u * 3u);
+  EXPECT_EQ(m.churn_ops, 11u);
+  ASSERT_TRUE(cluster->Validate().ok());
+}
+
+TEST(ClusterServiceTest, DriveReplaysTheWorkloadWithAudits) {
+  Graph g = MakeFlickrLike(240, 12).ValueOrDie();
+  ClusterOptions options = SmallCluster(4, "nosy");
+  options.audit_every = 0;  // Drive's own cadence only
+  auto cluster = ClusterService::Create(g, options).MoveValueOrDie();
+
+  DriverOptions traffic;
+  traffic.num_requests = 1500;
+  traffic.audit_every = 25;
+  traffic.seed = 4;
+  ClusterDriveReport report = cluster->Drive(traffic).MoveValueOrDie();
+  EXPECT_EQ(report.requests, 1500u);
+  EXPECT_GT(report.shares, 0u);
+  EXPECT_GT(report.queries, 0u);
+  EXPECT_GT(report.audited_queries, 10u);
+  EXPECT_GT(report.messages_per_request, 0.0);
+  EXPECT_GT(report.cross_messages_per_request, 0.0);
+  EXPECT_GE(report.imbalance, 1.0);
+  EXPECT_FALSE(report.ToString().empty());
+
+  ClusterMetrics m = cluster->GetMetrics();
+  EXPECT_EQ(m.shares + m.queries, 1500u);
+  EXPECT_EQ(m.audited_queries, report.audited_queries);
+}
+
+// The edge-cut partitioner's reason to exist: on a community-structured
+// graph it must strictly reduce the predicted cross-shard cost — and the
+// measured cross-shard traffic — versus hash placement.
+TEST(ClusterServiceTest, EdgeCutPartitionerBeatsHashOnCommunityGraph) {
+  Graph g = GeneratePlantedPartition(4, 50, 0.2, 0.01, 13).ValueOrDie();
+  ClusterOptions options = SmallCluster(4, "hybrid");
+  options.audit_every = 50;
+
+  options.partitioner = "hash";
+  auto hash = ClusterService::Create(g, options).MoveValueOrDie();
+  options.partitioner = "edge-cut";
+  auto cut = ClusterService::Create(g, options).MoveValueOrDie();
+
+  const ClusterMetrics hm = hash->GetMetrics();
+  const ClusterMetrics cm = cut->GetMetrics();
+  EXPECT_LT(cm.cross_edges, hm.cross_edges);
+  EXPECT_LT(cm.cross_cost, hm.cross_cost);
+
+  DriverOptions traffic;
+  traffic.num_requests = 2000;
+  traffic.seed = 3;
+  ClusterDriveReport hr = hash->Drive(traffic).MoveValueOrDie();
+  ClusterDriveReport cr = cut->Drive(traffic).MoveValueOrDie();
+  EXPECT_LT(cr.cross_messages_per_request, hr.cross_messages_per_request);
+}
+
+}  // namespace
+}  // namespace piggy

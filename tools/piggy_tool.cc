@@ -7,6 +7,8 @@
 //                       --out schedule.txt
 //   piggy_tool evaluate --graph g.bin --schedule schedule.txt --ratio 5
 //                       --servers 500 --requests 50000
+//   piggy_tool serve    --graph g.bin --planner nosy --shards 8
+//                       --partitioner edge-cut --requests 100000
 //
 // Graphs use the binary format of graph_io.h (or .txt edge lists); schedules
 // use the text format of schedule_io.h.
@@ -18,6 +20,7 @@
 #include <string>
 #include <utility>
 
+#include "cluster/cluster_service.h"
 #include "core/piggy.h"
 #include "core/schedule_io.h"
 #include "store/partitioner.h"
@@ -41,7 +44,13 @@ int Usage() {
                "            --out FILE       (--planner list shows the registry;\n"
                "                              --algorithm is a legacy alias)\n"
                "  evaluate  --graph FILE --schedule FILE [--ratio R]\n"
-               "            [--servers N] [--requests N] [--seed S]\n");
+               "            [--servers N] [--partitioner NAME] [--requests N]\n"
+               "            [--seed S]\n"
+               "  serve     --graph FILE [--planner NAME] [--shards N]\n"
+               "            [--partitioner NAME] [--ratio R] [--requests N]\n"
+               "            [--audit N] [--seed S]\n"
+               "                             (--partitioner list shows the\n"
+               "                              placement registry)\n");
   return 2;
 }
 
@@ -51,6 +60,15 @@ int ListPlanners() {
     std::printf("  %-10s %s\n", info.name.c_str(), info.description.c_str());
   }
   std::printf("aliases: ff -> hybrid, parallelnosy -> nosy\n");
+  return 0;
+}
+
+int ListPartitioners() {
+  std::printf("registered partitioners:\n");
+  for (const PartitionerInfo& info : RegisteredPartitioners()) {
+    std::printf("  %-10s %s\n", info.name.c_str(), info.description.c_str());
+  }
+  std::printf("aliases: greedy -> edge-cut\n");
   return 0;
 }
 
@@ -210,9 +228,12 @@ Status CmdEvaluate(const Args& args) {
               ImprovementRatio(HybridCost(g, w), cost));
 
   const size_t servers = static_cast<size_t>(args.Int("servers", 100));
-  HashPartitioner part(servers);
-  double placed = PlacementAwareCost(g, w, schedule, part);
-  std::printf("placement-aware (%zu servers): %.2f messages/request\n", servers,
+  PIGGY_ASSIGN_OR_RETURN(
+      std::unique_ptr<Partitioner> part,
+      MakePartitioner(args.Str("partitioner", "hash"), g, w, servers));
+  double placed = PlacementAwareCost(g, w, schedule, *part);
+  std::printf("placement-aware (%zu %s servers): %.2f messages/request\n",
+              servers, part->name().c_str(),
               placed / (w.TotalProduction() + w.TotalConsumption()));
 
   PrototypeOptions popt;
@@ -228,6 +249,33 @@ Status CmdEvaluate(const Args& args) {
   return Status::OK();
 }
 
+// Runs a sharded serving cluster over the graph and replays a rate-weighted
+// request mix through the router (planning happens per shard, in parallel).
+Status CmdServe(const Args& args) {
+  PIGGY_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.Str("graph")));
+  ClusterOptions options;
+  options.num_shards = static_cast<size_t>(args.Int("shards", 4));
+  options.partitioner = args.Str("partitioner", "hash");
+  options.shard.planner = ResolvePlannerName(args);
+  options.shard.plan_context.num_threads =
+      static_cast<size_t>(args.Int("threads", 0));
+  options.shard.plan_context.deadline_seconds = args.Double("deadline", 0.0);
+  options.shard.workload = {.read_write_ratio = args.Double("ratio", 5.0),
+                            .min_rate = 0.01};
+  PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ClusterService> cluster,
+                         ClusterService::Create(g, options));
+  std::printf("planned: %s\n", cluster->GetMetrics().ToString().c_str());
+
+  DriverOptions d;
+  d.num_requests = static_cast<size_t>(args.Int("requests", 50000));
+  d.seed = static_cast<uint64_t>(args.Int("seed", 42));
+  d.audit_every = static_cast<size_t>(args.Int("audit", 1000));
+  PIGGY_ASSIGN_OR_RETURN(ClusterDriveReport report, cluster->Drive(d));
+  std::printf("measured: %s\n", report.ToString().c_str());
+  std::printf("final:    %s\n", cluster->GetMetrics().ToString().c_str());
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -236,12 +284,16 @@ int Main(int argc, char** argv) {
       (command == "optimize" && args.Str("planner") == "list")) {
     return ListPlanners();
   }
+  if (command == "partitioners" || args.Str("partitioner") == "list") {
+    return ListPartitioners();
+  }
   Status status = Status::InvalidArgument("unknown command: " + command);
   if (command == "generate") status = CmdGenerate(args);
   if (command == "stats") status = CmdStats(args);
   if (command == "sample") status = CmdSample(args);
   if (command == "optimize") status = CmdOptimize(args);
   if (command == "evaluate") status = CmdEvaluate(args);
+  if (command == "serve") status = CmdServe(args);
   if (command == "help" || command == "--help") return Usage();
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
