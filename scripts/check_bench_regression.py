@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over google-benchmark JSON.
+
+Compares a freshly measured bench_micro_algorithms JSON against a checked-in
+baseline (BENCH_PR2.json or a later BENCH_PR*.json):
+
+  python3 scripts/check_bench_regression.py \
+      --baseline BENCH_PR2.json \
+      --current build/bench_micro_algorithms.json \
+      --benchmark BM_ChitChatFull --block-threshold 0.30
+
+Every benchmark present in both files is reported with its wall-time delta.
+Only the --benchmark family is *blocking*: if any of its instances regressed
+by more than --block-threshold (fraction, default 0.30 = +30% wall time), the
+script exits 1. Everything else — and smaller regressions of the blocking
+family — is advisory, because CI runners and the measurement container are
+different machines; the blocking threshold is sized to catch algorithmic
+regressions (the kind that undid PR 2's 4x CHITCHAT win), not scheduler
+noise.
+
+Baselines may be raw google-benchmark output or a combined BENCH_PR*.json
+object that nests it under the "bench_micro_algorithms" key.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {run_name: real_time_ns} from a google-benchmark JSON file or
+    a combined BENCH_PR*.json wrapper."""
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" not in doc and "bench_micro_algorithms" in doc:
+        doc = doc["bench_micro_algorithms"]
+    if "benchmarks" not in doc:
+        raise ValueError(f"{path}: no 'benchmarks' array (google-benchmark JSON?)")
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    out = {}
+    for bench in doc["benchmarks"]:
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        scale = unit_ns.get(bench.get("time_unit", "ns"), 1.0)
+        out[bench["run_name"]] = float(bench["real_time"]) * scale
+    return out
+
+
+def in_family(run_name, family):
+    return run_name == family or run_name.startswith(family + "/")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--benchmark", default="BM_ChitChatFull",
+                        help="blocking benchmark family (prefix before '/')")
+    parser.add_argument("--block-threshold", type=float, default=0.30,
+                        help="blocking regression fraction (0.30 = +30%%)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print(f"error: no common benchmarks between {args.baseline} and "
+              f"{args.current}", file=sys.stderr)
+        return 1
+
+    blocking_failures = []
+    print(f"{'benchmark':44s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
+    for name in shared:
+        base_ns, cur_ns = baseline[name], current[name]
+        delta = (cur_ns - base_ns) / base_ns if base_ns > 0 else 0.0
+        blocking = in_family(name, args.benchmark)
+        flag = ""
+        if delta > args.block_threshold:
+            flag = " <-- BLOCKING" if blocking else " (advisory)"
+            if blocking:
+                blocking_failures.append((name, delta))
+        print(f"{name:44s} {base_ns/1e6:10.2f}ms {cur_ns/1e6:10.2f}ms "
+              f"{delta:+7.1%}{flag}")
+
+    gate = [n for n in shared if in_family(n, args.benchmark)]
+    if not gate:
+        if not any(in_family(n, args.benchmark) for n in current):
+            print(f"error: blocking benchmark {args.benchmark} missing from "
+                  f"{args.current}", file=sys.stderr)
+            return 1
+        print(f"warning: {args.benchmark} not in the baseline; gate skipped")
+        return 0
+
+    if blocking_failures:
+        for name, delta in blocking_failures:
+            print(f"FAIL: {name} regressed {delta:+.1%} "
+                  f"(> +{args.block_threshold:.0%})", file=sys.stderr)
+        return 1
+    print(f"OK: {args.benchmark} within +{args.block_threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,11 +37,13 @@ double MaxOverMean(const std::vector<uint64_t>& loads) {
 std::string ClusterMetrics::ToString() const {
   return StrFormat(
       "shards=%zu partitioner=%s planner=%s cost=%.1f (intra=%.1f cross=%.1f) "
-      "cross_edges=%zu replicas=%zu replans=%zu repairs=%zu churn=%zu "
+      "cross_edges=%zu replicas=%zu replans=%zu (drift=%zu score=%.3f) "
+      "repairs=%zu churn=%zu "
       "shares=%lu queries=%lu audited=%lu cross_msgs=%lu+%lu mpr=%.2f "
       "imbalance=%.2f",
       shards, partitioner.c_str(), planner.c_str(), total_cost, intra_cost,
-      cross_cost, cross_edges, replicas, replans, repairs, churn_ops,
+      cross_cost, cross_edges, replicas, replans, drift_replans,
+      max_drift_score, repairs, churn_ops,
       static_cast<unsigned long>(shares), static_cast<unsigned long>(queries),
       static_cast<unsigned long>(audited_queries),
       static_cast<unsigned long>(cross_update_messages),
@@ -435,6 +437,8 @@ ClusterMetrics ClusterService::GetMetrics() const {
     m.planner = sm.planner;
     m.intra_cost += sm.schedule_cost;
     m.replans += sm.replans;
+    m.drift_replans += sm.drift_replans;
+    m.max_drift_score = std::max(m.max_drift_score, sm.drift_score);
     m.repairs += sm.repairs;
   }
   m.total_cost = m.intra_cost + m.cross_cost;

@@ -57,7 +57,10 @@ struct ClusterOptions {
   /// Salt for the hash policy (ignored by graph-aware partitioners).
   uint64_t partition_salt = kDefaultPartitionSalt;
   /// Per-shard FeedService configuration: planner, PlanContext, serving-plane
-  /// sizing, shard-local audits and auto-replan. When shards are planned in
+  /// sizing, shard-local audits and the replan policy — shard.replan set to
+  /// ReplanPolicy::Drift gives every shard its own traffic-drift estimator,
+  /// so replan decisions are per shard (a shard hit by a flash crowd replans;
+  /// quiet shards keep their schedules). When shards are planned in
   /// parallel and plan_context.num_threads is 0 (auto), each shard planner
   /// runs single-threaded — the cluster already parallelizes across shards.
   FeedServiceOptions shard;
@@ -81,6 +84,8 @@ struct ClusterMetrics {
   size_t cross_edges = 0;   ///< edges currently crossing shards
   size_t replicas = 0;      ///< (producer, shard) replicas materialized
   size_t replans = 0;       ///< planner runs summed over shards
+  size_t drift_replans = 0; ///< shard-local drift-triggered replans (summed)
+  double max_drift_score = 0;  ///< worst current shard drift estimate
   size_t repairs = 0;       ///< Sec.-3.3 repairs summed over shards
   size_t churn_ops = 0;     ///< cluster Follow/Unfollow ops applied
   uint64_t shares = 0;

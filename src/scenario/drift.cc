@@ -1,0 +1,113 @@
+#include "scenario/drift.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace piggy {
+
+Result<ReplanPolicy> ReplanPolicy::FromString(std::string_view spec) {
+  if (spec == "never") return Never();
+  if (spec == "drift") return Drift();
+  constexpr std::string_view kEvery = "every-";
+  if (spec.rfind(kEvery, 0) == 0 && spec.size() > kEvery.size()) {
+    const std::string digits(spec.substr(kEvery.size()));
+    char* end = nullptr;
+    const long long n = std::strtoll(digits.c_str(), &end, 10);
+    if (end == digits.c_str() + digits.size() && n > 0) {
+      return EveryN(static_cast<size_t>(n));
+    }
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown replan policy \"%.*s\"; valid: never, every-N, drift",
+                static_cast<int>(spec.size()), spec.data()));
+}
+
+std::string ReplanPolicy::ToString() const {
+  switch (mode) {
+    case ReplanMode::kNever: return "never";
+    case ReplanMode::kEveryNChurn: return StrFormat("every-%zu", every_n_churn);
+    case ReplanMode::kDrift: return "drift";
+  }
+  return "?";
+}
+
+RateDriftEstimator::RateDriftEstimator(size_t num_users, DriftOptions options)
+    : options_(options),
+      win_shares_(num_users, 0),
+      win_queries_(num_users, 0),
+      ema_shares_(num_users, 0),
+      ema_queries_(num_users, 0) {}
+
+void RateDriftEstimator::RecordShare(NodeId u) {
+  win_shares_[u] += 1;
+  ++window_requests_;
+  ++requests_since_replan_;
+  ++total_requests_;
+}
+
+void RateDriftEstimator::RecordQuery(NodeId u) {
+  win_queries_[u] += 1;
+  ++window_requests_;
+  ++requests_since_replan_;
+  ++total_requests_;
+}
+
+void RateDriftEstimator::FoldWindow() {
+  const double alpha = options_.ema_alpha;
+  const double keep = 1.0 - alpha;
+  double mass = 0;
+  for (size_t u = 0; u < win_shares_.size(); ++u) {
+    ema_shares_[u] = keep * ema_shares_[u] + alpha * win_shares_[u];
+    ema_queries_[u] = keep * ema_queries_[u] + alpha * win_queries_[u];
+    mass += ema_shares_[u] + ema_queries_[u];
+    win_shares_[u] = 0;
+    win_queries_[u] = 0;
+  }
+  ema_mass_ = mass;
+  ++folded_windows_;
+  window_requests_ = 0;
+}
+
+Workload RateDriftEstimator::EstimateWorkload(const Workload& planned) const {
+  const size_t n = planned.num_users();
+  PIGGY_CHECK_EQ(n, ema_shares_.size());
+  Workload est;
+  est.production.resize(n);
+  est.consumption.resize(n);
+
+  const double planned_p = planned.TotalProduction();
+  const double planned_c = planned.TotalConsumption();
+  const double planned_total = planned_p + planned_c;
+  if (ema_mass_ <= 0 || planned_total <= 0) return planned;
+
+  // Posterior-mean style blend: observed counts plus prior_strength *
+  // ema_mass pseudo-observations distributed like the planned rates. Users
+  // the window never saw keep a scaled-down planned rate instead of zero.
+  const double prior_mass = options_.prior_strength * ema_mass_;
+  double est_p = 0, est_c = 0;
+  for (size_t u = 0; u < n; ++u) {
+    est.production[u] =
+        ema_shares_[u] + prior_mass * planned.production[u] / planned_total;
+    est.consumption[u] =
+        ema_queries_[u] + prior_mass * planned.consumption[u] / planned_total;
+    est_p += est.production[u];
+    est_c += est.consumption[u];
+  }
+  // Rescale so total traffic matches the planned profile's scale (planners
+  // are scale-invariant; metrics stay comparable).
+  const double scale = planned_total / (est_p + est_c);
+  for (size_t u = 0; u < n; ++u) {
+    est.production[u] *= scale;
+    est.consumption[u] *= scale;
+  }
+  return est;
+}
+
+void RateDriftEstimator::OnReplanned() {
+  requests_since_replan_ = 0;
+  churn_since_replan_ = 0;
+}
+
+}  // namespace piggy

@@ -1,0 +1,160 @@
+// Rate-drift estimation and the adaptive replan policy.
+//
+// The schedule is planned for one rate profile; real traffic moves. The
+// estimator watches the served op stream (shares, queries, churn) and keeps a
+// smoothed per-user estimate of the actual rates. Every check_interval
+// requests FeedService turns that estimate into a drift score: how much of
+// the schedule's cost advantage over the hybrid (FF) baseline has eroded
+// under the observed rates and the churned topology,
+//
+//   score = max(0, 1 - advantage_now / advantage_at_plan_time)
+//   advantage = HybridCost(graph, estimated rates)
+//             / ScheduleCost(graph, estimated rates, schedule)
+//
+// Being a ratio of rate-linear cost functionals, the score is scale-invariant
+// (a uniform traffic surge does not trigger replans — the schedule is still
+// right) and statistically robust (sampling noise averages out across users
+// instead of accumulating per user, as a distribution distance would). It
+// also captures structural drift with no extra machinery: edges added under
+// churn are served directly at hybrid cost until the next plan, which pushes
+// the advantage toward 1 exactly when replanning would help.
+//
+// When the score crosses the threshold, FeedService re-estimates the
+// workload from the smoothed observations (shrunk toward the planned rates
+// where data is thin) and replans against it — so the new schedule fits the
+// traffic actually seen, not the profile from deployment day. ReplanPolicy
+// packages the three modes ("never" | "every-N" | "drift") that
+// bench_fig10_scenarios compares.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace piggy {
+
+/// \brief Knobs of the drift-triggered replan policy.
+struct DriftOptions {
+  /// Requests between drift evaluations (the observation window).
+  size_t check_interval = 2048;
+  /// Replan when the drift score exceeds this. The score is the max of the
+  /// rate component (fraction of the plan's cost advantage lost under the
+  /// estimated rates) and the structural component (churn_weight x the
+  /// fraction of edges churned since the plan).
+  double threshold = 0.08;
+  /// EMA weight of a newly completed window against the running estimate.
+  double ema_alpha = 0.5;
+  /// Windows to fold before the rate component is trusted (a single window's
+  /// sampled rates carry enough noise to fake small drift; the structural
+  /// component is exact and active immediately).
+  size_t warmup_windows = 3;
+  /// Weight of the structural component: churned edges since the last plan
+  /// over the edge count at plan time.
+  double churn_weight = 1.0;
+  /// Hysteresis: minimum requests between drift-triggered replans.
+  size_t min_requests_between_replans = 4096;
+  /// Shrinkage toward the planned rates when estimating the workload, as a
+  /// fraction of the observation mass (guards thinly observed users against
+  /// zeroed-out rates).
+  double prior_strength = 0.25;
+};
+
+/// \brief When FeedService re-runs its planner.
+enum class ReplanMode : uint8_t {
+  kNever,       ///< only explicit Replan() calls
+  kEveryNChurn, ///< the legacy blind counter: every N Follow/Unfollow ops
+  kDrift,       ///< drift-triggered, with re-estimated rates
+};
+
+/// \brief A replanning policy: mode + its knobs.
+struct ReplanPolicy {
+  ReplanMode mode = ReplanMode::kNever;
+  size_t every_n_churn = 0;  ///< kEveryNChurn period
+  DriftOptions drift;        ///< kDrift knobs
+
+  static ReplanPolicy Never() { return {}; }
+  static ReplanPolicy EveryN(size_t n) {
+    ReplanPolicy p;
+    p.mode = ReplanMode::kEveryNChurn;
+    p.every_n_churn = n;
+    return p;
+  }
+  static ReplanPolicy Drift(DriftOptions options = {}) {
+    ReplanPolicy p;
+    p.mode = ReplanMode::kDrift;
+    p.drift = options;
+    return p;
+  }
+
+  /// Parses "never" | "every-N" (N a positive integer) | "drift". Unknown
+  /// spellings return InvalidArgument listing the valid options.
+  static Result<ReplanPolicy> FromString(std::string_view spec);
+
+  /// "never" | "every-128" | "drift" — the FromString spelling.
+  std::string ToString() const;
+};
+
+/// \brief Smoothed per-user rate observation over a served op stream.
+///
+/// Per-op cost is one counter increment; the O(num_users) smoothing and
+/// estimation passes run only when a window completes (every check_interval
+/// requests). Single-threaded, like the service that owns it.
+class RateDriftEstimator {
+ public:
+  RateDriftEstimator(size_t num_users, DriftOptions options);
+
+  void RecordShare(NodeId u);
+  void RecordQuery(NodeId u);
+  void RecordChurn() { ++churn_since_replan_; }
+
+  /// True when a full observation window has accumulated (the owner should
+  /// fold it and evaluate the drift score).
+  bool WindowFull() const { return window_requests_ >= options_.check_interval; }
+
+  /// Folds the completed window into the running EMA and clears it.
+  void FoldWindow();
+
+  /// True when enough requests passed since the last replan (hysteresis).
+  bool ReplanAllowed() const {
+    return requests_since_replan_ >= options_.min_requests_between_replans;
+  }
+
+  /// Re-estimates per-user rates from the smoothed observations: rates are
+  /// proportional to observed counts shrunk toward `planned` (prior_strength
+  /// pseudo-mass), rescaled to planned totals so the absolute scale — which
+  /// planners ignore — stays comparable in metrics. Requires observations
+  /// (FoldWindow called at least once with traffic).
+  Workload EstimateWorkload(const Workload& planned) const;
+
+  /// Resets the hysteresis + churn counters after a replan (observations are
+  /// kept: traffic does not restart because the plan changed).
+  void OnReplanned();
+
+  /// True once warmup_windows observation windows have been folded — the
+  /// smoothed rate estimate is trustworthy for scoring and re-estimation.
+  bool Warm() const { return folded_windows_ >= options_.warmup_windows; }
+
+  const DriftOptions& options() const { return options_; }
+  size_t churn_since_replan() const { return churn_since_replan_; }
+  uint64_t observed_requests() const { return total_requests_; }
+
+ private:
+  DriftOptions options_;
+  std::vector<double> win_shares_, win_queries_;
+  std::vector<double> ema_shares_, ema_queries_;
+  double ema_mass_ = 0;  ///< total smoothed observation mass
+  size_t folded_windows_ = 0;
+  size_t window_requests_ = 0;
+  size_t requests_since_replan_ = 0;
+  size_t churn_since_replan_ = 0;
+  uint64_t total_requests_ = 0;
+};
+
+}  // namespace piggy

@@ -1,0 +1,218 @@
+#include "scenario/replay.h"
+
+#include <functional>
+#include <utility>
+
+#include "core/cost_model.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace piggy {
+
+std::string ReplayEpochRow::ToString() const {
+  return StrFormat(
+      "epoch=%u t=%.0f ops=%lu/%lu/%lu/%lu msgs/req=%.3f true_cost=%.1f "
+      "(ff=%.1f) replans=%zu drift=%.3f wall=%.3fs",
+      epoch, sim_time, static_cast<unsigned long>(shares),
+      static_cast<unsigned long>(queries), static_cast<unsigned long>(follows),
+      static_cast<unsigned long>(unfollows), messages_per_request, true_cost,
+      true_hybrid, replans, drift_score, wall_seconds);
+}
+
+std::string ReplayReport::ToString() const {
+  return StrFormat(
+      "%s via %s/%s: requests=%lu (shares=%lu queries=%lu) churn=%lu+%lu "
+      "msgs/req=%.3f replans=%zu epochs=%zu wall=%.2fs",
+      scenario.c_str(), planner.c_str(), policy.c_str(),
+      static_cast<unsigned long>(shares + queries),
+      static_cast<unsigned long>(shares), static_cast<unsigned long>(queries),
+      static_cast<unsigned long>(follows), static_cast<unsigned long>(unfollows),
+      messages_per_request, replans, epochs.size(), wall_seconds);
+}
+
+namespace {
+
+/// Counter probe taken at epoch boundaries; rows report deltas.
+struct ServiceProbe {
+  double messages = 0;
+  uint64_t shares = 0;
+  uint64_t queries = 0;
+  size_t replans = 0;
+  size_t repairs = 0;
+  double drift_score = 0;
+};
+
+/// The service-agnostic core: FeedService and ClusterService differ only in
+/// how counters are probed and how ground-truth cost is computed.
+struct ServiceHooks {
+  std::function<Status(NodeId)> share;
+  std::function<Result<size_t>(NodeId)> query;  // returns stream size (unused)
+  std::function<Status(NodeId, NodeId)> follow;    // (follower, producer)
+  std::function<Status(NodeId, NodeId)> unfollow;  // (follower, producer)
+  std::function<ServiceProbe()> probe;
+  /// (true rates) -> (schedule cost, hybrid cost) on the current topology.
+  std::function<std::pair<double, double>(const Workload&)> true_costs;
+};
+
+Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
+                            ReplayReport report) {
+  report.scenario = scenario.name();
+  report.epochs.reserve(scenario.num_epochs());
+
+  WallTimer total_timer;
+  WallTimer epoch_timer;
+  ServiceProbe epoch_start = hooks.probe();
+  ReplayEpochRow row;
+  size_t current_epoch = 0;
+
+  auto close_epoch = [&](size_t e) {
+    const ServiceProbe now = hooks.probe();
+    row.epoch = static_cast<uint32_t>(e);
+    row.sim_time = scenario.EpochStart(e);
+    const uint64_t requests = row.shares + row.queries;
+    row.messages = now.messages - epoch_start.messages;
+    row.messages_per_request =
+        requests > 0 ? row.messages / static_cast<double>(requests) : 0;
+    row.replans = now.replans - epoch_start.replans;
+    row.repairs = now.repairs - epoch_start.repairs;
+    row.drift_score = now.drift_score;
+    const auto [cost, hybrid] = hooks.true_costs(scenario.EpochWorkload(e));
+    row.true_cost = cost;
+    row.true_hybrid = hybrid;
+    row.wall_seconds = epoch_timer.Seconds();
+    report.epochs.push_back(row);
+    report.shares += row.shares;
+    report.queries += row.queries;
+    report.follows += row.follows;
+    report.unfollows += row.unfollows;
+    row = ReplayEpochRow{};
+    epoch_start = now;
+    epoch_timer.Reset();
+  };
+
+  ScenarioOp op;
+  while (scenario.Next(&op)) {
+    while (op.epoch > current_epoch) close_epoch(current_epoch++);
+    switch (op.kind) {
+      case ScenarioOpKind::kShare:
+        PIGGY_RETURN_NOT_OK(hooks.share(op.user));
+        ++row.shares;
+        break;
+      case ScenarioOpKind::kQuery:
+        PIGGY_RETURN_NOT_OK(hooks.query(op.user).status());
+        ++row.queries;
+        break;
+      case ScenarioOpKind::kFollow:
+        PIGGY_RETURN_NOT_OK(hooks.follow(op.user, op.producer));
+        ++row.follows;
+        break;
+      case ScenarioOpKind::kUnfollow:
+        PIGGY_RETURN_NOT_OK(hooks.unfollow(op.user, op.producer));
+        ++row.unfollows;
+        break;
+      case ScenarioOpKind::kRateShift:
+        // Ground truth moved; the service must notice on its own.
+        break;
+    }
+  }
+  while (current_epoch < scenario.num_epochs()) close_epoch(current_epoch++);
+
+  const ServiceProbe end = hooks.probe();
+  report.messages = 0;
+  for (const ReplayEpochRow& e : report.epochs) report.messages += e.messages;
+  const uint64_t requests = report.shares + report.queries;
+  report.messages_per_request =
+      requests > 0 ? report.messages / static_cast<double>(requests) : 0;
+  report.replans = end.replans;
+  report.wall_seconds = total_timer.Seconds();
+  return report;
+}
+
+}  // namespace
+
+Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service) {
+  if (service.graph().num_nodes() != scenario.graph().num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("service has %zu users but the scenario was built for %zu",
+                  service.graph().num_nodes(), scenario.graph().num_nodes()));
+  }
+  ReplayReport report;
+  report.planner = service.options().planner;
+  report.policy = service.options().replan.ToString();
+
+  ServiceHooks hooks;
+  hooks.share = [&](NodeId u) { return service.Share(u); };
+  hooks.query = [&](NodeId u) -> Result<size_t> {
+    PIGGY_ASSIGN_OR_RETURN(std::vector<EventTuple> stream,
+                           service.QueryStream(u));
+    return stream.size();
+  };
+  hooks.follow = [&](NodeId f, NodeId p) { return service.Follow(f, p); };
+  hooks.unfollow = [&](NodeId f, NodeId p) { return service.Unfollow(f, p); };
+  hooks.probe = [&] {
+    const FeedService::Metrics m = service.GetMetrics();
+    ServiceProbe p;
+    p.messages =
+        m.messages_per_request * static_cast<double>(m.shares + m.queries);
+    p.shares = m.shares;
+    p.queries = m.queries;
+    p.replans = m.replans;
+    p.repairs = m.repairs;
+    p.drift_score = m.drift_score;
+    return p;
+  };
+  hooks.true_costs = [&](const Workload& truth) {
+    return std::make_pair(ScheduleCost(service.graph(), truth,
+                                       service.schedule(), ResidualPolicy::kFree),
+                          HybridCost(service.graph(), truth));
+  };
+  return Replay(scenario, std::move(hooks), std::move(report));
+}
+
+Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster) {
+  if (cluster.graph().num_nodes() != scenario.graph().num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("cluster has %zu users but the scenario was built for %zu",
+                  cluster.graph().num_nodes(), scenario.graph().num_nodes()));
+  }
+  ReplayReport report;
+  report.planner = cluster.options().shard.planner;
+  report.policy = cluster.options().shard.replan.ToString();
+
+  ServiceHooks hooks;
+  hooks.share = [&](NodeId u) { return cluster.Share(u); };
+  hooks.query = [&](NodeId u) -> Result<size_t> {
+    PIGGY_ASSIGN_OR_RETURN(std::vector<EventTuple> stream,
+                           cluster.QueryStream(u));
+    return stream.size();
+  };
+  hooks.follow = [&](NodeId f, NodeId p) { return cluster.Follow(f, p); };
+  hooks.unfollow = [&](NodeId f, NodeId p) { return cluster.Unfollow(f, p); };
+  hooks.probe = [&] {
+    const ClusterMetrics m = cluster.GetMetrics();
+    ServiceProbe p;
+    p.messages =
+        m.messages_per_request * static_cast<double>(m.shares + m.queries);
+    p.shares = m.shares;
+    p.queries = m.queries;
+    p.replans = m.replans;
+    p.repairs = m.repairs;
+    p.drift_score = m.max_drift_score;
+    return p;
+  };
+  hooks.true_costs = [&](const Workload& truth) {
+    double cost = 0;
+    for (size_t s = 0; s < cluster.num_shards(); ++s) {
+      const Workload local = cluster.shard_map().ProjectWorkload(
+          truth, static_cast<uint32_t>(s));
+      cost += ScheduleCost(cluster.shard(s).graph(), local,
+                           cluster.shard(s).schedule(), ResidualPolicy::kFree);
+    }
+    const double cross = cluster.cross_index().PredictedCost(truth);
+    return std::make_pair(cost + cross,
+                          HybridCost(cluster.graph(), truth) /* no placement */);
+  };
+  return Replay(scenario, std::move(hooks), std::move(report));
+}
+
+}  // namespace piggy

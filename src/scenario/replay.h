@@ -1,0 +1,83 @@
+// Scenario replay: drives a serving deployment through a scenario's op
+// stream and reports per-epoch cost/latency rows.
+//
+// This is the measurement loop for time-varying traffic — the successor of
+// the stationary RunWorkloadDriver. Shares, queries and churn ops are applied
+// through the service's public API (so audits, incremental repair and the
+// configured replan policy all engage exactly as in production); rate-shift
+// markers carry no service call — the system under test must *notice* drift
+// from traffic, never from ground truth. At every epoch boundary the driver
+// snapshots a row: op counts, measured serving messages, the schedule's cost
+// under the epoch's ground-truth rates (which only the scenario knows), the
+// hybrid-baseline cost for reference, replans triggered, the service's
+// current drift estimate, and wall time.
+//
+// A 1-shard stationary replay is bit-identical to FeedService::Drive with
+// the same seed and request count (scenario_drive_test proves it).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_service.h"
+#include "scenario/scenario.h"
+#include "store/feed_service.h"
+#include "util/status.h"
+
+namespace piggy {
+
+/// \brief One epoch of a replay: what happened and what it cost.
+struct ReplayEpochRow {
+  uint32_t epoch = 0;
+  double sim_time = 0;  ///< epoch start on the scenario's simulated clock
+  uint64_t shares = 0;
+  uint64_t queries = 0;
+  uint64_t follows = 0;
+  uint64_t unfollows = 0;
+  double messages = 0;  ///< serving messages issued during the epoch
+  double messages_per_request = 0;
+  /// Schedule cost under the epoch's ground-truth rates and the graph as of
+  /// the epoch's close (the quantity an omniscient operator would minimize).
+  double true_cost = 0;
+  /// Hybrid (FF) baseline under the same rates/topology, for ratios.
+  double true_hybrid = 0;
+  size_t replans = 0;  ///< planner runs during the epoch
+  size_t repairs = 0;  ///< Sec.-3.3 repairs during the epoch
+  double drift_score = 0;  ///< service's drift estimate at epoch close
+  double wall_seconds = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Whole-run replay measurements.
+struct ReplayReport {
+  std::string scenario;
+  std::string planner;
+  std::string policy;  ///< replan policy ("never" | "every-N" | "drift")
+  std::vector<ReplayEpochRow> epochs;
+  uint64_t shares = 0;
+  uint64_t queries = 0;
+  uint64_t follows = 0;
+  uint64_t unfollows = 0;
+  double messages = 0;  ///< total serving messages across the run
+  double messages_per_request = 0;
+  size_t replans = 0;  ///< total planner runs, including the initial plan
+  double wall_seconds = 0;
+
+  std::string ToString() const;
+};
+
+/// Replays `scenario` (from its current position; call Reset() to rewind)
+/// through a single-process deployment. The service must be built over the
+/// scenario's graph (same node count). Returns an error if any op fails —
+/// including audit divergence when the service audits.
+Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service);
+
+/// Same, through a sharded cluster; true costs sum the per-shard schedule
+/// costs under shard-projected ground-truth rates plus the router's predicted
+/// cross-shard cost.
+Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster);
+
+}  // namespace piggy

@@ -24,13 +24,13 @@ ClientMetrics SumMetrics(const ClientMetrics& a, const ClientMetrics& b) {
 
 std::string FeedService::Metrics::ToString() const {
   return StrFormat(
-      "planner=%s cost=%.1f ff=%.1f ratio=%.3fx replans=%zu repairs=%zu "
-      "churn=%zu rebuilds=%zu shares=%lu queries=%lu audited=%lu mpr=%.2f "
-      "throughput=%.0f req/s",
-      planner.c_str(), schedule_cost, hybrid_cost,
-      ImprovementRatio(hybrid_cost, schedule_cost), replans, repairs, churn_ops,
-      serving_rebuilds, static_cast<unsigned long>(shares),
-      static_cast<unsigned long>(queries),
+      "planner=%s replan=%s cost=%.1f ff=%.1f ratio=%.3fx replans=%zu "
+      "(drift=%zu score=%.3f) repairs=%zu churn=%zu rebuilds=%zu shares=%lu "
+      "queries=%lu audited=%lu mpr=%.2f throughput=%.0f req/s",
+      planner.c_str(), replan_policy.c_str(), schedule_cost, hybrid_cost,
+      ImprovementRatio(hybrid_cost, schedule_cost), replans, drift_replans,
+      drift_score, repairs, churn_ops, serving_rebuilds,
+      static_cast<unsigned long>(shares), static_cast<unsigned long>(queries),
       static_cast<unsigned long>(audited_queries), messages_per_request,
       actual_throughput);
 }
@@ -57,6 +57,15 @@ Result<std::unique_ptr<FeedService>> FeedService::Create(
   }
   auto service = std::unique_ptr<FeedService>(
       new FeedService(graph, std::move(workload), options));
+  // The legacy counter knob is the every-N policy under its old name.
+  if (service->options_.replan.mode == ReplanMode::kNever &&
+      options.replan_after_churn > 0) {
+    service->options_.replan = ReplanPolicy::EveryN(options.replan_after_churn);
+  }
+  if (service->options_.replan.mode == ReplanMode::kDrift) {
+    service->estimator_ = std::make_unique<RateDriftEstimator>(
+        graph.num_nodes(), service->options_.replan.drift);
+  }
   service->maintainer_ = std::make_unique<IncrementalMaintainer>(
       &service->graph_, &service->schedule_, &service->workload_);
   PIGGY_RETURN_NOT_OK(service->Replan());
@@ -73,6 +82,12 @@ Status FeedService::Replan() {
   schedule_ = std::move(plan.schedule);
   maintainer_->RebuildIndexes();
   options_.planner = plan.planner;  // canonicalize aliases ("ff" -> "hybrid")
+  // The drift policy measures erosion relative to the advantage this plan
+  // opened with (scale-invariant, so traffic surges alone never trigger).
+  plan_advantage_ =
+      plan.final_cost > 0 ? plan.hybrid_cost / plan.final_cost : 1.0;
+  edges_at_plan_ = graph_.num_edges();
+  if (estimator_ != nullptr) estimator_->OnReplanned();
   ++replans_;
   churn_since_plan_ = 0;
   serving_dirty_ = true;
@@ -117,7 +132,7 @@ Status FeedService::Share(NodeId u) {
   }
   PIGGY_RETURN_NOT_OK(RefreshServing());
   prototype_->ShareEvent(u);
-  return Status::OK();
+  return ObserveRequest(/*is_share=*/true, u);
 }
 
 Result<std::vector<EventTuple>> FeedService::QueryStream(NodeId u) {
@@ -132,7 +147,56 @@ Result<std::vector<EventTuple>> FeedService::QueryStream(NodeId u) {
     PIGGY_RETURN_NOT_OK(prototype_->AuditStream(u, stream));
     ++audited_queries_;
   }
+  PIGGY_RETURN_NOT_OK(ObserveRequest(/*is_share=*/false, u));
   return stream;
+}
+
+Status FeedService::ObserveRequest(bool is_share, NodeId u) {
+  if (estimator_ == nullptr) return Status::OK();
+  if (is_share) {
+    estimator_->RecordShare(u);
+  } else {
+    estimator_->RecordQuery(u);
+  }
+  if (!estimator_->WindowFull()) return Status::OK();
+  estimator_->FoldWindow();
+
+  // Rate component: fraction of the plan's cost advantage lost under the
+  // estimated rates. Only trusted after warmup — thin observation windows
+  // fake small amounts of drift. snapshot_ is fresh here: Share/QueryStream
+  // call RefreshServing first.
+  double rate_score = 0;
+  if (estimator_->Warm()) {
+    const Workload estimated = estimator_->EstimateWorkload(workload_);
+    const double cost =
+        ScheduleCost(snapshot_, estimated, schedule_, ResidualPolicy::kFree);
+    const double hybrid = HybridCost(snapshot_, estimated);
+    const double advantage = cost > 0 ? hybrid / cost : 1.0;
+    rate_score = plan_advantage_ > 0
+                     ? std::max(0.0, 1.0 - advantage / plan_advantage_)
+                     : 0.0;
+  }
+  // Structural component: churn repairs serve each new edge individually, so
+  // piggybacking decays in proportion to the churned-edge fraction. Exact,
+  // no warmup needed.
+  const double structural_score =
+      estimator_->options().churn_weight *
+      static_cast<double>(churn_since_plan_) /
+      static_cast<double>(std::max<size_t>(edges_at_plan_, 1));
+  last_drift_score_ = std::max(rate_score, structural_score);
+
+  if (last_drift_score_ > estimator_->options().threshold &&
+      estimator_->ReplanAllowed()) {
+    if (estimator_->Warm()) {
+      // Replan against the traffic actually observed, not deployment-day
+      // rates (a purely structural trigger inside warmup keeps the planned
+      // rates rather than trusting a noisy estimate).
+      workload_ = estimator_->EstimateWorkload(workload_);
+    }
+    ++drift_replans_;
+    return Replan();
+  }
+  return Status::OK();
 }
 
 Status FeedService::ApplyChurn(Status churn_result) {
@@ -140,9 +204,17 @@ Status FeedService::ApplyChurn(Status churn_result) {
   ++churn_ops_;
   ++churn_since_plan_;
   serving_dirty_ = true;
-  if (options_.replan_after_churn > 0 &&
-      churn_since_plan_ >= options_.replan_after_churn) {
-    return Replan();
+  switch (options_.replan.mode) {
+    case ReplanMode::kNever:
+      break;
+    case ReplanMode::kEveryNChurn:
+      if (churn_since_plan_ >= options_.replan.every_n_churn) return Replan();
+      break;
+    case ReplanMode::kDrift:
+      // Structural drift surfaces through the cost evaluation on the served
+      // request cadence (new edges are carried at hybrid cost until then).
+      estimator_->RecordChurn();
+      break;
   }
   return Status::OK();
 }
@@ -186,10 +258,13 @@ Status FeedService::Validate() const {
 FeedService::Metrics FeedService::GetMetrics() const {
   Metrics m;
   m.planner = options_.planner;
+  m.replan_policy = options_.replan.ToString();
   m.schedule_cost =
       ScheduleCost(graph_, workload_, schedule_, ResidualPolicy::kFree);
   m.hybrid_cost = HybridCost(graph_, workload_);
   m.replans = replans_;
+  m.drift_replans = drift_replans_;
+  m.drift_score = last_drift_score_;
   m.repairs = maintainer_->repairs();
   m.churn_ops = churn_ops_;
   m.serving_rebuilds = serving_rebuilds_;

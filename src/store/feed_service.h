@@ -19,9 +19,12 @@
 // (whose per-user view lists are materialized from the schedule) is rebuilt
 // lazily before the next Share/Query — stored events survive rebuilds via
 // Prototype::RestoreEvents. Accumulated churn degrades schedule *quality*,
-// never validity; configure replan_after_churn to re-run the planner
-// automatically every N churn operations, or call Replan() on your own
-// policy. Scenario code never reaches into Prototype internals.
+// never validity; FeedServiceOptions::replan picks the re-optimization
+// policy: never (explicit Replan() only), every N churn ops (the blind
+// counter), or drift-triggered — a rate-drift estimator watches served
+// traffic and replans with re-estimated rates once the schedule's cost
+// advantage erodes (see scenario/drift.h). Scenario code never reaches into
+// Prototype internals.
 
 #pragma once
 
@@ -35,6 +38,7 @@
 #include "core/schedule.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
+#include "scenario/drift.h"
 #include "store/prototype.h"
 #include "store/view_store.h"
 #include "store/workload_driver.h"
@@ -56,7 +60,13 @@ struct FeedServiceOptions {
   WorkloadOptions workload;
   /// Re-run the planner automatically after this many Follow/Unfollow
   /// operations since the last plan (0 = only explicit Replan calls).
+  /// Legacy spelling of ReplanPolicy::EveryN — ignored when `replan` sets a
+  /// non-default mode.
   size_t replan_after_churn = 0;
+  /// When to re-run the planner: never (default), every N churn ops, or
+  /// drift-triggered with rates re-estimated from observed traffic (see
+  /// scenario/drift.h).
+  ReplanPolicy replan;
   /// Audit every Nth query against the event-log oracle (0 = no audits).
   size_t audit_every = 0;
 };
@@ -102,9 +112,12 @@ class FeedService {
   /// rebuilds.
   struct Metrics {
     std::string planner;          ///< registry name of the planning policy
+    std::string replan_policy;    ///< "never" | "every-N" | "drift"
     double schedule_cost = 0;     ///< current schedule cost on current graph
     double hybrid_cost = 0;       ///< FF baseline cost on current graph
     size_t replans = 0;           ///< full planner runs (incl. the initial)
+    size_t drift_replans = 0;     ///< replans triggered by the drift policy
+    double drift_score = 0;       ///< last drift evaluation (0 = no drift)
     size_t repairs = 0;           ///< hub covers re-served due to unfollows
     size_t churn_ops = 0;         ///< Follow/Unfollow ops applied
     size_t serving_rebuilds = 0;  ///< lazy serving-plane reconstructions
@@ -144,6 +157,13 @@ class FeedService {
 
   Status ApplyChurn(Status churn_result);
 
+  /// Drift-mode bookkeeping for one served request, and — when an
+  /// observation window completes — the drift evaluation: if the schedule
+  /// lost more than the configured fraction of its cost advantage under the
+  /// estimated rates and current topology, the workload is re-estimated from
+  /// observations and the planner re-run. No-op outside ReplanMode::kDrift.
+  Status ObserveRequest(bool is_share, NodeId u);
+
   FeedServiceOptions options_;
   DynamicGraph graph_;
   Workload workload_;
@@ -156,6 +176,13 @@ class FeedService {
   Graph snapshot_;
   std::unique_ptr<Prototype> prototype_;
   bool serving_dirty_ = false;
+
+  // Drift-triggered replanning (ReplanMode::kDrift only).
+  std::unique_ptr<RateDriftEstimator> estimator_;
+  double plan_advantage_ = 1.0;  ///< hybrid/schedule cost ratio at plan time
+  size_t edges_at_plan_ = 0;     ///< structural-drift denominator
+  size_t drift_replans_ = 0;
+  double last_drift_score_ = 0;
 
   // Counters that survive serving-plane rebuilds.
   ClientMetrics accumulated_;

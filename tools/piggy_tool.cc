@@ -9,6 +9,8 @@
 //                       --servers 500 --requests 50000
 //   piggy_tool serve    --graph g.bin --planner nosy --shards 8
 //                       --partitioner edge-cut --requests 100000
+//   piggy_tool replay   --graph g.bin --scenario flash-crowd --policy drift
+//                       --requests 100000 --epochs 16
 //
 // Graphs use the binary format of graph_io.h (or .txt edge lists); schedules
 // use the text format of schedule_io.h.
@@ -23,6 +25,9 @@
 #include "cluster/cluster_service.h"
 #include "core/piggy.h"
 #include "core/schedule_io.h"
+#include "scenario/drift.h"
+#include "scenario/replay.h"
+#include "scenario/scenario.h"
 #include "store/partitioner.h"
 #include "util/string_util.h"
 
@@ -50,7 +55,18 @@ int Usage() {
                "            [--partitioner NAME] [--ratio R] [--requests N]\n"
                "            [--audit N] [--seed S]\n"
                "                             (--partitioner list shows the\n"
-               "                              placement registry)\n");
+               "                              placement registry)\n"
+               "  replay    --graph FILE --scenario NAME [--planner NAME]\n"
+               "            [--policy never|every-N|drift] [--shards N]\n"
+               "            [--requests N] [--epochs E] [--intensity X]\n"
+               "            [--churn-level C] [--ratio R] [--audit N] [--seed S]\n"
+               "                             (--scenario list shows the registry)\n"
+               "\n"
+               "scenarios (for replay --scenario):\n");
+  for (const ScenarioInfo& info : RegisteredScenarios()) {
+    std::fprintf(stderr, "  %-15s %s\n", info.name.c_str(),
+                 info.description.c_str());
+  }
   return 2;
 }
 
@@ -69,6 +85,14 @@ int ListPartitioners() {
     std::printf("  %-10s %s\n", info.name.c_str(), info.description.c_str());
   }
   std::printf("aliases: greedy -> edge-cut\n");
+  return 0;
+}
+
+int ListScenarios() {
+  std::printf("registered scenarios:\n");
+  for (const ScenarioInfo& info : RegisteredScenarios()) {
+    std::printf("  %-15s %s\n", info.name.c_str(), info.description.c_str());
+  }
   return 0;
 }
 
@@ -276,6 +300,63 @@ Status CmdServe(const Args& args) {
   return Status::OK();
 }
 
+// Replays a time-varying scenario (see scenario/scenario.h) through a
+// FeedService — or a sharded cluster with --shards > 1 — printing one row
+// per epoch plus the final report and service metrics.
+Status CmdReplay(const Args& args) {
+  PIGGY_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.Str("graph")));
+  ScenarioOptions scenario_options;
+  scenario_options.num_requests =
+      static_cast<size_t>(args.Int("requests", 100000));
+  scenario_options.epochs = static_cast<size_t>(args.Int("epochs", 16));
+  scenario_options.seed = static_cast<uint64_t>(args.Int("seed", 42));
+  scenario_options.intensity = args.Double("intensity", 8.0);
+  scenario_options.churn_level = args.Double("churn-level", 1.0);
+  PIGGY_ASSIGN_OR_RETURN(
+      Workload base,
+      GenerateWorkload(g, {.read_write_ratio = args.Double("ratio", 5.0),
+                           .min_rate = 0.01}));
+  PIGGY_ASSIGN_OR_RETURN(
+      std::unique_ptr<Scenario> scenario,
+      MakeScenario(args.Str("scenario", "flash-crowd"), g, base,
+                   scenario_options));
+  PIGGY_ASSIGN_OR_RETURN(ReplanPolicy policy,
+                         ReplanPolicy::FromString(args.Str("policy", "drift")));
+
+  FeedServiceOptions service_options;
+  service_options.planner = ResolvePlannerName(args);
+  service_options.replan = policy;
+  service_options.audit_every = static_cast<size_t>(args.Int("audit", 0));
+
+  ReplayReport report;
+  const size_t shards = static_cast<size_t>(args.Int("shards", 1));
+  std::unique_ptr<FeedService> service;    // keep the driven system alive
+  std::unique_ptr<ClusterService> cluster;
+  if (shards > 1) {
+    ClusterOptions options;
+    options.num_shards = shards;
+    options.partitioner = args.Str("partitioner", "hash");
+    options.shard = service_options;
+    options.audit_every = service_options.audit_every;
+    PIGGY_ASSIGN_OR_RETURN(cluster, ClusterService::Create(g, base, options));
+    PIGGY_ASSIGN_OR_RETURN(report, ReplayScenario(*scenario, *cluster));
+  } else {
+    PIGGY_ASSIGN_OR_RETURN(service,
+                           FeedService::Create(g, base, service_options));
+    PIGGY_ASSIGN_OR_RETURN(report, ReplayScenario(*scenario, *service));
+  }
+  for (const ReplayEpochRow& row : report.epochs) {
+    std::printf("%s\n", row.ToString().c_str());
+  }
+  std::printf("replayed: %s\n", report.ToString().c_str());
+  if (cluster != nullptr) {
+    std::printf("final:    %s\n", cluster->GetMetrics().ToString().c_str());
+  } else {
+    std::printf("final:    %s\n", service->GetMetrics().ToString().c_str());
+  }
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -287,6 +368,9 @@ int Main(int argc, char** argv) {
   if (command == "partitioners" || args.Str("partitioner") == "list") {
     return ListPartitioners();
   }
+  if (command == "scenarios" || args.Str("scenario") == "list") {
+    return ListScenarios();
+  }
   Status status = Status::InvalidArgument("unknown command: " + command);
   if (command == "generate") status = CmdGenerate(args);
   if (command == "stats") status = CmdStats(args);
@@ -294,6 +378,7 @@ int Main(int argc, char** argv) {
   if (command == "optimize") status = CmdOptimize(args);
   if (command == "evaluate") status = CmdEvaluate(args);
   if (command == "serve") status = CmdServe(args);
+  if (command == "replay") status = CmdReplay(args);
   if (command == "help" || command == "--help") return Usage();
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
