@@ -20,6 +20,16 @@ noise.
 
 Baselines may be raw google-benchmark output or a combined BENCH_PR*.json
 object that nests it under the "bench_micro_algorithms" key.
+
+With --serving, both files are instead bench_fig11_serving JSON (an array of
+row objects, or a BENCH_PR*.json wrapper with a "bench_fig11_serving" key).
+Rows are matched on (service, mode, threads, shards); ops_per_sec on the
+mode=steady rows is the blocking metric (a drop beyond --block-threshold
+fails), while replan-mode rows and tail latency are reported as advisory:
+
+  python3 scripts/check_bench_regression.py --serving \
+      --baseline BENCH_PR6.json \
+      --current build/bench_fig11_serving.json --block-threshold 0.50
 """
 
 import argparse
@@ -50,6 +60,70 @@ def in_family(run_name, family):
     return run_name == family or run_name.startswith(family + "/")
 
 
+def load_serving(path):
+    """Returns {(service, mode, threads, shards): row} from bench_fig11_serving
+    JSON (a bare array of row objects) or a BENCH_PR*.json wrapper."""
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = doc.get("bench_fig11_serving")
+    if not isinstance(doc, list) or not doc:
+        raise ValueError(f"{path}: no bench_fig11_serving rows")
+    out = {}
+    for row in doc:
+        key = (row["service"], row["mode"], int(row["threads"]),
+               int(row["shards"]))
+        out[key] = row
+    return out
+
+
+def check_serving(args):
+    """Serving-plane gate: throughput per (service, mode, threads, shards).
+
+    Unlike the wall-time gate, ops_per_sec is higher-is-better, so the
+    regression fraction is the *drop* relative to the baseline. Only
+    mode=steady rows block: replan-mode throughput depends on how the
+    scheduler interleaves the churn thread with the clients (on a single-core
+    host it spans two orders of magnitude run to run), so those rows — and
+    tail latency everywhere — are advisory.
+    """
+    baseline = load_serving(args.baseline)
+    current = load_serving(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print(f"error: no common serving rows between {args.baseline} and "
+              f"{args.current}", file=sys.stderr)
+        return 1
+
+    blocking_failures = []
+    print(f"{'service/mode/threads/shards':34s} {'base ops/s':>12s} "
+          f"{'cur ops/s':>12s} {'delta':>8s}  p99(q) us")
+    for key in shared:
+        base, cur = baseline[key], current[key]
+        base_ops = float(base["ops_per_sec"])
+        cur_ops = float(cur["ops_per_sec"])
+        drop = (base_ops - cur_ops) / base_ops if base_ops > 0 else 0.0
+        blocking = key[1] == "steady"
+        flag = ""
+        if drop > args.block_threshold:
+            flag = " <-- BLOCKING" if blocking else " (advisory)"
+            if blocking:
+                blocking_failures.append((key, drop))
+        name = "/".join(str(k) for k in key)
+        print(f"{name:34s} {base_ops:12.0f} {cur_ops:12.0f} {-drop:+7.1%}  "
+              f"{float(base['query_p99_us']):.0f} -> "
+              f"{float(cur['query_p99_us']):.0f}{flag}")
+
+    if blocking_failures:
+        for key, drop in blocking_failures:
+            print(f"FAIL: {'/'.join(str(k) for k in key)} throughput dropped "
+                  f"{drop:.1%} (> {args.block_threshold:.0%})", file=sys.stderr)
+        return 1
+    print(f"OK: serving throughput within -{args.block_threshold:.0%} of "
+          f"baseline on {len(shared)} row(s)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -58,7 +132,13 @@ def main():
                         help="blocking benchmark family (prefix before '/')")
     parser.add_argument("--block-threshold", type=float, default=0.30,
                         help="blocking regression fraction (0.30 = +30%%)")
+    parser.add_argument("--serving", action="store_true",
+                        help="compare bench_fig11_serving rows instead of "
+                             "google-benchmark wall times")
     args = parser.parse_args()
+
+    if args.serving:
+        return check_serving(args)
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)

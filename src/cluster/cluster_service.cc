@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/cost_model.h"
 #include "util/alias_table.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -65,10 +66,10 @@ ClusterService::ClusterService(ClusterOptions options, ShardMap map,
     : options_(std::move(options)),
       map_(std::move(map)),
       workload_(std::move(workload)),
-      cross_(map_.num_shards(), feed_size),
       feed_size_(feed_size),
+      cross_(map_.num_shards(), feed_size),
       producer_seqs_(map_.num_nodes()),
-      per_shard_requests_(map_.num_shards(), 0) {}
+      per_shard_requests_(map_.num_shards()) {}
 
 Result<std::unique_ptr<ClusterService>> ClusterService::Create(
     const Graph& graph, const ClusterOptions& options) {
@@ -151,27 +152,51 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Create(
   return cluster;
 }
 
+std::vector<uint64_t> ClusterService::HistorySnapshot(NodeId producer) const {
+  std::lock_guard<std::mutex> stripe(StripeFor(producer));
+  return producer_seqs_[producer];
+}
+
 Status ClusterService::Share(NodeId u) {
   if (u >= map_.num_nodes()) {
     return Status::InvalidArgument(StrFormat("unknown user %u", u));
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const uint32_t s = map_.ShardOf(u);
-  PIGGY_RETURN_NOT_OK(shards_[s].service->Share(map_.LocalId(u)));
-  const uint64_t seq = next_seq_++;
-  std::vector<uint64_t>& history = producer_seqs_[u];
-  history.push_back(seq);
-  if (history.size() > feed_size_) history.erase(history.begin());
-  cross_.Publish(u, seq);
-  ++per_shard_requests_[s];
-  ++shares_;
-  return Status::OK();
+  // In-flight up BEFORE the seq draw, down after publication: together with
+  // next_seq_ this lets audits prove a read window was share-free (any
+  // overlapping share is caught in flight at one end of the window or moved
+  // the counter in between).
+  shares_in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_seq_cst);
+  // The shard serves the event under the global sequence number, so local
+  // feeds order by cluster-wide share order and merged queries read
+  // event_id directly. (On a shard error the seq is burned — gaps are
+  // harmless, the oracle only ever sees published numbers.)
+  Status st = shards_[s].service->Share(map_.LocalId(u), seq);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> stripe(StripeFor(u));
+    std::vector<uint64_t>& history = producer_seqs_[u];
+    // Sorted from the tail: a thread that drew an earlier seq but reached
+    // the stripe later still lands in order.
+    auto pos = history.end();
+    while (pos != history.begin() && *(pos - 1) > seq) --pos;
+    history.insert(pos, seq);
+    if (history.size() > feed_size_) history.erase(history.begin());
+    cross_.Publish(u, seq);
+    per_shard_requests_[s].fetch_add(1, std::memory_order_relaxed);
+    shares_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shares_in_flight_.fetch_sub(1, std::memory_order_seq_cst);
+  return st;
 }
 
 Result<std::vector<EventTuple>> ClusterService::QueryStream(NodeId u) {
-  const bool audit = options_.audit_every > 0 &&
-                     queries_since_audit_ + 1 >= options_.audit_every;
-  if (audit) queries_since_audit_ = 0;
-  else ++queries_since_audit_;
+  const bool audit =
+      options_.audit_every > 0 &&
+      (queries_since_audit_.fetch_add(1, std::memory_order_relaxed) + 1) %
+              options_.audit_every ==
+          0;
   return QueryInternal(u, audit);
 }
 
@@ -180,32 +205,32 @@ Result<std::vector<EventTuple>> ClusterService::QueryInternal(NodeId u,
   if (u >= map_.num_nodes()) {
     return Status::InvalidArgument(StrFormat("unknown user %u", u));
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const uint32_t s = map_.ShardOf(u);
+  AuditToken token;
+  if (force_audit) {
+    token.quiescent =
+        shares_in_flight_.load(std::memory_order_seq_cst) == 0;
+    token.next_seq = next_seq_.load(std::memory_order_seq_cst);
+  }
   PIGGY_ASSIGN_OR_RETURN(std::vector<EventTuple> local,
                          shards_[s].service->QueryStream(map_.LocalId(u)));
-  ++per_shard_requests_[s];
-  ++queries_;
+  per_shard_requests_[s].fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(1, std::memory_order_relaxed);
 
-  // Collect (seq, producer) candidates. Local feed events map back to global
-  // sequence numbers by per-producer position: the feed is newest-first and
-  // holds each producer's newest events, so the c-th occurrence of a producer
-  // (counting from the newest) is its c-th newest share.
+  // Collect (seq, producer) candidates. Local feed events carry global
+  // sequence numbers (shares are routed with explicit seqs), so event_id is
+  // the global share order directly.
   std::vector<std::pair<uint64_t, NodeId>> candidates;
   candidates.reserve(local.size() + 8);
-  {
-    U64Map<uint32_t> seen;  // local producer -> occurrences so far
-    for (const EventTuple& e : local) {
-      const NodeId producer = map_.GlobalId(s, e.producer);
-      uint32_t* count = seen.Find(producer);
-      const uint32_t c = count ? (*count)++ : 0;
-      if (!count) seen.Put(producer, 1);
-      const std::vector<uint64_t>& history = producer_seqs_[producer];
-      PIGGY_CHECK_LT(c, history.size());
-      candidates.emplace_back(history[history.size() - 1 - c], producer);
-    }
+  for (const EventTuple& e : local) {
+    candidates.emplace_back(e.event_id, map_.GlobalId(s, e.producer));
   }
   // Remote push producers: replicas materialized in u's own shard, free.
+  // Contents are copied out under the producer's stripe (the lock a racing
+  // Publish holds).
   for (NodeId producer : cross_.PushProducers(u)) {
+    std::lock_guard<std::mutex> stripe(StripeFor(producer));
     for (uint64_t seq : cross_.ReadReplica(s, producer)) {
       candidates.emplace_back(seq, producer);
     }
@@ -214,6 +239,7 @@ Result<std::vector<EventTuple>> ClusterService::QueryInternal(NodeId u,
   std::span<const uint32_t> pull_shards = cross_.PullShards(u);
   for (uint32_t remote : pull_shards) {
     for (NodeId producer : cross_.PullProducers(u, remote)) {
+      std::lock_guard<std::mutex> stripe(StripeFor(producer));
       for (uint64_t seq : producer_seqs_[producer]) {
         candidates.emplace_back(seq, producer);
       }
@@ -231,19 +257,22 @@ Result<std::vector<EventTuple>> ClusterService::QueryInternal(NodeId u,
   }
 
   if (force_audit) {
-    PIGGY_RETURN_NOT_OK(AuditMerged(u, stream));
-    ++audited_queries_;
+    PIGGY_RETURN_NOT_OK(AuditMerged(u, stream, token));
+    audited_queries_.fetch_add(1, std::memory_order_relaxed);
   }
   return stream;
 }
 
-Status ClusterService::AuditMerged(NodeId u, const std::vector<EventTuple>& stream) {
+Status ClusterService::AuditMerged(NodeId u,
+                                   const std::vector<EventTuple>& stream,
+                                   const AuditToken& token) {
   auto followees = graph_.InNeighbors(u);
   auto allowed = [&](NodeId producer) {
     return producer == u ||
            std::binary_search(followees.begin(), followees.end(), producer);
   };
   // Soundness: only events of followed producers, newest-first, no repeats.
+  // Always checkable — racing shares can only add events, never forge one.
   for (size_t i = 0; i < stream.size(); ++i) {
     if (!allowed(stream[i].producer)) {
       return Status::Internal(StrFormat("merged stream of %u leaks producer %u",
@@ -255,18 +284,33 @@ Status ClusterService::AuditMerged(NodeId u, const std::vector<EventTuple>& stre
     }
   }
 
-  // Completeness is provable only while u's shard has not trimmed any view
+  // Completeness needs a share-free read window (the token's quiescence
+  // protocol, mirroring Prototype::AuditToken) and untrimmed shard views
   // (same guard as Prototype::AuditStream).
+  if (!token.quiescent ||
+      shares_in_flight_.load(std::memory_order_seq_cst) != 0 ||
+      next_seq_.load(std::memory_order_seq_cst) != token.next_seq) {
+    return Status::OK();
+  }
   const uint32_t s = map_.ShardOf(u);
-  PIGGY_ASSIGN_OR_RETURN(Prototype * plane, shards_[s].service->ServingPlane());
-  if (plane->TotalTrimmedEvents() > 0) return Status::OK();
+  PIGGY_ASSIGN_OR_RETURN(const uint64_t trimmed,
+                         shards_[s].service->TrimmedEvents());
+  if (trimmed > 0) return Status::OK();
 
   std::vector<std::pair<uint64_t, NodeId>> oracle;
   auto add_producer = [&](NodeId p) {
-    for (uint64_t seq : producer_seqs_[p]) oracle.emplace_back(seq, p);
+    for (uint64_t seq : HistorySnapshot(p)) oracle.emplace_back(seq, p);
   };
   add_producer(u);
   for (NodeId p : followees) add_producer(p);
+  // The history snapshots above sit outside the window the recheck proved
+  // share-free: a share landing between the recheck and a snapshot would put
+  // an event in the oracle the stream never saw. Re-verify before comparing
+  // (a share starting after this line cannot have touched the reads above).
+  if (shares_in_flight_.load(std::memory_order_seq_cst) != 0 ||
+      next_seq_.load(std::memory_order_seq_cst) != token.next_seq) {
+    return Status::OK();
+  }
   std::sort(oracle.begin(), oracle.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   if (oracle.size() > feed_size_) oracle.resize(feed_size_);
@@ -284,12 +328,20 @@ Status ClusterService::AuditMerged(NodeId u, const std::vector<EventTuple>& stre
   return Status::OK();
 }
 
-Status ClusterService::ApplyChurn() {
+Status ClusterService::ApplyChurnLocked() {
   ++churn_ops_;
   ++churn_since_replan_;
   if (options_.replan_after_churn > 0 &&
       churn_since_replan_ >= options_.replan_after_churn) {
-    return Replan();
+    churn_since_replan_ = 0;
+    if (options_.shard.background_replan) {
+      // Per-shard background replanners: post and keep serving.
+      for (Shard& shard : shards_) {
+        PIGGY_RETURN_NOT_OK(shard.service->StartBackgroundReplan());
+      }
+      return Status::OK();
+    }
+    return ReplanLocked();
   }
   return Status::OK();
 }
@@ -301,6 +353,7 @@ Status ClusterService::Follow(NodeId follower, NodeId producer) {
   if (follower == producer) {
     return Status::InvalidArgument("users may not follow themselves");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (graph_.HasEdge(producer, follower)) return Status::OK();
   const uint32_t sp = map_.ShardOf(producer);
   const uint32_t sc = map_.ShardOf(follower);
@@ -308,18 +361,21 @@ Status ClusterService::Follow(NodeId follower, NodeId producer) {
     PIGGY_RETURN_NOT_OK(shards_[sp].service->Follow(map_.LocalId(follower),
                                                     map_.LocalId(producer)));
   } else {
+    // Exclusive cluster lock: no share is mid-publication, so the history is
+    // stable without its stripe.
     cross_.AddEdge(producer, sp, follower, sc,
                    DecideMode(workload_, producer, follower),
                    producer_seqs_[producer]);
   }
   graph_.AddEdge(producer, follower);
-  return ApplyChurn();
+  return ApplyChurnLocked();
 }
 
 Status ClusterService::Unfollow(NodeId follower, NodeId producer) {
   if (follower >= map_.num_nodes() || producer >= map_.num_nodes()) {
     return Status::InvalidArgument("unknown user in Unfollow");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (!graph_.HasEdge(producer, follower)) return Status::OK();
   const uint32_t sp = map_.ShardOf(producer);
   const uint32_t sc = map_.ShardOf(follower);
@@ -330,10 +386,15 @@ Status ClusterService::Unfollow(NodeId follower, NodeId producer) {
     cross_.RemoveEdge(producer, follower);
   }
   graph_.RemoveEdge(producer, follower);
-  return ApplyChurn();
+  return ApplyChurnLocked();
 }
 
 Status ClusterService::Replan() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return ReplanLocked();
+}
+
+Status ClusterService::ReplanLocked() {
   const size_t shards = shards_.size();
   std::vector<Status> status(shards);
   {
@@ -351,6 +412,26 @@ Status ClusterService::Replan() {
   return Status::OK();
 }
 
+Status ClusterService::StartBackgroundReplan() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (Shard& shard : shards_) {
+    PIGGY_RETURN_NOT_OK(shard.service->StartBackgroundReplan());
+  }
+  churn_since_replan_ = 0;
+  return Status::OK();
+}
+
+Status ClusterService::WaitForBackgroundReplan() {
+  // No cluster lock: shard replanners publish under their own locks, and
+  // holding ours here would stall serving for the whole wait.
+  Status first = Status::OK();
+  for (Shard& shard : shards_) {
+    Status st = shard.service->WaitForBackgroundReplan();
+    if (first.ok() && !st.ok()) first = st;
+  }
+  return first;
+}
+
 Result<ClusterDriveReport> ClusterService::Drive(const DriverOptions& options) {
   const double total_p = workload_.TotalProduction();
   const double total_c = workload_.TotalConsumption();
@@ -366,7 +447,11 @@ Result<ClusterDriveReport> ClusterService::Drive(const DriverOptions& options) {
   // earlier runs and the one-off replica-backfill traffic of cluster setup.
   const CrossTraffic cross_before = cross_.traffic();
   const double shard_messages_before = ShardMessages();
-  const std::vector<uint64_t> shard_requests_before = per_shard_requests_;
+  std::vector<uint64_t> shard_requests_before(per_shard_requests_.size());
+  for (size_t s = 0; s < shard_requests_before.size(); ++s) {
+    shard_requests_before[s] =
+        per_shard_requests_[s].load(std::memory_order_relaxed);
+  }
 
   ClusterDriveReport report;
   for (size_t i = 0; i < options.num_requests; ++i) {
@@ -385,7 +470,7 @@ Result<ClusterDriveReport> ClusterService::Drive(const DriverOptions& options) {
   report.requests = report.shares + report.queries;
 
   if (report.requests > 0) {
-    const CrossTraffic& cross_after = cross_.traffic();
+    const CrossTraffic cross_after = cross_.traffic();
     const uint64_t cross_delta =
         cross_after.update_messages + cross_after.query_messages -
         cross_before.update_messages - cross_before.query_messages;
@@ -399,7 +484,8 @@ Result<ClusterDriveReport> ClusterService::Drive(const DriverOptions& options) {
   }
   std::vector<uint64_t> routed(per_shard_requests_.size());
   for (size_t s = 0; s < routed.size(); ++s) {
-    routed[s] = per_shard_requests_[s] - shard_requests_before[s];
+    routed[s] = per_shard_requests_[s].load(std::memory_order_relaxed) -
+                shard_requests_before[s];
   }
   report.imbalance = MaxOverMean(routed);
   return report;
@@ -416,7 +502,20 @@ double ClusterService::ShardMessages() const {
   return total;
 }
 
+std::pair<double, double> ClusterService::CostsUnder(const Workload& truth) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  double intra = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Workload local =
+        map_.ProjectWorkload(truth, static_cast<uint32_t>(s));
+    intra += shards_[s].service->CostsUnder(local).first;
+  }
+  // The baseline ignores placement: one unsharded deployment's hybrid cost.
+  return {intra + cross_.PredictedCost(truth), HybridCost(graph_, truth)};
+}
+
 ClusterMetrics ClusterService::GetMetrics() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   ClusterMetrics m;
   m.shards = shards_.size();
   m.partitioner = options_.partitioner;
@@ -424,13 +523,18 @@ ClusterMetrics ClusterService::GetMetrics() const {
   m.replicas = cross_.num_replicas();
   m.cross_cost = cross_.PredictedCost(workload_);
   m.churn_ops = churn_ops_;
-  m.shares = shares_;
-  m.queries = queries_;
-  m.audited_queries = audited_queries_;
-  m.cross_update_messages = cross_.traffic().update_messages;
-  m.cross_query_messages = cross_.traffic().query_messages;
-  m.per_shard_requests = per_shard_requests_;
-  m.imbalance = MaxOverMean(per_shard_requests_);
+  m.shares = shares_.load(std::memory_order_relaxed);
+  m.queries = queries_.load(std::memory_order_relaxed);
+  m.audited_queries = audited_queries_.load(std::memory_order_relaxed);
+  const CrossTraffic traffic = cross_.traffic();
+  m.cross_update_messages = traffic.update_messages;
+  m.cross_query_messages = traffic.query_messages;
+  m.per_shard_requests.resize(per_shard_requests_.size());
+  for (size_t s = 0; s < per_shard_requests_.size(); ++s) {
+    m.per_shard_requests[s] =
+        per_shard_requests_[s].load(std::memory_order_relaxed);
+  }
+  m.imbalance = MaxOverMean(m.per_shard_requests);
 
   for (const Shard& shard : shards_) {
     const FeedService::Metrics sm = shard.service->GetMetrics();
@@ -455,6 +559,7 @@ ClusterMetrics ClusterService::GetMetrics() const {
 }
 
 Status ClusterService::Validate() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (size_t s = 0; s < shards_.size(); ++s) {
     Status st = shards_[s].service->Validate();
     if (!st.ok()) {

@@ -27,12 +27,36 @@
 // Feeds stay audit-exact under churn: the router merges by global share
 // order, and QueryStream can audit the merged stream against a cluster-wide
 // oracle over the full dynamic graph, every audit_every-th query.
+//
+// ## Threading model
+//
+// The router mirrors FeedService's reader/writer split. Share / QueryStream /
+// GetMetrics / Validate take the cluster lock shared and run concurrently
+// from any number of client threads; Follow / Unfollow / Replan take it
+// exclusive. Per-producer mutable state — the global share history and the
+// push replicas — is serialized by a small array of stripe mutexes hashed by
+// producer id, so concurrent shares and queries only contend when they touch
+// the same producer. Global share order comes from an atomic sequence
+// counter; a thread that drew an earlier number but reached its stripe later
+// is re-ordered by sorted-from-tail inserts (histories, replicas, and the
+// shard planes all tolerate out-of-order arrival). Cluster-level audits
+// capture a quiescence token before the query — completeness is checked only
+// when no share overlapped the merged read, soundness always — and each
+// shard-local FeedService is itself fully thread-safe, including its
+// background replanner (options.shard.background_replan + the cluster's
+// StartBackgroundReplan / WaitForBackgroundReplan fan the per-shard
+// replanners out so drift replans never block serving).
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cross_shard.h"
@@ -128,14 +152,16 @@ class ClusterService {
   static Result<std::unique_ptr<ClusterService>> Create(
       const Graph& graph, Workload workload, const ClusterOptions& options);
 
-  /// User u shares an event: served by u's shard, then fanned out to every
-  /// shard replicating u (one batched update message per touched shard).
+  /// User u shares an event: served by u's shard (under the global sequence
+  /// number, so merged feeds order by cluster-wide share order), then fanned
+  /// out to every shard replicating u (one batched update message per touched
+  /// shard). Thread-safe.
   Status Share(NodeId u);
 
   /// Assembles u's merged event stream: the shard-local feed, plus replicas
   /// of remote push producers (free, they live in u's shard), plus one
   /// batched pull message per remote shard. Audited against the cluster-wide
-  /// oracle every options.audit_every queries.
+  /// oracle every options.audit_every queries. Thread-safe.
   Result<std::vector<EventTuple>> QueryStream(NodeId u);
 
   /// `follower` starts following `producer`. Same-shard edges go through the
@@ -149,8 +175,18 @@ class ClusterService {
   Status Unfollow(NodeId follower, NodeId producer);
 
   /// Re-runs the configured planner on every shard's current subgraph, in
-  /// parallel (stored events are preserved per shard).
+  /// parallel (stored events are preserved per shard). Synchronous:
+  /// holds the cluster lock exclusively while every shard plans.
   Status Replan();
+
+  /// Posts one background planner run to every shard's replanner (spawned on
+  /// first use) and returns immediately; serving proceeds while the shards
+  /// plan against frozen snapshots and atomically swap results in.
+  Status StartBackgroundReplan();
+
+  /// Blocks until no shard has a background replan queued or running; returns
+  /// the first shard error, if any.
+  Status WaitForBackgroundReplan();
 
   /// Replays a rate-weighted request mix through the router (the paper's
   /// measurement loop at cluster scale). options.audit_every audits merged
@@ -163,6 +199,12 @@ class ClusterService {
   /// index against the cluster graph: every edge must be served by exactly
   /// one owner (its shard's schedule, or the router).
   Status Validate() const;
+
+  /// (total cluster cost, unsharded hybrid-baseline cost) under externally
+  /// supplied rates: shard-projected schedule costs plus the router's
+  /// predicted cross-shard cost, computed under the cluster + shard locks so
+  /// it is safe against concurrent background replans. Thread-safe.
+  std::pair<double, double> CostsUnder(const Workload& truth) const;
 
   size_t num_shards() const { return shards_.size(); }
   const ShardMap& shard_map() const { return map_; }
@@ -180,44 +222,81 @@ class ClusterService {
     std::unique_ptr<FeedService> service;
   };
 
+  /// Quiescence witness for one merged-stream audit, captured before the
+  /// query (the cluster analogue of Prototype::AuditToken): completeness is
+  /// provable only if no share was in flight at capture or check time and the
+  /// sequence counter did not move in between.
+  struct AuditToken {
+    uint64_t next_seq = 0;
+    bool quiescent = false;
+  };
+
   ClusterService(ClusterOptions options, ShardMap map, Workload workload,
                  size_t feed_size);
 
-  /// Routes one query and optionally audits the merged stream.
+  /// Routes one query and optionally audits the merged stream. Takes the
+  /// cluster lock shared.
   Result<std::vector<EventTuple>> QueryInternal(NodeId u, bool force_audit);
 
-  /// Checks the merged stream of `u` against the cluster-wide event oracle.
-  Status AuditMerged(NodeId u, const std::vector<EventTuple>& stream);
+  /// Checks the merged stream of `u` against the cluster-wide event oracle:
+  /// soundness always, completeness only when `token` proves the read was
+  /// quiescent. Requires the cluster lock held (shared suffices).
+  Status AuditMerged(NodeId u, const std::vector<EventTuple>& stream,
+                     const AuditToken& token);
 
   /// Total batched messages issued by the shard-local clients (cross-shard
   /// router traffic not included).
   double ShardMessages() const;
 
-  Status ApplyChurn();
+  /// Serializes per-producer history + replica mutation and reads.
+  std::mutex& StripeFor(NodeId producer) const {
+    return stripe_mu_[producer % kStripes];
+  }
+
+  /// Copies u's global share history under its stripe lock.
+  std::vector<uint64_t> HistorySnapshot(NodeId producer) const;
+
+  Status ReplanLocked();
+  Status ApplyChurnLocked();
 
   ClusterOptions options_;
   ShardMap map_;
-  DynamicGraph graph_;  // the full cluster graph (churn applies here too)
   Workload workload_;
   std::vector<Shard> shards_;
-  CrossShardIndex cross_;
   size_t feed_size_;
+
+  // Cluster lock: Share/QueryStream/GetMetrics/Validate shared,
+  // Follow/Unfollow/Replan exclusive. graph_ and the cross_ structure are
+  // mutated only under the exclusive side.
+  mutable std::shared_mutex mu_;
+  DynamicGraph graph_;  // the full cluster graph (churn applies here too)
+  CrossShardIndex cross_;
+
+  // Per-producer serialization of history + replica contents on the
+  // shared-lock serving path. 64 stripes keep the false-sharing odds low at
+  // any realistic client thread count.
+  static constexpr size_t kStripes = 64;
+  mutable std::array<std::mutex, kStripes> stripe_mu_;
 
   // Global share order: seq is 1-based so a 1-shard cluster's (event_id,
   // timestamp) pairs coincide with the shard prototype's own numbering.
-  uint64_t next_seq_ = 1;
+  std::atomic<uint64_t> next_seq_{1};
+  // Shares between seq assignment and history publication; with next_seq_ it
+  // witnesses audit quiescence (see AuditToken).
+  std::atomic<int64_t> shares_in_flight_{0};
   // Per-producer newest share seqs (ascending, trimmed to feed_size): the
   // pull/backfill source and the cluster audit oracle. A feed can never
   // surface more than feed_size events of one producer, so trimming is
-  // lossless for serving and auditing.
+  // lossless for serving and auditing. Element u guarded by StripeFor(u).
   std::vector<std::vector<uint64_t>> producer_seqs_;
 
-  // Router counters.
-  std::vector<uint64_t> per_shard_requests_;
-  uint64_t shares_ = 0;
-  uint64_t queries_ = 0;
-  uint64_t audited_queries_ = 0;
-  uint64_t queries_since_audit_ = 0;
+  // Router counters, bumped on the shared-lock serving path.
+  std::vector<std::atomic<uint64_t>> per_shard_requests_;
+  std::atomic<uint64_t> shares_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> audited_queries_{0};
+  std::atomic<uint64_t> queries_since_audit_{0};
+  // Churn counters: written under the exclusive lock, read under shared.
   size_t churn_ops_ = 0;
   size_t churn_since_replan_ = 0;
 };

@@ -72,8 +72,8 @@ bool CrossShardIndex::AddEdge(NodeId producer, uint32_t producer_shard,
                                  producer_history.end());
       replicas_.Put(EdgeKey(consumer_shard, producer), std::move(seqs));
       ++replica_count_;
-      ++traffic_.update_messages;
-      ++traffic_.replica_backfills;
+      update_messages_.fetch_add(1, std::memory_order_relaxed);
+      replica_backfills_.fetch_add(1, std::memory_order_relaxed);
     }
     GetOrCreate(push_producers_, consumer).push_back(producer);
   } else {
@@ -125,10 +125,15 @@ void CrossShardIndex::Publish(NodeId producer, uint64_t seq) {
   for (uint32_t shard : *shards) {
     std::vector<uint64_t>* replica = replicas_.Find(EdgeKey(shard, producer));
     PIGGY_CHECK(replica != nullptr);
-    replica->push_back(seq);
+    // Sorted from the tail: a thread that drew an earlier sequence number but
+    // reached the stripe lock later still lands in order (O(1) in the common
+    // in-order case).
+    auto pos = replica->end();
+    while (pos != replica->begin() && *(pos - 1) > seq) --pos;
+    replica->insert(pos, seq);
     if (replica->size() > feed_size_) replica->erase(replica->begin());
   }
-  traffic_.update_messages += shards->size();
+  update_messages_.fetch_add(shards->size(), std::memory_order_relaxed);
 }
 
 std::span<const NodeId> CrossShardIndex::PushProducers(NodeId consumer) const {

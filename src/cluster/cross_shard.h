@@ -22,9 +22,21 @@
 // to pull — everything the router needs in O(touched shards) per request.
 // Replicas hold global share sequence numbers, newest `feed_size` per
 // producer (a feed can never need more).
+//
+// ## Threading contract (enforced by ClusterService, not internally)
+//
+// Structure mutations (AddEdge / RemoveEdge) require the caller's exclusive
+// lock; structure reads (PushProducers, PullShards, PullProducers, ModeOf,
+// counts, PredictedCost) require at least its shared lock. Replica *contents*
+// are additionally serialized per producer: Publish(p, .) and ReadReplica(.,
+// p) must run under the caller's stripe lock for p (ClusterService hashes
+// producers onto a small array of stripe mutexes), so shares and queries for
+// different producers never contend. Traffic counters are internal relaxed
+// atomics; traffic() returns a point-in-time snapshot.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -77,8 +89,10 @@ class CrossShardIndex {
   /// edge into that shard disappears. Returns false if not tracked.
   bool RemoveEdge(NodeId producer, NodeId consumer);
 
-  /// Share fan-out: appends `seq` to every shard replicating `producer`, one
-  /// batched update message per touched shard.
+  /// Share fan-out: inserts `seq` into every shard replicating `producer`
+  /// (sorted from the tail, so sequence numbers assigned before a slower
+  /// thread's insert land in order), one batched update message per touched
+  /// shard. Requires the caller's stripe lock for `producer`.
   void Publish(NodeId producer, uint64_t seq);
 
   /// Remote producers whose replicas live in the consumer's own shard
@@ -96,12 +110,19 @@ class CrossShardIndex {
   /// materialized in `shard`, ascending. Empty if not replicated.
   std::span<const uint64_t> ReadReplica(uint32_t shard, NodeId producer) const;
 
-  /// Counts the batched messages of one query's pull fan-out.
+  /// Counts the batched messages of one query's pull fan-out. Thread-safe.
   void CountQueryFanout(size_t shards_touched) {
-    traffic_.query_messages += shards_touched;
+    query_messages_.fetch_add(shards_touched, std::memory_order_relaxed);
   }
 
-  const CrossTraffic& traffic() const { return traffic_; }
+  /// Point-in-time traffic snapshot. Thread-safe.
+  CrossTraffic traffic() const {
+    CrossTraffic t;
+    t.update_messages = update_messages_.load(std::memory_order_relaxed);
+    t.query_messages = query_messages_.load(std::memory_order_relaxed);
+    t.replica_backfills = replica_backfills_.load(std::memory_order_relaxed);
+    return t;
+  }
 
   /// Predicted steady-state cross-shard cost under the batching rule:
   ///   sum_u rp(u) * |shards replicating u|
@@ -128,7 +149,10 @@ class CrossShardIndex {
   U64Map<std::vector<NodeId>> pull_producers_;  // EdgeKey(consumer, shard)
   U64Map<std::vector<uint64_t>> replicas_;      // EdgeKey(shard, producer)
   size_t replica_count_ = 0;
-  CrossTraffic traffic_;
+  // Bumped on the shared-lock serving path (Publish / CountQueryFanout).
+  std::atomic<uint64_t> update_messages_{0};
+  std::atomic<uint64_t> query_messages_{0};
+  std::atomic<uint64_t> replica_backfills_{0};
 };
 
 }  // namespace piggy

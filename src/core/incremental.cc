@@ -70,11 +70,20 @@ Status IncrementalMaintainer::AddEdge(NodeId u, NodeId v) {
   return Status::OK();
 }
 
+void IncrementalMaintainer::RepairEdgeAdded(NodeId u, NodeId v) {
+  if (!graph_->HasEdge(u, v)) return;  // removed again while the plan flew
+  if (!schedule_->IsAssigned(u, v)) ServeDirect(u, v);
+}
+
 Status IncrementalMaintainer::RemoveEdge(NodeId u, NodeId v) {
   if (!graph_->RemoveEdge(u, v)) {
     return Status::NotFound(StrFormat("edge %u->%u not in graph", u, v));
   }
+  RepairEdgeRemoved(u, v);
+  return Status::OK();
+}
 
+void IncrementalMaintainer::RepairEdgeRemoved(NodeId u, NodeId v) {
   // The removed edge's own cover entry, if any.
   if (auto hub = schedule_->HubFor(u, v)) DropCoverEntry(u, v, *hub);
 
@@ -109,7 +118,6 @@ Status IncrementalMaintainer::RemoveEdge(NodeId u, NodeId v) {
       by_pull_.Erase(EdgeKey(u, v));
     }
   }
-  return Status::OK();
 }
 
 }  // namespace piggy

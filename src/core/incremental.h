@@ -45,6 +45,18 @@ class IncrementalMaintainer {
   /// Removes edge u -> v, repairing any hub covers that depended on it.
   Status RemoveEdge(NodeId u, NodeId v);
 
+  /// Re-applies the Sec-3.3 add rule to an edge u -> v that is already in
+  /// the graph but may be unserved by the (freshly swapped-in) schedule.
+  /// Used when churn raced a background plan: the plan was computed against
+  /// a snapshot without this edge, so it is served directly here.
+  void RepairEdgeAdded(NodeId u, NodeId v);
+
+  /// Re-applies the Sec-3.3 remove rule for an edge u -> v already gone
+  /// from the graph: drops its cover entry and any push/pull support it gave
+  /// other covers, re-serving dependents directly. Used when churn raced a
+  /// background plan computed against a snapshot that still had the edge.
+  void RepairEdgeRemoved(NodeId u, NodeId v);
+
   /// Number of covered edges re-served directly due to removals so far.
   size_t repairs() const { return repairs_; }
 

@@ -35,42 +35,49 @@ std::string ReplanPolicy::ToString() const {
 
 RateDriftEstimator::RateDriftEstimator(size_t num_users, DriftOptions options)
     : options_(options),
-      win_shares_(num_users, 0),
-      win_queries_(num_users, 0),
+      win_shares_(num_users),
+      win_queries_(num_users),
       ema_shares_(num_users, 0),
       ema_queries_(num_users, 0) {}
 
 void RateDriftEstimator::RecordShare(NodeId u) {
-  win_shares_[u] += 1;
-  ++window_requests_;
-  ++requests_since_replan_;
-  ++total_requests_;
+  win_shares_[u].fetch_add(1, std::memory_order_relaxed);
+  window_requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_since_replan_.fetch_add(1, std::memory_order_relaxed);
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void RateDriftEstimator::RecordQuery(NodeId u) {
-  win_queries_[u] += 1;
-  ++window_requests_;
-  ++requests_since_replan_;
-  ++total_requests_;
+  win_queries_[u].fetch_add(1, std::memory_order_relaxed);
+  window_requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_since_replan_.fetch_add(1, std::memory_order_relaxed);
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void RateDriftEstimator::FoldWindow() {
+bool RateDriftEstimator::FoldWindow() {
+  std::lock_guard<std::mutex> lock(ema_mu_);
+  // Re-check under the lock: another thread may have folded this window.
+  if (window_requests_.load(std::memory_order_relaxed) < options_.check_interval) {
+    return false;
+  }
+  window_requests_.store(0, std::memory_order_relaxed);
   const double alpha = options_.ema_alpha;
   const double keep = 1.0 - alpha;
   double mass = 0;
   for (size_t u = 0; u < win_shares_.size(); ++u) {
-    ema_shares_[u] = keep * ema_shares_[u] + alpha * win_shares_[u];
-    ema_queries_[u] = keep * ema_queries_[u] + alpha * win_queries_[u];
+    const double shares = win_shares_[u].exchange(0, std::memory_order_relaxed);
+    const double queries = win_queries_[u].exchange(0, std::memory_order_relaxed);
+    ema_shares_[u] = keep * ema_shares_[u] + alpha * shares;
+    ema_queries_[u] = keep * ema_queries_[u] + alpha * queries;
     mass += ema_shares_[u] + ema_queries_[u];
-    win_shares_[u] = 0;
-    win_queries_[u] = 0;
   }
   ema_mass_ = mass;
-  ++folded_windows_;
-  window_requests_ = 0;
+  folded_windows_.fetch_add(1, std::memory_order_release);
+  return true;
 }
 
 Workload RateDriftEstimator::EstimateWorkload(const Workload& planned) const {
+  std::lock_guard<std::mutex> lock(ema_mu_);
   const size_t n = planned.num_users();
   PIGGY_CHECK_EQ(n, ema_shares_.size());
   Workload est;
@@ -106,8 +113,8 @@ Workload RateDriftEstimator::EstimateWorkload(const Workload& planned) const {
 }
 
 void RateDriftEstimator::OnReplanned() {
-  requests_since_replan_ = 0;
-  churn_since_replan_ = 0;
+  requests_since_replan_.store(0, std::memory_order_relaxed);
+  churn_since_replan_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace piggy

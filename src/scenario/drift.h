@@ -28,8 +28,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -103,27 +105,37 @@ struct ReplanPolicy {
 
 /// \brief Smoothed per-user rate observation over a served op stream.
 ///
-/// Per-op cost is one counter increment; the O(num_users) smoothing and
-/// estimation passes run only when a window completes (every check_interval
-/// requests). Single-threaded, like the service that owns it.
+/// Per-op cost is one relaxed counter increment, so RecordShare/RecordQuery
+/// may be called from any number of serving threads; the O(num_users)
+/// smoothing and estimation passes run only when a window completes (every
+/// check_interval requests) and are serialized by an internal mutex, so a
+/// drift evaluation never blocks serving.
 class RateDriftEstimator {
  public:
   RateDriftEstimator(size_t num_users, DriftOptions options);
 
   void RecordShare(NodeId u);
   void RecordQuery(NodeId u);
-  void RecordChurn() { ++churn_since_replan_; }
+  void RecordChurn() {
+    churn_since_replan_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// True when a full observation window has accumulated (the owner should
   /// fold it and evaluate the drift score).
-  bool WindowFull() const { return window_requests_ >= options_.check_interval; }
+  bool WindowFull() const {
+    return window_requests_.load(std::memory_order_relaxed) >=
+           options_.check_interval;
+  }
 
-  /// Folds the completed window into the running EMA and clears it.
-  void FoldWindow();
+  /// Folds the completed window into the running EMA and clears it. Returns
+  /// false without folding when another thread folded the same window first
+  /// (the window is no longer full).
+  bool FoldWindow();
 
   /// True when enough requests passed since the last replan (hysteresis).
   bool ReplanAllowed() const {
-    return requests_since_replan_ >= options_.min_requests_between_replans;
+    return requests_since_replan_.load(std::memory_order_relaxed) >=
+           options_.min_requests_between_replans;
   }
 
   /// Re-estimates per-user rates from the smoothed observations: rates are
@@ -139,22 +151,32 @@ class RateDriftEstimator {
 
   /// True once warmup_windows observation windows have been folded — the
   /// smoothed rate estimate is trustworthy for scoring and re-estimation.
-  bool Warm() const { return folded_windows_ >= options_.warmup_windows; }
+  bool Warm() const {
+    return folded_windows_.load(std::memory_order_acquire) >=
+           options_.warmup_windows;
+  }
 
   const DriftOptions& options() const { return options_; }
-  size_t churn_since_replan() const { return churn_since_replan_; }
-  uint64_t observed_requests() const { return total_requests_; }
+  size_t churn_since_replan() const {
+    return churn_since_replan_.load(std::memory_order_relaxed);
+  }
+  uint64_t observed_requests() const {
+    return total_requests_.load(std::memory_order_relaxed);
+  }
 
  private:
   DriftOptions options_;
-  std::vector<double> win_shares_, win_queries_;
+  // Per-user window counters: relaxed atomics bumped on the serving path.
+  std::vector<std::atomic<uint32_t>> win_shares_, win_queries_;
+  // Smoothed estimate, guarded by ema_mu_ (fold + estimate only).
+  mutable std::mutex ema_mu_;
   std::vector<double> ema_shares_, ema_queries_;
   double ema_mass_ = 0;  ///< total smoothed observation mass
-  size_t folded_windows_ = 0;
-  size_t window_requests_ = 0;
-  size_t requests_since_replan_ = 0;
-  size_t churn_since_replan_ = 0;
-  uint64_t total_requests_ = 0;
+  std::atomic<size_t> folded_windows_{0};
+  std::atomic<size_t> window_requests_{0};
+  std::atomic<size_t> requests_since_replan_{0};
+  std::atomic<size_t> churn_since_replan_{0};
+  std::atomic<uint64_t> total_requests_{0};
 };
 
 }  // namespace piggy

@@ -1,9 +1,13 @@
 #include "scenario/replay.h"
 
+#include <atomic>
 #include <functional>
+#include <thread>
 #include <utility>
+#include <vector>
 
-#include "core/cost_model.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -20,7 +24,7 @@ std::string ReplayEpochRow::ToString() const {
 }
 
 std::string ReplayReport::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "%s via %s/%s: requests=%lu (shares=%lu queries=%lu) churn=%lu+%lu "
       "msgs/req=%.3f replans=%zu epochs=%zu wall=%.2fs",
       scenario.c_str(), planner.c_str(), policy.c_str(),
@@ -28,6 +32,11 @@ std::string ReplayReport::ToString() const {
       static_cast<unsigned long>(shares), static_cast<unsigned long>(queries),
       static_cast<unsigned long>(follows), static_cast<unsigned long>(unfollows),
       messages_per_request, replans, epochs.size(), wall_seconds);
+  if (aux_threads > 0) {
+    out += StrFormat(" aux=%zu threads/%lu reqs", aux_threads,
+                     static_cast<unsigned long>(aux_requests));
+  }
+  return out;
 }
 
 namespace {
@@ -128,9 +137,79 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
   return report;
 }
 
+/// Runs the sequential Replay on the calling thread while options.
+/// client_threads - 1 auxiliary threads issue a rate-weighted share/query
+/// load through the (thread-safe) share/query hooks until the replay ends.
+Result<ReplayReport> ReplayWithAux(Scenario& scenario, ServiceHooks hooks,
+                                   ReplayReport report, const Workload& workload,
+                                   const ReplayOptions& options) {
+  if (options.client_threads <= 1) {
+    return Replay(scenario, std::move(hooks), std::move(report));
+  }
+  const double total_p = workload.TotalProduction();
+  const double total_c = workload.TotalConsumption();
+  if (total_p <= 0 || total_c <= 0) {
+    return Status::InvalidArgument("workload must have positive total rates");
+  }
+  const AliasTable share_sampler(workload.production);
+  const AliasTable query_sampler(workload.consumption);
+  const double p_share = total_p / (total_p + total_c);
+
+  const size_t aux = options.client_threads - 1;
+  struct AuxResult {
+    Status status;
+    uint64_t requests = 0;
+  };
+  std::vector<AuxResult> results(aux);
+  std::atomic<bool> stop{false};
+  // Copies: `hooks` is moved into Replay below while the threads run.
+  const auto share = hooks.share;
+  const auto query = hooks.query;
+  std::vector<std::thread> threads;
+  threads.reserve(aux);
+  for (size_t t = 0; t < aux; ++t) {
+    threads.emplace_back([&, t] {
+      AuxResult& out = results[t];
+      Rng rng(Mix64(options.seed * 0x9e3779b97f4a7c15ULL + t + 1));
+      // do-while: at least one aux request per thread even if the replay
+      // outruns the scheduler (single-core hosts).
+      do {
+        const bool is_share = rng.Bernoulli(p_share);
+        const NodeId u = is_share ? share_sampler.Sample(rng)
+                                  : query_sampler.Sample(rng);
+        const Status st = is_share ? share(u) : query(u).status();
+        if (!st.ok()) {
+          out.status = st;
+          return;
+        }
+        ++out.requests;
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+  auto result = Replay(scenario, std::move(hooks), std::move(report));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+  PIGGY_ASSIGN_OR_RETURN(ReplayReport out, std::move(result));
+  out.aux_threads = aux;
+  for (const AuxResult& r : results) {
+    PIGGY_RETURN_NOT_OK(r.status);
+    out.aux_requests += r.requests;
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service) {
+  return ReplayScenario(scenario, service, ReplayOptions{});
+}
+
+Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster) {
+  return ReplayScenario(scenario, cluster, ReplayOptions{});
+}
+
+Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service,
+                                    const ReplayOptions& options) {
   if (service.graph().num_nodes() != scenario.graph().num_nodes()) {
     return Status::InvalidArgument(
         StrFormat("service has %zu users but the scenario was built for %zu",
@@ -161,15 +240,17 @@ Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service) {
     p.drift_score = m.drift_score;
     return p;
   };
+  // Under the service lock: a concurrent background replan may swap the
+  // schedule between epoch closes.
   hooks.true_costs = [&](const Workload& truth) {
-    return std::make_pair(ScheduleCost(service.graph(), truth,
-                                       service.schedule(), ResidualPolicy::kFree),
-                          HybridCost(service.graph(), truth));
+    return service.CostsUnder(truth);
   };
-  return Replay(scenario, std::move(hooks), std::move(report));
+  return ReplayWithAux(scenario, std::move(hooks), std::move(report),
+                       service.WorkloadSnapshot(), options);
 }
 
-Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster) {
+Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster,
+                                    const ReplayOptions& options) {
   if (cluster.graph().num_nodes() != scenario.graph().num_nodes()) {
     return Status::InvalidArgument(
         StrFormat("cluster has %zu users but the scenario was built for %zu",
@@ -201,18 +282,10 @@ Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster)
     return p;
   };
   hooks.true_costs = [&](const Workload& truth) {
-    double cost = 0;
-    for (size_t s = 0; s < cluster.num_shards(); ++s) {
-      const Workload local = cluster.shard_map().ProjectWorkload(
-          truth, static_cast<uint32_t>(s));
-      cost += ScheduleCost(cluster.shard(s).graph(), local,
-                           cluster.shard(s).schedule(), ResidualPolicy::kFree);
-    }
-    const double cross = cluster.cross_index().PredictedCost(truth);
-    return std::make_pair(cost + cross,
-                          HybridCost(cluster.graph(), truth) /* no placement */);
+    return cluster.CostsUnder(truth);
   };
-  return Replay(scenario, std::move(hooks), std::move(report));
+  return ReplayWithAux(scenario, std::move(hooks), std::move(report),
+                       cluster.workload(), options);
 }
 
 }  // namespace piggy

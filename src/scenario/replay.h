@@ -65,8 +65,25 @@ struct ReplayReport {
   double messages_per_request = 0;
   size_t replans = 0;  ///< total planner runs, including the initial plan
   double wall_seconds = 0;
+  size_t aux_threads = 0;     ///< auxiliary load threads (ReplayOptions)
+  uint64_t aux_requests = 0;  ///< shares+queries issued by the aux threads
 
   std::string ToString() const;
+};
+
+/// \brief Concurrency knobs for a replay.
+///
+/// The scenario stream itself always runs sequentially on the calling thread
+/// (epoch boundaries and op order stay deterministic); with client_threads >
+/// 1, the remaining client_threads - 1 threads issue a rate-weighted
+/// share/query background load through the same thread-safe serving API for
+/// the duration of the replay — the production shape where churn and replans
+/// race ordinary traffic. Aux traffic is counted in aux_requests and bleeds
+/// into the per-epoch message/latency accounting; use the 2-argument
+/// overloads (or client_threads = 1) for bit-exact single-threaded rows.
+struct ReplayOptions {
+  size_t client_threads = 1;
+  uint64_t seed = 42;
 };
 
 /// Replays `scenario` (from its current position; call Reset() to rewind)
@@ -79,5 +96,13 @@ Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service);
 /// costs under shard-projected ground-truth rates plus the router's predicted
 /// cross-shard cost.
 Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster);
+
+/// Replay with concurrent auxiliary client load (see ReplayOptions).
+Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service,
+                                    const ReplayOptions& options);
+
+/// Same, through a sharded cluster.
+Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster,
+                                    const ReplayOptions& options);
 
 }  // namespace piggy

@@ -1,6 +1,7 @@
 #include "store/app_client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -35,40 +36,50 @@ AppClient::AppClient(const Graph& graph, const Schedule& schedule,
     auto it = std::lower_bound(interest_[u].begin(), interest_[u].end(), u);
     interest_[u].insert(it, u);
   }
-  per_server_views_.resize(partitioner_->num_servers());
 }
 
-void AppClient::GroupByServer(std::span<const NodeId> views) {
-  for (uint32_t s : touched_servers_) per_server_views_[s].clear();
-  touched_servers_.clear();
+std::vector<AppClient::ServerBatch> AppClient::GroupByServer(
+    std::span<const NodeId> views) const {
+  // Per-call scratch so concurrent requests never share grouping state.
+  std::vector<std::pair<uint32_t, NodeId>> placed;
+  placed.reserve(views.size());
   for (NodeId view : views) {
-    uint32_t s = partitioner_->ServerOf(view);
-    if (per_server_views_[s].empty()) touched_servers_.push_back(s);
-    per_server_views_[s].push_back(view);
+    placed.emplace_back(partitioner_->ServerOf(view), view);
   }
+  std::stable_sort(placed.begin(), placed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<ServerBatch> batches;
+  for (size_t i = 0; i < placed.size();) {
+    ServerBatch batch;
+    batch.server = placed[i].first;
+    while (i < placed.size() && placed[i].first == batch.server) {
+      batch.views.push_back(placed[i].second);
+      ++i;
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
 }
 
 void AppClient::ShareEvent(NodeId u, uint64_t event_id, uint64_t timestamp) {
   PIGGY_CHECK_LT(u, push_views_.size());
-  ++metrics_.share_requests;
-  GroupByServer(push_views_[u]);
+  share_requests_.fetch_add(1, std::memory_order_relaxed);
   EventTuple event{u, event_id, timestamp};
-  for (uint32_t s : touched_servers_) {
-    (*servers_)[s].UpdateBatch(per_server_views_[s], event);
-    ++metrics_.update_messages;
+  for (const ServerBatch& batch : GroupByServer(push_views_[u])) {
+    (*servers_)[batch.server].UpdateBatch(batch.views, event);
+    update_messages_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 std::vector<EventTuple> AppClient::QueryStream(NodeId u) {
   PIGGY_CHECK_LT(u, pull_views_.size());
-  ++metrics_.query_requests;
-  GroupByServer(pull_views_[u]);
+  query_requests_.fetch_add(1, std::memory_order_relaxed);
   std::vector<EventTuple> merged;
-  for (uint32_t s : touched_servers_) {
+  for (const ServerBatch& batch : GroupByServer(pull_views_[u])) {
     std::vector<EventTuple> part =
-        (*servers_)[s].QueryBatch(per_server_views_[s], interest_[u], feed_size_);
+        (*servers_)[batch.server].QueryBatch(batch.views, interest_[u], feed_size_);
     merged.insert(merged.end(), part.begin(), part.end());
-    ++metrics_.query_messages;
+    query_messages_.fetch_add(1, std::memory_order_relaxed);
   }
   return TopKNewest(std::move(merged), feed_size_);
 }

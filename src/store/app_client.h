@@ -10,9 +10,15 @@
 //
 // Push and pull sets come from the request schedule; the client logic is
 // schedule-agnostic exactly as the paper stresses.
+//
+// Thread safety: the materialized view lists are immutable after
+// construction, request grouping uses per-call scratch, and the counters are
+// relaxed atomics — ShareEvent / QueryStream may be called from any number
+// of threads concurrently.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -58,8 +64,21 @@ class AppClient {
   /// Assembles u's event stream (Algorithm 3, query path).
   std::vector<EventTuple> QueryStream(NodeId u);
 
-  const ClientMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() { metrics_ = ClientMetrics{}; }
+  /// Snapshot of the counters (relaxed loads; exact once writers quiesce).
+  ClientMetrics metrics() const {
+    ClientMetrics m;
+    m.share_requests = share_requests_.load(std::memory_order_relaxed);
+    m.query_requests = query_requests_.load(std::memory_order_relaxed);
+    m.update_messages = update_messages_.load(std::memory_order_relaxed);
+    m.query_messages = query_messages_.load(std::memory_order_relaxed);
+    return m;
+  }
+  void ResetMetrics() {
+    share_requests_.store(0, std::memory_order_relaxed);
+    query_requests_.store(0, std::memory_order_relaxed);
+    update_messages_.store(0, std::memory_order_relaxed);
+    query_messages_.store(0, std::memory_order_relaxed);
+  }
 
   /// The views written on u's shares (own view first).
   std::span<const NodeId> PushViews(NodeId u) const { return push_views_[u]; }
@@ -73,18 +92,23 @@ class AppClient {
   size_t feed_size_;
 
   // Materialized per-user view lists: h[u] / l[u] plus the own view.
+  // Immutable after construction (rebuilds create a fresh client).
   std::vector<std::vector<NodeId>> push_views_;
   std::vector<std::vector<NodeId>> pull_views_;
   // interest_[u] = sorted {u} ∪ followees(u); the query-side filter.
   std::vector<std::vector<NodeId>> interest_;
 
-  // Scratch: views grouped per server for the current request.
-  std::vector<std::vector<NodeId>> per_server_views_;
-  std::vector<uint32_t> touched_servers_;
+  std::atomic<uint64_t> share_requests_{0};
+  std::atomic<uint64_t> query_requests_{0};
+  std::atomic<uint64_t> update_messages_{0};
+  std::atomic<uint64_t> query_messages_{0};
 
-  ClientMetrics metrics_;
-
-  void GroupByServer(std::span<const NodeId> views);
+  // (server, views...) runs for one request, built in per-call scratch.
+  struct ServerBatch {
+    uint32_t server;
+    std::vector<NodeId> views;
+  };
+  std::vector<ServerBatch> GroupByServer(std::span<const NodeId> views) const;
 };
 
 }  // namespace piggy

@@ -1,0 +1,161 @@
+#include "store/concurrent_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <utility>
+
+#include "util/alias_table.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace piggy {
+
+namespace {
+
+// Nearest-rank percentile; reorders `v`.
+double Percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(v.size()));
+  idx = std::min(idx, v.size() - 1);
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(idx), v.end());
+  return v[idx];
+}
+
+LatencyProfile Summarize(std::vector<double>& latencies_us) {
+  LatencyProfile p;
+  p.count = latencies_us.size();
+  if (latencies_us.empty()) return p;
+  p.p50_us = Percentile(latencies_us, 0.50);
+  p.p95_us = Percentile(latencies_us, 0.95);
+  p.p99_us = Percentile(latencies_us, 0.99);
+  p.max_us = *std::max_element(latencies_us.begin(), latencies_us.end());
+  return p;
+}
+
+}  // namespace
+
+std::string ConcurrentDriveReport::ToString() const {
+  return StrFormat(
+      "threads=%zu ops=%lu (shares=%lu queries=%lu) wall=%.3fs "
+      "tput=%.0f ops/s share p50/p95/p99=%.1f/%.1f/%.1f us "
+      "query p50/p95/p99=%.1f/%.1f/%.1f us",
+      client_threads, static_cast<unsigned long>(shares + queries),
+      static_cast<unsigned long>(shares), static_cast<unsigned long>(queries),
+      wall_seconds, ops_per_second, share_latency.p50_us, share_latency.p95_us,
+      share_latency.p99_us, query_latency.p50_us, query_latency.p95_us,
+      query_latency.p99_us);
+}
+
+Result<ConcurrentDriveReport> RunConcurrentDriver(
+    const Workload& workload, const ServingOps& ops,
+    const ConcurrentDriverOptions& options) {
+  if (options.client_threads == 0) {
+    return Status::InvalidArgument("client_threads must be positive");
+  }
+  if (options.requests_per_thread == 0) {
+    return Status::InvalidArgument("requests_per_thread must be positive");
+  }
+  if (!ops.share || !ops.query) {
+    return Status::InvalidArgument("ServingOps must bind share and query");
+  }
+  const double total_p = workload.TotalProduction();
+  const double total_c = workload.TotalConsumption();
+  if (total_p <= 0 || total_c <= 0) {
+    return Status::InvalidArgument("workload must have positive total rates");
+  }
+  const AliasTable share_sampler(workload.production);
+  const AliasTable query_sampler(workload.consumption);
+  const double p_share = total_p / (total_p + total_c);
+
+  const size_t threads = options.client_threads;
+  struct ThreadResult {
+    Status status;
+    uint64_t shares = 0;
+    uint64_t queries = 0;
+    std::vector<double> share_us;
+    std::vector<double> query_us;
+  };
+  std::vector<ThreadResult> results(threads);
+
+  WallTimer wall;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        ThreadResult& out = results[t];
+        // Distinct deterministic stream per thread; Mix64 decorrelates
+        // adjacent thread indices.
+        Rng rng(Mix64(options.seed * 0x9e3779b97f4a7c15ULL + t + 1));
+        out.share_us.reserve(options.requests_per_thread);
+        out.query_us.reserve(options.requests_per_thread);
+        using Clock = std::chrono::steady_clock;
+        for (size_t i = 0; i < options.requests_per_thread; ++i) {
+          const bool is_share = rng.Bernoulli(p_share);
+          const NodeId u = is_share ? share_sampler.Sample(rng)
+                                    : query_sampler.Sample(rng);
+          const auto begin = Clock::now();
+          const Status st = is_share ? ops.share(u) : ops.query(u);
+          const double us =
+              std::chrono::duration<double, std::micro>(Clock::now() - begin)
+                  .count();
+          if (!st.ok()) {
+            out.status = st;
+            return;
+          }
+          if (is_share) {
+            ++out.shares;
+            out.share_us.push_back(us);
+          } else {
+            ++out.queries;
+            out.query_us.push_back(us);
+          }
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+  }
+  const double seconds = wall.Seconds();
+
+  ConcurrentDriveReport report;
+  report.client_threads = threads;
+  report.wall_seconds = seconds;
+  std::vector<double> share_us, query_us;
+  for (ThreadResult& r : results) {
+    PIGGY_RETURN_NOT_OK(r.status);
+    report.shares += r.shares;
+    report.queries += r.queries;
+    share_us.insert(share_us.end(), r.share_us.begin(), r.share_us.end());
+    query_us.insert(query_us.end(), r.query_us.begin(), r.query_us.end());
+  }
+  if (seconds > 0) {
+    report.ops_per_second =
+        static_cast<double>(report.shares + report.queries) / seconds;
+  }
+  report.share_latency = Summarize(share_us);
+  report.query_latency = Summarize(query_us);
+  return report;
+}
+
+Result<ConcurrentDriveReport> RunConcurrentDriver(
+    FeedService& service, const ConcurrentDriverOptions& options) {
+  ServingOps ops;
+  ops.share = [&service](NodeId u) { return service.Share(u); };
+  ops.query = [&service](NodeId u) { return service.QueryStream(u).status(); };
+  // Snapshot under the service lock: a drift replan may re-estimate the
+  // workload mid-drive, and the driver's mix must stay fixed anyway.
+  return RunConcurrentDriver(service.WorkloadSnapshot(), ops, options);
+}
+
+Result<ConcurrentDriveReport> RunConcurrentDriver(
+    ClusterService& cluster, const ConcurrentDriverOptions& options) {
+  ServingOps ops;
+  ops.share = [&cluster](NodeId u) { return cluster.Share(u); };
+  ops.query = [&cluster](NodeId u) { return cluster.QueryStream(u).status(); };
+  return RunConcurrentDriver(cluster.workload(), ops, options);
+}
+
+}  // namespace piggy

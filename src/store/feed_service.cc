@@ -1,7 +1,12 @@
 #include "store/feed_service.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
+#include <vector>
 
 #include "core/cost_model.h"
 #include "core/validator.h"
@@ -25,11 +30,11 @@ ClientMetrics SumMetrics(const ClientMetrics& a, const ClientMetrics& b) {
 std::string FeedService::Metrics::ToString() const {
   return StrFormat(
       "planner=%s replan=%s cost=%.1f ff=%.1f ratio=%.3fx replans=%zu "
-      "(drift=%zu score=%.3f) repairs=%zu churn=%zu rebuilds=%zu shares=%lu "
-      "queries=%lu audited=%lu mpr=%.2f throughput=%.0f req/s",
+      "(bg=%zu drift=%zu score=%.3f) repairs=%zu churn=%zu rebuilds=%zu "
+      "shares=%lu queries=%lu audited=%lu mpr=%.2f throughput=%.0f req/s",
       planner.c_str(), replan_policy.c_str(), schedule_cost, hybrid_cost,
-      ImprovementRatio(hybrid_cost, schedule_cost), replans, drift_replans,
-      drift_score, repairs, churn_ops, serving_rebuilds,
+      ImprovementRatio(hybrid_cost, schedule_cost), replans, background_replans,
+      drift_replans, drift_score, repairs, churn_ops, serving_rebuilds,
       static_cast<unsigned long>(shares), static_cast<unsigned long>(queries),
       static_cast<unsigned long>(audited_queries), messages_per_request,
       actual_throughput);
@@ -40,6 +45,16 @@ FeedService::FeedService(const Graph& graph, Workload workload,
     : options_(std::move(options)),
       graph_(graph),
       workload_(std::move(workload)) {}
+
+FeedService::~FeedService() {
+  {
+    std::lock_guard<std::mutex> rl(replan_mu_);
+    replan_shutdown_ = true;
+  }
+  replan_cancel_.store(true, std::memory_order_release);
+  replan_cv_.notify_all();
+  if (replan_thread_.joinable()) replan_thread_.join();
+}
 
 Result<std::unique_ptr<FeedService>> FeedService::Create(
     const Graph& graph, const FeedServiceOptions& options) {
@@ -69,11 +84,19 @@ Result<std::unique_ptr<FeedService>> FeedService::Create(
   service->maintainer_ = std::make_unique<IncrementalMaintainer>(
       &service->graph_, &service->schedule_, &service->workload_);
   PIGGY_RETURN_NOT_OK(service->Replan());
-  PIGGY_RETURN_NOT_OK(service->RefreshServing());
+  {
+    std::unique_lock<std::shared_mutex> lock(service->mu_);
+    PIGGY_RETURN_NOT_OK(service->RefreshServingLocked());
+  }
   return service;
 }
 
 Status FeedService::Replan() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return ReplanLocked();
+}
+
+Status FeedService::ReplanLocked() {
   PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<Planner> planner,
                          MakePlanner(options_.planner));
   PIGGY_ASSIGN_OR_RETURN(Graph snapshot, graph_.Snapshot());
@@ -91,10 +114,209 @@ Status FeedService::Replan() {
   ++replans_;
   churn_since_plan_ = 0;
   serving_dirty_ = true;
+  // An in-flight background plan lost the race; its publish step sees the
+  // epoch moved and discards itself.
+  ++plan_epoch_;
+  churn_journal_.clear();
   return Status::OK();
 }
 
-Status FeedService::RefreshServing() {
+Status FeedService::StartBackgroundReplan() {
+  return RequestBackgroundReplan(/*refresh=*/false);
+}
+
+Status FeedService::RequestBackgroundReplan(bool refresh) {
+  std::lock_guard<std::mutex> rl(replan_mu_);
+  if (replan_shutdown_) {
+    return Status::FailedPrecondition("FeedService is shutting down");
+  }
+  if (!replan_thread_.joinable()) {
+    replan_thread_ = std::thread(&FeedService::ReplanThreadMain, this);
+  }
+  if (replan_requested_ || replan_running_) {
+    // Coalesce: one queued run covers every trigger that raced it.
+    replan_refresh_workload_ = replan_refresh_workload_ || refresh;
+    return Status::OK();
+  }
+  replan_requested_ = true;
+  replan_refresh_workload_ = refresh;
+  replan_cv_.notify_all();
+  return Status::OK();
+}
+
+Status FeedService::WaitForBackgroundReplan() {
+  std::unique_lock<std::mutex> rl(replan_mu_);
+  replan_cv_.wait(rl, [this] {
+    return (!replan_requested_ && !replan_running_) || replan_shutdown_;
+  });
+  return background_status_;
+}
+
+void FeedService::ReplanThreadMain() {
+  std::unique_lock<std::mutex> rl(replan_mu_);
+  while (true) {
+    replan_cv_.wait(rl, [this] { return replan_requested_ || replan_shutdown_; });
+    if (replan_shutdown_) return;
+    replan_requested_ = false;
+    const bool refresh = replan_refresh_workload_;
+    replan_refresh_workload_ = false;
+    replan_running_ = true;
+    rl.unlock();
+    Status status = BackgroundReplanOnce(refresh);
+    rl.lock();
+    replan_running_ = false;
+    background_status_ = status;
+    replan_cv_.notify_all();
+  }
+}
+
+Status FeedService::BackgroundReplanOnce(bool refresh_workload) {
+  // Phase 1 — freeze the inputs under the exclusive lock and arm the churn
+  // journal: Follow/Unfollow from here to publish are recorded and re-applied
+  // to the fresh schedule via the Sec-3.3 local repair.
+  Graph planning_snapshot;
+  Workload workload_copy;
+  std::string planner_name;
+  size_t epoch = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (refresh_workload && estimator_ != nullptr && estimator_->Warm()) {
+      workload_ = estimator_->EstimateWorkload(workload_);
+    }
+    PIGGY_ASSIGN_OR_RETURN(planning_snapshot, graph_.Snapshot());
+    workload_copy = workload_;
+    planner_name = options_.planner;
+    churn_journal_.clear();
+    journal_active_ = true;
+    epoch = plan_epoch_;
+  }
+  auto disarm_journal = [this] {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    journal_active_ = false;
+    churn_journal_.clear();
+  };
+
+  // Phase 2 — plan against the frozen snapshot, no locks held. Serving
+  // proceeds at full concurrency; shutdown flips the cancel token and the
+  // planner finishes early with an anytime-valid schedule.
+  Result<std::unique_ptr<Planner>> planner = MakePlanner(planner_name);
+  if (!planner.ok()) {
+    disarm_journal();
+    return planner.status();
+  }
+  PlanContext ctx = options_.plan_context;
+  ctx.cancel = &replan_cancel_;
+  Result<PlanResult> plan_result =
+      (*planner)->Plan(planning_snapshot, workload_copy, ctx);
+  if (!plan_result.ok()) {
+    disarm_journal();
+    return plan_result.status();
+  }
+  PlanResult plan = std::move(plan_result).MoveValueOrDie();
+
+  // Phase 3 — pre-build the replacement serving plane off-thread (the double
+  // buffer): new fleet + client around the planned schedule, restored from a
+  // copy of the event log.
+  std::vector<EventTuple> log_copy;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (prototype_ != nullptr) log_copy = prototype_->EventLog();
+  }
+  auto fresh_snapshot = std::make_unique<Graph>(std::move(planning_snapshot));
+  bool plane_ok = false;
+  std::unique_ptr<Prototype> plane;
+  {
+    Result<std::unique_ptr<Prototype>> built =
+        Prototype::Create(*fresh_snapshot, plan.schedule, options_.prototype);
+    if (built.ok()) {
+      plane = std::move(built).MoveValueOrDie();
+      Status restored =
+          log_copy.empty() ? Status::OK() : plane->RestoreEvents(log_copy);
+      if (restored.ok()) {
+        // Replay traffic is bookkeeping, not served requests.
+        plane->client().ResetMetrics();
+        plane_ok = true;
+      }
+    }
+  }
+
+  // Phase 4 — publish under one brief exclusive section: swap the schedule,
+  // re-apply journaled churn, and either swap the pre-built plane in (after
+  // replaying shares that raced the build) or mark the plane for a lazy
+  // rebuild when churn invalidated its view lists.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  journal_active_ = false;
+  if (replan_cancel_.load(std::memory_order_acquire) || plan_epoch_ != epoch) {
+    churn_journal_.clear();
+    return Status::OK();  // superseded by shutdown or a newer plan
+  }
+  schedule_ = std::move(plan.schedule);
+  maintainer_->RebuildIndexes();
+  const size_t raced_churn = churn_journal_.size();
+  for (const ChurnRecord& rec : churn_journal_) {
+    if (rec.added) {
+      maintainer_->RepairEdgeAdded(rec.producer, rec.consumer);
+    } else {
+      maintainer_->RepairEdgeRemoved(rec.producer, rec.consumer);
+    }
+  }
+  churn_journal_.clear();
+  options_.planner = plan.planner;
+  plan_advantage_ =
+      plan.final_cost > 0 ? plan.hybrid_cost / plan.final_cost : 1.0;
+  edges_at_plan_ = graph_.num_edges();
+  if (estimator_ != nullptr) estimator_->OnReplanned();
+  ++replans_;
+  background_replans_.fetch_add(1, std::memory_order_relaxed);
+  ++plan_epoch_;
+  churn_since_plan_ = raced_churn;
+
+  if (raced_churn == 0 && plane_ok && prototype_ != nullptr) {
+    // No churn raced: the pre-built plane's view lists match the published
+    // schedule. Replay the shares that arrived during the build (a sorted
+    // log diff — ids equal timestamps by construction) and swap in O(delta).
+    std::vector<EventTuple> current = prototype_->EventLog();
+    std::vector<EventTuple> delta;
+    size_t matched = 0;
+    for (const EventTuple& e : current) {
+      if (matched < log_copy.size() && log_copy[matched] == e) {
+        ++matched;
+      } else {
+        delta.push_back(e);
+      }
+    }
+    bool delta_ok = matched == log_copy.size();
+    for (const EventTuple& e : delta) {
+      if (e.event_id != e.timestamp) delta_ok = false;
+    }
+    if (delta_ok) {
+      for (const EventTuple& e : delta) plane->ShareEvent(e.producer, e.event_id);
+      plane->client().ResetMetrics();
+      AccumulateClientMetrics();
+      prototype_ = std::move(plane);          // old plane released first ...
+      snapshot_ = std::move(fresh_snapshot);  // ... then the graph it borrowed
+      ++serving_rebuilds_;
+      serving_dirty_ = false;
+      return Status::OK();
+    }
+  }
+  serving_dirty_ = true;  // lazy rebuild on the next request
+  return Status::OK();
+}
+
+Status FeedService::EnsureServing(std::shared_lock<std::shared_mutex>& lock) {
+  while (serving_dirty_ || prototype_ == nullptr) {
+    lock.unlock();
+    {
+      std::unique_lock<std::shared_mutex> rebuild(mu_);
+      PIGGY_RETURN_NOT_OK(RefreshServingLocked());
+    }
+    lock.lock();
+  }
+  return Status::OK();
+}
+
+Status FeedService::RefreshServingLocked() {
   if (prototype_ != nullptr && !serving_dirty_) return Status::OK();
 
   std::vector<EventTuple> log;
@@ -104,8 +326,9 @@ Status FeedService::RefreshServing() {
     prototype_.reset();  // must drop its borrow before snapshot_ is replaced
     ++serving_rebuilds_;
   }
-  PIGGY_ASSIGN_OR_RETURN(snapshot_, graph_.Snapshot());
-  PIGGY_ASSIGN_OR_RETURN(prototype_, Prototype::Create(snapshot_, schedule_,
+  PIGGY_ASSIGN_OR_RETURN(Graph snapshot, graph_.Snapshot());
+  snapshot_ = std::make_unique<Graph>(std::move(snapshot));
+  PIGGY_ASSIGN_OR_RETURN(prototype_, Prototype::Create(*snapshot_, schedule_,
                                                        options_.prototype));
   if (!log.empty()) {
     PIGGY_RETURN_NOT_OK(prototype_->RestoreEvents(log));
@@ -127,25 +350,48 @@ void FeedService::AccumulateClientMetrics() {
 }
 
 Status FeedService::Share(NodeId u) {
-  if (u >= graph_.num_nodes()) {
-    return Status::InvalidArgument(StrFormat("unknown user %u", u));
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (u >= graph_.num_nodes()) {
+      return Status::InvalidArgument(StrFormat("unknown user %u", u));
+    }
+    PIGGY_RETURN_NOT_OK(EnsureServing(lock));
+    prototype_->ShareEvent(u);
   }
-  PIGGY_RETURN_NOT_OK(RefreshServing());
-  prototype_->ShareEvent(u);
+  return ObserveRequest(/*is_share=*/true, u);
+}
+
+Status FeedService::Share(NodeId u, uint64_t seq) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (u >= graph_.num_nodes()) {
+      return Status::InvalidArgument(StrFormat("unknown user %u", u));
+    }
+    PIGGY_RETURN_NOT_OK(EnsureServing(lock));
+    prototype_->ShareEvent(u, seq);
+  }
   return ObserveRequest(/*is_share=*/true, u);
 }
 
 Result<std::vector<EventTuple>> FeedService::QueryStream(NodeId u) {
-  if (u >= graph_.num_nodes()) {
-    return Status::InvalidArgument(StrFormat("unknown user %u", u));
-  }
-  PIGGY_RETURN_NOT_OK(RefreshServing());
-  std::vector<EventTuple> stream = prototype_->QueryStream(u);
-  if (options_.audit_every > 0 &&
-      ++queries_since_audit_ >= options_.audit_every) {
-    queries_since_audit_ = 0;
-    PIGGY_RETURN_NOT_OK(prototype_->AuditStream(u, stream));
-    ++audited_queries_;
+  std::vector<EventTuple> stream;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (u >= graph_.num_nodes()) {
+      return Status::InvalidArgument(StrFormat("unknown user %u", u));
+    }
+    PIGGY_RETURN_NOT_OK(EnsureServing(lock));
+    // Token before the query: audits stay exact in single-threaded use and
+    // downgrade to soundness-only when a share overlapped this query.
+    Prototype::AuditToken token = prototype_->BeginAudit();
+    stream = prototype_->QueryStream(u);
+    if (options_.audit_every > 0 &&
+        (queries_since_audit_.fetch_add(1, std::memory_order_relaxed) + 1) %
+                options_.audit_every ==
+            0) {
+      PIGGY_RETURN_NOT_OK(prototype_->AuditStream(u, stream, token));
+      audited_queries_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   PIGGY_RETURN_NOT_OK(ObserveRequest(/*is_share=*/false, u));
   return stream;
@@ -159,56 +405,72 @@ Status FeedService::ObserveRequest(bool is_share, NodeId u) {
     estimator_->RecordQuery(u);
   }
   if (!estimator_->WindowFull()) return Status::OK();
-  estimator_->FoldWindow();
+  if (!estimator_->FoldWindow()) return Status::OK();  // another thread folded
 
   // Rate component: fraction of the plan's cost advantage lost under the
   // estimated rates. Only trusted after warmup — thin observation windows
-  // fake small amounts of drift. snapshot_ is fresh here: Share/QueryStream
-  // call RefreshServing first.
+  // fake small amounts of drift.
+  const bool warm = estimator_->Warm();
   double rate_score = 0;
-  if (estimator_->Warm()) {
-    const Workload estimated = estimator_->EstimateWorkload(workload_);
-    const double cost =
-        ScheduleCost(snapshot_, estimated, schedule_, ResidualPolicy::kFree);
-    const double hybrid = HybridCost(snapshot_, estimated);
-    const double advantage = cost > 0 ? hybrid / cost : 1.0;
-    rate_score = plan_advantage_ > 0
-                     ? std::max(0.0, 1.0 - advantage / plan_advantage_)
-                     : 0.0;
+  double structural_score = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (warm) {
+      const Workload estimated = estimator_->EstimateWorkload(workload_);
+      const double cost =
+          ScheduleCost(graph_, estimated, schedule_, ResidualPolicy::kFree);
+      const double hybrid = HybridCost(graph_, estimated);
+      const double advantage = cost > 0 ? hybrid / cost : 1.0;
+      rate_score = plan_advantage_ > 0
+                       ? std::max(0.0, 1.0 - advantage / plan_advantage_)
+                       : 0.0;
+    }
+    // Structural component: churn repairs serve each new edge individually,
+    // so piggybacking decays in proportion to the churned-edge fraction.
+    // Exact, no warmup needed.
+    structural_score = estimator_->options().churn_weight *
+                       static_cast<double>(churn_since_plan_) /
+                       static_cast<double>(std::max<size_t>(edges_at_plan_, 1));
   }
-  // Structural component: churn repairs serve each new edge individually, so
-  // piggybacking decays in proportion to the churned-edge fraction. Exact,
-  // no warmup needed.
-  const double structural_score =
-      estimator_->options().churn_weight *
-      static_cast<double>(churn_since_plan_) /
-      static_cast<double>(std::max<size_t>(edges_at_plan_, 1));
-  last_drift_score_ = std::max(rate_score, structural_score);
+  const double score = std::max(rate_score, structural_score);
+  last_drift_score_.store(score, std::memory_order_relaxed);
 
-  if (last_drift_score_ > estimator_->options().threshold &&
-      estimator_->ReplanAllowed()) {
-    if (estimator_->Warm()) {
+  if (score > estimator_->options().threshold && estimator_->ReplanAllowed()) {
+    drift_replans_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.background_replan) {
+      // Re-estimation happens on the background thread against the same
+      // estimator (refresh only once warm).
+      return RequestBackgroundReplan(/*refresh=*/warm);
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (warm) {
       // Replan against the traffic actually observed, not deployment-day
       // rates (a purely structural trigger inside warmup keeps the planned
       // rates rather than trusting a noisy estimate).
       workload_ = estimator_->EstimateWorkload(workload_);
     }
-    ++drift_replans_;
-    return Replan();
+    return ReplanLocked();
   }
   return Status::OK();
 }
 
-Status FeedService::ApplyChurn(Status churn_result) {
+Status FeedService::ApplyChurnLocked(Status churn_result, bool added,
+                                     NodeId producer, NodeId consumer) {
   PIGGY_RETURN_NOT_OK(churn_result);
   ++churn_ops_;
   ++churn_since_plan_;
   serving_dirty_ = true;
+  if (journal_active_) churn_journal_.push_back({added, producer, consumer});
   switch (options_.replan.mode) {
     case ReplanMode::kNever:
       break;
     case ReplanMode::kEveryNChurn:
-      if (churn_since_plan_ >= options_.replan.every_n_churn) return Replan();
+      if (churn_since_plan_ >= options_.replan.every_n_churn) {
+        if (options_.background_replan) {
+          return RequestBackgroundReplan(/*refresh=*/false);
+        }
+        return ReplanLocked();
+      }
       break;
     case ReplanMode::kDrift:
       // Structural drift surfaces through the cost evaluation on the served
@@ -220,6 +482,7 @@ Status FeedService::ApplyChurn(Status churn_result) {
 }
 
 Status FeedService::Follow(NodeId follower, NodeId producer) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
     return Status::InvalidArgument("unknown user in Follow");
   }
@@ -227,35 +490,59 @@ Status FeedService::Follow(NodeId follower, NodeId producer) {
     return Status::InvalidArgument("users may not follow themselves");
   }
   if (graph_.HasEdge(producer, follower)) return Status::OK();  // already follows
-  return ApplyChurn(maintainer_->AddEdge(producer, follower));
+  return ApplyChurnLocked(maintainer_->AddEdge(producer, follower),
+                          /*added=*/true, producer, follower);
 }
 
 Status FeedService::Unfollow(NodeId follower, NodeId producer) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
     return Status::InvalidArgument("unknown user in Unfollow");
   }
   if (!graph_.HasEdge(producer, follower)) return Status::OK();  // not following
-  return ApplyChurn(maintainer_->RemoveEdge(producer, follower));
+  return ApplyChurnLocked(maintainer_->RemoveEdge(producer, follower),
+                          /*added=*/false, producer, follower);
 }
 
 Result<DriverReport> FeedService::Drive(const DriverOptions& options) {
-  PIGGY_RETURN_NOT_OK(RefreshServing());
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  PIGGY_RETURN_NOT_OK(EnsureServing(lock));
   PIGGY_ASSIGN_OR_RETURN(DriverReport report,
                          RunWorkloadDriver(*prototype_, workload_, options));
-  audited_queries_ += report.audited_queries;
+  audited_queries_.fetch_add(report.audited_queries, std::memory_order_relaxed);
   return report;
 }
 
 Result<Prototype*> FeedService::ServingPlane() {
-  PIGGY_RETURN_NOT_OK(RefreshServing());
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  PIGGY_RETURN_NOT_OK(EnsureServing(lock));
   return prototype_.get();
 }
 
+Workload FeedService::WorkloadSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return workload_;
+}
+
+Result<uint64_t> FeedService::TrimmedEvents() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  PIGGY_RETURN_NOT_OK(EnsureServing(lock));
+  return prototype_->TotalTrimmedEvents();
+}
+
 Status FeedService::Validate() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return ValidateSchedule(graph_, schedule_);
 }
 
+std::pair<double, double> FeedService::CostsUnder(const Workload& truth) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return {ScheduleCost(graph_, truth, schedule_, ResidualPolicy::kFree),
+          HybridCost(graph_, truth)};
+}
+
 FeedService::Metrics FeedService::GetMetrics() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   Metrics m;
   m.planner = options_.planner;
   m.replan_policy = options_.replan.ToString();
@@ -263,8 +550,9 @@ FeedService::Metrics FeedService::GetMetrics() const {
       ScheduleCost(graph_, workload_, schedule_, ResidualPolicy::kFree);
   m.hybrid_cost = HybridCost(graph_, workload_);
   m.replans = replans_;
-  m.drift_replans = drift_replans_;
-  m.drift_score = last_drift_score_;
+  m.background_replans = background_replans_.load(std::memory_order_relaxed);
+  m.drift_replans = drift_replans_.load(std::memory_order_relaxed);
+  m.drift_score = last_drift_score_.load(std::memory_order_relaxed);
   m.repairs = maintainer_->repairs();
   m.churn_ops = churn_ops_;
   m.serving_rebuilds = serving_rebuilds_;
@@ -274,7 +562,7 @@ FeedService::Metrics FeedService::GetMetrics() const {
   }
   m.shares = client.share_requests;
   m.queries = client.query_requests;
-  m.audited_queries = audited_queries_;
+  m.audited_queries = audited_queries_.load(std::memory_order_relaxed);
   m.messages_per_request = client.MessagesPerRequest();
   m.actual_throughput =
       m.messages_per_request > 0

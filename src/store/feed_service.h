@@ -25,12 +25,37 @@
 // traffic and replans with re-estimated rates once the schedule's cost
 // advantage erodes (see scenario/drift.h). Scenario code never reaches into
 // Prototype internals.
+//
+// ## Threading model
+//
+// Share / QueryStream / GetMetrics / Validate take a reader (shared) lock and
+// run concurrently from any number of client threads — the plane underneath
+// (fleet, client, audit log) is internally synchronized. Follow / Unfollow /
+// Replan take the writer (exclusive) lock; churn is a brief local repair, so
+// writers never stall readers for long.
+//
+// With `background_replan` set (or via StartBackgroundReplan), policy-
+// triggered planner runs move to a dedicated thread: it snapshots the graph +
+// workload under the lock, plans against the frozen snapshot *outside* any
+// lock (anytime-safe: PlanContext cancellation cuts it short on shutdown),
+// pre-builds the replacement serving plane off-thread, and publishes
+// schedule + plane in one brief exclusive section. Follow/Unfollow that
+// raced the plan are journaled and re-applied to the fresh schedule through
+// the Sec-3.3 local repair at publish time; shares that raced are replayed
+// into the pre-built plane by a log diff. Serving threads only ever block
+// for the swap, never for the planner.
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/incremental.h"
@@ -67,6 +92,10 @@ struct FeedServiceOptions {
   /// drift-triggered with rates re-estimated from observed traffic (see
   /// scenario/drift.h).
   ReplanPolicy replan;
+  /// Run policy-triggered replans (every-N / drift) on a background thread
+  /// that plans against a frozen snapshot and atomically swaps the result
+  /// in, instead of planning inline on the serving thread.
+  bool background_replan = false;
   /// Audit every Nth query against the event-log oracle (0 = no audits).
   size_t audit_every = 0;
 };
@@ -84,25 +113,44 @@ class FeedService {
   static Result<std::unique_ptr<FeedService>> Create(
       const Graph& graph, Workload workload, const FeedServiceOptions& options);
 
-  /// User u shares an event.
+  ~FeedService();
+
+  /// User u shares an event. Thread-safe.
   Status Share(NodeId u);
 
+  /// Shares with an externally assigned global sequence number (used as both
+  /// event id and timestamp) — the cluster's cross-shard ordering. Thread-
+  /// safe.
+  Status Share(NodeId u, uint64_t seq);
+
   /// Assembles u's event stream; audited against the oracle every
-  /// options.audit_every queries.
+  /// options.audit_every queries. Thread-safe.
   Result<std::vector<EventTuple>> QueryStream(NodeId u);
 
   /// `follower` starts following `producer` (graph edge producer ->
   /// follower). The new edge is served directly at the cheaper side
-  /// immediately; OK if already following.
+  /// immediately; OK if already following. Thread-safe (exclusive).
   Status Follow(NodeId follower, NodeId producer);
 
   /// `follower` stops following `producer`. Hub covers that piggybacked on
-  /// the removed edge are re-served directly; OK if not following.
+  /// the removed edge are re-served directly; OK if not following. Thread-
+  /// safe (exclusive).
   Status Unfollow(NodeId follower, NodeId producer);
 
   /// Re-runs the configured planner on the current graph and swaps the fresh
-  /// schedule in (stored events are preserved).
+  /// schedule in (stored events are preserved). Synchronous: plans inline
+  /// holding the exclusive lock (stop-the-world; the explicit API).
   Status Replan();
+
+  /// Posts one planner run to the background replanner (spawning it on first
+  /// use) and returns immediately; serving proceeds while it plans. The
+  /// result is swapped in atomically, with raced churn repaired. No-op if a
+  /// background run is already queued or in flight.
+  Status StartBackgroundReplan();
+
+  /// Blocks until no background replan is queued or running; returns the
+  /// status of the last completed background run (OK if none ever ran).
+  Status WaitForBackgroundReplan();
 
   /// Replays a rate-weighted request mix through the service (the paper's
   /// measurement loop). Uses the service's own workload and audit oracle.
@@ -116,6 +164,7 @@ class FeedService {
     double schedule_cost = 0;     ///< current schedule cost on current graph
     double hybrid_cost = 0;       ///< FF baseline cost on current graph
     size_t replans = 0;           ///< full planner runs (incl. the initial)
+    size_t background_replans = 0;  ///< replans run on the background thread
     size_t drift_replans = 0;     ///< replans triggered by the drift policy
     double drift_score = 0;       ///< last drift evaluation (0 = no drift)
     size_t repairs = 0;           ///< hub covers re-served due to unfollows
@@ -135,36 +184,84 @@ class FeedService {
   /// current graph (the maintainer guarantees it; tests assert it).
   Status Validate() const;
 
+  /// (schedule cost, hybrid-baseline cost) of the current schedule/topology
+  /// under externally supplied rates, computed under the service lock — the
+  /// thread-safe spelling of ScheduleCost(graph(), truth, schedule()), which
+  /// would race a concurrent schedule swap. Thread-safe.
+  std::pair<double, double> CostsUnder(const Workload& truth) const;
+
   const DynamicGraph& graph() const { return graph_; }
   const Workload& workload() const { return workload_; }
+
+  /// Copy of the current workload taken under the lock — the reference above
+  /// is unsafe while a drift replan may re-estimate rates concurrently.
+  Workload WorkloadSnapshot() const;
   const Schedule& schedule() const { return schedule_; }
   const FeedServiceOptions& options() const { return options_; }
 
   /// The serving plane, rebuilt first if churn left it stale. Exposed for
-  /// measurement code (benches) that inspects per-server load.
+  /// measurement code (benches) that inspects per-server load. NOT safe
+  /// against concurrent churn/replans — the pointer is invalidated by the
+  /// next rebuild; single-threaded measurement use only.
   Result<Prototype*> ServingPlane();
+
+  /// Events trimmed from serving views since the last plane rebuild (caps
+  /// provable audit completeness, see Prototype::AuditStream). Thread-safe.
+  Result<uint64_t> TrimmedEvents();
 
  private:
   FeedService(const Graph& graph, Workload workload, FeedServiceOptions options);
 
+  /// One journaled Follow/Unfollow that raced an in-flight background plan.
+  struct ChurnRecord {
+    bool added = false;
+    NodeId producer = 0;
+    NodeId consumer = 0;
+  };
+
+  /// Upgrades to the exclusive lock and rebuilds the serving plane if churn
+  /// or a replan left it stale. On return the shared lock is held again and
+  /// prototype_ is fresh; on error the shared lock is released.
+  Status EnsureServing(std::shared_lock<std::shared_mutex>& lock);
+
   /// Rebuilds the Prototype around the current graph + schedule, replaying
-  /// the stored event log. No-op when the plane is fresh.
-  Status RefreshServing();
+  /// the stored event log. No-op when the plane is fresh. Requires mu_ held
+  /// exclusively.
+  Status RefreshServingLocked();
+
+  /// Plans inline against the current graph and swaps the schedule in.
+  /// Requires mu_ held exclusively.
+  Status ReplanLocked();
+
+  /// The background replanner body: snapshot under the lock, plan + pre-
+  /// build the plane outside it, publish + repair raced churn under it.
+  Status BackgroundReplanOnce(bool refresh_workload);
+  void ReplanThreadMain();
+  /// Queues a background run; spawns the thread on first use. `refresh`
+  /// re-estimates the workload from the drift estimator before planning.
+  Status RequestBackgroundReplan(bool refresh);
 
   /// Folds the live client counters into the accumulated totals (called
-  /// before the serving plane is torn down, and by GetMetrics).
+  /// before the serving plane is torn down). Requires mu_ held exclusively.
   void AccumulateClientMetrics();
 
-  Status ApplyChurn(Status churn_result);
+  /// Churn bookkeeping + replan policy. Requires mu_ held exclusively.
+  Status ApplyChurnLocked(Status churn_result, bool added, NodeId producer,
+                          NodeId consumer);
 
   /// Drift-mode bookkeeping for one served request, and — when an
   /// observation window completes — the drift evaluation: if the schedule
   /// lost more than the configured fraction of its cost advantage under the
   /// estimated rates and current topology, the workload is re-estimated from
-  /// observations and the planner re-run. No-op outside ReplanMode::kDrift.
+  /// observations and the planner re-run (inline or in the background per
+  /// options). Called WITHOUT mu_ held. No-op outside ReplanMode::kDrift.
   Status ObserveRequest(bool is_share, NodeId u);
 
   FeedServiceOptions options_;
+
+  // Serving state, guarded by mu_: readers (Share/QueryStream/metrics) take
+  // it shared, churn/replans/rebuilds take it exclusive.
+  mutable std::shared_mutex mu_;
   DynamicGraph graph_;
   Workload workload_;
   Schedule schedule_;
@@ -172,26 +269,48 @@ class FeedService {
 
   // Serving plane: a CSR snapshot of graph_ plus the prototype bound to it.
   // serving_dirty_ means graph_/schedule_ moved on and both must be rebuilt
-  // before the next request.
-  Graph snapshot_;
+  // before the next request. Heap-held so a pre-built replacement can be
+  // swapped in (prototype_ borrows *snapshot_).
+  std::unique_ptr<Graph> snapshot_;
   std::unique_ptr<Prototype> prototype_;
   bool serving_dirty_ = false;
+
+  // Follow/Unfollow that raced an in-flight background plan (guarded by mu_;
+  // journal_active_ is set while a plan is in flight).
+  std::vector<ChurnRecord> churn_journal_;
+  bool journal_active_ = false;
+  // Bumped on every schedule swap; an in-flight background plan that lost a
+  // publish race (e.g. to an explicit Replan) is discarded.
+  size_t plan_epoch_ = 0;
 
   // Drift-triggered replanning (ReplanMode::kDrift only).
   std::unique_ptr<RateDriftEstimator> estimator_;
   double plan_advantage_ = 1.0;  ///< hybrid/schedule cost ratio at plan time
   size_t edges_at_plan_ = 0;     ///< structural-drift denominator
-  size_t drift_replans_ = 0;
-  double last_drift_score_ = 0;
+  std::atomic<size_t> drift_replans_{0};
+  std::atomic<double> last_drift_score_{0};
 
-  // Counters that survive serving-plane rebuilds.
+  // Counters that survive serving-plane rebuilds. Guarded by mu_ unless
+  // atomic (the atomics are bumped on the shared-lock serving path).
   ClientMetrics accumulated_;
   size_t replans_ = 0;
+  std::atomic<size_t> background_replans_{0};
   size_t churn_ops_ = 0;
   size_t churn_since_plan_ = 0;
   size_t serving_rebuilds_ = 0;
-  uint64_t audited_queries_ = 0;
-  uint64_t queries_since_audit_ = 0;
+  std::atomic<uint64_t> audited_queries_{0};
+  std::atomic<uint64_t> queries_since_audit_{0};
+
+  // Background replanner: one thread, spawned lazily, condition-triggered.
+  std::mutex replan_mu_;
+  std::condition_variable replan_cv_;
+  bool replan_requested_ = false;
+  bool replan_refresh_workload_ = false;
+  bool replan_running_ = false;
+  bool replan_shutdown_ = false;
+  Status background_status_;
+  std::atomic<bool> replan_cancel_{false};
+  std::thread replan_thread_;
 };
 
 }  // namespace piggy

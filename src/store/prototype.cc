@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -35,17 +36,48 @@ Result<std::unique_ptr<Prototype>> Prototype::Create(const Graph& graph,
   return proto;
 }
 
-void Prototype::ShareEvent(NodeId u) {
-  EventTuple event{u, next_event_id_++, clock_++};
-  event_log_.push_back(event);
+void Prototype::AppendAndDeliver(NodeId u, uint64_t event_id, uint64_t timestamp) {
+  shares_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  EventTuple event{u, event_id, timestamp};
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    // Keep the log in (timestamp, event id) share order: concurrent cluster
+    // writers can deliver externally sequenced events slightly late, so walk
+    // back from the tail (one step at most in the common case).
+    auto pos = event_log_.end();
+    while (pos != event_log_.begin() && NewerThan(*(pos - 1), event)) --pos;
+    event_log_.insert(pos, event);
+    next_event_id_ = std::max(next_event_id_, event_id + 1);
+    clock_ = std::max(clock_, timestamp + 1);
+    log_version_.fetch_add(1, std::memory_order_release);
+  }
   client_->ShareEvent(u, event.event_id, event.timestamp);
+  shares_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Prototype::ShareEvent(NodeId u) {
+  shares_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  EventTuple event;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    event = EventTuple{u, next_event_id_++, clock_++};
+    event_log_.push_back(event);
+    log_version_.fetch_add(1, std::memory_order_release);
+  }
+  client_->ShareEvent(u, event.event_id, event.timestamp);
+  shares_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Prototype::ShareEvent(NodeId u, uint64_t seq) {
+  AppendAndDeliver(u, seq, seq);
 }
 
 std::vector<EventTuple> Prototype::QueryStream(NodeId u) {
   return client_->QueryStream(u);
 }
 
-Status Prototype::AuditStream(NodeId u, const std::vector<EventTuple>& stream) const {
+Status Prototype::AuditStream(NodeId u, const std::vector<EventTuple>& stream,
+                              const AuditToken& token) const {
   // Soundness: only events of followed producers (or u itself), newest-first.
   auto followees = graph_.InNeighbors(u);
   for (size_t i = 0; i < stream.size(); ++i) {
@@ -61,12 +93,28 @@ Status Prototype::AuditStream(NodeId u, const std::vector<EventTuple>& stream) c
     }
   }
 
+  // Completeness is provable only when no share overlapped the query: the
+  // token was quiescent, nothing is in flight now, and the log version did
+  // not move in between. (Single-threaded drivers always satisfy this.)
+  AuditToken now = BeginAudit();
+  if (!token.quiescent || !now.quiescent || now.log_version != token.log_version) {
+    return Status::OK();
+  }
   if (TotalTrimmedEvents() > 0) return Status::OK();  // completeness not provable
 
   // Completeness (bounded staleness with Theta = 0 in the simulator): the
   // stream must be exactly the k newest oracle events.
+  std::vector<EventTuple> log = EventLog();
+  // The log copy sits outside the window `now` proved share-free: a share
+  // landing between that check and the copy would put an event in the oracle
+  // the stream never saw. Re-verify before comparing (a share starting after
+  // this line cannot have touched the copy above).
+  const AuditToken after = BeginAudit();
+  if (!after.quiescent || after.log_version != token.log_version) {
+    return Status::OK();
+  }
   std::vector<EventTuple> oracle;
-  for (const EventTuple& e : event_log_) {
+  for (const EventTuple& e : log) {
     if (e.producer == u ||
         std::binary_search(followees.begin(), followees.end(), e.producer)) {
       oracle.push_back(e);
@@ -108,9 +156,12 @@ std::vector<uint64_t> Prototype::PerServerUpdateLoad() const {
 }
 
 Status Prototype::RestoreEvents(const std::vector<EventTuple>& log) {
-  if (!event_log_.empty()) {
-    return Status::FailedPrecondition(
-        "RestoreEvents requires a fresh prototype (events already shared)");
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    if (!event_log_.empty()) {
+      return Status::FailedPrecondition(
+          "RestoreEvents requires a fresh prototype (events already shared)");
+    }
   }
   for (size_t i = 0; i < log.size(); ++i) {
     if (i > 0 && log[i].timestamp < log[i - 1].timestamp) {
@@ -120,11 +171,17 @@ Status Prototype::RestoreEvents(const std::vector<EventTuple>& log) {
       return Status::InvalidArgument("event log references unknown producer");
     }
   }
-  event_log_ = log;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    event_log_ = log;
+    for (const EventTuple& e : log) {
+      next_event_id_ = std::max(next_event_id_, e.event_id + 1);
+      clock_ = std::max(clock_, e.timestamp + 1);
+    }
+    log_version_.fetch_add(1, std::memory_order_release);
+  }
   for (const EventTuple& e : log) {
     client_->ShareEvent(e.producer, e.event_id, e.timestamp);
-    next_event_id_ = std::max(next_event_id_, e.event_id + 1);
-    clock_ = std::max(clock_, e.timestamp + 1);
   }
   return Status::OK();
 }

@@ -11,11 +11,21 @@
 // request costs exactly one message; as the fleet grows requests fan out to
 // more servers and per-client throughput drops, while better schedules
 // (fewer views per request) fan out less.
+//
+// Thread safety: ShareEvent and QueryStream may be called concurrently from
+// many threads (the client and fleet are internally synchronized; the audit
+// log has its own mutex). Audits stay *exact* only when no share overlapped
+// the audited query — BeginAudit captures a token (log version + quiescence)
+// before the query and AuditStream downgrades to soundness-only checks when
+// the token shows a racing share; single-threaded drivers always get the
+// full oracle comparison.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/schedule.h"
@@ -49,14 +59,44 @@ class Prototype {
   /// User u shares an event; the event is also recorded in the audit log.
   void ShareEvent(NodeId u);
 
+  /// Shares with an externally assigned sequence number used as both event id
+  /// and timestamp (the cluster's global ordering). Self-assigned ids are
+  /// 1, 2, 3, ... = timestamps, so passing seq = next id is bit-identical to
+  /// the plain overload.
+  void ShareEvent(NodeId u, uint64_t seq);
+
   /// Assembles u's event stream.
   std::vector<EventTuple> QueryStream(NodeId u);
+
+  /// Pre-query capture for exact audits under concurrency: remembers the log
+  /// version and whether any share was in flight.
+  struct AuditToken {
+    uint64_t log_version = 0;
+    bool quiescent = true;
+  };
+  AuditToken BeginAudit() const {
+    AuditToken token;
+    // Order matters: read in-flight before the version so a share that
+    // appends between the two reads flips quiescent, not just the version.
+    token.quiescent = shares_in_flight_.load(std::memory_order_acquire) == 0;
+    token.log_version = log_version_.load(std::memory_order_acquire);
+    return token;
+  }
 
   /// Checks a query result against the audit log oracle: with unbounded (or
   /// untrimmed) views the stream must equal the k newest events of u's
   /// followees (+ u); with trimming it must at least be sound (only followee
   /// events, newest-first). Returns the first violation found.
-  Status AuditStream(NodeId u, const std::vector<EventTuple>& stream) const;
+  Status AuditStream(NodeId u, const std::vector<EventTuple>& stream) const {
+    return AuditStream(u, stream, BeginAudit());
+  }
+
+  /// Same, with a token captured *before* the audited query ran. Soundness
+  /// (no leaked producers, newest-first order) is always checked;
+  /// completeness against the oracle only when no share overlapped the query
+  /// (token quiescent, log version unchanged, nothing in flight now).
+  Status AuditStream(NodeId u, const std::vector<EventTuple>& stream,
+                     const AuditToken& token) const;
 
   /// Modeled per-client actual throughput (requests/second) given the
   /// messages-per-request observed since the last ResetMetrics.
@@ -77,8 +117,12 @@ class Prototype {
   /// Total events dropped by view trimming across the fleet.
   uint64_t TotalTrimmedEvents() const;
 
-  /// Every event shared so far, in share order (the audit oracle's input).
-  const std::vector<EventTuple>& EventLog() const { return event_log_; }
+  /// Copy of every event shared so far, in share order (the audit oracle's
+  /// input; a copy so serving threads can keep appending).
+  std::vector<EventTuple> EventLog() const {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    return event_log_;
+  }
 
   /// Replays a previously captured event log into a freshly built instance:
   /// each event is written through the client into the fleet and appended to
@@ -93,16 +137,23 @@ class Prototype {
  private:
   Prototype(const Graph& graph, const PrototypeOptions& options);
 
+  void AppendAndDeliver(NodeId u, uint64_t event_id, uint64_t timestamp);
+
   const Graph& graph_;
   PrototypeOptions options_;
   std::unique_ptr<HashPartitioner> partitioner_;
   std::vector<ViewStore> servers_;
   std::unique_ptr<AppClient> client_;
 
-  // Audit log: every shared event in timestamp order.
+  // Audit log: every shared event in timestamp order, guarded by log_mu_.
+  mutable std::mutex log_mu_;
   std::vector<EventTuple> event_log_;
   uint64_t next_event_id_ = 1;
   uint64_t clock_ = 1;
+  // Bumped on every log append; with shares_in_flight_ it lets audits detect
+  // shares that overlapped a query.
+  std::atomic<uint64_t> log_version_{0};
+  std::atomic<int64_t> shares_in_flight_{0};
 };
 
 }  // namespace piggy

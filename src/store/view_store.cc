@@ -1,6 +1,7 @@
 #include "store/view_store.h"
 
 #include <algorithm>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -17,15 +18,21 @@ std::vector<EventTuple> TopKNewest(std::vector<EventTuple> events, size_t k) {
 }
 
 void ViewStore::UpdateBatch(std::span<const NodeId> views, const EventTuple& event) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++metrics_.update_messages;
   for (NodeId owner : views) {
     std::vector<EventTuple>* view = views_.Find(owner);
     if (view == nullptr) {
       views_.Put(owner, {event});
     } else {
-      view->push_back(event);
+      // Oldest-first order; concurrent writers may deliver slightly stale
+      // timestamps, so walk back from the tail to the sorted slot (one step
+      // at most in the common case).
+      auto pos = view->end();
+      while (pos != view->begin() && NewerThan(*(pos - 1), event)) --pos;
+      view->insert(pos, event);
       if (view_capacity_ > 0 && view->size() > view_capacity_) {
-        // Events arrive in timestamp order, so the front is the oldest.
+        // Sorted oldest-first, so the front is the oldest.
         view->erase(view->begin());
         ++metrics_.trimmed_events;
       }
@@ -37,6 +44,7 @@ void ViewStore::UpdateBatch(std::span<const NodeId> views, const EventTuple& eve
 std::vector<EventTuple> ViewStore::QueryBatch(std::span<const NodeId> views,
                                               std::span<const NodeId> interest,
                                               size_t k) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++metrics_.query_messages;
   std::vector<EventTuple> candidates;
   for (NodeId owner : views) {
@@ -56,6 +64,7 @@ std::vector<EventTuple> ViewStore::QueryBatch(std::span<const NodeId> views,
 }
 
 std::vector<EventTuple> ViewStore::ReadView(NodeId owner) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   const std::vector<EventTuple>* view = views_.Find(owner);
   return view ? *view : std::vector<EventTuple>{};
 }

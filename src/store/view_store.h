@@ -5,10 +5,18 @@
 // insert. A view is a list of (producer, event id, timestamp) tuples — the
 // event-stream *index*; rendering (texts, pictures) is out of scope exactly
 // as in the paper.
+//
+// Thread safety: each server guards its views and counters with one internal
+// mutex, so concurrent UpdateBatch / QueryBatch calls from many client
+// threads are safe and contention is per-server (the fleet is the stripe
+// set). Events may arrive slightly out of timestamp order under concurrency;
+// UpdateBatch inserts in sorted position (near the tail in practice).
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -46,13 +54,16 @@ class ViewStore {
  public:
   /// `view_capacity` caps events retained per view (0 = unbounded).
   explicit ViewStore(uint32_t server_id, size_t view_capacity = 128)
-      : server_id_(server_id), view_capacity_(view_capacity) {}
+      : server_id_(server_id),
+        view_capacity_(view_capacity),
+        mu_(std::make_unique<std::mutex>()) {}
 
   uint32_t server_id() const { return server_id_; }
 
   /// Applies one batched update message: inserts `event` into every view in
-  /// `views` (all hosted here). Events must arrive in nondecreasing
-  /// timestamp order (the simulator's driver guarantees it).
+  /// `views` (all hosted here). Events usually arrive in nondecreasing
+  /// timestamp order; concurrent clients may invert neighbours, so the
+  /// insert walks back from the tail to the sorted position.
   void UpdateBatch(std::span<const NodeId> views, const EventTuple& event);
 
   /// Applies one batched query message: returns the `k` newest events across
@@ -65,13 +76,26 @@ class ViewStore {
   /// Direct read of a full view (tests / audits). Empty if absent.
   std::vector<EventTuple> ReadView(NodeId owner) const;
 
-  size_t num_views() const { return views_.size(); }
-  const ServerMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() { metrics_ = ServerMetrics{}; }
+  size_t num_views() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return views_.size();
+  }
+  /// Snapshot of the counters (coherent: taken under the server mutex).
+  ServerMetrics metrics() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return metrics_;
+  }
+  void ResetMetrics() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    metrics_ = ServerMetrics{};
+  }
 
  private:
   uint32_t server_id_;
   size_t view_capacity_;
+  // One mutex per server: the fleet is the concurrency stripe set. Boxed so
+  // ViewStore stays movable (the fleet lives in a std::vector).
+  std::unique_ptr<std::mutex> mu_;
   // Views keyed by owner id; events stored oldest-first (append order).
   U64Map<std::vector<EventTuple>> views_;
   ServerMetrics metrics_;

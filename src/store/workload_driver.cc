@@ -69,11 +69,12 @@ Result<DriverReport> RunWorkloadDriver(Prototype& prototype, const Workload& wor
       prototype.ShareEvent(share_sampler.Sample(rng));
     } else {
       NodeId u = query_sampler.Sample(rng);
+      Prototype::AuditToken token = prototype.BeginAudit();
       std::vector<EventTuple> stream = prototype.QueryStream(u);
       if (options.audit_every > 0 &&
           (report.audited_queries == 0 ||
            prototype.client().metrics().query_requests % options.audit_every == 0)) {
-        PIGGY_RETURN_NOT_OK(prototype.AuditStream(u, stream));
+        PIGGY_RETURN_NOT_OK(prototype.AuditStream(u, stream, token));
         ++report.audited_queries;
       }
     }

@@ -15,6 +15,7 @@
 // Graphs use the binary format of graph_io.h (or .txt edge lists); schedules
 // use the text format of schedule_io.h.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -28,6 +29,7 @@
 #include "scenario/drift.h"
 #include "scenario/replay.h"
 #include "scenario/scenario.h"
+#include "store/concurrent_driver.h"
 #include "store/partitioner.h"
 #include "util/string_util.h"
 
@@ -53,14 +55,22 @@ int Usage() {
                "            [--seed S]\n"
                "  serve     --graph FILE [--planner NAME] [--shards N]\n"
                "            [--partitioner NAME] [--ratio R] [--requests N]\n"
-               "            [--audit N] [--seed S]\n"
+               "            [--audit N] [--seed S] [--client-threads T]\n"
+               "            [--background-replan 0|1]\n"
                "                             (--partitioner list shows the\n"
-               "                              placement registry)\n"
+               "                              placement registry; T > 1 drives\n"
+               "                              the router from T concurrent\n"
+               "                              clients)\n"
                "  replay    --graph FILE --scenario NAME [--planner NAME]\n"
                "            [--policy never|every-N|drift] [--shards N]\n"
                "            [--requests N] [--epochs E] [--intensity X]\n"
                "            [--churn-level C] [--ratio R] [--audit N] [--seed S]\n"
-               "                             (--scenario list shows the registry)\n"
+               "            [--client-threads T] [--background-replan 0|1]\n"
+               "                             (--scenario list shows the registry;\n"
+               "                              T > 1 adds T-1 concurrent load\n"
+               "                              threads; background-replan moves\n"
+               "                              policy replans off the serving\n"
+               "                              threads)\n"
                "\n"
                "scenarios (for replay --scenario):\n");
   for (const ScenarioInfo& info : RegisteredScenarios()) {
@@ -286,16 +296,38 @@ Status CmdServe(const Args& args) {
   options.shard.plan_context.deadline_seconds = args.Double("deadline", 0.0);
   options.shard.workload = {.read_write_ratio = args.Double("ratio", 5.0),
                             .min_rate = 0.01};
+  const bool background_replan = args.Int("background-replan", 0) != 0;
+  options.shard.background_replan = background_replan;
   PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ClusterService> cluster,
                          ClusterService::Create(g, options));
   std::printf("planned: %s\n", cluster->GetMetrics().ToString().c_str());
 
-  DriverOptions d;
-  d.num_requests = static_cast<size_t>(args.Int("requests", 50000));
-  d.seed = static_cast<uint64_t>(args.Int("seed", 42));
-  d.audit_every = static_cast<size_t>(args.Int("audit", 1000));
-  PIGGY_ASSIGN_OR_RETURN(ClusterDriveReport report, cluster->Drive(d));
-  std::printf("measured: %s\n", report.ToString().c_str());
+  const size_t requests = static_cast<size_t>(args.Int("requests", 50000));
+  const uint64_t seed = static_cast<uint64_t>(args.Int("seed", 42));
+  const size_t client_threads =
+      static_cast<size_t>(args.Int("client-threads", 1));
+  if (background_replan) {
+    // Exercise the swap path: the shards replan while the drive below runs.
+    PIGGY_RETURN_NOT_OK(cluster->StartBackgroundReplan());
+  }
+  if (client_threads > 1) {
+    ConcurrentDriverOptions d;
+    d.client_threads = client_threads;
+    d.requests_per_thread = std::max<size_t>(1, requests / client_threads);
+    d.seed = seed;
+    PIGGY_ASSIGN_OR_RETURN(ConcurrentDriveReport report,
+                           RunConcurrentDriver(*cluster, d));
+    std::printf("measured: %s\n", report.ToString().c_str());
+  } else {
+    DriverOptions d;
+    d.num_requests = requests;
+    d.seed = seed;
+    d.audit_every = static_cast<size_t>(args.Int("audit", 1000));
+    PIGGY_ASSIGN_OR_RETURN(ClusterDriveReport report, cluster->Drive(d));
+    std::printf("measured: %s\n", report.ToString().c_str());
+  }
+  PIGGY_RETURN_NOT_OK(cluster->WaitForBackgroundReplan());
+  PIGGY_RETURN_NOT_OK(cluster->Validate());
   std::printf("final:    %s\n", cluster->GetMetrics().ToString().c_str());
   return Status::OK();
 }
@@ -327,6 +359,12 @@ Status CmdReplay(const Args& args) {
   service_options.planner = ResolvePlannerName(args);
   service_options.replan = policy;
   service_options.audit_every = static_cast<size_t>(args.Int("audit", 0));
+  service_options.background_replan = args.Int("background-replan", 0) != 0;
+
+  ReplayOptions replay_options;
+  replay_options.client_threads =
+      static_cast<size_t>(args.Int("client-threads", 1));
+  replay_options.seed = scenario_options.seed;
 
   ReplayReport report;
   const size_t shards = static_cast<size_t>(args.Int("shards", 1));
@@ -339,11 +377,17 @@ Status CmdReplay(const Args& args) {
     options.shard = service_options;
     options.audit_every = service_options.audit_every;
     PIGGY_ASSIGN_OR_RETURN(cluster, ClusterService::Create(g, base, options));
-    PIGGY_ASSIGN_OR_RETURN(report, ReplayScenario(*scenario, *cluster));
+    PIGGY_ASSIGN_OR_RETURN(report,
+                           ReplayScenario(*scenario, *cluster, replay_options));
+    PIGGY_RETURN_NOT_OK(cluster->WaitForBackgroundReplan());
+    PIGGY_RETURN_NOT_OK(cluster->Validate());
   } else {
     PIGGY_ASSIGN_OR_RETURN(service,
                            FeedService::Create(g, base, service_options));
-    PIGGY_ASSIGN_OR_RETURN(report, ReplayScenario(*scenario, *service));
+    PIGGY_ASSIGN_OR_RETURN(report,
+                           ReplayScenario(*scenario, *service, replay_options));
+    PIGGY_RETURN_NOT_OK(service->WaitForBackgroundReplan());
+    PIGGY_RETURN_NOT_OK(service->Validate());
   }
   for (const ReplayEpochRow& row : report.epochs) {
     std::printf("%s\n", row.ToString().c_str());
