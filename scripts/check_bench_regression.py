@@ -30,6 +30,18 @@ fails), while replan-mode rows and tail latency are reported as advisory:
   python3 scripts/check_bench_regression.py --serving \
       --baseline BENCH_PR6.json \
       --current build/bench_fig11_serving.json --block-threshold 0.50
+
+With --recovery, both files are bench_fig12_recovery JSON (an array of row
+objects, or a BENCH_PR*.json wrapper with a "bench_fig12_recovery" key). Rows
+are matched on (service, ops, snapshot_every) and recover_ms / replayed_ops
+deltas are printed. The recovery gate is purely *advisory* — recovery wall
+time is dominated by replan cost, which varies wildly across hosts — except
+that a baseline row missing from the current run exits 1 (the bench silently
+lost coverage):
+
+  python3 scripts/check_bench_regression.py --recovery \
+      --baseline BENCH_PR7.json \
+      --current build/bench_fig12_recovery.json
 """
 
 import argparse
@@ -124,6 +136,73 @@ def check_serving(args):
     return 0
 
 
+def load_recovery(path):
+    """Returns {(service, ops, snapshot_every): row} from bench_fig12_recovery
+    JSON (a bare array of row objects) or a BENCH_PR*.json wrapper."""
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = doc.get("bench_fig12_recovery")
+    if not isinstance(doc, list) or not doc:
+        raise ValueError(f"{path}: no bench_fig12_recovery rows")
+    out = {}
+    for row in doc:
+        key = (row["service"], int(row["ops"]), int(row["snapshot_every"]))
+        out[key] = row
+    return out
+
+
+def check_recovery(args):
+    """Recovery gate: replay volume and recovery time per
+    (service, ops, snapshot_every).
+
+    All deltas are advisory: recovery wall time is dominated by the replan
+    each recovered service runs, and that cost differs by an order of
+    magnitude between the measurement container and CI runners. The only
+    hard failure is coverage loss — a row present in the baseline but absent
+    from the current run means the bench stopped exercising that
+    configuration.
+    """
+    baseline = load_recovery(args.baseline)
+    current = load_recovery(args.current)
+    # CI sweeps a subset of the baseline grid (smaller --ops / --snapshots),
+    # so only baseline rows whose op count AND cadence were requested in the
+    # current run count as expected: a missing one means a service silently
+    # dropped out of the sweep, not that the grid shrank.
+    cur_ops = {k[1] for k in current}
+    cur_cadences = {k[2] for k in current}
+    expected = {k for k in baseline
+                if k[1] in cur_ops and k[2] in cur_cadences}
+    missing = sorted(expected - set(current))
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print(f"error: no common recovery rows between {args.baseline} and "
+              f"{args.current}", file=sys.stderr)
+        return 1
+
+    print(f"{'service/ops/snapshot_every':28s} {'base ms':>10s} "
+          f"{'cur ms':>10s} {'delta':>8s}  replayed_ops")
+    for key in shared:
+        base, cur = baseline[key], current[key]
+        base_ms = float(base["recover_ms"])
+        cur_ms = float(cur["recover_ms"])
+        delta = (cur_ms - base_ms) / base_ms if base_ms > 0 else 0.0
+        flag = " (advisory)" if delta > args.block_threshold else ""
+        name = "/".join(str(k) for k in key)
+        print(f"{name:28s} {base_ms:10.1f} {cur_ms:10.1f} {delta:+7.1%}  "
+              f"{int(base['replayed_ops'])} -> {int(cur['replayed_ops'])}"
+              f"{flag}")
+
+    if missing:
+        for key in missing:
+            print(f"FAIL: baseline row {'/'.join(str(k) for k in key)} "
+                  f"missing from {args.current}", file=sys.stderr)
+        return 1
+    print(f"OK: recovery rows covered ({len(shared)}); timing deltas are "
+          f"advisory")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -135,10 +214,15 @@ def main():
     parser.add_argument("--serving", action="store_true",
                         help="compare bench_fig11_serving rows instead of "
                              "google-benchmark wall times")
+    parser.add_argument("--recovery", action="store_true",
+                        help="compare bench_fig12_recovery rows (advisory "
+                             "except for missing-row coverage)")
     args = parser.parse_args()
 
     if args.serving:
         return check_serving(args)
+    if args.recovery:
+        return check_recovery(args)
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)

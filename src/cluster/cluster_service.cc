@@ -1,6 +1,9 @@
 #include "cluster/cluster_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <utility>
 
 #include "core/cost_model.h"
@@ -18,6 +21,73 @@ namespace {
 CrossEdgeMode DecideMode(const Workload& w, NodeId producer, NodeId consumer) {
   return w.rp(producer) <= w.rc(consumer) ? CrossEdgeMode::kPush
                                           : CrossEdgeMode::kPull;
+}
+
+// The frozen node -> shard assignment, persisted once at Create so Recover
+// rebuilds the exact placement (the partitioner may be randomized):
+//   u64 magic "PIGGYASN", u64 num_shards, u64 num_nodes, num_nodes x u32.
+constexpr uint64_t kAssignmentMagic = 0x4E53415947474950ULL;  // "PIGGYASN"
+
+std::string AssignmentPath(const std::string& data_dir) {
+  return data_dir + "/assignment.bin";
+}
+
+Status WriteAssignment(const ShardMap& map, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError(StrFormat("cannot write %s", path.c_str()));
+  }
+  auto put = [&out](const void* p, size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  const uint64_t magic = kAssignmentMagic;
+  const uint64_t shards = map.num_shards();
+  const uint64_t nodes = map.num_nodes();
+  put(&magic, sizeof magic);
+  put(&shards, sizeof shards);
+  put(&nodes, sizeof nodes);
+  put(map.assignment().data(), map.assignment().size() * sizeof(uint32_t));
+  out.flush();
+  if (!out) {
+    return Status::IOError(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+struct AssignmentFile {
+  uint64_t num_shards = 0;
+  std::vector<uint32_t> shard_of;
+};
+
+Result<AssignmentFile> ReadAssignment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  auto get = [&in](void* p, size_t n) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    return static_cast<bool>(in);
+  };
+  uint64_t magic = 0;
+  if (!get(&magic, sizeof magic) || magic != kAssignmentMagic) {
+    return Status::IOError(
+        StrFormat("%s is not an assignment file", path.c_str()));
+  }
+  AssignmentFile file;
+  uint64_t nodes = 0;
+  if (!get(&file.num_shards, sizeof file.num_shards) ||
+      !get(&nodes, sizeof nodes)) {
+    return Status::IOError(StrFormat("%s: truncated header", path.c_str()));
+  }
+  if (file.num_shards == 0 || nodes > (1ull << 32)) {
+    return Status::IOError(StrFormat("%s: implausible header", path.c_str()));
+  }
+  file.shard_of.resize(nodes);
+  if (nodes > 0 && !get(file.shard_of.data(), nodes * sizeof(uint32_t))) {
+    return Status::IOError(
+        StrFormat("%s: truncated assignment", path.c_str()));
+  }
+  return file;
 }
 
 double MaxOverMean(const std::vector<uint64_t>& loads) {
@@ -55,10 +125,10 @@ std::string ClusterMetrics::ToString() const {
 std::string ClusterDriveReport::ToString() const {
   return StrFormat(
       "requests=%lu (shares=%lu queries=%lu) msgs/req=%.3f cross/req=%.3f "
-      "imbalance=%.2f audits=%zu",
+      "imbalance=%.2f audits=%zu unavailable=%zu",
       static_cast<unsigned long>(requests), static_cast<unsigned long>(shares),
       static_cast<unsigned long>(queries), messages_per_request,
-      cross_messages_per_request, imbalance, audited_queries);
+      cross_messages_per_request, imbalance, audited_queries, unavailable);
 }
 
 ClusterService::ClusterService(ClusterOptions options, ShardMap map,
@@ -69,7 +139,25 @@ ClusterService::ClusterService(ClusterOptions options, ShardMap map,
       feed_size_(feed_size),
       cross_(map_.num_shards(), feed_size),
       producer_seqs_(map_.num_nodes()),
-      per_shard_requests_(map_.num_shards()) {}
+      per_shard_requests_(map_.num_shards()) {
+  down_.assign(map_.num_shards(), 0);
+}
+
+FeedServiceOptions ClusterService::ShardOptions(uint32_t s) const {
+  FeedServiceOptions opts = options_.shard;
+  // With an auto thread budget each shard planner stays single-threaded —
+  // the cluster is the parallel dimension, and oversubscribing k shards x p
+  // planner threads helps nobody.
+  if (map_.num_shards() > 1 && opts.plan_context.num_threads == 0) {
+    opts.plan_context.num_threads = 1;
+  }
+  opts.durability = options_.durability;
+  if (options_.durability.enabled()) {
+    opts.durability.data_dir =
+        StrFormat("%s/shard-%04u", options_.durability.data_dir.c_str(), s);
+  }
+  return opts;
+}
 
 Result<std::unique_ptr<ClusterService>> ClusterService::Create(
     const Graph& graph, const ClusterOptions& options) {
@@ -110,21 +198,33 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Create(
     locals[s] = cluster->map_.ProjectWorkload(cluster->workload_, s);
   }
 
-  // Every shard plans concurrently on its induced subgraph; with an auto
-  // thread budget each shard planner stays single-threaded (the cluster is
-  // the parallel dimension, and oversubscribing k shards x p planner threads
-  // helps nobody).
-  FeedServiceOptions shard_opts = cluster->options_.shard;
-  if (shards > 1 && shard_opts.plan_context.num_threads == 0) {
-    shard_opts.plan_context.num_threads = 1;
+  // Durable cluster: persist the placement and open the cluster-level pair
+  // before the shards spawn (each shard creates its own directory inside).
+  if (options.durability.enabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.durability.data_dir, ec);
+    if (ec) {
+      return Status::IOError(StrFormat("cannot create %s: %s",
+                                       options.durability.data_dir.c_str(),
+                                       ec.message().c_str()));
+    }
+    PIGGY_RETURN_NOT_OK(WriteAssignment(
+        cluster->map_, AssignmentPath(options.durability.data_dir)));
+    DurabilityOptions cluster_dur = options.durability;
+    cluster_dur.data_dir += "/cluster";
+    PIGGY_ASSIGN_OR_RETURN(cluster->durability_,
+                           ShardDurability::Create(cluster_dur, graph));
   }
+
+  // Every shard plans concurrently on its induced subgraph.
   cluster->shards_.resize(shards);
   std::vector<Status> status(shards);
   {
     ThreadPool pool(std::min(shards, ThreadPool::DefaultThreads()));
     ParallelFor(pool, shards, [&](size_t s) {
-      auto service =
-          FeedService::Create(subgraphs[s], std::move(locals[s]), shard_opts);
+      auto service = FeedService::Create(
+          subgraphs[s], std::move(locals[s]),
+          cluster->ShardOptions(static_cast<uint32_t>(s)));
       if (service.ok()) {
         cluster->shards_[s].service = std::move(service).MoveValueOrDie();
       } else {
@@ -149,6 +249,188 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Create(
     cluster->cross_.AddEdge(e.src, sp, e.dst, sc,
                             DecideMode(cluster->workload_, e.src, e.dst), {});
   });
+
+  // Snapshot 0 of the cluster pair: the initial rates + sequence counter
+  // (the churn delta is empty, the shards own schedules and events). Opens
+  // the cluster WAL for the churn to come.
+  if (cluster->durability_ != nullptr) {
+    std::unique_lock<std::shared_mutex> lock(cluster->mu_);
+    PIGGY_RETURN_NOT_OK(cluster->WriteSnapshotLocked());
+  }
+  return cluster;
+}
+
+Result<std::unique_ptr<ClusterService>> ClusterService::Recover(
+    const ClusterOptions& options, RecoveryStats* stats_out) {
+  if (!options.durability.enabled()) {
+    return Status::InvalidArgument(
+        "ClusterService::Recover needs options.durability.data_dir");
+  }
+  if (options.shard.prototype.feed_size == 0) {
+    return Status::InvalidArgument("feed_size must be positive");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  RecoveryStats stats;
+
+  // Cluster-level pair first: the base graph, the newest valid snapshot
+  // (rates + churn delta + sequence counter) and the WAL tail.
+  DurabilityOptions cluster_dur = options.durability;
+  cluster_dur.data_dir += "/cluster";
+  PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ShardDurability> durability,
+                         ShardDurability::Open(cluster_dur));
+  PIGGY_ASSIGN_OR_RETURN(ShardDurability::RecoveredState rec,
+                         durability->Recover());
+  stats.snapshot_id = rec.snapshot.id;
+  stats.wal_records = rec.wal_records.size();
+  stats.torn_tail = rec.torn_tail;
+  stats.wal_valid_bytes = rec.wal_valid_bytes;
+  stats.wal_total_bytes = rec.wal_total_bytes;
+
+  const size_t n = rec.base_graph.num_nodes();
+  if (rec.snapshot.production.size() != n) {
+    return Status::IOError(
+        StrFormat("cluster snapshot has %zu rates for %zu nodes",
+                  rec.snapshot.production.size(), n));
+  }
+
+  // The frozen node -> shard placement.
+  PIGGY_ASSIGN_OR_RETURN(
+      AssignmentFile assignment,
+      ReadAssignment(AssignmentPath(options.durability.data_dir)));
+  if (assignment.shard_of.size() != n) {
+    return Status::IOError(
+        StrFormat("assignment covers %zu nodes, base graph has %zu",
+                  assignment.shard_of.size(), n));
+  }
+  PIGGY_ASSIGN_OR_RETURN(
+      ShardMap map, ShardMap::FromAssignment(std::move(assignment.shard_of),
+                                             assignment.num_shards));
+
+  Workload workload;
+  workload.production = std::move(rec.snapshot.production);
+  workload.consumption = std::move(rec.snapshot.consumption);
+  auto cluster = std::unique_ptr<ClusterService>(
+      new ClusterService(options, std::move(map), std::move(workload),
+                         options.shard.prototype.feed_size));
+
+  // Cluster graph at snapshot time: base + delta. The WAL tail is replayed
+  // through Follow/Unfollow below, after the router is rebuilt.
+  cluster->graph_ = DynamicGraph(rec.base_graph);
+  for (const auto& [added, edge] : rec.snapshot.churn) {
+    if (edge.src >= n || edge.dst >= n) {
+      return Status::IOError(StrFormat(
+          "cluster snapshot churn names edge %u->%u beyond %zu nodes",
+          edge.src, edge.dst, n));
+    }
+    if (added) {
+      cluster->graph_.AddEdge(edge.src, edge.dst);
+    } else {
+      cluster->graph_.RemoveEdge(edge.src, edge.dst);
+    }
+  }
+
+  // Every shard recovers from its own pair, in parallel (recovery is
+  // single-threaded per shard; the cluster is the parallel dimension).
+  const size_t shards = cluster->map_.num_shards();
+  cluster->shards_.resize(shards);
+  std::vector<Status> status(shards);
+  std::vector<RecoveryStats> shard_stats(shards);
+  {
+    ThreadPool pool(std::min(shards, ThreadPool::DefaultThreads()));
+    ParallelFor(pool, shards, [&](size_t s) {
+      auto service =
+          FeedService::Recover(cluster->ShardOptions(static_cast<uint32_t>(s)),
+                               &shard_stats[s]);
+      if (service.ok()) {
+        cluster->shards_[s].service = std::move(service).MoveValueOrDie();
+      } else {
+        status[s] = service.status();
+      }
+    });
+  }
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (!status[s].ok()) {
+      return Status(status[s].code(),
+                    StrFormat("shard %u: %s", s, status[s].message().c_str()));
+    }
+    stats.Accumulate(shard_stats[s]);
+  }
+
+  // Share histories + the global sequence counter, rebuilt from the
+  // recovered shard event logs (shares were routed with explicit seqs, so
+  // shard event ids ARE the global sequence numbers). No locks needed: the
+  // cluster is not serving yet.
+  uint64_t max_seq = 0;
+  for (uint32_t s = 0; s < shards; ++s) {
+    PIGGY_ASSIGN_OR_RETURN(Prototype * plane,
+                           cluster->shards_[s].service->ServingPlane());
+    for (const EventTuple& e : plane->EventLog()) {
+      const NodeId global = cluster->map_.GlobalId(s, e.producer);
+      cluster->producer_seqs_[global].push_back(e.event_id);
+      max_seq = std::max(max_seq, e.event_id);
+    }
+  }
+  for (std::vector<uint64_t>& history : cluster->producer_seqs_) {
+    std::sort(history.begin(), history.end());
+    if (history.size() > cluster->feed_size_) {
+      history.erase(history.begin(),
+                    history.end() -
+                        static_cast<std::ptrdiff_t>(cluster->feed_size_));
+    }
+  }
+  cluster->next_seq_.store(std::max<uint64_t>(max_seq + 1, 1),
+                           std::memory_order_seq_cst);
+
+  // Cross-shard index: every cross edge of the recovered graph goes back to
+  // the router at the side the recovered rates prefer; push replicas
+  // backfill from the rebuilt histories. (Push/pull placement only shapes
+  // message accounting — merged feed contents are mode-independent, so a
+  // rate shift flipping a mode across the crash cannot change any feed.)
+  cluster->graph_.ForEachEdge([&](const Edge& e) {
+    const uint32_t sp = cluster->map_.ShardOf(e.src);
+    const uint32_t sc = cluster->map_.ShardOf(e.dst);
+    if (sp == sc) return;
+    cluster->cross_.AddEdge(e.src, sp, e.dst, sc,
+                            DecideMode(cluster->workload_, e.src, e.dst),
+                            cluster->producer_seqs_[e.src]);
+  });
+
+  // Replay the cluster WAL tail through the public API. Records whose shard
+  // forward survived the crash heal as no-ops; records the crash cut off
+  // mid-route re-apply (the shard re-logs genuinely missing churn).
+  cluster->durability_ = std::move(durability);
+  cluster->replaying_ = true;
+  for (const WalRecord& r : rec.wal_records) {
+    Status st;
+    switch (r.type) {
+      case WalRecordType::kFollow:
+        st = cluster->Follow(r.user, r.producer);
+        ++stats.replayed_follows;
+        break;
+      case WalRecordType::kUnfollow:
+        st = cluster->Unfollow(r.user, r.producer);
+        ++stats.replayed_unfollows;
+        break;
+      case WalRecordType::kRateShift:
+        st = cluster->SetUserRates(r.user, r.rp, r.rc);
+        ++stats.replayed_rate_shifts;
+        break;
+      default:
+        st = Status::IOError(
+            StrFormat("cluster WAL holds record type %u (only churn and rate "
+                      "shifts are cluster-level)",
+                      static_cast<unsigned>(r.type)));
+        break;
+    }
+    PIGGY_RETURN_NOT_OK(st);
+  }
+  cluster->replaying_ = false;
+  PIGGY_RETURN_NOT_OK(cluster->durability_->ResumeAppending());
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (stats_out != nullptr) *stats_out = stats;
   return cluster;
 }
 
@@ -163,6 +445,10 @@ Status ClusterService::Share(NodeId u) {
   }
   std::shared_lock<std::shared_mutex> lock(mu_);
   const uint32_t s = map_.ShardOf(u);
+  if (down_[s]) {
+    return Status::Unavailable(
+        StrFormat("shard %u hosting user %u is down", s, u));
+  }
   // In-flight up BEFORE the seq draw, down after publication: together with
   // next_seq_ this lets audits prove a read window was share-free (any
   // overlapping share is caught in flight at one end of the window or moved
@@ -207,6 +493,10 @@ Result<std::vector<EventTuple>> ClusterService::QueryInternal(NodeId u,
   }
   std::shared_lock<std::shared_mutex> lock(mu_);
   const uint32_t s = map_.ShardOf(u);
+  if (down_[s]) {
+    return Status::Unavailable(
+        StrFormat("shard %u hosting user %u is down", s, u));
+  }
   AuditToken token;
   if (force_audit) {
     token.quiescent =
@@ -331,17 +621,27 @@ Status ClusterService::AuditMerged(NodeId u,
 Status ClusterService::ApplyChurnLocked() {
   ++churn_ops_;
   ++churn_since_replan_;
+  // During WAL replay the policies below are inert: shard replans fire at
+  // their kReplanCommit positions in the shard WALs, and snapshots don't
+  // rotate mid-recovery.
+  if (replaying_) return Status::OK();
   if (options_.replan_after_churn > 0 &&
       churn_since_replan_ >= options_.replan_after_churn) {
     churn_since_replan_ = 0;
     if (options_.shard.background_replan) {
       // Per-shard background replanners: post and keep serving.
       for (Shard& shard : shards_) {
+        if (shard.service == nullptr) continue;
         PIGGY_RETURN_NOT_OK(shard.service->StartBackgroundReplan());
       }
-      return Status::OK();
+    } else {
+      PIGGY_RETURN_NOT_OK(ReplanLocked());
     }
-    return ReplanLocked();
+  }
+  if (durability_ != nullptr && options_.durability.snapshot_every > 0 &&
+      durability_->records_since_snapshot() >=
+          options_.durability.snapshot_every) {
+    return WriteSnapshotLocked();
   }
   return Status::OK();
 }
@@ -357,6 +657,15 @@ Status ClusterService::Follow(NodeId follower, NodeId producer) {
   if (graph_.HasEdge(producer, follower)) return Status::OK();
   const uint32_t sp = map_.ShardOf(producer);
   const uint32_t sc = map_.ShardOf(follower);
+  if (sp == sc && down_[sp]) {
+    return Status::Unavailable(StrFormat("shard %u is down", sp));
+  }
+  // Cluster WAL first, shard second: a crash in between leaves the record
+  // without the shard edge, and replay heals it (routing the record through
+  // this same path is idempotent on the already-applied side).
+  if (durability_ != nullptr && !replaying_) {
+    PIGGY_RETURN_NOT_OK(durability_->LogChurn(true, producer, follower));
+  }
   if (sp == sc) {
     PIGGY_RETURN_NOT_OK(shards_[sp].service->Follow(map_.LocalId(follower),
                                                     map_.LocalId(producer)));
@@ -379,6 +688,12 @@ Status ClusterService::Unfollow(NodeId follower, NodeId producer) {
   if (!graph_.HasEdge(producer, follower)) return Status::OK();
   const uint32_t sp = map_.ShardOf(producer);
   const uint32_t sc = map_.ShardOf(follower);
+  if (sp == sc && down_[sp]) {
+    return Status::Unavailable(StrFormat("shard %u is down", sp));
+  }
+  if (durability_ != nullptr && !replaying_) {
+    PIGGY_RETURN_NOT_OK(durability_->LogChurn(false, producer, follower));
+  }
   if (sp == sc) {
     PIGGY_RETURN_NOT_OK(shards_[sp].service->Unfollow(map_.LocalId(follower),
                                                       map_.LocalId(producer)));
@@ -387,6 +702,83 @@ Status ClusterService::Unfollow(NodeId follower, NodeId producer) {
   }
   graph_.RemoveEdge(producer, follower);
   return ApplyChurnLocked();
+}
+
+Status ClusterService::SetUserRates(NodeId u, double production,
+                                    double consumption) {
+  if (u >= map_.num_nodes()) {
+    return Status::InvalidArgument(StrFormat("unknown user %u", u));
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const uint32_t s = map_.ShardOf(u);
+  if (down_[s]) {
+    return Status::Unavailable(
+        StrFormat("shard %u hosting user %u is down", s, u));
+  }
+  if (durability_ != nullptr && !replaying_) {
+    PIGGY_RETURN_NOT_OK(durability_->LogRateShift(u, production, consumption));
+  }
+  workload_.production[u] = production;
+  workload_.consumption[u] = consumption;
+  PIGGY_RETURN_NOT_OK(shards_[s].service->SetUserRates(map_.LocalId(u),
+                                                       production,
+                                                       consumption));
+  if (durability_ != nullptr && !replaying_ &&
+      options_.durability.snapshot_every > 0 &&
+      durability_->records_since_snapshot() >=
+          options_.durability.snapshot_every) {
+    return WriteSnapshotLocked();
+  }
+  return Status::OK();
+}
+
+Status ClusterService::KillShard(uint32_t s) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (s >= shards_.size()) {
+    return Status::InvalidArgument(StrFormat("unknown shard %u", s));
+  }
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        "KillShard requires durability (the shard state would be lost)");
+  }
+  if (down_[s]) return Status::OK();
+  // Orderly drop: the FeedService destructor flushes the shard WAL. Crash
+  // semantics — lost buffered appends, torn tails — are exercised through
+  // the FailPoint registry instead.
+  shards_[s].service.reset();
+  down_[s] = 1;
+  return Status::OK();
+}
+
+Status ClusterService::RestartShard(uint32_t s) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (s >= shards_.size()) {
+    return Status::InvalidArgument(StrFormat("unknown shard %u", s));
+  }
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition("RestartShard requires durability");
+  }
+  if (!down_[s]) return Status::OK();
+  PIGGY_ASSIGN_OR_RETURN(shards_[s].service,
+                         FeedService::Recover(ShardOptions(s)));
+  down_[s] = 0;
+  return Status::OK();
+}
+
+bool ClusterService::IsShardDown(uint32_t s) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  PIGGY_CHECK_LT(s, down_.size());
+  return down_[s] != 0;
+}
+
+Status ClusterService::WriteSnapshotLocked() {
+  if (durability_ == nullptr) return Status::OK();
+  SnapshotData data;
+  data.next_seq = next_seq_.load(std::memory_order_seq_cst);
+  data.production = workload_.production;
+  data.consumption = workload_.consumption;
+  // No schedule and no events at the cluster level: the shards own both.
+  return durability_->WriteSnapshot(std::move(data));
 }
 
 Status ClusterService::Replan() {
@@ -399,8 +791,10 @@ Status ClusterService::ReplanLocked() {
   std::vector<Status> status(shards);
   {
     ThreadPool pool(std::min(shards, ThreadPool::DefaultThreads()));
-    ParallelFor(pool, shards,
-                [&](size_t s) { status[s] = shards_[s].service->Replan(); });
+    ParallelFor(pool, shards, [&](size_t s) {
+      if (shards_[s].service == nullptr) return;  // killed shard
+      status[s] = shards_[s].service->Replan();
+    });
   }
   for (uint32_t s = 0; s < shards; ++s) {
     if (!status[s].ok()) {
@@ -415,6 +809,7 @@ Status ClusterService::ReplanLocked() {
 Status ClusterService::StartBackgroundReplan() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   for (Shard& shard : shards_) {
+    if (shard.service == nullptr) continue;  // killed shard
     PIGGY_RETURN_NOT_OK(shard.service->StartBackgroundReplan());
   }
   churn_since_replan_ = 0;
@@ -422,10 +817,13 @@ Status ClusterService::StartBackgroundReplan() {
 }
 
 Status ClusterService::WaitForBackgroundReplan() {
-  // No cluster lock: shard replanners publish under their own locks, and
-  // holding ours here would stall serving for the whole wait.
+  // Shared cluster lock: shard replanners publish under their own locks, so
+  // serving proceeds throughout the wait, and a concurrent KillShard (an
+  // exclusive acquirer) cannot destroy a service out from under the loop.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   Status first = Status::OK();
   for (Shard& shard : shards_) {
+    if (shard.service == nullptr) continue;  // killed shard
     Status st = shard.service->WaitForBackgroundReplan();
     if (first.ok() && !st.ok()) first = st;
   }
@@ -455,14 +853,27 @@ Result<ClusterDriveReport> ClusterService::Drive(const DriverOptions& options) {
 
   ClusterDriveReport report;
   for (size_t i = 0; i < options.num_requests; ++i) {
+    // A request routed to a killed shard is a service rejection, not a
+    // driver error: count it and keep the mix flowing (scenario replays run
+    // through shard-failure windows).
     if (rng.Bernoulli(p_share)) {
-      PIGGY_RETURN_NOT_OK(Share(share_sampler.Sample(rng)));
+      const Status st = Share(share_sampler.Sample(rng));
+      if (st.IsUnavailable()) {
+        ++report.unavailable;
+        continue;
+      }
+      PIGGY_RETURN_NOT_OK(st);
       ++report.shares;
     } else {
       const NodeId u = query_sampler.Sample(rng);
       const bool audit =
           options.audit_every > 0 && report.queries % options.audit_every == 0;
-      PIGGY_RETURN_NOT_OK(QueryInternal(u, audit).status());
+      const Status st = QueryInternal(u, audit).status();
+      if (st.IsUnavailable()) {
+        ++report.unavailable;
+        continue;
+      }
+      PIGGY_RETURN_NOT_OK(st);
       ++report.queries;
       report.audited_queries += audit;
     }
@@ -496,6 +907,7 @@ double ClusterService::ShardMessages() const {
   // requests has zero client messages.
   double total = 0;
   for (const Shard& shard : shards_) {
+    if (shard.service == nullptr) continue;  // killed shard
     const FeedService::Metrics sm = shard.service->GetMetrics();
     total += sm.messages_per_request * static_cast<double>(sm.shares + sm.queries);
   }
@@ -506,6 +918,7 @@ std::pair<double, double> ClusterService::CostsUnder(const Workload& truth) cons
   std::shared_lock<std::shared_mutex> lock(mu_);
   double intra = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].service == nullptr) continue;  // killed shard
     const Workload local =
         map_.ProjectWorkload(truth, static_cast<uint32_t>(s));
     intra += shards_[s].service->CostsUnder(local).first;
@@ -537,6 +950,7 @@ ClusterMetrics ClusterService::GetMetrics() const {
   m.imbalance = MaxOverMean(m.per_shard_requests);
 
   for (const Shard& shard : shards_) {
+    if (shard.service == nullptr) continue;  // killed shard
     const FeedService::Metrics sm = shard.service->GetMetrics();
     m.planner = sm.planner;
     m.intra_cost += sm.schedule_cost;
@@ -561,6 +975,7 @@ ClusterMetrics ClusterService::GetMetrics() const {
 Status ClusterService::Validate() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].service == nullptr) continue;  // killed shard
     Status st = shards_[s].service->Validate();
     if (!st.ok()) {
       return Status(st.code(), StrFormat("shard %zu: %s", s, st.message().c_str()));
@@ -575,6 +990,7 @@ Status ClusterService::Validate() const {
     const uint32_t sp = map_.ShardOf(e.src);
     const uint32_t sc = map_.ShardOf(e.dst);
     if (sp == sc) {
+      if (down_[sp]) return;  // shard graph unreachable while killed
       if (!shards_[sp].service->graph().HasEdge(map_.LocalId(e.src),
                                                 map_.LocalId(e.dst))) {
         st = Status::Internal(StrFormat("edge %u->%u missing from shard %u",

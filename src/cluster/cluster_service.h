@@ -61,6 +61,7 @@
 
 #include "cluster/cross_shard.h"
 #include "cluster/shard_map.h"
+#include "durability/durable_state.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "store/feed_service.h"
@@ -95,6 +96,15 @@ struct ClusterOptions {
   /// Replan calls; shard.replan_after_churn additionally applies per shard to
   /// its local churn).
   size_t replan_after_churn = 0;
+  /// Cluster-wide persistence root (empty = memory-only, the default). When
+  /// set, every shard keeps its own WAL + snapshot pair under
+  /// <data_dir>/shard-NNNN and the router keeps a cluster-level pair under
+  /// <data_dir>/cluster — churn + rate shifts over the full graph, plus the
+  /// frozen node -> shard assignment — so a crashed cluster rebuilds
+  /// bit-identically via Recover(). Flush/snapshot knobs apply to the shard
+  /// pairs and the cluster pair alike; any durability configured inside
+  /// `shard` is overridden (shards must not share a directory).
+  DurabilityOptions durability;
 };
 
 /// \brief Cluster-wide cost + traffic counters.
@@ -130,6 +140,7 @@ struct ClusterDriveReport {
   uint64_t shares = 0;
   uint64_t queries = 0;
   size_t audited_queries = 0;
+  size_t unavailable = 0;  ///< requests rejected because a shard was down
   double messages_per_request = 0;       ///< incl. cross-shard messages
   double cross_messages_per_request = 0;
   double imbalance = 0;                  ///< max/mean requests per shard
@@ -152,6 +163,17 @@ class ClusterService {
   static Result<std::unique_ptr<ClusterService>> Create(
       const Graph& graph, Workload workload, const ClusterOptions& options);
 
+  /// Rebuilds a cluster from `options.durability.data_dir`: reloads the
+  /// persisted node -> shard assignment, recovers every shard-local
+  /// FeedService in parallel from its own WAL + snapshot pair, reconstructs
+  /// the router (share histories and the global sequence counter from the
+  /// recovered shard event logs, the cross-shard index from the recovered
+  /// graph), then replays the cluster WAL tail — churn and rate shifts —
+  /// through the normal routing paths. On success the cluster is live and
+  /// appending again.
+  static Result<std::unique_ptr<ClusterService>> Recover(
+      const ClusterOptions& options, RecoveryStats* stats = nullptr);
+
   /// User u shares an event: served by u's shard (under the global sequence
   /// number, so merged feeds order by cluster-wide share order), then fanned
   /// out to every shard replicating u (one batched update message per touched
@@ -173,6 +195,28 @@ class ClusterService {
   /// `follower` stops following `producer`; drops the replica when the last
   /// push edge into its shard disappears. OK if not following.
   Status Unfollow(NodeId follower, NodeId producer);
+
+  /// Updates u's cluster-wide rates (durably logged at the cluster level,
+  /// then forwarded to u's shard). Unavailable while u's shard is down.
+  /// Thread-safe (exclusive).
+  Status SetUserRates(NodeId u, double production, double consumption);
+
+  /// Takes shard `s` out of service: its FeedService is destroyed after an
+  /// orderly WAL flush, so a later RestartShard loses nothing (durability
+  /// must be enabled — without it the shard state would be gone for good;
+  /// crash semantics are exercised through the FailPoint registry instead).
+  /// While down, requests owned by the shard — shares and queries of its
+  /// users, same-shard churn, rate updates — fail with Unavailable; serving
+  /// through the router (push replicas, pulls into live shards) continues.
+  /// Thread-safe (exclusive).
+  Status KillShard(uint32_t s);
+
+  /// Brings a killed shard back by recovering its FeedService from its
+  /// durable directory. No-op if the shard is up. Thread-safe (exclusive).
+  Status RestartShard(uint32_t s);
+
+  /// True while shard `s` is killed. Thread-safe.
+  bool IsShardDown(uint32_t s) const;
 
   /// Re-runs the configured planner on every shard's current subgraph, in
   /// parallel (stored events are preserved per shard). Synchronous:
@@ -259,11 +303,32 @@ class ClusterService {
   Status ReplanLocked();
   Status ApplyChurnLocked();
 
+  /// Per-shard FeedService configuration: the shared shard options plus this
+  /// shard's durability directory (and a single planner thread when the
+  /// cluster itself is the parallel dimension).
+  FeedServiceOptions ShardOptions(uint32_t s) const;
+
+  /// Rotates the cluster-level durability pair (rates + churn delta +
+  /// next_seq; no schedule or events — the shards own those). Requires mu_
+  /// held exclusively. No-op without durability.
+  Status WriteSnapshotLocked();
+
   ClusterOptions options_;
   ShardMap map_;
   Workload workload_;
   std::vector<Shard> shards_;
   size_t feed_size_;
+
+  // Cluster-level WAL + snapshot pair (router state; null when durability is
+  // disabled). The shard-local pairs live inside the shard FeedServices.
+  std::unique_ptr<ShardDurability> durability_;
+  // True while Recover() replays the cluster WAL through the public API:
+  // durable logging, replan triggers and snapshot rotation are suppressed.
+  // Plain bool — recovery is single-threaded by construction.
+  bool replaying_ = false;
+  // down_[s] is set while shard s is killed (shards_[s].service is null
+  // then). Written under the exclusive lock, read under shared.
+  std::vector<uint8_t> down_;
 
   // Cluster lock: Share/QueryStream/GetMetrics/Validate shared,
   // Follow/Unfollow/Replan exclusive. graph_ and the cross_ structure are

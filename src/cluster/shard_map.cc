@@ -28,6 +28,27 @@ Result<ShardMap> ShardMap::Build(const Graph& g, const Partitioner& partitioner)
   return map;
 }
 
+Result<ShardMap> ShardMap::FromAssignment(std::vector<uint32_t> shard_of,
+                                          size_t num_shards) {
+  if (num_shards == 0) return Status::InvalidArgument("need at least one shard");
+  ShardMap map;
+  const size_t n = shard_of.size();
+  map.shard_of_ = std::move(shard_of);
+  map.local_id_.resize(n);
+  map.members_.resize(num_shards);
+  for (NodeId u = 0; u < n; ++u) {
+    const uint32_t s = map.shard_of_[u];
+    if (s >= num_shards) {
+      return Status::InvalidArgument(
+          StrFormat("assignment places user %u on shard %u of %zu", u, s,
+                    num_shards));
+    }
+    map.local_id_[u] = static_cast<NodeId>(map.members_[s].size());
+    map.members_[s].push_back(u);
+  }
+  return map;
+}
+
 Result<Graph> ShardMap::InducedSubgraph(const Graph& g, uint32_t shard) const {
   PIGGY_CHECK_LT(shard, members_.size());
   GraphBuilder builder(members_[shard].size());

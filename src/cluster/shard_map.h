@@ -25,6 +25,15 @@ class ShardMap {
   /// Snapshots `partitioner`'s assignment for every node of `g`.
   static Result<ShardMap> Build(const Graph& g, const Partitioner& partitioner);
 
+  /// Rebuilds a map from a frozen assignment vector (node -> shard), as
+  /// persisted by the durability layer. Every shard index must be
+  /// < num_shards; local ids come out identical to the original Build.
+  static Result<ShardMap> FromAssignment(std::vector<uint32_t> shard_of,
+                                         size_t num_shards);
+
+  /// The raw node -> shard vector (what FromAssignment round-trips).
+  const std::vector<uint32_t>& assignment() const { return shard_of_; }
+
   size_t num_shards() const { return members_.size(); }
   size_t num_nodes() const { return shard_of_.size(); }
 

@@ -13,12 +13,28 @@
 namespace piggy {
 
 namespace {
+
 constexpr char kHeader[] = "piggy-schedule v1";
+
+// Splits `data` into lines without copying; returns {line, byte offset of the
+// line start} pairs. Tolerates a missing trailing newline.
+std::vector<std::pair<std::string_view, size_t>> SplitLines(
+    std::string_view data) {
+  std::vector<std::pair<std::string_view, size_t>> lines;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t eol = data.find('\n', pos);
+    size_t end = (eol == std::string_view::npos) ? data.size() : eol;
+    lines.emplace_back(data.substr(pos, end - pos), pos);
+    pos = end + 1;
+  }
+  return lines;
+}
+
 }  // namespace
 
-Status WriteScheduleText(const Schedule& s, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+std::string SerializeSchedule(const Schedule& s) {
+  std::ostringstream out;
   out << kHeader << "\n";
 
   std::vector<uint64_t> keys;
@@ -49,31 +65,58 @@ Status WriteScheduleText(const Schedule& s, const std::string& path) {
     out << "C " << e.src << ' ' << e.dst << ' ' << hub << '\n';
   }
 
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  out << "E " << s.push_size() << ' ' << s.pull_size() << ' '
+      << s.hub_covered_size() << '\n';
+  return std::move(out).str();
 }
 
-Result<Schedule> ReadScheduleText(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  std::string line;
-  if (!std::getline(in, line) || StrTrim(line) != kHeader) {
-    return Status::IOError("missing schedule header in " + path);
+Result<Schedule> ParseSchedule(std::string_view data,
+                               const std::string& source_name) {
+  const auto lines = SplitLines(data);
+  size_t i = 0;
+  // Skip leading blank/comment lines before the header.
+  while (i < lines.size()) {
+    std::string_view trimmed = StrTrim(lines[i].first);
+    if (!trimmed.empty() && trimmed[0] != '#') break;
+    ++i;
   }
+  if (i >= lines.size() || StrTrim(lines[i].first) != kHeader) {
+    return Status::IOError(
+        StrFormat("%s: missing schedule header at byte %zu",
+                  source_name.c_str(), i < lines.size() ? lines[i].second : 0));
+  }
+  ++i;
 
   Schedule s;
-  size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
+  bool saw_footer = false;
+  uint64_t footer_push = 0, footer_pull = 0, footer_cover = 0;
+  for (; i < lines.size(); ++i) {
+    const auto& [line, offset] = lines[i];
     std::string_view trimmed = StrTrim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (saw_footer) {
+      return Status::IOError(
+          StrFormat("%s: byte %zu: data after the E footer", source_name.c_str(),
+                    offset));
+    }
     std::istringstream fields{std::string(trimmed)};
     char kind = 0;
     uint64_t src = 0, dst = 0;
-    if (!(fields >> kind >> src >> dst) || src > UINT32_MAX || dst > UINT32_MAX) {
-      return Status::IOError(
-          StrFormat("%s:%zu: malformed schedule line", path.c_str(), line_no));
+    if (!(fields >> kind)) {
+      return Status::IOError(StrFormat("%s: byte %zu: malformed schedule line",
+                                       source_name.c_str(), offset));
+    }
+    if (kind == 'E') {
+      if (!(fields >> footer_push >> footer_pull >> footer_cover)) {
+        return Status::IOError(StrFormat("%s: byte %zu: malformed E footer",
+                                         source_name.c_str(), offset));
+      }
+      saw_footer = true;
+      continue;
+    }
+    if (!(fields >> src >> dst) || src > UINT32_MAX || dst > UINT32_MAX) {
+      return Status::IOError(StrFormat("%s: byte %zu: malformed schedule line",
+                                       source_name.c_str(), offset));
     }
     switch (kind) {
       case 'H':
@@ -85,19 +128,55 @@ Result<Schedule> ReadScheduleText(const std::string& path) {
       case 'C': {
         uint64_t hub = 0;
         if (!(fields >> hub) || hub > UINT32_MAX) {
-          return Status::IOError(
-              StrFormat("%s:%zu: malformed cover line", path.c_str(), line_no));
+          return Status::IOError(StrFormat("%s: byte %zu: malformed cover line",
+                                           source_name.c_str(), offset));
         }
         s.SetHubCover(static_cast<NodeId>(src), static_cast<NodeId>(dst),
                       static_cast<NodeId>(hub));
         break;
       }
       default:
-        return Status::IOError(StrFormat("%s:%zu: unknown record kind '%c'",
-                                         path.c_str(), line_no, kind));
+        return Status::IOError(
+            StrFormat("%s: byte %zu: unknown record kind '%c'",
+                      source_name.c_str(), offset, kind));
     }
   }
+
+  if (!saw_footer) {
+    return Status::IOError(
+        StrFormat("%s: truncated at byte %zu: missing E footer",
+                  source_name.c_str(), data.size()));
+  }
+  if (footer_push != s.push_size() || footer_pull != s.pull_size() ||
+      footer_cover != s.hub_covered_size()) {
+    return Status::IOError(StrFormat(
+        "%s: footer mismatch: expected %llu push / %llu pull / %llu cover "
+        "entries, parsed %zu / %zu / %zu",
+        source_name.c_str(), static_cast<unsigned long long>(footer_push),
+        static_cast<unsigned long long>(footer_pull),
+        static_cast<unsigned long long>(footer_cover), s.push_size(),
+        s.pull_size(), s.hub_covered_size()));
+  }
   return s;
+}
+
+Status WriteScheduleText(const Schedule& s, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  std::string text = SerializeSchedule(s);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Schedule> ReadScheduleText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return ParseSchedule(std::move(buf).str(), path);
 }
 
 }  // namespace piggy

@@ -9,21 +9,35 @@
 //   H <src> <dst>
 //   L <src> <dst>
 //   C <src> <dst> <hub>
+//   E <push> <pull> <cover>
 //
-// '#' starts a comment. The format is stable, diff-friendly and easy to
-// produce from other tooling.
+// '#' starts a comment. The trailing `E` footer carries the entry counts so a
+// truncated file is detected instead of silently yielding a partial schedule
+// (the durability layer embeds serialized schedules in snapshots, where a torn
+// write is a real possibility). The format is stable, diff-friendly and easy
+// to produce from other tooling.
 
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "core/schedule.h"
 #include "util/status.h"
 
 namespace piggy {
 
-/// Writes a schedule to `path` (H, then L, then C entries, each sorted by
-/// edge key for deterministic output).
+/// Renders a schedule in the text format above (H, then L, then C entries,
+/// each sorted by edge key for deterministic output, then the E footer).
+std::string SerializeSchedule(const Schedule& s);
+
+/// Parses a schedule serialized by SerializeSchedule. Malformed or truncated
+/// input returns an IOError naming `source_name` and the byte offset of the
+/// offending line; a missing footer means the data was cut short.
+Result<Schedule> ParseSchedule(std::string_view data,
+                               const std::string& source_name);
+
+/// Writes a schedule to `path` via SerializeSchedule.
 Status WriteScheduleText(const Schedule& s, const std::string& path);
 
 /// Reads a schedule written by WriteScheduleText.

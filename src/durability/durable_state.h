@@ -1,0 +1,154 @@
+// Per-shard durable state: one WAL + snapshot pair manager.
+//
+// A ShardDurability owns the on-disk directory for one shard (or for the
+// cluster-level router state):
+//
+//   <data_dir>/meta.txt          "piggy-durability v1"
+//   <data_dir>/base.graph        the pre-churn graph (binary graph_io format)
+//   <data_dir>/snapshot-NNNNNN   snapshots, monotone ids (snapshot.h format)
+//   <data_dir>/wal-NNNNNN.log    ops since snapshot NNNNNN (wal.h framing)
+//
+// Invariant: wal-K holds exactly the operations acked after snapshot-K was
+// written and before snapshot-(K+1). WriteSnapshot rotates in that order —
+// close wal-K, atomically publish snapshot-(K+1), open wal-(K+1) — so at any
+// crash point the newest *valid* snapshot plus the WALs at or after its id
+// reconstruct every acked operation. The last two pairs are retained; older
+// ones are pruned.
+//
+// Recovery picks the newest snapshot that passes its CRC, folds its churn
+// delta, then replays the surviving WALs in id order. A torn tail on the
+// final WAL is expected (crash mid-append) and merely marks where acked
+// history ends; a torn tail on a *non*-final WAL would leave a gap, so replay
+// stops there rather than apply later records out of order.
+//
+// Logging methods are thread-safe: one internal mutex serializes appends,
+// which doubles as the group-commit point for WalFlushPolicy::kGroup.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace piggy {
+
+struct DurabilityOptions {
+  /// Root directory for this shard's durable state; empty disables
+  /// durability entirely (the default — serving stays memory-only).
+  std::string data_dir;
+  WalFlushPolicy flush = WalFlushPolicy::kGroup;
+  uint32_t group_records = 64;
+  bool use_fsync = false;
+  /// Write a snapshot after this many WAL records (0 = never by count).
+  uint64_t snapshot_every = 0;
+  /// Write a snapshot after every replan commit, bounding replay cost to one
+  /// plan epoch.
+  bool snapshot_on_replan = true;
+
+  bool enabled() const { return !data_dir.empty(); }
+};
+
+/// What recovery did, for operators (piggy_tool recover) and the fig12 bench.
+struct RecoveryStats {
+  uint64_t snapshot_id = 0;
+  uint64_t snapshot_events = 0;
+  uint64_t wal_records = 0;
+  uint64_t replayed_shares = 0;
+  uint64_t replayed_follows = 0;
+  uint64_t replayed_unfollows = 0;
+  uint64_t replayed_rate_shifts = 0;
+  uint64_t replayed_replans = 0;
+  bool torn_tail = false;
+  uint64_t wal_valid_bytes = 0;
+  uint64_t wal_total_bytes = 0;
+  double wall_seconds = 0.0;
+
+  void Accumulate(const RecoveryStats& other);
+  std::string ToString() const;
+};
+
+class ShardDurability {
+ public:
+  /// Initializes a fresh data dir (meta + base graph). The caller must write
+  /// the initial snapshot (WriteSnapshot) before logging anything, which
+  /// creates snapshot-000000 and opens wal-000000.log.
+  static Result<std::unique_ptr<ShardDurability>> Create(
+      const DurabilityOptions& options, const Graph& base_graph);
+
+  /// Attaches to an existing data dir for recovery. Call Recover(), replay,
+  /// then ResumeAppending() before logging.
+  static Result<std::unique_ptr<ShardDurability>> Open(
+      const DurabilityOptions& options);
+
+  /// Thread-safe WAL appends. Once a simulated crash (FailPoint) has fired,
+  /// all of these fail-stop with IOError.
+  Status LogShare(NodeId producer, uint64_t seq);
+  Status LogChurn(bool added, NodeId src, NodeId dst);
+  Status LogRateShift(NodeId user, double rp, double rc);
+  Status LogReplanCommit();
+
+  /// WAL records appended since the last snapshot rotation.
+  uint64_t records_since_snapshot() const;
+
+  /// Rotates: closes the current WAL, publishes the next snapshot (id and
+  /// cumulative churn delta are filled in internally; the caller provides
+  /// rates, schedule text, events and next_seq), opens the next WAL, prunes
+  /// pairs older than the previous one.
+  Status WriteSnapshot(SnapshotData data);
+
+  struct RecoveredState {
+    Graph base_graph;
+    SnapshotData snapshot;
+    std::vector<WalRecord> wal_records;
+    bool torn_tail = false;
+    uint64_t wal_valid_bytes = 0;
+    uint64_t wal_total_bytes = 0;
+  };
+
+  /// Loads the newest valid snapshot and the WAL tail (see file comment).
+  /// Only valid on an Open()'d instance before any logging.
+  Result<RecoveredState> Recover();
+
+  /// After Recover(): drops the torn tail of the newest WAL (if any) and
+  /// reopens it for appending.
+  Status ResumeAppending();
+
+  const DurabilityOptions& options() const { return options_; }
+  const Graph& base_graph() const { return base_graph_; }
+
+ private:
+  explicit ShardDurability(DurabilityOptions options)
+      : options_(std::move(options)) {}
+
+  std::string SnapshotPath(uint64_t id) const;
+  std::string WalPath(uint64_t id) const;
+  Status AppendLocked(const WalRecord& record);
+
+  DurabilityOptions options_;
+  Graph base_graph_;
+
+  mutable std::mutex mu_;
+  WalWriter wal_;
+  uint64_t current_id_ = 0;       // id of the open WAL / newest snapshot
+  bool has_snapshot_ = false;     // false until the first WriteSnapshot
+  uint64_t records_since_snapshot_ = 0;
+  // Resume point established by Recover(), consumed by ResumeAppending().
+  bool recovered_ = false;
+  uint64_t resume_wal_id_ = 0;
+  uint64_t resume_valid_bytes_ = 0;
+  bool resume_truncate_ = false;
+  // Latest state of every edge churned since the base graph (EdgeKey ->
+  // present). Applied idempotently at recovery, so entries that happen to
+  // match the base graph are harmless.
+  std::unordered_map<uint64_t, bool> churn_delta_;
+};
+
+}  // namespace piggy

@@ -1,0 +1,250 @@
+#include "durability/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+namespace piggy {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x504E535947474950ULL;  // "PIGGYSNP" LE
+
+void AppendBytes(std::string& buf, const void* data, size_t len) {
+  buf.append(static_cast<const char*>(data), len);
+}
+void AppendU8(std::string& buf, uint8_t v) { AppendBytes(buf, &v, sizeof(v)); }
+void AppendU32(std::string& buf, uint32_t v) { AppendBytes(buf, &v, sizeof(v)); }
+void AppendU64(std::string& buf, uint64_t v) { AppendBytes(buf, &v, sizeof(v)); }
+void AppendF64(std::string& buf, double v) { AppendBytes(buf, &v, sizeof(v)); }
+
+// Sequential reader over a byte buffer; every Get checks bounds.
+class Cursor {
+ public:
+  Cursor(const std::string& buf, const std::string& path)
+      : buf_(buf), path_(path) {}
+
+  Status Get(void* out, size_t len) {
+    if (pos_ + len > buf_.size()) {
+      return Status::IOError(
+          StrFormat("%s: truncated snapshot at byte %zu (need %zu more bytes)",
+                    path_.c_str(), pos_, len));
+    }
+    std::memcpy(out, buf_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+  Status GetU8(uint8_t* v) { return Get(v, sizeof(*v)); }
+  Status GetU32(uint32_t* v) { return Get(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return Get(v, sizeof(*v)); }
+  Status GetF64(double* v) { return Get(v, sizeof(*v)); }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& buf_;
+  const std::string& path_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status WriteSnapshotFile(const SnapshotData& data, const std::string& path) {
+  std::string body;  // everything after the magic, CRC'd
+  AppendU64(body, data.id);
+  AppendU64(body, data.next_seq);
+  AppendU64(body, data.churn.size());
+  for (const auto& [added, edge] : data.churn) {
+    AppendU8(body, added ? 1 : 0);
+    AppendU32(body, edge.src);
+    AppendU32(body, edge.dst);
+  }
+  if (data.production.size() != data.consumption.size()) {
+    return Status::InvalidArgument(
+        "snapshot rate vectors differ in length: " + path);
+  }
+  AppendU64(body, data.production.size());
+  for (size_t i = 0; i < data.production.size(); ++i) {
+    AppendF64(body, data.production[i]);
+    AppendF64(body, data.consumption[i]);
+  }
+  AppendU64(body, data.schedule_text.size());
+  body += data.schedule_text;
+  AppendU64(body, data.events.size());
+  for (const EventTuple& e : data.events) {
+    AppendU32(body, e.producer);
+    AppendU64(body, e.event_id);
+    AppendU64(body, e.timestamp);
+  }
+  AppendU32(body, Crc32(body.data(), body.size()));
+
+  const std::string tmp = path + ".tmp";
+  switch (FailPointRegistry::Instance().Hit("snapshot.write")) {
+    case FailPointAction::kOff:
+      break;
+    case FailPointAction::kError:
+      return Status::IOError("injected snapshot write failure: " + path);
+    case FailPointAction::kCrashHard:
+      return Status::IOError("simulated crash before snapshot write: " + path);
+    case FailPointAction::kCrashTornWrite: {
+      // Leave a half-written temp file behind; recovery must ignore it.
+      std::FILE* f = std::fopen(tmp.c_str(), "wb");
+      if (f != nullptr) {
+        std::fwrite(&kMagic, 1, sizeof(kMagic), f);
+        std::fwrite(body.data(), 1, body.size() / 2, f);
+        std::fclose(f);
+      }
+      return Status::IOError("simulated crash mid snapshot write: " + path);
+    }
+  }
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open snapshot temp file: " + tmp);
+  }
+  bool ok = std::fwrite(&kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic) &&
+            std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+            std::fflush(f) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("snapshot write failed: " + tmp);
+  }
+
+  switch (FailPointRegistry::Instance().Hit("snapshot.rename")) {
+    case FailPointAction::kOff:
+      break;
+    case FailPointAction::kError:
+      std::remove(tmp.c_str());
+      return Status::IOError("injected snapshot rename failure: " + path);
+    case FailPointAction::kCrashHard:
+    case FailPointAction::kCrashTornWrite:
+      // Crash between write and rename: the temp file stays, the target is
+      // untouched — recovery falls back to the previous snapshot.
+      return Status::IOError("simulated crash before snapshot rename: " + path);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("snapshot rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<SnapshotData> ReadSnapshotFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open snapshot: " + path);
+  }
+  std::string buf;
+  char chunk[1 << 16];
+  for (;;) {
+    size_t got = std::fread(chunk, 1, sizeof(chunk), f);
+    if (got == 0) break;
+    buf.append(chunk, got);
+  }
+  bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) return Status::IOError("snapshot read failed: " + path);
+
+  if (buf.size() < sizeof(uint64_t) + sizeof(uint32_t)) {
+    return Status::IOError(
+        StrFormat("%s: snapshot too short (%zu bytes)", path.c_str(),
+                  buf.size()));
+  }
+  uint64_t magic;
+  std::memcpy(&magic, buf.data(), sizeof(magic));
+  if (magic != kMagic) {
+    return Status::IOError("bad snapshot magic: " + path);
+  }
+  // CRC covers [magic end, crc start).
+  const size_t body_end = buf.size() - sizeof(uint32_t);
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, buf.data() + body_end, sizeof(stored_crc));
+  uint32_t actual_crc =
+      Crc32(buf.data() + sizeof(magic), body_end - sizeof(magic));
+  if (stored_crc != actual_crc) {
+    return Status::IOError(
+        StrFormat("%s: snapshot CRC mismatch (stored %08x, computed %08x)",
+                  path.c_str(), stored_crc, actual_crc));
+  }
+
+  std::string body = buf.substr(sizeof(magic), body_end - sizeof(magic));
+  Cursor cur(body, path);
+  SnapshotData data;
+  PIGGY_RETURN_NOT_OK(cur.GetU64(&data.id));
+  PIGGY_RETURN_NOT_OK(cur.GetU64(&data.next_seq));
+
+  uint64_t churn_count = 0;
+  PIGGY_RETURN_NOT_OK(cur.GetU64(&churn_count));
+  if (churn_count > body.size()) {  // cheap sanity bound before reserving
+    return Status::IOError(
+        StrFormat("%s: implausible churn count %llu", path.c_str(),
+                  static_cast<unsigned long long>(churn_count)));
+  }
+  data.churn.reserve(churn_count);
+  for (uint64_t i = 0; i < churn_count; ++i) {
+    uint8_t added = 0;
+    uint32_t src = 0, dst = 0;
+    PIGGY_RETURN_NOT_OK(cur.GetU8(&added));
+    PIGGY_RETURN_NOT_OK(cur.GetU32(&src));
+    PIGGY_RETURN_NOT_OK(cur.GetU32(&dst));
+    data.churn.emplace_back(added != 0, Edge{src, dst});
+  }
+
+  uint64_t rate_count = 0;
+  PIGGY_RETURN_NOT_OK(cur.GetU64(&rate_count));
+  if (rate_count > body.size()) {
+    return Status::IOError(
+        StrFormat("%s: implausible rate count %llu", path.c_str(),
+                  static_cast<unsigned long long>(rate_count)));
+  }
+  data.production.reserve(rate_count);
+  data.consumption.reserve(rate_count);
+  for (uint64_t i = 0; i < rate_count; ++i) {
+    double rp = 0, rc = 0;
+    PIGGY_RETURN_NOT_OK(cur.GetF64(&rp));
+    PIGGY_RETURN_NOT_OK(cur.GetF64(&rc));
+    data.production.push_back(rp);
+    data.consumption.push_back(rc);
+  }
+
+  uint64_t schedule_len = 0;
+  PIGGY_RETURN_NOT_OK(cur.GetU64(&schedule_len));
+  if (cur.pos() + schedule_len > body.size()) {
+    return Status::IOError(
+        StrFormat("%s: truncated schedule blob at byte %zu", path.c_str(),
+                  cur.pos()));
+  }
+  data.schedule_text.assign(body, cur.pos(), schedule_len);
+  {
+    std::string skip(schedule_len, '\0');
+    PIGGY_RETURN_NOT_OK(cur.Get(skip.data(), schedule_len));
+  }
+
+  uint64_t event_count = 0;
+  PIGGY_RETURN_NOT_OK(cur.GetU64(&event_count));
+  if (event_count > body.size()) {
+    return Status::IOError(
+        StrFormat("%s: implausible event count %llu", path.c_str(),
+                  static_cast<unsigned long long>(event_count)));
+  }
+  data.events.reserve(event_count);
+  for (uint64_t i = 0; i < event_count; ++i) {
+    EventTuple e;
+    PIGGY_RETURN_NOT_OK(cur.GetU32(&e.producer));
+    PIGGY_RETURN_NOT_OK(cur.GetU64(&e.event_id));
+    PIGGY_RETURN_NOT_OK(cur.GetU64(&e.timestamp));
+    data.events.push_back(e);
+  }
+  if (cur.pos() != body.size()) {
+    return Status::IOError(
+        StrFormat("%s: %zu trailing bytes after snapshot body", path.c_str(),
+                  body.size() - cur.pos()));
+  }
+  return data;
+}
+
+}  // namespace piggy

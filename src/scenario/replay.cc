@@ -14,13 +14,18 @@
 namespace piggy {
 
 std::string ReplayEpochRow::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "epoch=%u t=%.0f ops=%lu/%lu/%lu/%lu msgs/req=%.3f true_cost=%.1f "
       "(ff=%.1f) replans=%zu drift=%.3f wall=%.3fs",
       epoch, sim_time, static_cast<unsigned long>(shares),
       static_cast<unsigned long>(queries), static_cast<unsigned long>(follows),
       static_cast<unsigned long>(unfollows), messages_per_request, true_cost,
       true_hybrid, replans, drift_score, wall_seconds);
+  if (shard_fails > 0 || shard_restarts > 0 || unavailable > 0) {
+    out += StrFormat(" fails=%zu restarts=%zu unavailable=%lu", shard_fails,
+                     shard_restarts, static_cast<unsigned long>(unavailable));
+  }
+  return out;
 }
 
 std::string ReplayReport::ToString() const {
@@ -35,6 +40,10 @@ std::string ReplayReport::ToString() const {
   if (aux_threads > 0) {
     out += StrFormat(" aux=%zu threads/%lu reqs", aux_threads,
                      static_cast<unsigned long>(aux_requests));
+  }
+  if (shard_fails > 0 || shard_restarts > 0 || unavailable > 0) {
+    out += StrFormat(" fails=%zu restarts=%zu unavailable=%lu", shard_fails,
+                     shard_restarts, static_cast<unsigned long>(unavailable));
   }
   return out;
 }
@@ -58,6 +67,10 @@ struct ServiceHooks {
   std::function<Result<size_t>(NodeId)> query;  // returns stream size (unused)
   std::function<Status(NodeId, NodeId)> follow;    // (follower, producer)
   std::function<Status(NodeId, NodeId)> unfollow;  // (follower, producer)
+  /// Shard events; the argument is the scenario's shard *slot* (the hook
+  /// maps it onto a live shard). Single-process deployments reject these.
+  std::function<Status(uint32_t)> shard_fail;
+  std::function<Status(uint32_t)> shard_restart;
   std::function<ServiceProbe()> probe;
   /// (true rates) -> (schedule cost, hybrid cost) on the current topology.
   std::function<std::pair<double, double>(const Workload&)> true_costs;
@@ -94,9 +107,22 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
     report.queries += row.queries;
     report.follows += row.follows;
     report.unfollows += row.unfollows;
+    report.shard_fails += row.shard_fails;
+    report.shard_restarts += row.shard_restarts;
+    report.unavailable += row.unavailable;
     row = ReplayEpochRow{};
     epoch_start = now;
     epoch_timer.Reset();
+  };
+
+  // A request rejected because its shard is down is part of the story, not
+  // a replay failure: it is counted in `unavailable` and the stream moves on.
+  auto tolerate = [&](const Status& st) {
+    if (st.IsUnavailable()) {
+      ++row.unavailable;
+      return Status::OK();
+    }
+    return st;
   };
 
   ScenarioOp op;
@@ -104,23 +130,31 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
     while (op.epoch > current_epoch) close_epoch(current_epoch++);
     switch (op.kind) {
       case ScenarioOpKind::kShare:
-        PIGGY_RETURN_NOT_OK(hooks.share(op.user));
+        PIGGY_RETURN_NOT_OK(tolerate(hooks.share(op.user)));
         ++row.shares;
         break;
       case ScenarioOpKind::kQuery:
-        PIGGY_RETURN_NOT_OK(hooks.query(op.user).status());
+        PIGGY_RETURN_NOT_OK(tolerate(hooks.query(op.user).status()));
         ++row.queries;
         break;
       case ScenarioOpKind::kFollow:
-        PIGGY_RETURN_NOT_OK(hooks.follow(op.user, op.producer));
+        PIGGY_RETURN_NOT_OK(tolerate(hooks.follow(op.user, op.producer)));
         ++row.follows;
         break;
       case ScenarioOpKind::kUnfollow:
-        PIGGY_RETURN_NOT_OK(hooks.unfollow(op.user, op.producer));
+        PIGGY_RETURN_NOT_OK(tolerate(hooks.unfollow(op.user, op.producer)));
         ++row.unfollows;
         break;
       case ScenarioOpKind::kRateShift:
         // Ground truth moved; the service must notice on its own.
+        break;
+      case ScenarioOpKind::kShardFail:
+        PIGGY_RETURN_NOT_OK(hooks.shard_fail(op.user));
+        ++row.shard_fails;
+        break;
+      case ScenarioOpKind::kShardRestart:
+        PIGGY_RETURN_NOT_OK(hooks.shard_restart(op.user));
+        ++row.shard_restarts;
         break;
     }
   }
@@ -159,6 +193,7 @@ Result<ReplayReport> ReplayWithAux(Scenario& scenario, ServiceHooks hooks,
   struct AuxResult {
     Status status;
     uint64_t requests = 0;
+    uint64_t unavailable = 0;
   };
   std::vector<AuxResult> results(aux);
   std::atomic<bool> stop{false};
@@ -178,6 +213,12 @@ Result<ReplayReport> ReplayWithAux(Scenario& scenario, ServiceHooks hooks,
         const NodeId u = is_share ? share_sampler.Sample(rng)
                                   : query_sampler.Sample(rng);
         const Status st = is_share ? share(u) : query(u).status();
+        if (st.IsUnavailable()) {
+          // Aux traffic runs through scripted outage windows; rejected
+          // requests are expected there, not thread failures.
+          ++out.unavailable;
+          continue;
+        }
         if (!st.ok()) {
           out.status = st;
           return;
@@ -194,6 +235,7 @@ Result<ReplayReport> ReplayWithAux(Scenario& scenario, ServiceHooks hooks,
   for (const AuxResult& r : results) {
     PIGGY_RETURN_NOT_OK(r.status);
     out.aux_requests += r.requests;
+    out.unavailable += r.unavailable;
   }
   return out;
 }
@@ -228,6 +270,16 @@ Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service,
   };
   hooks.follow = [&](NodeId f, NodeId p) { return service.Follow(f, p); };
   hooks.unfollow = [&](NodeId f, NodeId p) { return service.Unfollow(f, p); };
+  hooks.shard_fail = [](uint32_t) {
+    return Status::InvalidArgument(
+        "shard events need a sharded cluster; a single FeedService has no "
+        "shards to fail");
+  };
+  hooks.shard_restart = [](uint32_t) {
+    return Status::InvalidArgument(
+        "shard events need a sharded cluster; a single FeedService has no "
+        "shards to restart");
+  };
   hooks.probe = [&] {
     const FeedService::Metrics m = service.GetMetrics();
     ServiceProbe p;
@@ -269,6 +321,16 @@ Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster,
   };
   hooks.follow = [&](NodeId f, NodeId p) { return cluster.Follow(f, p); };
   hooks.unfollow = [&](NodeId f, NodeId p) { return cluster.Unfollow(f, p); };
+  // Scenario shard slots wrap onto the live shards, so one scripted story
+  // stresses any cluster size.
+  hooks.shard_fail = [&](uint32_t slot) {
+    return cluster.KillShard(slot %
+                             static_cast<uint32_t>(cluster.num_shards()));
+  };
+  hooks.shard_restart = [&](uint32_t slot) {
+    return cluster.RestartShard(slot %
+                                static_cast<uint32_t>(cluster.num_shards()));
+  };
   hooks.probe = [&] {
     const ClusterMetrics m = cluster.GetMetrics();
     ServiceProbe p;

@@ -47,6 +47,11 @@ struct ReplayEpochRow {
   size_t repairs = 0;  ///< Sec.-3.3 repairs during the epoch
   double drift_score = 0;  ///< service's drift estimate at epoch close
   double wall_seconds = 0;
+  size_t shard_fails = 0;     ///< scripted shard kills applied this epoch
+  size_t shard_restarts = 0;  ///< scripted shard recoveries this epoch
+  /// Requests the service rejected with Unavailable (routed to a down
+  /// shard); counted, not failed — outage windows are part of the story.
+  uint64_t unavailable = 0;
 
   std::string ToString() const;
 };
@@ -67,6 +72,9 @@ struct ReplayReport {
   double wall_seconds = 0;
   size_t aux_threads = 0;     ///< auxiliary load threads (ReplayOptions)
   uint64_t aux_requests = 0;  ///< shares+queries issued by the aux threads
+  size_t shard_fails = 0;     ///< scripted shard kills across the run
+  size_t shard_restarts = 0;  ///< scripted shard recoveries across the run
+  uint64_t unavailable = 0;   ///< Unavailable-rejected requests (all threads)
 
   std::string ToString() const;
 };

@@ -23,6 +23,8 @@ const char* ToString(ScenarioOpKind kind) {
     case ScenarioOpKind::kFollow: return "follow";
     case ScenarioOpKind::kUnfollow: return "unfollow";
     case ScenarioOpKind::kRateShift: return "rate-shift";
+    case ScenarioOpKind::kShardFail: return "shard-fail";
+    case ScenarioOpKind::kShardRestart: return "shard-restart";
   }
   return "?";
 }
@@ -31,6 +33,11 @@ std::string ScenarioOp::ToString() const {
   if (kind == ScenarioOpKind::kFollow || kind == ScenarioOpKind::kUnfollow) {
     return StrFormat("t=%.3f e=%u %s %u->%u", time, epoch,
                      piggy::ToString(kind), producer, user);
+  }
+  if (kind == ScenarioOpKind::kShardFail ||
+      kind == ScenarioOpKind::kShardRestart) {
+    return StrFormat("t=%.3f e=%u %s shard=%u", time, epoch,
+                     piggy::ToString(kind), user);
   }
   return StrFormat("t=%.3f e=%u %s u=%u", time, epoch, piggy::ToString(kind),
                    user);
@@ -528,6 +535,53 @@ Result<std::unique_ptr<Scenario>> MakeRegionalEvent(const Graph& g, Workload bas
       g, std::move(base), options, std::move(epochs)));
 }
 
+Result<std::unique_ptr<Scenario>> MakeShardFailure(const Graph& g, Workload base,
+                                                   const ScenarioOptions& options) {
+  // Stationary traffic with scripted outage windows in the middle half of
+  // the run: shard slot i fails a quarter into its epoch and restarts three
+  // quarters into the next one, so every outage sees live traffic on both
+  // sides. churn_level scales the number of fail/restart pairs; slots are
+  // mapped onto real shards (modulo the shard count) by the replay driver.
+  const size_t num_epochs = std::max<size_t>(options.epochs, 4);
+  ScenarioOptions opts = options;
+  opts.epochs = num_epochs;
+  auto shared = std::make_shared<const Workload>(base);
+  std::vector<EpochSpec> epochs(num_epochs);
+  for (EpochSpec& e : epochs) e.workload = shared;
+
+  const double epoch_len =
+      options.duration / static_cast<double>(num_epochs);
+  const size_t pairs = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(options.churn_level)));
+  const size_t window_first = num_epochs / 4;
+  const size_t window_len = std::max<size_t>(1, num_epochs / 2);
+  for (size_t i = 0; i < pairs; ++i) {
+    const size_t fail_epoch =
+        std::min(window_first + (i * window_len) / pairs, num_epochs - 2);
+    const size_t restart_epoch = fail_epoch + 1;
+    ScenarioOp fail;
+    fail.kind = ScenarioOpKind::kShardFail;
+    fail.user = static_cast<NodeId>(i);  // shard slot
+    fail.epoch = static_cast<uint32_t>(fail_epoch);
+    fail.time = epoch_len * (static_cast<double>(fail_epoch) + 0.25);
+    epochs[fail_epoch].churn.push_back(fail);
+    ScenarioOp restart = fail;
+    restart.kind = ScenarioOpKind::kShardRestart;
+    restart.epoch = static_cast<uint32_t>(restart_epoch);
+    restart.time = epoch_len * (static_cast<double>(restart_epoch) + 0.75);
+    epochs[restart_epoch].churn.push_back(restart);
+  }
+  for (EpochSpec& e : epochs) {
+    std::stable_sort(
+        e.churn.begin(), e.churn.end(),
+        [](const ScenarioOp& a, const ScenarioOp& b) { return a.time < b.time; });
+  }
+  return MakeCustomScenario(
+      {"shard-failure",
+       "stationary traffic with scripted shard fail/restart windows"},
+      g, std::move(base), opts, std::move(epochs));
+}
+
 // ---------------------------------------------------------------------------
 // Registry (mirrors the planner/partitioner registries).
 // ---------------------------------------------------------------------------
@@ -587,6 +641,9 @@ Registry& GlobalRegistry() {
              "one region's rates spike on a triangular window; outsiders "
              "follow in",
              MakeRegionalEvent);
+    built_in("shard-failure",
+             "stationary traffic with scripted shard fail/restart windows",
+             MakeShardFailure);
     return r;
   }();
   return *registry;
@@ -649,16 +706,26 @@ Result<std::unique_ptr<Scenario>> MakeCustomScenario(
     }
     double last = epoch_len * static_cast<double>(e);
     for (const ScenarioOp& op : epochs[e].churn) {
-      if (op.kind != ScenarioOpKind::kFollow &&
-          op.kind != ScenarioOpKind::kUnfollow) {
-        return Status::InvalidArgument("scripted churn must be follow/unfollow");
+      const bool is_churn = op.kind == ScenarioOpKind::kFollow ||
+                            op.kind == ScenarioOpKind::kUnfollow;
+      const bool is_shard_event = op.kind == ScenarioOpKind::kShardFail ||
+                                  op.kind == ScenarioOpKind::kShardRestart;
+      if (!is_churn && !is_shard_event) {
+        return Status::InvalidArgument(
+            "scripted churn must be follow/unfollow or a shard event");
       }
       if (op.epoch != e || op.time < last ||
-          op.time > epoch_len * static_cast<double>(e + 1) ||
-          op.user >= graph.num_nodes() || op.producer >= graph.num_nodes()) {
+          op.time > epoch_len * static_cast<double>(e + 1)) {
         return Status::InvalidArgument(
             StrFormat("churn op out of order or out of range: %s",
                       op.ToString().c_str()));
+      }
+      // Shard events carry a shard slot in `user`, not a node id — the
+      // replay driver maps slots onto the cluster, so no range check here.
+      if (is_churn && (op.user >= graph.num_nodes() ||
+                       op.producer >= graph.num_nodes())) {
+        return Status::InvalidArgument(
+            StrFormat("churn op out of range: %s", op.ToString().c_str()));
       }
       last = op.time;
     }

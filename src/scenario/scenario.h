@@ -32,6 +32,8 @@
 //   "celebrity-join" one account gains followers fast while its rate ramps
 //   "follow-storm"   follow-back wave + engagement shift, partial regret
 //   "regional-event" one region's rates spike; outsiders follow into it
+//   "shard-failure"  stationary traffic with scripted shard fail/restart
+//                    windows (cluster replays only; see replay.h)
 
 #pragma once
 
@@ -68,11 +70,13 @@ class SimClock {
 
 /// \brief One event of a scenario stream.
 enum class ScenarioOpKind : uint8_t {
-  kShare,      ///< `user` shares an event
-  kQuery,      ///< `user` reads their feed
-  kFollow,     ///< `user` starts following `producer`
-  kUnfollow,   ///< `user` stops following `producer`
-  kRateShift,  ///< ground-truth rates changed (epoch `epoch` opens)
+  kShare,         ///< `user` shares an event
+  kQuery,         ///< `user` reads their feed
+  kFollow,        ///< `user` starts following `producer`
+  kUnfollow,      ///< `user` stops following `producer`
+  kRateShift,     ///< ground-truth rates changed (epoch `epoch` opens)
+  kShardFail,     ///< serving shard `user` (a slot, not a node) goes down
+  kShardRestart,  ///< serving shard `user` recovers from durable state
 };
 
 const char* ToString(ScenarioOpKind kind);
@@ -80,7 +84,10 @@ const char* ToString(ScenarioOpKind kind);
 struct ScenarioOp {
   double time = 0;     ///< simulated seconds since scenario start
   ScenarioOpKind kind = ScenarioOpKind::kShare;
-  NodeId user = 0;     ///< acting user (share/query) or follower (follow ops)
+  /// Acting user (share/query), follower (follow ops), or the shard slot for
+  /// shard events (the replay driver maps slots onto live shards modulo the
+  /// cluster's shard count, so scenarios stay topology-agnostic).
+  NodeId user = 0;
   NodeId producer = 0; ///< followed producer (follow/unfollow only)
   uint32_t epoch = 0;  ///< epoch this op belongs to
 
@@ -172,8 +179,9 @@ struct CustomEpoch {
   /// Rates in effect (must cover every graph node). An all-zero workload is
   /// legal: the epoch emits no requests.
   std::shared_ptr<const Workload> workload;
-  /// Follow/unfollow ops, sorted ascending by time, with `time` inside the
-  /// epoch's interval and `epoch` set to the epoch's index.
+  /// Follow/unfollow/shard-fail/shard-restart ops, sorted ascending by time,
+  /// with `time` inside the epoch's interval and `epoch` set to the epoch's
+  /// index.
   std::vector<ScenarioOp> churn;
 };
 

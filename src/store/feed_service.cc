@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/schedule_io.h"
 #include "core/validator.h"
 #include "util/string_util.h"
 
@@ -88,6 +90,133 @@ Result<std::unique_ptr<FeedService>> FeedService::Create(
     std::unique_lock<std::shared_mutex> lock(service->mu_);
     PIGGY_RETURN_NOT_OK(service->RefreshServingLocked());
   }
+  if (service->options_.durability.enabled()) {
+    PIGGY_ASSIGN_OR_RETURN(
+        service->durability_,
+        ShardDurability::Create(service->options_.durability, graph));
+    // Snapshot 0 captures the initial plan; wal-000000.log opens for appends.
+    std::unique_lock<std::shared_mutex> lock(service->mu_);
+    PIGGY_RETURN_NOT_OK(service->WriteSnapshotLocked());
+  }
+  return service;
+}
+
+Result<std::unique_ptr<FeedService>> FeedService::Recover(
+    const FeedServiceOptions& options, RecoveryStats* stats_out) {
+  const auto start = std::chrono::steady_clock::now();
+  RecoveryStats stats;
+  PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ShardDurability> durability,
+                         ShardDurability::Open(options.durability));
+  PIGGY_ASSIGN_OR_RETURN(ShardDurability::RecoveredState state,
+                         durability->Recover());
+  const SnapshotData& snap = state.snapshot;
+  stats.snapshot_id = snap.id;
+  stats.snapshot_events = snap.events.size();
+  stats.wal_records = state.wal_records.size();
+  stats.torn_tail = state.torn_tail;
+  stats.wal_valid_bytes = state.wal_valid_bytes;
+  stats.wal_total_bytes = state.wal_total_bytes;
+
+  if (snap.production.size() != state.base_graph.num_nodes()) {
+    return Status::IOError(
+        StrFormat("snapshot rates cover %zu users but base graph has %zu nodes",
+                  snap.production.size(), state.base_graph.num_nodes()));
+  }
+  Workload workload;
+  workload.production = snap.production;
+  workload.consumption = snap.consumption;
+
+  auto service = std::unique_ptr<FeedService>(
+      new FeedService(state.base_graph, std::move(workload), options));
+  if (service->options_.replan.mode == ReplanMode::kNever &&
+      options.replan_after_churn > 0) {
+    service->options_.replan = ReplanPolicy::EveryN(options.replan_after_churn);
+  }
+  if (service->options_.replan.mode == ReplanMode::kDrift) {
+    service->estimator_ = std::make_unique<RateDriftEstimator>(
+        state.base_graph.num_nodes(), service->options_.replan.drift);
+  }
+
+  // Snapshot-time graph = base + the snapshot's cumulative churn delta (the
+  // graph the embedded schedule was planned/repaired against). The WAL's
+  // churn goes through the maintainer below, like any live Follow/Unfollow.
+  for (const auto& [added, edge] : snap.churn) {
+    if (edge.src >= state.base_graph.num_nodes() ||
+        edge.dst >= state.base_graph.num_nodes()) {
+      return Status::IOError(
+          StrFormat("snapshot churn edge %u->%u outside base graph", edge.src,
+                    edge.dst));
+    }
+    if (added) {
+      service->graph_.AddEdge(edge.src, edge.dst);
+    } else {
+      service->graph_.RemoveEdge(edge.src, edge.dst);
+    }
+  }
+  PIGGY_ASSIGN_OR_RETURN(
+      service->schedule_,
+      ParseSchedule(snap.schedule_text,
+                    options.durability.data_dir + ":snapshot-schedule"));
+  service->maintainer_ = std::make_unique<IncrementalMaintainer>(
+      &service->graph_, &service->schedule_, &service->workload_);
+  service->maintainer_->RebuildIndexes();
+  PIGGY_RETURN_NOT_OK(ValidateSchedule(service->graph_, service->schedule_));
+  {
+    // Rebase the drift policy on the recovered plan's advantage so recovery
+    // does not itself look like drift.
+    const double cost = ScheduleCost(service->graph_, service->workload_,
+                                     service->schedule_, ResidualPolicy::kFree);
+    const double hybrid = HybridCost(service->graph_, service->workload_);
+    service->plan_advantage_ = cost > 0 ? hybrid / cost : 1.0;
+    service->edges_at_plan_ = service->graph_.num_edges();
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(service->mu_);
+    PIGGY_RETURN_NOT_OK(service->RefreshServingLocked());
+    if (!snap.events.empty()) {
+      PIGGY_RETURN_NOT_OK(service->prototype_->RestoreEvents(snap.events));
+      service->prototype_->client().ResetMetrics();
+    }
+  }
+
+  // Replay the WAL tail through the public API. replaying_ suppresses
+  // re-logging and replan policies; planner runs happen exactly where a
+  // kReplanCommit record marks a committed live replan.
+  service->durability_ = std::move(durability);
+  service->replaying_ = true;
+  Status replay_status;
+  for (const WalRecord& r : state.wal_records) {
+    switch (r.type) {
+      case WalRecordType::kShare:
+        replay_status = service->Share(r.user, r.seq);
+        ++stats.replayed_shares;
+        break;
+      case WalRecordType::kFollow:
+        replay_status = service->Follow(r.user, r.producer);
+        ++stats.replayed_follows;
+        break;
+      case WalRecordType::kUnfollow:
+        replay_status = service->Unfollow(r.user, r.producer);
+        ++stats.replayed_unfollows;
+        break;
+      case WalRecordType::kRateShift:
+        replay_status = service->SetUserRates(r.user, r.rp, r.rc);
+        ++stats.replayed_rate_shifts;
+        break;
+      case WalRecordType::kReplanCommit:
+        replay_status = service->Replan();
+        ++stats.replayed_replans;
+        break;
+    }
+    if (!replay_status.ok()) break;
+  }
+  service->replaying_ = false;
+  PIGGY_RETURN_NOT_OK(replay_status);
+  PIGGY_RETURN_NOT_OK(service->durability_->ResumeAppending());
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (stats_out != nullptr) *stats_out = stats;
   return service;
 }
 
@@ -118,6 +247,15 @@ Status FeedService::ReplanLocked() {
   // epoch moved and discards itself.
   ++plan_epoch_;
   churn_journal_.clear();
+  if (durability_ != nullptr && !replaying_) {
+    // The commit record pins the replan's position in the op stream so
+    // recovery re-runs the planner at exactly this point; the snapshot that
+    // usually follows bounds replay to one plan epoch.
+    PIGGY_RETURN_NOT_OK(durability_->LogReplanCommit());
+    if (options_.durability.snapshot_on_replan) {
+      PIGGY_RETURN_NOT_OK(WriteSnapshotLocked());
+    }
+  }
   return Status::OK();
 }
 
@@ -270,6 +408,14 @@ Status FeedService::BackgroundReplanOnce(bool refresh_workload) {
   background_replans_.fetch_add(1, std::memory_order_relaxed);
   ++plan_epoch_;
   churn_since_plan_ = raced_churn;
+  if (durability_ != nullptr) {
+    // Same durable commit as the inline path; the event log is current under
+    // this exclusive section, so snapshotting before the plane swap is safe.
+    PIGGY_RETURN_NOT_OK(durability_->LogReplanCommit());
+    if (options_.durability.snapshot_on_replan) {
+      PIGGY_RETURN_NOT_OK(WriteSnapshotLocked());
+    }
+  }
 
   if (raced_churn == 0 && plane_ok && prototype_ != nullptr) {
     // No churn raced: the pre-built plane's view lists match the published
@@ -356,9 +502,16 @@ Status FeedService::Share(NodeId u) {
       return Status::InvalidArgument(StrFormat("unknown user %u", u));
     }
     PIGGY_RETURN_NOT_OK(EnsureServing(lock));
-    prototype_->ShareEvent(u);
+    const EventTuple event = prototype_->ShareEvent(u);
+    // WAL-frame before the ack, inside the same shared-lock hold: an OK
+    // return means the share is on the log (ShardDurability serializes
+    // concurrent appends internally).
+    if (durability_ != nullptr && !replaying_) {
+      PIGGY_RETURN_NOT_OK(durability_->LogShare(u, event.event_id));
+    }
   }
-  return ObserveRequest(/*is_share=*/true, u);
+  PIGGY_RETURN_NOT_OK(ObserveRequest(/*is_share=*/true, u));
+  return MaybeSnapshot();
 }
 
 Status FeedService::Share(NodeId u, uint64_t seq) {
@@ -369,8 +522,12 @@ Status FeedService::Share(NodeId u, uint64_t seq) {
     }
     PIGGY_RETURN_NOT_OK(EnsureServing(lock));
     prototype_->ShareEvent(u, seq);
+    if (durability_ != nullptr && !replaying_) {
+      PIGGY_RETURN_NOT_OK(durability_->LogShare(u, seq));
+    }
   }
-  return ObserveRequest(/*is_share=*/true, u);
+  PIGGY_RETURN_NOT_OK(ObserveRequest(/*is_share=*/true, u));
+  return MaybeSnapshot();
 }
 
 Result<std::vector<EventTuple>> FeedService::QueryStream(NodeId u) {
@@ -398,6 +555,7 @@ Result<std::vector<EventTuple>> FeedService::QueryStream(NodeId u) {
 }
 
 Status FeedService::ObserveRequest(bool is_share, NodeId u) {
+  if (replaying_) return Status::OK();  // replayed traffic is not observation
   if (estimator_ == nullptr) return Status::OK();
   if (is_share) {
     estimator_->RecordShare(u);
@@ -457,10 +615,16 @@ Status FeedService::ObserveRequest(bool is_share, NodeId u) {
 Status FeedService::ApplyChurnLocked(Status churn_result, bool added,
                                      NodeId producer, NodeId consumer) {
   PIGGY_RETURN_NOT_OK(churn_result);
+  if (durability_ != nullptr && !replaying_) {
+    PIGGY_RETURN_NOT_OK(durability_->LogChurn(added, producer, consumer));
+  }
   ++churn_ops_;
   ++churn_since_plan_;
   serving_dirty_ = true;
   if (journal_active_) churn_journal_.push_back({added, producer, consumer});
+  // During WAL replay the policy stays inert: replans happen exactly where
+  // kReplanCommit records mark them, not where a counter would re-fire.
+  if (replaying_) return Status::OK();
   switch (options_.replan.mode) {
     case ReplanMode::kNever:
       break;
@@ -482,26 +646,69 @@ Status FeedService::ApplyChurnLocked(Status churn_result, bool added,
 }
 
 Status FeedService::Follow(NodeId follower, NodeId producer) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
-    return Status::InvalidArgument("unknown user in Follow");
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
+      return Status::InvalidArgument("unknown user in Follow");
+    }
+    if (follower == producer) {
+      return Status::InvalidArgument("users may not follow themselves");
+    }
+    if (graph_.HasEdge(producer, follower)) return Status::OK();  // already follows
+    PIGGY_RETURN_NOT_OK(ApplyChurnLocked(maintainer_->AddEdge(producer, follower),
+                                         /*added=*/true, producer, follower));
   }
-  if (follower == producer) {
-    return Status::InvalidArgument("users may not follow themselves");
-  }
-  if (graph_.HasEdge(producer, follower)) return Status::OK();  // already follows
-  return ApplyChurnLocked(maintainer_->AddEdge(producer, follower),
-                          /*added=*/true, producer, follower);
+  return MaybeSnapshot();
 }
 
 Status FeedService::Unfollow(NodeId follower, NodeId producer) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
-    return Status::InvalidArgument("unknown user in Unfollow");
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
+      return Status::InvalidArgument("unknown user in Unfollow");
+    }
+    if (!graph_.HasEdge(producer, follower)) return Status::OK();  // not following
+    PIGGY_RETURN_NOT_OK(
+        ApplyChurnLocked(maintainer_->RemoveEdge(producer, follower),
+                         /*added=*/false, producer, follower));
   }
-  if (!graph_.HasEdge(producer, follower)) return Status::OK();  // not following
-  return ApplyChurnLocked(maintainer_->RemoveEdge(producer, follower),
-                          /*added=*/false, producer, follower);
+  return MaybeSnapshot();
+}
+
+Status FeedService::SetUserRates(NodeId u, double production,
+                                 double consumption) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (u >= graph_.num_nodes()) {
+    return Status::InvalidArgument(StrFormat("unknown user %u", u));
+  }
+  workload_.production[u] = production;
+  workload_.consumption[u] = consumption;
+  if (durability_ != nullptr && !replaying_) {
+    return durability_->LogRateShift(u, production, consumption);
+  }
+  return Status::OK();
+}
+
+Status FeedService::WriteSnapshotLocked() {
+  if (durability_ == nullptr) return Status::OK();
+  SnapshotData data;  // id + churn delta are filled in by ShardDurability
+  data.production = workload_.production;
+  data.consumption = workload_.consumption;
+  data.schedule_text = SerializeSchedule(schedule_);
+  if (prototype_ != nullptr) data.events = prototype_->EventLog();
+  return durability_->WriteSnapshot(std::move(data));
+}
+
+Status FeedService::MaybeSnapshot() {
+  if (durability_ == nullptr || replaying_) return Status::OK();
+  const uint64_t every = options_.durability.snapshot_every;
+  if (every == 0 || durability_->records_since_snapshot() < every) {
+    return Status::OK();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Another writer may have rotated while this one waited for the lock.
+  if (durability_->records_since_snapshot() < every) return Status::OK();
+  return WriteSnapshotLocked();
 }
 
 Result<DriverReport> FeedService::Drive(const DriverOptions& options) {

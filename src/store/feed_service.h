@@ -61,6 +61,7 @@
 #include "core/incremental.h"
 #include "core/planner.h"
 #include "core/schedule.h"
+#include "durability/durable_state.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "scenario/drift.h"
@@ -98,6 +99,10 @@ struct FeedServiceOptions {
   bool background_replan = false;
   /// Audit every Nth query against the event-log oracle (0 = no audits).
   size_t audit_every = 0;
+  /// WAL + snapshot persistence (disabled unless data_dir is set). Every
+  /// acked Share/Follow/Unfollow/rate-shift is WAL-framed before the ack;
+  /// snapshots rotate per `snapshot_every` / `snapshot_on_replan`.
+  DurabilityOptions durability;
 };
 
 /// \brief A running feed-serving deployment.
@@ -112,6 +117,15 @@ class FeedService {
   /// Same, with explicit per-user rates (must cover every node).
   static Result<std::unique_ptr<FeedService>> Create(
       const Graph& graph, Workload workload, const FeedServiceOptions& options);
+
+  /// Rebuilds a service from `options.durability.data_dir`: loads the newest
+  /// valid snapshot (graph delta + rates + schedule + event log), then
+  /// replays the WAL tail through the normal Share/Follow/Unfollow paths —
+  /// no planner run unless the WAL says one committed. A torn final record
+  /// (crash mid-append) is dropped; everything acked before it survives.
+  /// On success the service is live and appending to the recovered WAL.
+  static Result<std::unique_ptr<FeedService>> Recover(
+      const FeedServiceOptions& options, RecoveryStats* stats = nullptr);
 
   ~FeedService();
 
@@ -136,6 +150,10 @@ class FeedService {
   /// the removed edge are re-served directly; OK if not following. Thread-
   /// safe (exclusive).
   Status Unfollow(NodeId follower, NodeId producer);
+
+  /// Updates u's workload rates (durably logged as a rate-shift record).
+  /// Thread-safe (exclusive).
+  Status SetUserRates(NodeId u, double production, double consumption);
 
   /// Re-runs the configured planner on the current graph and swaps the fresh
   /// schedule in (stored events are preserved). Synchronous: plans inline
@@ -249,6 +267,15 @@ class FeedService {
   Status ApplyChurnLocked(Status churn_result, bool added, NodeId producer,
                           NodeId consumer);
 
+  /// Builds a SnapshotData from the live state (rates, schedule, event log)
+  /// and rotates the durability pair. Requires mu_ held exclusively. No-op
+  /// without durability.
+  Status WriteSnapshotLocked();
+
+  /// Snapshot-by-record-count trigger, called after acked writes with no
+  /// lock held; takes the exclusive lock only when the threshold is crossed.
+  Status MaybeSnapshot();
+
   /// Drift-mode bookkeeping for one served request, and — when an
   /// observation window completes — the drift evaluation: if the schedule
   /// lost more than the configured fraction of its cost advantage under the
@@ -258,6 +285,16 @@ class FeedService {
   Status ObserveRequest(bool is_share, NodeId u);
 
   FeedServiceOptions options_;
+
+  // WAL + snapshot pair (null when durability is disabled). Appends are
+  // internally serialized; rotation happens under mu_ exclusive only.
+  std::unique_ptr<ShardDurability> durability_;
+  // True while Recover() replays the WAL through the public API: durable
+  // logging is suppressed (the records are already on disk), replan policies
+  // are inert (replans come from kReplanCommit records, at their logged
+  // positions), and snapshot triggers don't fire. Plain bool: recovery is
+  // single-threaded by construction.
+  bool replaying_ = false;
 
   // Serving state, guarded by mu_: readers (Share/QueryStream/metrics) take
   // it shared, churn/replans/rebuilds take it exclusive.

@@ -55,7 +55,7 @@ void Prototype::AppendAndDeliver(NodeId u, uint64_t event_id, uint64_t timestamp
   shares_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-void Prototype::ShareEvent(NodeId u) {
+EventTuple Prototype::ShareEvent(NodeId u) {
   shares_in_flight_.fetch_add(1, std::memory_order_acq_rel);
   EventTuple event;
   {
@@ -66,6 +66,7 @@ void Prototype::ShareEvent(NodeId u) {
   }
   client_->ShareEvent(u, event.event_id, event.timestamp);
   shares_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  return event;
 }
 
 void Prototype::ShareEvent(NodeId u, uint64_t seq) {

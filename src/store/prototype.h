@@ -57,7 +57,8 @@ class Prototype {
                                                    const PrototypeOptions& options);
 
   /// User u shares an event; the event is also recorded in the audit log.
-  void ShareEvent(NodeId u);
+  /// Returns the assigned tuple (the durability layer logs its event id).
+  EventTuple ShareEvent(NodeId u);
 
   /// Shares with an externally assigned sequence number used as both event id
   /// and timestamp (the cluster's global ordering). Self-assigned ids are

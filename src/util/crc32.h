@@ -1,0 +1,45 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Used by the durability layer to frame WAL records and to seal snapshots:
+// a checksum mismatch is how recovery tells a torn or bit-rotted tail from a
+// valid record, so this must match the ubiquitous zlib/PNG/ethernet CRC32
+// (initial value and final XOR of 0xFFFFFFFF) — any external tool can verify
+// the files.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace piggy {
+
+namespace internal {
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = [] {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+}  // namespace internal
+
+/// Extends a running CRC32 over `len` bytes. Start (and finish) with the
+/// default `crc` for a whole-buffer checksum; feed the previous return value
+/// to checksum incrementally.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = internal::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace piggy

@@ -1,0 +1,56 @@
+#include "util/failpoint.h"
+
+namespace piggy {
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry registry;
+  return registry;
+}
+
+void FailPointRegistry::Arm(const std::string& name, FailPointAction action,
+                            uint64_t skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.insert_or_assign(name, Armed{action, skip});
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_release);
+}
+
+void FailPointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void FailPointRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_count_.store(0, std::memory_order_release);
+  crashed_.store(false, std::memory_order_release);
+}
+
+FailPointAction FailPointRegistry::Hit(const std::string& name) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return FailPointAction::kCrashHard;
+  }
+  if (armed_count_.load(std::memory_order_acquire) == 0) {
+    return FailPointAction::kOff;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return FailPointAction::kOff;
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return FailPointAction::kOff;
+  }
+  FailPointAction action = it->second.action;
+  if (action == FailPointAction::kCrashHard ||
+      action == FailPointAction::kCrashTornWrite) {
+    points_.erase(it);
+    armed_count_.fetch_sub(1, std::memory_order_release);
+    crashed_.store(true, std::memory_order_release);
+  }
+  return action;
+}
+
+}  // namespace piggy

@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode : int8_t {
   kFailedPrecondition,
   kNotImplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode
@@ -72,6 +73,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return rep_ == nullptr; }
@@ -92,6 +96,7 @@ class Status {
   bool IsFailedPrecondition() const { return Is(StatusCode::kFailedPrecondition); }
   bool IsNotImplemented() const { return Is(StatusCode::kNotImplemented); }
   bool IsInternal() const { return Is(StatusCode::kInternal); }
+  bool IsUnavailable() const { return Is(StatusCode::kUnavailable); }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,0 +1,388 @@
+// Unit tests for the durability primitives: CRC32, WAL framing and torn-tail
+// detection, snapshot round-trips and corruption rejection, FailPoint crash
+// simulation, and the ShardDurability rotation/recovery cycle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "durability/durable_state.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "graph/graph_builder.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+
+namespace piggy {
+namespace {
+
+constexpr size_t kFrameSize = 8 + 33;  // header + fixed payload
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPointRegistry::Instance().ClearAll();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("piggy_dur_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailPointRegistry::Instance().ClearAll();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<WalRecord> SampleRecords() {
+  std::vector<WalRecord> recs;
+  recs.push_back({WalRecordType::kShare, 7, 0, 101, 0, 0});
+  recs.push_back({WalRecordType::kFollow, 3, 9, 0, 0, 0});
+  recs.push_back({WalRecordType::kUnfollow, 3, 9, 0, 0, 0});
+  recs.push_back({WalRecordType::kRateShift, 5, 0, 0, 2.5, 0.25});
+  recs.push_back({WalRecordType::kReplanCommit, 0, 0, 0, 0, 0});
+  recs.push_back({WalRecordType::kShare, 1, 0, 102, 0, 0});
+  return recs;
+}
+
+Status WriteRecords(const std::string& path,
+                    const std::vector<WalRecord>& recs,
+                    WalFlushPolicy policy = WalFlushPolicy::kEveryRecord) {
+  PIGGY_ASSIGN_OR_RETURN(WalWriter w, WalWriter::Open(path, policy, 4, false));
+  for (const auto& r : recs) PIGGY_RETURN_NOT_OK(w.Append(r));
+  return w.Close();
+}
+
+TEST(Crc32Test, KnownAnswer) {
+  // The IEEE CRC-32 check value for the ASCII digits "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, Incremental) {
+  uint32_t partial = Crc32("12345", 5);
+  EXPECT_EQ(Crc32("6789", 4, partial), 0xCBF43926u);
+}
+
+TEST_F(DurabilityTest, WalRoundTrip) {
+  auto recs = SampleRecords();
+  ASSERT_TRUE(WriteRecords(Path("w.log"), recs).ok());
+  auto read = ReadWal(Path("w.log")).ValueOrDie();
+  EXPECT_EQ(read.records, recs);
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_EQ(read.valid_bytes, recs.size() * kFrameSize);
+  EXPECT_EQ(read.total_bytes, read.valid_bytes);
+}
+
+TEST_F(DurabilityTest, WalGroupFlushPersistsOnClose) {
+  auto recs = SampleRecords();
+  ASSERT_TRUE(WriteRecords(Path("g.log"), recs, WalFlushPolicy::kNone).ok());
+  auto read = ReadWal(Path("g.log")).ValueOrDie();
+  EXPECT_EQ(read.records, recs);
+}
+
+TEST_F(DurabilityTest, WalTornTailEveryBoundary) {
+  auto recs = SampleRecords();
+  ASSERT_TRUE(WriteRecords(Path("full.log"), recs).ok());
+  std::ifstream in(Path("full.log"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_EQ(bytes.size(), recs.size() * kFrameSize);
+
+  // Truncate at every frame boundary and at every partial offset inside the
+  // following frame: the intact prefix must survive byte-for-byte, the tail
+  // must be flagged, and nothing past the cut may surface.
+  for (size_t boundary = 0; boundary < recs.size(); ++boundary) {
+    for (size_t extra : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                         size_t{20}, kFrameSize - 1}) {
+      size_t cut = boundary * kFrameSize + extra;
+      if (cut >= bytes.size()) continue;
+      std::string name = "cut_" + std::to_string(cut) + ".log";
+      std::ofstream out(Path(name), std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+      out.close();
+      auto read = ReadWal(Path(name)).ValueOrDie();
+      ASSERT_EQ(read.records.size(), boundary) << "cut at " << cut;
+      for (size_t i = 0; i < boundary; ++i) EXPECT_EQ(read.records[i], recs[i]);
+      EXPECT_EQ(read.valid_bytes, boundary * kFrameSize);
+      EXPECT_EQ(read.total_bytes, cut);
+      EXPECT_EQ(read.torn_tail, extra != 0);
+    }
+  }
+}
+
+TEST_F(DurabilityTest, WalBitFlipStopsAtCorruptRecord) {
+  auto recs = SampleRecords();
+  ASSERT_TRUE(WriteRecords(Path("full.log"), recs).ok());
+  std::ifstream in(Path("full.log"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  // Flip one payload byte in each record in turn: the reader must keep every
+  // record before it and reject everything from the flipped record on (frame
+  // sync is gone once one CRC fails).
+  for (size_t victim = 0; victim < recs.size(); ++victim) {
+    std::string corrupt = bytes;
+    corrupt[victim * kFrameSize + 8 + 3] ^= 0x40;  // payload byte, not header
+    std::string name = "flip_" + std::to_string(victim) + ".log";
+    std::ofstream out(Path(name), std::ios::binary);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    auto read = ReadWal(Path(name)).ValueOrDie();
+    ASSERT_EQ(read.records.size(), victim);
+    for (size_t i = 0; i < victim; ++i) EXPECT_EQ(read.records[i], recs[i]);
+    EXPECT_TRUE(read.torn_tail);
+    EXPECT_EQ(read.valid_bytes, victim * kFrameSize);
+  }
+}
+
+TEST_F(DurabilityTest, WalFailPointError) {
+  auto w = WalWriter::Open(Path("e.log"), WalFlushPolicy::kEveryRecord, 1,
+                           false).MoveValueOrDie();
+  ASSERT_TRUE(w.Append({WalRecordType::kShare, 1, 0, 1, 0, 0}).ok());
+  FailPointRegistry::Instance().Arm("wal.append", FailPointAction::kError);
+  Status s = w.Append({WalRecordType::kShare, 2, 0, 2, 0, 0});
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_FALSE(FailPointRegistry::Instance().crashed());
+  FailPointRegistry::Instance().Disarm("wal.append");
+  // A plain error is transient: the next append goes through.
+  ASSERT_TRUE(w.Append({WalRecordType::kShare, 3, 0, 3, 0, 0}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  auto read = ReadWal(Path("e.log")).ValueOrDie();
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.records[1].user, 3u);
+}
+
+TEST_F(DurabilityTest, WalFailPointCrashHardIsFailStop) {
+  auto w = WalWriter::Open(Path("c.log"), WalFlushPolicy::kEveryRecord, 1,
+                           false).MoveValueOrDie();
+  ASSERT_TRUE(w.Append({WalRecordType::kShare, 1, 0, 1, 0, 0}).ok());
+  FailPointRegistry::Instance().Arm("wal.append", FailPointAction::kCrashHard);
+  EXPECT_TRUE(w.Append({WalRecordType::kShare, 2, 0, 2, 0, 0}).IsIOError());
+  EXPECT_TRUE(FailPointRegistry::Instance().crashed());
+  // Fail-stop: every later append dies too, even with the point disarmed.
+  EXPECT_TRUE(w.Append({WalRecordType::kShare, 3, 0, 3, 0, 0}).IsIOError());
+  (void)w.Close();
+  auto read = ReadWal(Path("c.log")).ValueOrDie();
+  ASSERT_EQ(read.records.size(), 1u);
+  EXPECT_FALSE(read.torn_tail);
+}
+
+TEST_F(DurabilityTest, WalFailPointTornWrite) {
+  auto w = WalWriter::Open(Path("t.log"), WalFlushPolicy::kEveryRecord, 1,
+                           false).MoveValueOrDie();
+  ASSERT_TRUE(w.Append({WalRecordType::kShare, 1, 0, 1, 0, 0}).ok());
+  FailPointRegistry::Instance().Arm("wal.append",
+                                    FailPointAction::kCrashTornWrite);
+  EXPECT_TRUE(w.Append({WalRecordType::kShare, 2, 0, 2, 0, 0}).IsIOError());
+  (void)w.Close();
+  auto read = ReadWal(Path("t.log")).ValueOrDie();
+  ASSERT_EQ(read.records.size(), 1u);  // the torn frame must not decode
+  EXPECT_TRUE(read.torn_tail);
+  EXPECT_EQ(read.valid_bytes, kFrameSize);
+  EXPECT_GT(read.total_bytes, read.valid_bytes);
+  EXPECT_LT(read.total_bytes, 2 * kFrameSize);
+}
+
+SnapshotData SampleSnapshot() {
+  SnapshotData d;
+  d.id = 3;
+  d.next_seq = 42;
+  d.churn = {{true, {0, 4}}, {false, {2, 1}}};
+  d.production = {0.5, 1.5, 2.5};
+  d.consumption = {10.0, 20.0, 30.0};
+  d.schedule_text = "fake schedule text\n";
+  d.events = {{1, 7, 7}, {2, 9, 9}};
+  return d;
+}
+
+TEST_F(DurabilityTest, SnapshotRoundTrip) {
+  SnapshotData d = SampleSnapshot();
+  ASSERT_TRUE(WriteSnapshotFile(d, Path("snap")).ok());
+  SnapshotData back = ReadSnapshotFile(Path("snap")).ValueOrDie();
+  EXPECT_EQ(back.id, d.id);
+  EXPECT_EQ(back.next_seq, d.next_seq);
+  EXPECT_EQ(back.churn, d.churn);
+  EXPECT_EQ(back.production, d.production);
+  EXPECT_EQ(back.consumption, d.consumption);
+  EXPECT_EQ(back.schedule_text, d.schedule_text);
+  EXPECT_EQ(back.events, d.events);
+}
+
+TEST_F(DurabilityTest, SnapshotCorruptionRejected) {
+  ASSERT_TRUE(WriteSnapshotFile(SampleSnapshot(), Path("snap")).ok());
+  std::ifstream in(Path("snap"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  // Flip one byte anywhere after the magic: the CRC must catch it.
+  for (size_t pos : {size_t{8}, size_t{16}, bytes.size() / 2,
+                     bytes.size() - 5}) {
+    std::string corrupt = bytes;
+    corrupt[pos] ^= 0x01;
+    std::ofstream out(Path("bad"), std::ios::binary);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    auto r = ReadSnapshotFile(Path("bad"));
+    EXPECT_TRUE(r.status().IsIOError()) << "flip at " << pos;
+  }
+  // Truncation at any point is rejected too.
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{12}, bytes.size() - 1}) {
+    std::ofstream out(Path("short"), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_FALSE(ReadSnapshotFile(Path("short")).ok()) << "cut at " << cut;
+  }
+}
+
+TEST_F(DurabilityTest, SnapshotWriteCrashLeavesPredecessorIntact) {
+  SnapshotData first = SampleSnapshot();
+  ASSERT_TRUE(WriteSnapshotFile(first, Path("snap")).ok());
+  SnapshotData second = SampleSnapshot();
+  second.id = 4;
+  second.next_seq = 99;
+  auto& fp = FailPointRegistry::Instance();
+  for (const char* point : {"snapshot.write", "snapshot.rename"}) {
+    fp.ClearAll();
+    fp.Arm(point, FailPointAction::kCrashHard);
+    EXPECT_TRUE(WriteSnapshotFile(second, Path("snap")).IsIOError()) << point;
+    fp.ClearAll();
+    SnapshotData back = ReadSnapshotFile(Path("snap")).ValueOrDie();
+    EXPECT_EQ(back.id, first.id) << point;
+  }
+  // Torn write mid-snapshot: the temp file is garbage, the target untouched.
+  fp.Arm("snapshot.write", FailPointAction::kCrashTornWrite);
+  EXPECT_TRUE(WriteSnapshotFile(second, Path("snap")).IsIOError());
+  fp.ClearAll();
+  EXPECT_EQ(ReadSnapshotFile(Path("snap")).ValueOrDie().id, first.id);
+}
+
+Graph TinyGraph() {
+  // 0 -> {1, 2}, 3 -> {0}; node 4 isolated.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 0);
+  return std::move(b).Build().ValueOrDie();
+}
+
+DurabilityOptions Opts(const std::string& dir) {
+  DurabilityOptions o;
+  o.data_dir = dir;
+  o.flush = WalFlushPolicy::kEveryRecord;
+  return o;
+}
+
+SnapshotData EmptySnapshot() {
+  SnapshotData d;
+  d.production = {1, 1, 1, 1, 1};
+  d.consumption = {1, 1, 1, 1, 1};
+  return d;
+}
+
+TEST_F(DurabilityTest, ShardDurabilityCycle) {
+  Graph g = TinyGraph();
+  {
+    auto d = ShardDurability::Create(Opts(Path("shard")), g).MoveValueOrDie();
+    ASSERT_TRUE(d->WriteSnapshot(EmptySnapshot()).ok());  // snapshot 0
+    ASSERT_TRUE(d->LogShare(0, 1).ok());
+    ASSERT_TRUE(d->LogChurn(true, 1, 2).ok());  // 2 follows 1
+    ASSERT_TRUE(d->LogRateShift(3, 5.0, 0.5).ok());
+    EXPECT_EQ(d->records_since_snapshot(), 3u);
+    SnapshotData s1 = EmptySnapshot();
+    s1.events = {{0, 1, 1}};
+    ASSERT_TRUE(d->WriteSnapshot(std::move(s1)).ok());  // rotate to pair 1
+    EXPECT_EQ(d->records_since_snapshot(), 0u);
+    ASSERT_TRUE(d->LogShare(3, 2).ok());
+    ASSERT_TRUE(d->LogReplanCommit().ok());
+  }
+
+  auto d = ShardDurability::Open(Opts(Path("shard"))).MoveValueOrDie();
+  auto rec = d->Recover().MoveValueOrDie();
+  EXPECT_EQ(rec.base_graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(rec.base_graph.num_edges(), g.num_edges());
+  EXPECT_EQ(rec.snapshot.id, 1u);
+  // The snapshot folds the pre-rotation churn into its delta...
+  ASSERT_EQ(rec.snapshot.churn.size(), 1u);
+  EXPECT_TRUE(rec.snapshot.churn[0].first);
+  EXPECT_EQ(rec.snapshot.churn[0].second, (Edge{1, 2}));
+  ASSERT_EQ(rec.snapshot.events.size(), 1u);
+  // ...and the WAL tail holds exactly the post-rotation records.
+  ASSERT_EQ(rec.wal_records.size(), 2u);
+  EXPECT_EQ(rec.wal_records[0].type, WalRecordType::kShare);
+  EXPECT_EQ(rec.wal_records[0].user, 3u);
+  EXPECT_EQ(rec.wal_records[1].type, WalRecordType::kReplanCommit);
+  EXPECT_FALSE(rec.torn_tail);
+
+  // After ResumeAppending the pair accepts new records...
+  ASSERT_TRUE(d->ResumeAppending().ok());
+  ASSERT_TRUE(d->LogShare(1, 3).ok());
+  // ...and a second recovery sees old + new tail records.
+  auto d2 = ShardDurability::Open(Opts(Path("shard"))).MoveValueOrDie();
+  d.reset();  // close the writer before re-reading
+  auto rec2 = d2->Recover().MoveValueOrDie();
+  ASSERT_EQ(rec2.wal_records.size(), 3u);
+  EXPECT_EQ(rec2.wal_records[2].user, 1u);
+}
+
+TEST_F(DurabilityTest, ShardDurabilityDropsTornTailOnResume) {
+  Graph g = TinyGraph();
+  {
+    auto d = ShardDurability::Create(Opts(Path("shard")), g).MoveValueOrDie();
+    ASSERT_TRUE(d->WriteSnapshot(EmptySnapshot()).ok());
+    ASSERT_TRUE(d->LogShare(0, 1).ok());
+    FailPointRegistry::Instance().Arm("wal.append",
+                                      FailPointAction::kCrashTornWrite);
+    EXPECT_TRUE(d->LogShare(0, 2).IsIOError());
+  }
+  FailPointRegistry::Instance().ClearAll();
+
+  auto d = ShardDurability::Open(Opts(Path("shard"))).MoveValueOrDie();
+  auto rec = d->Recover().MoveValueOrDie();
+  ASSERT_EQ(rec.wal_records.size(), 1u);
+  EXPECT_TRUE(rec.torn_tail);
+  ASSERT_TRUE(d->ResumeAppending().ok());
+  ASSERT_TRUE(d->LogShare(0, 2).ok());
+  d.reset();
+
+  // The resumed log is clean: the torn frame was truncated away before the
+  // new append, so a fresh read sees two intact records and no tear.
+  auto d2 = ShardDurability::Open(Opts(Path("shard"))).MoveValueOrDie();
+  auto rec2 = d2->Recover().MoveValueOrDie();
+  ASSERT_EQ(rec2.wal_records.size(), 2u);
+  EXPECT_FALSE(rec2.torn_tail);
+  EXPECT_EQ(rec2.wal_records[1].seq, 2u);
+}
+
+TEST_F(DurabilityTest, ShardDurabilityFallsBackToOlderSnapshot) {
+  Graph g = TinyGraph();
+  {
+    auto d = ShardDurability::Create(Opts(Path("shard")), g).MoveValueOrDie();
+    ASSERT_TRUE(d->WriteSnapshot(EmptySnapshot()).ok());  // snapshot 0
+    ASSERT_TRUE(d->LogShare(0, 1).ok());
+    ASSERT_TRUE(d->WriteSnapshot(EmptySnapshot()).ok());  // snapshot 1
+    ASSERT_TRUE(d->LogShare(0, 2).ok());
+  }
+  // Corrupt the newest snapshot: recovery must fall back to snapshot 0 and
+  // replay both WALs (wal-0 then wal-1) to cover the gap.
+  {
+    std::fstream f(Path("shard") + "/snapshot-000001",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('\xff');
+  }
+  auto d = ShardDurability::Open(Opts(Path("shard"))).MoveValueOrDie();
+  auto rec = d->Recover().MoveValueOrDie();
+  EXPECT_EQ(rec.snapshot.id, 0u);
+  ASSERT_EQ(rec.wal_records.size(), 2u);
+  EXPECT_EQ(rec.wal_records[0].seq, 1u);
+  EXPECT_EQ(rec.wal_records[1].seq, 2u);
+}
+
+}  // namespace
+}  // namespace piggy

@@ -79,7 +79,7 @@ TEST_F(ScheduleIoTest, CommentsAndBlanksIgnored) {
   std::string path = Path("c.txt");
   {
     std::ofstream out(path);
-    out << "piggy-schedule v1\n# comment\n\nH 1 2\n  \nL 3 4\n";
+    out << "piggy-schedule v1\n# comment\n\nH 1 2\n  \nL 3 4\nE 1 1 0\n";
   }
   Schedule s = ReadScheduleText(path).ValueOrDie();
   EXPECT_TRUE(s.IsPush(1, 2));
@@ -124,6 +124,71 @@ TEST_F(ScheduleIoTest, CoverWithoutHubFails) {
 
 TEST_F(ScheduleIoTest, MissingFileFails) {
   EXPECT_TRUE(ReadScheduleText(Path("nope.txt")).status().IsIOError());
+}
+
+TEST_F(ScheduleIoTest, ParseRoundTripsWithoutTouchingDisk) {
+  Schedule s;
+  s.AddPush(4, 1);
+  s.AddPull(1, 9);
+  s.SetHubCover(4, 9, 1);
+  Schedule back = ParseSchedule(SerializeSchedule(s), "inline").ValueOrDie();
+  EXPECT_TRUE(back.IsPush(4, 1));
+  EXPECT_TRUE(back.IsPull(1, 9));
+  ASSERT_TRUE(back.HubFor(4, 9).has_value());
+  EXPECT_EQ(*back.HubFor(4, 9), 1u);
+}
+
+TEST_F(ScheduleIoTest, MissingFooterFails) {
+  // A serialized schedule with its E footer cut off is truncated data, not a
+  // smaller schedule.
+  Schedule s;
+  s.AddPush(0, 2);
+  s.AddPull(2, 1);
+  std::string text = SerializeSchedule(s);
+  size_t footer = text.rfind("E ");
+  ASSERT_NE(footer, std::string::npos);
+  auto r = ParseSchedule(text.substr(0, footer), "cut");
+  ASSERT_TRUE(r.status().IsIOError());
+  EXPECT_NE(r.status().message().find("cut"), std::string::npos);
+}
+
+TEST_F(ScheduleIoTest, TruncationAnywhereIsDetected) {
+  Graph g = MakeFlickrLike(300, 5).ValueOrDie();
+  Workload w = GenerateWorkload(g, {.min_rate = 0.05}).ValueOrDie();
+  auto pn = RunParallelNosy(g, w).ValueOrDie();
+  std::string text = SerializeSchedule(pn.schedule);
+  // Cut at a sweep of byte offsets: every prefix must be rejected — either a
+  // torn line fails to parse or the footer counts miss.
+  for (size_t cut : {text.size() / 7, text.size() / 3, text.size() / 2,
+                     text.size() - 2}) {
+    EXPECT_FALSE(ParseSchedule(text.substr(0, cut), "torn").ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(ScheduleIoTest, FooterCountMismatchFails) {
+  auto r = ParseSchedule("piggy-schedule v1\nH 1 2\nE 2 0 0\n", "bad");
+  ASSERT_TRUE(r.status().IsIOError());
+  EXPECT_NE(r.status().message().find("bad"), std::string::npos);
+  EXPECT_FALSE(
+      ParseSchedule("piggy-schedule v1\nH 1 2\nE 1 1 0\n", "bad").ok());
+}
+
+TEST_F(ScheduleIoTest, ContentAfterFooterFails) {
+  EXPECT_FALSE(
+      ParseSchedule("piggy-schedule v1\nH 1 2\nE 1 0 0\nH 3 4\n", "bad").ok());
+}
+
+TEST_F(ScheduleIoTest, ErrorsNameByteOffset) {
+  // The offending line's byte offset appears in the message, so an operator
+  // can seek straight to the corruption in a large schedule file.
+  std::string text = "piggy-schedule v1\nH 1 2\nH nonsense\n";
+  auto r = ParseSchedule(text, "off");
+  ASSERT_TRUE(r.status().IsIOError());
+  EXPECT_NE(r.status().message().find("byte"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("24"), std::string::npos)
+      << r.status().ToString();
 }
 
 }  // namespace

@@ -9,15 +9,22 @@
 //                       --servers 500 --requests 50000
 //   piggy_tool serve    --graph g.bin --planner nosy --shards 8
 //                       --partitioner edge-cut --requests 100000
+//                       --data-dir /var/piggy --snapshot-every 10000
 //   piggy_tool replay   --graph g.bin --scenario flash-crowd --policy drift
 //                       --requests 100000 --epochs 16
+//   piggy_tool recover  --data-dir /var/piggy
 //
 // Graphs use the binary format of graph_io.h (or .txt edge lists); schedules
-// use the text format of schedule_io.h.
+// use the text format of schedule_io.h. With --data-dir, serve and replay
+// keep WAL + snapshot pairs under the directory; `recover` rebuilds the
+// deployment from them after a crash (pass the same planner/sizing flags as
+// the original run so replayed replans reproduce the same schedules), prints
+// what recovery replayed, and re-validates the schedules.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,21 +63,31 @@ int Usage() {
                "  serve     --graph FILE [--planner NAME] [--shards N]\n"
                "            [--partitioner NAME] [--ratio R] [--requests N]\n"
                "            [--audit N] [--seed S] [--client-threads T]\n"
-               "            [--background-replan 0|1]\n"
+               "            [--background-replan 0|1] [--data-dir DIR]\n"
+               "            [--snapshot-every N] [--fsync 0|1]\n"
                "                             (--partitioner list shows the\n"
                "                              placement registry; T > 1 drives\n"
                "                              the router from T concurrent\n"
-               "                              clients)\n"
+               "                              clients; --data-dir enables WAL +\n"
+               "                              snapshot persistence)\n"
                "  replay    --graph FILE --scenario NAME [--planner NAME]\n"
                "            [--policy never|every-N|drift] [--shards N]\n"
                "            [--requests N] [--epochs E] [--intensity X]\n"
                "            [--churn-level C] [--ratio R] [--audit N] [--seed S]\n"
                "            [--client-threads T] [--background-replan 0|1]\n"
+               "            [--data-dir DIR] [--snapshot-every N] [--fsync 0|1]\n"
                "                             (--scenario list shows the registry;\n"
                "                              T > 1 adds T-1 concurrent load\n"
                "                              threads; background-replan moves\n"
                "                              policy replans off the serving\n"
                "                              threads)\n"
+               "  recover   --data-dir DIR [--planner NAME] [--ratio R]\n"
+               "            [--requests N] [--seed S]\n"
+               "                             (rebuilds the serving state from\n"
+               "                              the WAL + snapshot pairs, prints\n"
+               "                              the recovery stats, validates,\n"
+               "                              and optionally drives N requests\n"
+               "                              through the recovered system)\n"
                "\n"
                "scenarios (for replay --scenario):\n");
   for (const ScenarioInfo& info : RegisteredScenarios()) {
@@ -129,6 +146,14 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+DurabilityOptions DurabilityFromArgs(const Args& args) {
+  DurabilityOptions d;
+  d.data_dir = args.Str("data-dir");
+  d.snapshot_every = static_cast<uint64_t>(args.Int("snapshot-every", 0));
+  d.use_fsync = args.Int("fsync", 0) != 0;
+  return d;
+}
 
 Result<Graph> LoadGraph(const std::string& path) {
   if (path.empty()) return Status::InvalidArgument("--graph is required");
@@ -298,6 +323,7 @@ Status CmdServe(const Args& args) {
                             .min_rate = 0.01};
   const bool background_replan = args.Int("background-replan", 0) != 0;
   options.shard.background_replan = background_replan;
+  options.durability = DurabilityFromArgs(args);
   PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ClusterService> cluster,
                          ClusterService::Create(g, options));
   std::printf("planned: %s\n", cluster->GetMetrics().ToString().c_str());
@@ -360,6 +386,7 @@ Status CmdReplay(const Args& args) {
   service_options.replan = policy;
   service_options.audit_every = static_cast<size_t>(args.Int("audit", 0));
   service_options.background_replan = args.Int("background-replan", 0) != 0;
+  DurabilityOptions durability = DurabilityFromArgs(args);
 
   ReplayOptions replay_options;
   replay_options.client_threads =
@@ -376,12 +403,14 @@ Status CmdReplay(const Args& args) {
     options.partitioner = args.Str("partitioner", "hash");
     options.shard = service_options;
     options.audit_every = service_options.audit_every;
+    options.durability = durability;
     PIGGY_ASSIGN_OR_RETURN(cluster, ClusterService::Create(g, base, options));
     PIGGY_ASSIGN_OR_RETURN(report,
                            ReplayScenario(*scenario, *cluster, replay_options));
     PIGGY_RETURN_NOT_OK(cluster->WaitForBackgroundReplan());
     PIGGY_RETURN_NOT_OK(cluster->Validate());
   } else {
+    service_options.durability = durability;
     PIGGY_ASSIGN_OR_RETURN(service,
                            FeedService::Create(g, base, service_options));
     PIGGY_ASSIGN_OR_RETURN(report,
@@ -397,6 +426,60 @@ Status CmdReplay(const Args& args) {
     std::printf("final:    %s\n", cluster->GetMetrics().ToString().c_str());
   } else {
     std::printf("final:    %s\n", service->GetMetrics().ToString().c_str());
+  }
+  return Status::OK();
+}
+
+// Rebuilds a deployment from its durable directory — a cluster when the
+// directory holds a persisted shard assignment (the `serve` layout), a
+// single FeedService otherwise (a 1-shard `replay` run) — then prints what
+// recovery replayed and re-validates every schedule. Pass the same planner /
+// sizing flags as the original run so WAL-replayed replans reproduce the
+// same schedules.
+Status CmdRecover(const Args& args) {
+  const std::string data_dir = args.Str("data-dir");
+  if (data_dir.empty()) return Status::InvalidArgument("--data-dir is required");
+  const size_t requests = static_cast<size_t>(args.Int("requests", 0));
+  RecoveryStats stats;
+
+  const bool is_cluster =
+      std::filesystem::exists(data_dir + "/assignment.bin");
+  if (is_cluster) {
+    ClusterOptions options;
+    options.shard.planner = ResolvePlannerName(args);
+    options.shard.workload = {.read_write_ratio = args.Double("ratio", 5.0),
+                              .min_rate = 0.01};
+    options.durability = DurabilityFromArgs(args);
+    PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ClusterService> cluster,
+                           ClusterService::Recover(options, &stats));
+    std::printf("recovered: %s\n", stats.ToString().c_str());
+    PIGGY_RETURN_NOT_OK(cluster->Validate());
+    std::printf("validated: %s\n", cluster->GetMetrics().ToString().c_str());
+    if (requests > 0) {
+      DriverOptions d;
+      d.num_requests = requests;
+      d.seed = static_cast<uint64_t>(args.Int("seed", 42));
+      PIGGY_ASSIGN_OR_RETURN(ClusterDriveReport report, cluster->Drive(d));
+      std::printf("measured:  %s\n", report.ToString().c_str());
+    }
+  } else {
+    FeedServiceOptions options;
+    options.planner = ResolvePlannerName(args);
+    options.workload = {.read_write_ratio = args.Double("ratio", 5.0),
+                        .min_rate = 0.01};
+    options.durability = DurabilityFromArgs(args);
+    PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<FeedService> service,
+                           FeedService::Recover(options, &stats));
+    std::printf("recovered: %s\n", stats.ToString().c_str());
+    PIGGY_RETURN_NOT_OK(service->Validate());
+    std::printf("validated: %s\n", service->GetMetrics().ToString().c_str());
+    if (requests > 0) {
+      DriverOptions d;
+      d.num_requests = requests;
+      d.seed = static_cast<uint64_t>(args.Int("seed", 42));
+      PIGGY_ASSIGN_OR_RETURN(DriverReport report, service->Drive(d));
+      std::printf("measured:  %s\n", report.ToString().c_str());
+    }
   }
   return Status::OK();
 }
@@ -423,6 +506,7 @@ int Main(int argc, char** argv) {
   if (command == "evaluate") status = CmdEvaluate(args);
   if (command == "serve") status = CmdServe(args);
   if (command == "replay") status = CmdReplay(args);
+  if (command == "recover") status = CmdRecover(args);
   if (command == "help" || command == "--help") return Usage();
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
