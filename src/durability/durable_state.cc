@@ -100,6 +100,16 @@ Result<std::unique_ptr<ShardDurability>> ShardDurability::Create(
     return Status::IOError("cannot create data dir " + options.data_dir +
                            ": " + ec.message());
   }
+  // A dir that already holds durable state belongs to a previous run. Fresh
+  // creation must not append to its WALs or leave its higher-id snapshots
+  // shadowing the new generation — a later Recover would silently mix the
+  // two histories.
+  if (!ListIds(options.data_dir, "snapshot-", "").empty() ||
+      !ListIds(options.data_dir, "wal-", ".log").empty()) {
+    return Status::FailedPrecondition(
+        "data dir already holds durable state: " + options.data_dir +
+        " (recover it, or point at an empty directory)");
+  }
   {
     std::ofstream meta(fs::path(options.data_dir) / kMetaName);
     meta << kMetaLine << "\n";
@@ -203,8 +213,12 @@ uint64_t ShardDurability::records_since_snapshot() const {
 
 Status ShardDurability::WriteSnapshot(SnapshotData data) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Make wal-K durable but keep it open: if any rotation step below fails,
+  // appends keep flowing to wal-K and the rotation can simply be retried —
+  // a transient snapshot error must not become a permanent write outage.
+  // mu_ is held throughout, so no record can slip in mid-rotation.
   if (wal_.is_open()) {
-    PIGGY_RETURN_NOT_OK(wal_.Close());
+    PIGGY_RETURN_NOT_OK(wal_.Flush(options_.use_fsync));
   }
   const uint64_t next_id = has_snapshot_ ? current_id_ + 1 : 0;
   data.id = next_id;
@@ -216,12 +230,24 @@ Status ShardDurability::WriteSnapshot(SnapshotData data) {
   std::sort(data.churn.begin(), data.churn.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
   PIGGY_RETURN_NOT_OK(WriteSnapshotFile(data, SnapshotPath(next_id)));
-  PIGGY_ASSIGN_OR_RETURN(
-      wal_, WalWriter::Open(WalPath(next_id), options_.flush,
-                            options_.group_records, options_.use_fsync));
+  auto next_wal =
+      WalWriter::Open(WalPath(next_id), options_.flush, options_.group_records,
+                      options_.use_fsync, /*truncate=*/true);
+  if (!next_wal.ok()) {
+    // Unpublish the snapshot: once snapshot-(K+1) exists, recovery skips
+    // wal-K, so appends continuing there would be silently lost. If the
+    // snapshot cannot be removed either, fail-stop the pair instead.
+    if (std::remove(SnapshotPath(next_id).c_str()) != 0) {
+      (void)wal_.Close();
+    }
+    return next_wal.status();
+  }
+  WalWriter old_wal = std::move(wal_);
+  wal_ = std::move(next_wal).MoveValueOrDie();
   current_id_ = next_id;
   has_snapshot_ = true;
   records_since_snapshot_ = 0;
+  PIGGY_RETURN_NOT_OK(old_wal.Close());
 
   // Prune pairs older than the previous one; ignore errors (stray files are
   // harmless, recovery skips invalid names and prefers newer snapshots).

@@ -10,10 +10,12 @@
 //
 // Invariant: wal-K holds exactly the operations acked after snapshot-K was
 // written and before snapshot-(K+1). WriteSnapshot rotates in that order —
-// close wal-K, atomically publish snapshot-(K+1), open wal-(K+1) — so at any
-// crash point the newest *valid* snapshot plus the WALs at or after its id
-// reconstruct every acked operation. The last two pairs are retained; older
-// ones are pruned.
+// flush wal-K, atomically publish snapshot-(K+1), swap in a fresh (truncated)
+// wal-(K+1), close wal-K — under the append mutex, so at any crash point the
+// newest *valid* snapshot plus the WALs at or after its id reconstruct every
+// acked operation, and a rotation that fails partway leaves wal-K open and
+// appendable (the snapshot is unpublished again if the new WAL cannot open).
+// The last two pairs are retained; older ones are pruned.
 //
 // Recovery picks the newest snapshot that passes its CRC, folds its churn
 // delta, then replays the surviving WALs in id order. A torn tail on the
@@ -77,9 +79,11 @@ struct RecoveryStats {
 
 class ShardDurability {
  public:
-  /// Initializes a fresh data dir (meta + base graph). The caller must write
-  /// the initial snapshot (WriteSnapshot) before logging anything, which
-  /// creates snapshot-000000 and opens wal-000000.log.
+  /// Initializes a fresh data dir (meta + base graph). Refuses a directory
+  /// that already holds snapshot/WAL files from a previous run — recover
+  /// those with Open(), or point at an empty directory. The caller must
+  /// write the initial snapshot (WriteSnapshot) before logging anything,
+  /// which creates snapshot-000000 and opens wal-000000.log.
   static Result<std::unique_ptr<ShardDurability>> Create(
       const DurabilityOptions& options, const Graph& base_graph);
 

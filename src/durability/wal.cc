@@ -52,8 +52,9 @@ bool ValidType(uint8_t t) {
 }  // namespace
 
 Result<WalWriter> WalWriter::Open(std::string path, WalFlushPolicy policy,
-                                  uint32_t group_records, bool use_fsync) {
-  std::FILE* f = std::fopen(path.c_str(), "ab");
+                                  uint32_t group_records, bool use_fsync,
+                                  bool truncate) {
+  std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "ab");
   if (f == nullptr) {
     return Status::IOError("cannot open WAL for append: " + path);
   }
@@ -193,6 +194,13 @@ Result<WalReadResult> ReadWal(const std::string& path) {
     r.rc = GetF64(payload + 25);
     result.records.push_back(r);
     result.valid_bytes += kFrameHeaderSize + kPayloadSize;
+  }
+  // A short read caused by an I/O error is NOT a torn tail: reporting it as
+  // one would let ResumeAppending truncate away acked records that are intact
+  // on disk. Surface it as a retryable error instead.
+  if (std::ferror(f)) {
+    std::fclose(f);
+    return Status::IOError("WAL read failed: " + path);
   }
   if (std::fseek(f, 0, SEEK_END) != 0) {
     std::fclose(f);

@@ -63,9 +63,13 @@ enum class WalFlushPolicy : uint8_t {
 /// group-commit point).
 class WalWriter {
  public:
-  /// Opens `path` for appending, creating it if absent.
+  /// Opens `path` for appending, creating it if absent. With `truncate` the
+  /// file starts empty — used when a rotation opens a fresh WAL generation,
+  /// so a stale file left by an interrupted run cannot leak old frames under
+  /// the new snapshot id.
   static Result<WalWriter> Open(std::string path, WalFlushPolicy policy,
-                                uint32_t group_records, bool use_fsync);
+                                uint32_t group_records, bool use_fsync,
+                                bool truncate = false);
 
   WalWriter() = default;
   WalWriter(WalWriter&& other) noexcept;

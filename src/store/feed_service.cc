@@ -502,13 +502,16 @@ Status FeedService::Share(NodeId u) {
       return Status::InvalidArgument(StrFormat("unknown user %u", u));
     }
     PIGGY_RETURN_NOT_OK(EnsureServing(lock));
-    const EventTuple event = prototype_->ShareEvent(u);
-    // WAL-frame before the ack, inside the same shared-lock hold: an OK
-    // return means the share is on the log (ShardDurability serializes
-    // concurrent appends internally).
+    // Draw the seq, WAL-frame the record, then publish: a concurrent
+    // QueryStream can only ever observe an event that is already on the
+    // log, so neither the ack nor any read exposes state a crash could
+    // roll back past (ShardDurability serializes concurrent appends
+    // internally; a seq burned by a failed append is a harmless gap).
+    const uint64_t seq = prototype_->DrawShareSeq();
     if (durability_ != nullptr && !replaying_) {
-      PIGGY_RETURN_NOT_OK(durability_->LogShare(u, event.event_id));
+      PIGGY_RETURN_NOT_OK(durability_->LogShare(u, seq));
     }
+    prototype_->ShareEvent(u, seq);
   }
   PIGGY_RETURN_NOT_OK(ObserveRequest(/*is_share=*/true, u));
   return MaybeSnapshot();
@@ -521,10 +524,12 @@ Status FeedService::Share(NodeId u, uint64_t seq) {
       return Status::InvalidArgument(StrFormat("unknown user %u", u));
     }
     PIGGY_RETURN_NOT_OK(EnsureServing(lock));
-    prototype_->ShareEvent(u, seq);
+    // Same visibility contract as the self-sequenced overload: the record
+    // goes on the log before the event becomes readable.
     if (durability_ != nullptr && !replaying_) {
       PIGGY_RETURN_NOT_OK(durability_->LogShare(u, seq));
     }
+    prototype_->ShareEvent(u, seq);
   }
   PIGGY_RETURN_NOT_OK(ObserveRequest(/*is_share=*/true, u));
   return MaybeSnapshot();

@@ -69,6 +69,13 @@ EventTuple Prototype::ShareEvent(NodeId u) {
   return event;
 }
 
+uint64_t Prototype::DrawShareSeq() {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  const uint64_t seq = next_event_id_++;
+  clock_ = std::max(clock_, seq + 1);
+  return seq;
+}
+
 void Prototype::ShareEvent(NodeId u, uint64_t seq) {
   AppendAndDeliver(u, seq, seq);
 }

@@ -60,6 +60,14 @@ class Prototype {
   /// Returns the assigned tuple (the durability layer logs its event id).
   EventTuple ShareEvent(NodeId u);
 
+  /// Draws the next self-assigned sequence number WITHOUT publishing
+  /// anything. A durable FeedService frames the WAL record under this seq
+  /// first and only then publishes via ShareEvent(u, seq), so an event a
+  /// concurrent reader can observe is always at least on the log. Keeps the
+  /// id == timestamp invariant of the plain overload; a seq burned by a
+  /// failed log append leaves a harmless gap.
+  uint64_t DrawShareSeq();
+
   /// Shares with an externally assigned sequence number used as both event id
   /// and timestamp (the cluster's global ordering). Self-assigned ids are
   /// 1, 2, 3, ... = timestamps, so passing seq = next id is bit-identical to

@@ -359,6 +359,92 @@ TEST_F(DurabilityTest, ShardDurabilityDropsTornTailOnResume) {
   EXPECT_EQ(rec2.wal_records[1].seq, 2u);
 }
 
+TEST_F(DurabilityTest, ReadWalReportsReadErrors) {
+  // A directory opens fine but every fread fails (EISDIR): that is an I/O
+  // error, not an empty log — reporting it as a (zero-record) torn tail
+  // would let ResumeAppending truncate acked records that are intact.
+  std::filesystem::create_directories(Path("not_a_file"));
+  auto r = ReadWal(Path("not_a_file"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError()) << r.status().ToString();
+}
+
+TEST_F(DurabilityTest, CreateRefusesExistingDurableState) {
+  Graph g = TinyGraph();
+  {
+    auto d = ShardDurability::Create(Opts(Path("shard")), g).MoveValueOrDie();
+    ASSERT_TRUE(d->WriteSnapshot(EmptySnapshot()).ok());
+    ASSERT_TRUE(d->LogShare(0, 1).ok());
+  }
+  // A second Create on the same dir must refuse rather than append to the
+  // old WAL / leave stale higher-id snapshots for recovery to prefer.
+  auto again = ShardDurability::Create(Opts(Path("shard")), g);
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsFailedPrecondition())
+      << again.status().ToString();
+  // The refused dir is untouched: recovery still sees the first run intact.
+  auto d = ShardDurability::Open(Opts(Path("shard"))).MoveValueOrDie();
+  auto rec = d->Recover().MoveValueOrDie();
+  EXPECT_EQ(rec.snapshot.id, 0u);
+  ASSERT_EQ(rec.wal_records.size(), 1u);
+  EXPECT_EQ(rec.wal_records[0].seq, 1u);
+}
+
+TEST_F(DurabilityTest, FailedRotationKeepsWalAppendable) {
+  Graph g = TinyGraph();
+  auto& fp = FailPointRegistry::Instance();
+  {
+    auto d = ShardDurability::Create(Opts(Path("shard")), g).MoveValueOrDie();
+    ASSERT_TRUE(d->WriteSnapshot(EmptySnapshot()).ok());  // snapshot 0
+    ASSERT_TRUE(d->LogShare(0, 1).ok());
+    // A transient snapshot failure must not close the WAL: appends continue
+    // and the rotation can be retried.
+    for (const char* point : {"snapshot.write", "snapshot.rename"}) {
+      fp.Arm(point, FailPointAction::kError);
+      EXPECT_TRUE(d->WriteSnapshot(EmptySnapshot()).IsIOError()) << point;
+      fp.Disarm(point);
+      ASSERT_TRUE(d->LogShare(0, 2).ok()) << point;
+      EXPECT_TRUE(d->LogChurn(false, 0, 1).ok()) << point;
+    }
+    EXPECT_EQ(d->records_since_snapshot(), 5u);
+  }
+  fp.ClearAll();
+  // Nothing acked between the failed rotations was lost: recovery falls
+  // back on snapshot 0 and replays every record from wal-0.
+  auto d = ShardDurability::Open(Opts(Path("shard"))).MoveValueOrDie();
+  auto rec = d->Recover().MoveValueOrDie();
+  EXPECT_EQ(rec.snapshot.id, 0u);
+  ASSERT_EQ(rec.wal_records.size(), 5u);
+  EXPECT_EQ(rec.wal_records[0].seq, 1u);
+  EXPECT_FALSE(rec.torn_tail);
+  // And the retried rotation goes through once the fault clears.
+  ASSERT_TRUE(d->ResumeAppending().ok());
+  ASSERT_TRUE(d->WriteSnapshot(EmptySnapshot()).ok());
+  ASSERT_TRUE(d->LogShare(0, 3).ok());
+  EXPECT_EQ(d->records_since_snapshot(), 1u);
+}
+
+TEST_F(DurabilityTest, RotationTruncatesStaleWalFile) {
+  Graph g = TinyGraph();
+  auto d = ShardDurability::Create(Opts(Path("shard")), g).MoveValueOrDie();
+  ASSERT_TRUE(d->WriteSnapshot(EmptySnapshot()).ok());  // snapshot 0, wal-0
+  // Plant a stale wal-1 (as an interrupted earlier rotation could): the next
+  // rotation must start wal-1 empty, not append after the stale frames.
+  ASSERT_TRUE(WriteRecords(Path("shard") + "/wal-000001.log",
+                           {{WalRecordType::kShare, 9, 0, 999, 0, 0}})
+                  .ok());
+  ASSERT_TRUE(d->LogShare(0, 1).ok());
+  ASSERT_TRUE(d->WriteSnapshot(EmptySnapshot()).ok());  // rotates to pair 1
+  ASSERT_TRUE(d->LogShare(0, 2).ok());
+  d.reset();
+
+  auto d2 = ShardDurability::Open(Opts(Path("shard"))).MoveValueOrDie();
+  auto rec = d2->Recover().MoveValueOrDie();
+  EXPECT_EQ(rec.snapshot.id, 1u);
+  ASSERT_EQ(rec.wal_records.size(), 1u);
+  EXPECT_EQ(rec.wal_records[0].seq, 2u);  // the stale seq-999 frame is gone
+}
+
 TEST_F(DurabilityTest, ShardDurabilityFallsBackToOlderSnapshot) {
   Graph g = TinyGraph();
   {
