@@ -42,6 +42,20 @@ lost coverage):
   python3 scripts/check_bench_regression.py --recovery \
       --baseline BENCH_PR7.json \
       --current build/bench_fig12_recovery.json
+
+With --rebalance, both files are bench_fig13_rebalance JSON (an array of row
+objects, or a BENCH_PR*.json wrapper with a "bench_fig13_rebalance" key).
+The total rows are matched on (scenario, mode) and cross-message / tail
+imbalance deltas are printed. All numeric deltas are advisory — CI replays a
+smaller graph than the checked-in baseline, so absolute counts differ by
+design — but a baseline (scenario, mode) row missing from the current run
+exits 1 (the sweep silently lost a scenario). The rebalance-beats-static
+assertion itself lives in the CI workflow, where it runs against the
+current-scale numbers:
+
+  python3 scripts/check_bench_regression.py --rebalance \
+      --baseline BENCH_PR8.json \
+      --current build/bench_fig13_rebalance.json
 """
 
 import argparse
@@ -203,6 +217,62 @@ def check_recovery(args):
     return 0
 
 
+def load_rebalance(path):
+    """Returns {(scenario, mode): total row} from bench_fig13_rebalance JSON
+    (a bare array of row objects) or a BENCH_PR*.json wrapper."""
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = doc.get("bench_fig13_rebalance")
+    if not isinstance(doc, list) or not doc:
+        raise ValueError(f"{path}: no bench_fig13_rebalance rows")
+    out = {}
+    for row in doc:
+        if row.get("row") != "total":
+            continue
+        out[(row["scenario"], row["mode"])] = row
+    return out
+
+
+def check_rebalance(args):
+    """Elastic-rebalancing gate: cross-message totals and tail imbalance per
+    (scenario, mode).
+
+    All numeric deltas are advisory: the CI sweep replays a smaller graph
+    and fewer requests than the checked-in baseline, so absolute
+    cross-message counts differ by design (the rebalance-beats-static
+    assertion runs separately in CI against same-scale numbers). The hard
+    failure is coverage loss — a baseline (scenario, mode) row missing from
+    the current run means the sweep stopped exercising that combination.
+    """
+    baseline = load_rebalance(args.baseline)
+    current = load_rebalance(args.current)
+    missing = sorted(set(baseline) - set(current))
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print(f"error: no common rebalance rows between {args.baseline} and "
+              f"{args.current}", file=sys.stderr)
+        return 1
+
+    print(f"{'scenario/mode':28s} {'base cross':>11s} {'cur cross':>11s} "
+          f"{'tail imb':>16s}  moved")
+    for key in shared:
+        base, cur = baseline[key], current[key]
+        name = "/".join(str(k) for k in key)
+        print(f"{name:28s} {float(base['cross_msgs']):11.0f} "
+              f"{float(cur['cross_msgs']):11.0f} "
+              f"{float(base['imbalance']):7.3f} -> {float(cur['imbalance']):.3f}"
+              f"  {int(base['moved'])} -> {int(cur['moved'])}")
+
+    if missing:
+        for key in missing:
+            print(f"FAIL: baseline row {'/'.join(str(k) for k in key)} "
+                  f"missing from {args.current}", file=sys.stderr)
+        return 1
+    print(f"OK: rebalance rows covered ({len(shared)}); deltas are advisory")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -217,12 +287,17 @@ def main():
     parser.add_argument("--recovery", action="store_true",
                         help="compare bench_fig12_recovery rows (advisory "
                              "except for missing-row coverage)")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="compare bench_fig13_rebalance total rows "
+                             "(advisory except for missing-row coverage)")
     args = parser.parse_args()
 
     if args.serving:
         return check_serving(args)
     if args.recovery:
         return check_recovery(args)
+    if args.rebalance:
+        return check_rebalance(args)
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)

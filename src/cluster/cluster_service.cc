@@ -4,10 +4,13 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <unordered_set>
 #include <utility>
 
 #include "core/cost_model.h"
 #include "util/alias_table.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -23,33 +26,61 @@ CrossEdgeMode DecideMode(const Workload& w, NodeId producer, NodeId consumer) {
                                           : CrossEdgeMode::kPull;
 }
 
-// The frozen node -> shard assignment, persisted once at Create so Recover
-// rebuilds the exact placement (the partitioner may be randomized):
-//   u64 magic "PIGGYASN", u64 num_shards, u64 num_nodes, num_nodes x u32.
-constexpr uint64_t kAssignmentMagic = 0x4E53415947474950ULL;  // "PIGGYASN"
+// The node -> shard assignment, persisted at Create so Recover rebuilds the
+// exact placement (the partitioner may be randomized), and atomically
+// re-pointed by MigrateUsers (the rename IS the migration's durable commit):
+//   v1 "PIGGYASN": u64 magic, u64 num_shards, u64 num_nodes, num_nodes x u32.
+//   v2 "PIGGYAS2": v1 followed by num_shards x u64 per-shard directory
+//                  generations, so recovery opens the directories the last
+//                  committed migration produced.
+constexpr uint64_t kAssignmentMagicV1 = 0x4E53415947474950ULL;  // "PIGGYASN"
+constexpr uint64_t kAssignmentMagicV2 = 0x3253415947474950ULL;  // "PIGGYAS2"
 
 std::string AssignmentPath(const std::string& data_dir) {
   return data_dir + "/assignment.bin";
 }
 
-Status WriteAssignment(const ShardMap& map, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError(StrFormat("cannot write %s", path.c_str()));
+// Basename of shard s's durability directory at generation `gen`. Generation
+// 0 keeps the historical plain name so pre-migration layouts stay readable.
+std::string ShardDirBasename(uint32_t s, uint64_t gen) {
+  if (gen == 0) return StrFormat("shard-%04u", s);
+  return StrFormat("shard-%04u.g%06llu", s,
+                   static_cast<unsigned long long>(gen));
+}
+
+// Writes v2 to `path` via a same-directory temp file + rename, so a torn
+// write can never clobber the committed assignment.
+Status WriteAssignment(const ShardMap& map,
+                       const std::vector<uint64_t>& generations,
+                       const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError(StrFormat("cannot write %s", tmp.c_str()));
+    }
+    auto put = [&out](const void* p, size_t n) {
+      out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    };
+    const uint64_t magic = kAssignmentMagicV2;
+    const uint64_t shards = map.num_shards();
+    const uint64_t nodes = map.num_nodes();
+    put(&magic, sizeof magic);
+    put(&shards, sizeof shards);
+    put(&nodes, sizeof nodes);
+    put(map.assignment().data(), map.assignment().size() * sizeof(uint32_t));
+    put(generations.data(), generations.size() * sizeof(uint64_t));
+    out.flush();
+    if (!out) {
+      return Status::IOError(StrFormat("short write to %s", tmp.c_str()));
+    }
   }
-  auto put = [&out](const void* p, size_t n) {
-    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
-  };
-  const uint64_t magic = kAssignmentMagic;
-  const uint64_t shards = map.num_shards();
-  const uint64_t nodes = map.num_nodes();
-  put(&magic, sizeof magic);
-  put(&shards, sizeof shards);
-  put(&nodes, sizeof nodes);
-  put(map.assignment().data(), map.assignment().size() * sizeof(uint32_t));
-  out.flush();
-  if (!out) {
-    return Status::IOError(StrFormat("short write to %s", path.c_str()));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError(StrFormat("cannot rename %s over %s: %s",
+                                     tmp.c_str(), path.c_str(),
+                                     ec.message().c_str()));
   }
   return Status::OK();
 }
@@ -57,6 +88,7 @@ Status WriteAssignment(const ShardMap& map, const std::string& path) {
 struct AssignmentFile {
   uint64_t num_shards = 0;
   std::vector<uint32_t> shard_of;
+  std::vector<uint64_t> generations;  // zeros for a v1 file
 };
 
 Result<AssignmentFile> ReadAssignment(const std::string& path) {
@@ -69,7 +101,8 @@ Result<AssignmentFile> ReadAssignment(const std::string& path) {
     return static_cast<bool>(in);
   };
   uint64_t magic = 0;
-  if (!get(&magic, sizeof magic) || magic != kAssignmentMagic) {
+  if (!get(&magic, sizeof magic) ||
+      (magic != kAssignmentMagicV1 && magic != kAssignmentMagicV2)) {
     return Status::IOError(
         StrFormat("%s is not an assignment file", path.c_str()));
   }
@@ -87,6 +120,12 @@ Result<AssignmentFile> ReadAssignment(const std::string& path) {
     return Status::IOError(
         StrFormat("%s: truncated assignment", path.c_str()));
   }
+  file.generations.assign(file.num_shards, 0);
+  if (magic == kAssignmentMagicV2 &&
+      !get(file.generations.data(), file.num_shards * sizeof(uint64_t))) {
+    return Status::IOError(
+        StrFormat("%s: truncated generation table", path.c_str()));
+  }
   return file;
 }
 
@@ -103,6 +142,17 @@ double MaxOverMean(const std::vector<uint64_t>& loads) {
   return static_cast<double>(max) / mean;
 }
 
+double MaxOverMean(const std::vector<double>& loads) {
+  if (loads.empty()) return 0;
+  double total = 0, max = 0;
+  for (double x : loads) {
+    total += x;
+    max = std::max(max, x);
+  }
+  if (total <= 0) return 0;
+  return max / (total / static_cast<double>(loads.size()));
+}
+
 }  // namespace
 
 std::string ClusterMetrics::ToString() const {
@@ -111,7 +161,7 @@ std::string ClusterMetrics::ToString() const {
       "cross_edges=%zu replicas=%zu replans=%zu (drift=%zu score=%.3f) "
       "repairs=%zu churn=%zu "
       "shares=%lu queries=%lu audited=%lu cross_msgs=%lu+%lu mpr=%.2f "
-      "imbalance=%.2f",
+      "imbalance=%.2f windowed=%.2f migrations=%zu (moved=%zu)",
       shards, partitioner.c_str(), planner.c_str(), total_cost, intra_cost,
       cross_cost, cross_edges, replicas, replans, drift_replans,
       max_drift_score, repairs, churn_ops,
@@ -119,7 +169,7 @@ std::string ClusterMetrics::ToString() const {
       static_cast<unsigned long>(audited_queries),
       static_cast<unsigned long>(cross_update_messages),
       static_cast<unsigned long>(cross_query_messages), messages_per_request,
-      imbalance);
+      imbalance, windowed_imbalance, migrations, migrated_users);
 }
 
 std::string ClusterDriveReport::ToString() const {
@@ -139,11 +189,24 @@ ClusterService::ClusterService(ClusterOptions options, ShardMap map,
       feed_size_(feed_size),
       cross_(map_.num_shards(), feed_size),
       producer_seqs_(map_.num_nodes()),
-      per_shard_requests_(map_.num_shards()) {
+      per_shard_requests_(map_.num_shards()),
+      per_shard_fanout_(map_.num_shards()),
+      per_user_requests_(map_.num_nodes()),
+      per_user_served_(map_.num_nodes()) {
   down_.assign(map_.num_shards(), 0);
+  shard_gen_.assign(map_.num_shards(), 0);
+  window_ema_.assign(map_.num_shards(), 0.0);
+  window_last_.assign(map_.num_shards(), 0);
+  window_send_ema_.assign(map_.num_shards(), 0.0);
+  window_last_sends_.assign(map_.num_shards(), 0);
 }
 
 FeedServiceOptions ClusterService::ShardOptions(uint32_t s) const {
+  return ShardOptionsForGen(s, shard_gen_[s]);
+}
+
+FeedServiceOptions ClusterService::ShardOptionsForGen(uint32_t s,
+                                                      uint64_t gen) const {
   FeedServiceOptions opts = options_.shard;
   // With an auto thread budget each shard planner stays single-threaded —
   // the cluster is the parallel dimension, and oversubscribing k shards x p
@@ -154,7 +217,8 @@ FeedServiceOptions ClusterService::ShardOptions(uint32_t s) const {
   opts.durability = options_.durability;
   if (options_.durability.enabled()) {
     opts.durability.data_dir =
-        StrFormat("%s/shard-%04u", options_.durability.data_dir.c_str(), s);
+        StrFormat("%s/%s", options_.durability.data_dir.c_str(),
+                  ShardDirBasename(s, gen).c_str());
   }
   return opts;
 }
@@ -208,8 +272,9 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Create(
                                        options.durability.data_dir.c_str(),
                                        ec.message().c_str()));
     }
-    PIGGY_RETURN_NOT_OK(WriteAssignment(
-        cluster->map_, AssignmentPath(options.durability.data_dir)));
+    PIGGY_RETURN_NOT_OK(
+        WriteAssignment(cluster->map_, cluster->shard_gen_,
+                        AssignmentPath(options.durability.data_dir)));
     DurabilityOptions cluster_dur = options.durability;
     cluster_dur.data_dir += "/cluster";
     PIGGY_ASSIGN_OR_RETURN(cluster->durability_,
@@ -332,6 +397,25 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Recover(
   // Every shard recovers from its own pair, in parallel (recovery is
   // single-threaded per shard; the cluster is the parallel dimension).
   const size_t shards = cluster->map_.num_shards();
+  cluster->shard_gen_ = std::move(assignment.generations);
+
+  // Drop orphaned shard directories: generations a crashed migration built
+  // but never committed (crash before the assignment rename), or superseded
+  // ones a crash kept the migration from removing (crash right after it).
+  {
+    std::unordered_set<std::string> expected;
+    for (uint32_t s = 0; s < shards; ++s) {
+      expected.insert(ShardDirBasename(s, cluster->shard_gen_[s]));
+    }
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(
+             options.durability.data_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("shard-", 0) != 0 || expected.count(name) > 0) continue;
+      std::error_code rm_ec;
+      std::filesystem::remove_all(entry.path(), rm_ec);
+    }
+  }
   cluster->shards_.resize(shards);
   std::vector<Status> status(shards);
   std::vector<RecoveryStats> shard_stats(shards);
@@ -469,8 +553,16 @@ Status ClusterService::Share(NodeId u) {
     while (pos != history.begin() && *(pos - 1) > seq) --pos;
     history.insert(pos, seq);
     if (history.size() > feed_size_) history.erase(history.begin());
-    cross_.Publish(u, seq);
+    const size_t fanout = cross_.Publish(u, seq);
     per_shard_requests_[s].fetch_add(1, std::memory_order_relaxed);
+    per_user_requests_[u].fetch_add(1, std::memory_order_relaxed);
+    if (fanout > 0) {
+      // Sending the batched fan-out is work on the producer's shard (the
+      // receiving shards are charged inside Publish) — and it follows the
+      // producer when it migrates, so it counts toward the user's load too.
+      per_shard_fanout_[s].fetch_add(fanout, std::memory_order_relaxed);
+      per_user_served_[u].fetch_add(fanout, std::memory_order_relaxed);
+    }
     shares_.fetch_add(1, std::memory_order_relaxed);
   }
   shares_in_flight_.fetch_sub(1, std::memory_order_seq_cst);
@@ -506,6 +598,7 @@ Result<std::vector<EventTuple>> ClusterService::QueryInternal(NodeId u,
   PIGGY_ASSIGN_OR_RETURN(std::vector<EventTuple> local,
                          shards_[s].service->QueryStream(map_.LocalId(u)));
   per_shard_requests_[s].fetch_add(1, std::memory_order_relaxed);
+  per_user_requests_[u].fetch_add(1, std::memory_order_relaxed);
   queries_.fetch_add(1, std::memory_order_relaxed);
 
   // Collect (seq, producer) candidates. Local feed events carry global
@@ -529,13 +622,16 @@ Result<std::vector<EventTuple>> ClusterService::QueryInternal(NodeId u,
   std::span<const uint32_t> pull_shards = cross_.PullShards(u);
   for (uint32_t remote : pull_shards) {
     for (NodeId producer : cross_.PullProducers(u, remote)) {
+      // Serving this pull is work on the *producer's* shard — attribute it
+      // to the producer so PerUserLoad follows the work when it moves.
+      per_user_served_[producer].fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> stripe(StripeFor(producer));
       for (uint64_t seq : producer_seqs_[producer]) {
         candidates.emplace_back(seq, producer);
       }
     }
   }
-  cross_.CountQueryFanout(pull_shards.size());
+  cross_.CountQueryFanout(pull_shards);
 
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -677,6 +773,10 @@ Status ClusterService::Follow(NodeId follower, NodeId producer) {
                    producer_seqs_[producer]);
   }
   graph_.AddEdge(producer, follower);
+  if (migration_active_) {
+    migration_journal_.push_back(MigrationJournalEntry{
+        MigrationJournalEntry::Kind::kFollow, producer, follower, 0, 0});
+  }
   return ApplyChurnLocked();
 }
 
@@ -701,6 +801,10 @@ Status ClusterService::Unfollow(NodeId follower, NodeId producer) {
     cross_.RemoveEdge(producer, follower);
   }
   graph_.RemoveEdge(producer, follower);
+  if (migration_active_) {
+    migration_journal_.push_back(MigrationJournalEntry{
+        MigrationJournalEntry::Kind::kUnfollow, producer, follower, 0, 0});
+  }
   return ApplyChurnLocked();
 }
 
@@ -723,6 +827,10 @@ Status ClusterService::SetUserRates(NodeId u, double production,
   PIGGY_RETURN_NOT_OK(shards_[s].service->SetUserRates(map_.LocalId(u),
                                                        production,
                                                        consumption));
+  if (migration_active_) {
+    migration_journal_.push_back(MigrationJournalEntry{
+        MigrationJournalEntry::Kind::kRate, u, 0, production, consumption});
+  }
   if (durability_ != nullptr && !replaying_ &&
       options_.durability.snapshot_every > 0 &&
       durability_->records_since_snapshot() >=
@@ -769,6 +877,340 @@ bool ClusterService::IsShardDown(uint32_t s) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   PIGGY_CHECK_LT(s, down_.size());
   return down_[s] != 0;
+}
+
+void ClusterService::RepairCrossEdges(const std::vector<NodeId>& moved_users) {
+  // Every edge whose cross-ness or endpoint shards changed has at least one
+  // moved endpoint (a shard map swap cannot re-place anyone else), so walking
+  // the moved users' incident edges covers the whole repair. Edges between
+  // two moved users show up twice; dedupe.
+  U64Set seen(moved_users.size() * 4);
+  auto repair = [&](NodeId p, NodeId c) {
+    if (!seen.Insert(EdgeKey(p, c))) return;
+    if (cross_.HasEdge(p, c)) cross_.RemoveEdge(p, c);
+    const uint32_t sp = map_.ShardOf(p);
+    const uint32_t sc = map_.ShardOf(c);
+    if (sp != sc) {
+      // Exclusive cluster lock: no share is mid-publication, so the history
+      // is stable without its stripe (same argument as Follow).
+      cross_.AddEdge(p, sp, c, sc, DecideMode(workload_, p, c),
+                     producer_seqs_[p]);
+    }
+  };
+  for (NodeId u : moved_users) {
+    for (NodeId follower : graph_.OutNeighbors(u)) repair(u, follower);
+    for (NodeId producer : graph_.InNeighbors(u)) repair(producer, u);
+  }
+}
+
+Status ClusterService::MigrateUsers(const std::vector<UserMove>& moves) {
+  if (moves.empty()) return Status::OK();
+
+  // --- Freeze (exclusive): validate the batch, snapshot everything the
+  // rebuild needs, and start journaling concurrent churn/rate mutations. ----
+  std::vector<UserMove> effective;
+  std::vector<uint32_t> affected;   // sorted shard ids with membership churn
+  std::vector<uint64_t> build_gen;  // per affected index: directory gen to build
+  std::optional<ShardMap> new_map;
+  Graph frozen_graph;
+  Workload frozen_workload;
+  uint64_t frozen_next_seq = 0;
+  // seeds[i][local] = frozen share history of affected[i]'s local user under
+  // the NEW map.
+  std::vector<std::vector<std::vector<uint64_t>>> seeds;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (migration_active_) {
+      return Status::FailedPrecondition(
+          "another user migration is in flight");
+    }
+    std::vector<uint32_t> new_assignment = map_.assignment();
+    std::vector<uint8_t> moving(map_.num_nodes(), 0);
+    for (const UserMove& m : moves) {
+      if (m.user >= map_.num_nodes()) {
+        return Status::InvalidArgument(StrFormat("unknown user %u", m.user));
+      }
+      if (m.to >= map_.num_shards()) {
+        return Status::InvalidArgument(
+            StrFormat("unknown destination shard %u", m.to));
+      }
+      if (moving[m.user]) {
+        return Status::InvalidArgument(
+            StrFormat("user %u moved twice in one batch", m.user));
+      }
+      moving[m.user] = 1;
+      if (map_.ShardOf(m.user) == m.to) continue;  // no-op move
+      effective.push_back(m);
+      new_assignment[m.user] = m.to;
+    }
+    if (effective.empty()) return Status::OK();
+
+    std::vector<uint8_t> is_affected(map_.num_shards(), 0);
+    for (const UserMove& m : effective) {
+      is_affected[map_.ShardOf(m.user)] = 1;
+      is_affected[m.to] = 1;
+    }
+    for (uint32_t s = 0; s < map_.num_shards(); ++s) {
+      if (!is_affected[s]) continue;
+      if (down_[s]) {
+        return Status::Unavailable(
+            StrFormat("shard %u involved in the migration is down", s));
+      }
+      affected.push_back(s);
+      build_gen.push_back(shard_gen_[s] + 1);
+    }
+
+    auto map_or = ShardMap::FromAssignment(std::move(new_assignment),
+                                           map_.num_shards());
+    if (!map_or.ok()) return map_or.status();
+    new_map.emplace(std::move(map_or).MoveValueOrDie());
+
+    PIGGY_ASSIGN_OR_RETURN(frozen_graph, graph_.Snapshot());
+    frozen_workload = workload_;
+    frozen_next_seq = next_seq_.load(std::memory_order_seq_cst);
+    // Exclusive lock: no share sits between its seq draw and its history
+    // publication, so every published seq is < frozen_next_seq and the
+    // histories are stable without their stripes.
+    seeds.resize(affected.size());
+    for (size_t i = 0; i < affected.size(); ++i) {
+      const std::vector<NodeId>& members = new_map->Members(affected[i]);
+      seeds[i].resize(members.size());
+      for (size_t l = 0; l < members.size(); ++l) {
+        seeds[i][l] = producer_seqs_[members[l]];
+      }
+    }
+    migration_active_ = true;
+    migration_journal_.clear();
+  }
+
+  // Undo of a failed migration: stop journaling and drop the half-built
+  // generation directories (equivalently: what Recover's orphan scan would
+  // do after a crash at the same point).
+  auto abort = [&](Status why) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    migration_active_ = false;
+    migration_journal_.clear();
+    if (options_.durability.enabled()) {
+      for (size_t i = 0; i < affected.size(); ++i) {
+        std::error_code ec;
+        std::filesystem::remove_all(
+            ShardOptionsForGen(affected[i], build_gen[i]).durability.data_dir,
+            ec);
+      }
+    }
+    return why;
+  };
+
+  // --- Build (no lock): every affected shard's FeedService is rebuilt on its
+  // new induced subgraph and seeded with the frozen histories, while Shares
+  // and QueryStreams keep flowing against the old placement. With durability
+  // each rebuild writes the next generation directory — migrated users' WAL
+  // records land in the destination shard's own log. ------------------------
+  std::vector<std::unique_ptr<FeedService>> rebuilt(affected.size());
+  std::vector<Status> status(affected.size());
+  {
+    ThreadPool pool(std::min(affected.size(), ThreadPool::DefaultThreads()));
+    ParallelFor(pool, affected.size(), [&](size_t i) {
+      const uint32_t s = affected[i];
+      const FeedServiceOptions opts = ShardOptionsForGen(s, build_gen[i]);
+      if (opts.durability.enabled()) {
+        // A crashed earlier migration may have left this generation behind
+        // (Create refuses a non-empty directory).
+        std::error_code ec;
+        std::filesystem::remove_all(opts.durability.data_dir, ec);
+      }
+      auto subgraph = new_map->InducedSubgraph(frozen_graph, s);
+      if (!subgraph.ok()) {
+        status[i] = subgraph.status();
+        return;
+      }
+      auto service =
+          FeedService::Create(subgraph.ValueOrDie(),
+                              new_map->ProjectWorkload(frozen_workload, s),
+                              opts);
+      if (!service.ok()) {
+        status[i] = service.status();
+        return;
+      }
+      rebuilt[i] = std::move(service).MoveValueOrDie();
+      // Seed the frozen histories under their original global seqs — feeds
+      // keep their cluster-wide order, and the events are WAL-logged into
+      // the destination's own directory.
+      const std::vector<NodeId>& members = new_map->Members(s);
+      for (size_t l = 0; l < members.size(); ++l) {
+        for (uint64_t seq : seeds[i][l]) {
+          status[i] = rebuilt[i]->Share(static_cast<NodeId>(l), seq);
+          if (!status[i].ok()) return;
+        }
+      }
+    });
+  }
+  for (size_t i = 0; i < affected.size(); ++i) {
+    if (!status[i].ok()) {
+      return abort(Status(status[i].code(),
+                          StrFormat("rebuilding shard %u: %s", affected[i],
+                                    status[i].message().c_str())));
+    }
+  }
+
+  // --- Publish (exclusive): catch the rebuilt shards up on everything that
+  // happened during the build, commit durably, then swap in memory. ---------
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (uint32_t s : affected) {
+    if (down_[s]) {
+      lock.unlock();
+      return abort(Status::Unavailable(StrFormat(
+          "shard %u went down during the migration build", s)));
+    }
+  }
+
+  // Share delta: seqs that arrived while the build ran (exclusive lock again,
+  // so histories are stable; frozen seqs are all < frozen_next_seq, so there
+  // is no overlap with the seeded prefix).
+  for (size_t i = 0; i < affected.size(); ++i) {
+    const std::vector<NodeId>& members = new_map->Members(affected[i]);
+    for (size_t l = 0; l < members.size(); ++l) {
+      for (uint64_t seq : producer_seqs_[members[l]]) {
+        if (seq < frozen_next_seq) continue;
+        Status st = rebuilt[i]->Share(static_cast<NodeId>(l), seq);
+        if (!st.ok()) {
+          lock.unlock();
+          return abort(st);
+        }
+      }
+    }
+  }
+
+  // Journaled churn + rate shifts. Only same-shard edges of affected shards
+  // matter here: cross edges live in the router (repaired below), and
+  // unaffected shards kept serving their own churn all along.
+  std::vector<int64_t> rebuilt_index(map_.num_shards(), -1);
+  for (size_t i = 0; i < affected.size(); ++i) {
+    rebuilt_index[affected[i]] = static_cast<int64_t>(i);
+  }
+  for (const MigrationJournalEntry& e : migration_journal_) {
+    Status st;
+    if (e.kind == MigrationJournalEntry::Kind::kRate) {
+      const uint32_t s = new_map->ShardOf(e.producer);
+      if (rebuilt_index[s] < 0) continue;
+      st = rebuilt[static_cast<size_t>(rebuilt_index[s])]->SetUserRates(
+          new_map->LocalId(e.producer), e.rp, e.rc);
+    } else {
+      const uint32_t sp = new_map->ShardOf(e.producer);
+      const uint32_t sc = new_map->ShardOf(e.follower);
+      if (sp != sc || rebuilt_index[sp] < 0) continue;
+      FeedService& svc = *rebuilt[static_cast<size_t>(rebuilt_index[sp])];
+      st = e.kind == MigrationJournalEntry::Kind::kFollow
+               ? svc.Follow(new_map->LocalId(e.follower),
+                            new_map->LocalId(e.producer))
+               : svc.Unfollow(new_map->LocalId(e.follower),
+                              new_map->LocalId(e.producer));
+    }
+    if (!st.ok()) {
+      lock.unlock();
+      return abort(st);
+    }
+  }
+
+  if (durability_ != nullptr) {
+    // Migration-commit markers on both sides of every move, then the atomic
+    // assignment re-point — THE durable commit. A crash before the rename
+    // recovers the old placement (the new directories are orphans); after
+    // it, the new one. Feeds are placement-independent, so either side
+    // recovers the exact acked state.
+    for (size_t i = 0; i < affected.size(); ++i) {
+      Status st = shards_[affected[i]].service->LogMigrationCommit();
+      if (st.ok()) st = rebuilt[i]->LogMigrationCommit();
+      if (!st.ok()) {
+        lock.unlock();
+        return abort(st);
+      }
+    }
+    if (FailPointRegistry::Instance().Hit("migration.commit") !=
+        FailPointAction::kOff) {
+      lock.unlock();
+      return abort(Status::IOError("failpoint migration.commit"));
+    }
+    std::vector<uint64_t> new_gens = shard_gen_;
+    for (size_t i = 0; i < affected.size(); ++i) {
+      new_gens[affected[i]] = build_gen[i];
+    }
+    Status st = WriteAssignment(*new_map, new_gens,
+                                AssignmentPath(options_.durability.data_dir));
+    if (!st.ok()) {
+      lock.unlock();
+      return abort(st);
+    }
+    if (FailPointRegistry::Instance().Hit("migration.cutover") !=
+        FailPointAction::kOff) {
+      // Disk already committed the move, so the new directories must
+      // survive. Fail-stop model: the caller recovers the cluster and lands
+      // on the new placement.
+      migration_active_ = false;
+      migration_journal_.clear();
+      return Status::IOError("failpoint migration.cutover");
+    }
+  }
+
+  // --- In-memory commit (infallible): swap the map, the rebuilt services
+  // and the router's cross-edge state. Queries were served from the source
+  // shards up to this exclusive section; from here they hit the
+  // destinations — no serving gap in between. -------------------------------
+  std::vector<NodeId> moved_users;
+  moved_users.reserve(effective.size());
+  for (const UserMove& m : effective) moved_users.push_back(m.user);
+  std::vector<std::string> old_dirs;
+  if (options_.durability.enabled()) {
+    for (size_t i = 0; i < affected.size(); ++i) {
+      old_dirs.push_back(
+          ShardOptionsForGen(affected[i], shard_gen_[affected[i]])
+              .durability.data_dir);
+    }
+  }
+  map_ = std::move(*new_map);
+  for (size_t i = 0; i < affected.size(); ++i) {
+    const uint32_t s = affected[i];
+    // The replaced service flushes its WAL in its destructor (orderly
+    // handoff, like KillShard).
+    shards_[s].service = std::move(rebuilt[i]);
+    shard_gen_[s] = build_gen[i];
+  }
+  RepairCrossEdges(moved_users);
+  migration_active_ = false;
+  migration_journal_.clear();
+  ++migrations_;
+  migrated_users_ += effective.size();
+  lock.unlock();
+
+  // Superseded generations are garbage now; a crash that skips this cleanup
+  // is healed by Recover's orphan scan.
+  for (const std::string& dir : old_dirs) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> ClusterService::PerUserLoad() const {
+  std::vector<uint64_t> out(per_user_requests_.size());
+  for (size_t u = 0; u < out.size(); ++u) {
+    out[u] = per_user_requests_[u].load(std::memory_order_relaxed) +
+             per_user_served_[u].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<uint64_t> ClusterService::PerUserRequests() const {
+  std::vector<uint64_t> out(per_user_requests_.size());
+  for (size_t u = 0; u < out.size(); ++u) {
+    out[u] = per_user_requests_[u].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Result<Graph> ClusterService::GraphSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return graph_.Snapshot();
 }
 
 Status ClusterService::WriteSnapshotLocked() {
@@ -948,6 +1390,75 @@ ClusterMetrics ClusterService::GetMetrics() const {
         per_shard_requests_[s].load(std::memory_order_relaxed);
   }
   m.imbalance = MaxOverMean(m.per_shard_requests);
+  m.per_shard_replicas = cross_.replicas_per_shard();
+  cross_.PerShardTraffic(&m.per_shard_cross_updates,
+                         &m.per_shard_cross_queries);
+  // Work landing on a shard = requests routed to it + replica updates written
+  // into it + pull batches it served for remote consumers + fan-out batches
+  // its own producers sent.
+  m.per_shard_work.resize(m.per_shard_requests.size());
+  for (size_t s = 0; s < m.per_shard_requests.size(); ++s) {
+    m.per_shard_work[s] = m.per_shard_requests[s] +
+                          m.per_shard_cross_updates[s] +
+                          m.per_shard_cross_queries[s] +
+                          per_shard_fanout_[s].load(std::memory_order_relaxed);
+  }
+  m.migrations = migrations_;
+  m.migrated_users = migrated_users_;
+
+  // Fold the per-shard work deltas since the last poll into the EMA view.
+  // Idle polls (a probe and a rebalance trigger reading metrics back to
+  // back) leave the window untouched so they cannot wash a hot shard out.
+  {
+    std::lock_guard<std::mutex> wlock(window_mu_);
+    uint64_t total_delta = 0;
+    for (size_t s = 0; s < m.per_shard_work.size(); ++s) {
+      total_delta += m.per_shard_work[s] - window_last_[s];
+    }
+    if (total_delta > 0) {
+      constexpr double kAlpha = 0.6;  // weight of the newest window
+      for (size_t s = 0; s < m.per_shard_work.size(); ++s) {
+        const double delta =
+            static_cast<double>(m.per_shard_work[s] - window_last_[s]);
+        window_ema_[s] = kAlpha * delta + (1 - kAlpha) * window_ema_[s];
+        window_last_[s] = m.per_shard_work[s];
+      }
+      // Same cadence for the chatter signal: cross messages per routed
+      // request over this window, EMA-smoothed.
+      const uint64_t cross_now =
+          m.cross_update_messages + m.cross_query_messages;
+      uint64_t requests_now = 0;
+      for (uint64_t r : m.per_shard_requests) requests_now += r;
+      const uint64_t req_delta = requests_now - window_last_requests_;
+      if (req_delta > 0) {
+        const double rate = static_cast<double>(cross_now - window_last_cross_) /
+                            static_cast<double>(req_delta);
+        window_cross_rate_ = kAlpha * rate + (1 - kAlpha) * window_cross_rate_;
+      }
+      // Advance the baselines even on a request-less window: initial
+      // replication and migration rebuilds emit state-transfer messages with
+      // no requests attached, and they must not be billed to the next
+      // window's rate.
+      window_last_cross_ = cross_now;
+      window_last_requests_ = requests_now;
+      // Where the batched sends originate, same cadence: a celebrity's home
+      // shard stands out here long before (or without) any work imbalance.
+      for (size_t s = 0; s < window_send_ema_.size(); ++s) {
+        const uint64_t sends =
+            per_shard_fanout_[s].load(std::memory_order_relaxed);
+        const double send_delta =
+            static_cast<double>(sends - window_last_sends_[s]);
+        window_send_ema_[s] =
+            kAlpha * send_delta + (1 - kAlpha) * window_send_ema_[s];
+        window_last_sends_[s] = sends;
+      }
+    }
+    m.per_shard_window = window_ema_;
+    m.windowed_cross_rate = window_cross_rate_;
+    m.per_shard_send_window = window_send_ema_;
+    m.windowed_send_imbalance = MaxOverMean(window_send_ema_);
+  }
+  m.windowed_imbalance = MaxOverMean(m.per_shard_window);
 
   for (const Shard& shard : shards_) {
     if (shard.service == nullptr) continue;  // killed shard

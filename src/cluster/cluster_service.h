@@ -129,6 +129,38 @@ struct ClusterMetrics {
   uint64_t cross_query_messages = 0;    ///< remote-pull fan-out
   std::vector<uint64_t> per_shard_requests;  ///< requests routed per shard
   double imbalance = 0;  ///< max/mean of per_shard_requests (1 = even)
+  /// Work actually landing on each shard: routed requests, plus the batched
+  /// cross-shard messages it received (replica updates written into it, pull
+  /// batches it served), plus the fan-out batches its own producers sent. A
+  /// producer whose followers pull from across the cluster loads its *own*
+  /// shard with every remote query — per-shard requests alone would miss
+  /// that.
+  std::vector<uint64_t> per_shard_work;
+  /// Recency-weighted per-shard load: an EMA over the per-shard *work* deltas
+  /// between successive GetMetrics calls, so a shard that went hot *recently*
+  /// stands out even when lifetime counters say the cluster is even. Window
+  /// length is therefore the caller's metrics cadence (the replay loop polls
+  /// once per epoch); back-to-back polls with no traffic in between do not
+  /// decay the view.
+  std::vector<double> per_shard_window;
+  double windowed_imbalance = 0;  ///< max/mean of per_shard_window
+  /// EMA of cross-shard messages per routed request over the same polling
+  /// windows — the trigger's second watch signal: a placement can be balanced
+  /// yet pay for it in chatter.
+  double windowed_cross_rate = 0;
+  /// EMA'd per-shard fan-out *sends* over the same polling windows: where
+  /// the batched cross-shard update traffic originates. A celebrity whose
+  /// audience spans every shard barely moves the work imbalance (its home
+  /// shard may have been light, and every other shard receives the fan-out
+  /// evenly), but the sends from its home shard multiply — a trigger
+  /// watching each shard against its own history sees it.
+  std::vector<double> per_shard_send_window;
+  double windowed_send_imbalance = 1;  ///< max/mean of per_shard_send_window
+  std::vector<size_t> per_shard_replicas;  ///< replicas hosted per shard
+  std::vector<uint64_t> per_shard_cross_updates;  ///< cross msgs into shard
+  std::vector<uint64_t> per_shard_cross_queries;  ///< cross pulls from shard
+  size_t migrations = 0;      ///< completed MigrateUsers batches
+  size_t migrated_users = 0;  ///< users moved across shards (lifetime)
   double messages_per_request = 0;  ///< shard-local + cross messages
 
   std::string ToString() const;
@@ -146,6 +178,12 @@ struct ClusterDriveReport {
   double imbalance = 0;                  ///< max/mean requests per shard
 
   std::string ToString() const;
+};
+
+/// \brief One user relocation inside a MigrateUsers batch.
+struct UserMove {
+  NodeId user = 0;
+  uint32_t to = 0;  ///< destination shard
 };
 
 /// \brief A running sharded deployment.
@@ -218,6 +256,47 @@ class ClusterService {
   /// True while shard `s` is killed. Thread-safe.
   bool IsShardDown(uint32_t s) const;
 
+  /// Moves a batch of users to new shards with no serving gap. Three phases:
+  ///
+  ///   freeze    (exclusive) validate the batch, snapshot the graph, rates and
+  ///             share histories of every affected shard under the *new* map,
+  ///             and start journaling churn/rate mutations.
+  ///   build     (no lock — Shares and QueryStreams keep flowing against the
+  ///             old placement) rebuild every affected shard's FeedService on
+  ///             its new induced subgraph, seeding the frozen histories; with
+  ///             durability, each rebuilt shard writes a fresh
+  ///             generation-suffixed directory.
+  ///   publish   (exclusive) replay the share/churn/rate delta that arrived
+  ///             during build, write a migration-commit marker into the WALs
+  ///             on both sides, atomically re-point the persisted assignment
+  ///             (the durable commit point), then swap the ShardMap, the
+  ///             rebuilt services and the cross-shard index in memory.
+  ///
+  /// Queries for a migrating user are served from its source shard until the
+  /// swap, never Unavailable. A crash before the assignment rename recovers
+  /// the old placement, after it the new one — feeds are placement-independent
+  /// so either side is exact. No-op moves are filtered; an empty batch is OK.
+  /// Fails with Unavailable if a source or destination shard is down, and
+  /// FailedPrecondition if another migration is in flight.
+  Status MigrateUsers(const std::vector<UserMove>& moves);
+
+  /// Lifetime requests (shares + queries) routed per user — the observed
+  /// per-user load a rebalance planner weighs move candidates by.
+  /// Thread-safe.
+  std::vector<uint64_t> PerUserRequests() const;
+
+  /// Lifetime work attributed per user: routed requests, plus the remote
+  /// pull batches served *for* the user's events, plus the fan-out batches
+  /// sent for its shares — the work that lands on the user's own shard and
+  /// follows the user when it moves. (Push replica *writes* land on consumer
+  /// shards and deliberately do not count here.) This is the load signal the
+  /// rebalance planner should weigh moves by. Thread-safe.
+  std::vector<uint64_t> PerUserLoad() const;
+
+  /// Immutable snapshot of the current cluster graph (base + churn so far).
+  /// Thread-safe.
+  Result<Graph> GraphSnapshot() const;
+
   /// Re-runs the configured planner on every shard's current subgraph, in
   /// parallel (stored events are preserved per shard). Synchronous:
   /// holds the cluster lock exclusively while every shard plans.
@@ -266,6 +345,18 @@ class ClusterService {
     std::unique_ptr<FeedService> service;
   };
 
+  /// One mutation applied while a migration build was running lock-free.
+  /// Publish replays the journal into the rebuilt shards so they catch up to
+  /// the live graph/rates before the swap.
+  struct MigrationJournalEntry {
+    enum class Kind : uint8_t { kFollow, kUnfollow, kRate };
+    Kind kind;
+    NodeId producer = 0;  ///< the rated user for kRate
+    NodeId follower = 0;
+    double rp = 0;
+    double rc = 0;
+  };
+
   /// Quiescence witness for one merged-stream audit, captured before the
   /// query (the cluster analogue of Prototype::AuditToken): completeness is
   /// provable only if no share was in flight at capture or check time and the
@@ -308,6 +399,14 @@ class ClusterService {
   /// cluster itself is the parallel dimension).
   FeedServiceOptions ShardOptions(uint32_t s) const;
 
+  /// Same, pinned to an explicit directory generation (migration builds write
+  /// the *next* generation while the current one keeps serving).
+  FeedServiceOptions ShardOptionsForGen(uint32_t s, uint64_t gen) const;
+
+  /// Re-derives the router's cross-edge state for every edge incident to a
+  /// moved user after the ShardMap swap. Requires mu_ held exclusively.
+  void RepairCrossEdges(const std::vector<NodeId>& moved_users);
+
   /// Rotates the cluster-level durability pair (rates + churn delta +
   /// next_seq; no schedule or events — the shards own those). Requires mu_
   /// held exclusively. No-op without durability.
@@ -329,6 +428,19 @@ class ClusterService {
   // down_[s] is set while shard s is killed (shards_[s].service is null
   // then). Written under the exclusive lock, read under shared.
   std::vector<uint8_t> down_;
+  // Durability-directory generation per shard: shard s serves out of
+  // shard-NNNN (gen 0) or shard-NNNN.gGGGGGG. A migration rebuilds affected
+  // shards into the next generation and bumps this at the swap; persisted in
+  // the assignment file so Recover opens the right directories and removes
+  // orphaned generations. Written under the exclusive lock.
+  std::vector<uint64_t> shard_gen_;
+  // True from a migration's freeze to its publish/abort: Follow/Unfollow/
+  // SetUserRates journal their mutations so the lock-free build can catch up
+  // at publish. All three written under the exclusive lock.
+  bool migration_active_ = false;
+  std::vector<MigrationJournalEntry> migration_journal_;
+  size_t migrations_ = 0;
+  size_t migrated_users_ = 0;
 
   // Cluster lock: Share/QueryStream/GetMetrics/Validate shared,
   // Follow/Unfollow/Replan exclusive. graph_ and the cross_ structure are
@@ -357,6 +469,27 @@ class ClusterService {
 
   // Router counters, bumped on the shared-lock serving path.
   std::vector<std::atomic<uint64_t>> per_shard_requests_;
+  // Batched fan-out messages sent by each shard's producers (the sending
+  // half of cross-shard update work; the receiving half lives in cross_).
+  std::vector<std::atomic<uint64_t>> per_shard_fanout_;
+  // Observed per-user load (shares + queries), the rebalance planner's move
+  // weights.
+  std::vector<std::atomic<uint64_t>> per_user_requests_;
+  // Remote pull batches served for each producer's events plus fan-out
+  // batches sent for its shares (work on the producer's shard; see
+  // PerUserLoad).
+  std::vector<std::atomic<uint64_t>> per_user_served_;
+  // Recency-weighted per-shard load (see ClusterMetrics::per_shard_window):
+  // folded on GetMetrics under its own small mutex so concurrent metric polls
+  // stay safe on the shared-lock path.
+  mutable std::mutex window_mu_;
+  mutable std::vector<double> window_ema_;
+  mutable std::vector<uint64_t> window_last_;
+  mutable uint64_t window_last_cross_ = 0;
+  mutable uint64_t window_last_requests_ = 0;
+  mutable double window_cross_rate_ = 0;
+  mutable std::vector<double> window_send_ema_;
+  mutable std::vector<uint64_t> window_last_sends_;
   std::atomic<uint64_t> shares_{0};
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> audited_queries_{0};

@@ -35,7 +35,11 @@ void SortedInsert(std::vector<uint32_t>& v, uint32_t x) {
 }  // namespace
 
 CrossShardIndex::CrossShardIndex(size_t num_shards, size_t feed_size)
-    : num_shards_(num_shards), feed_size_(feed_size) {
+    : num_shards_(num_shards),
+      feed_size_(feed_size),
+      replicas_per_shard_(num_shards, 0),
+      per_shard_update_messages_(num_shards),
+      per_shard_query_messages_(num_shards) {
   PIGGY_CHECK_GT(num_shards, 0u);
   PIGGY_CHECK_GT(feed_size, 0u);
 }
@@ -72,7 +76,10 @@ bool CrossShardIndex::AddEdge(NodeId producer, uint32_t producer_shard,
                                  producer_history.end());
       replicas_.Put(EdgeKey(consumer_shard, producer), std::move(seqs));
       ++replica_count_;
+      ++replicas_per_shard_[consumer_shard];
       update_messages_.fetch_add(1, std::memory_order_relaxed);
+      per_shard_update_messages_[consumer_shard].fetch_add(
+          1, std::memory_order_relaxed);
       replica_backfills_.fetch_add(1, std::memory_order_relaxed);
     }
     GetOrCreate(push_producers_, consumer).push_back(producer);
@@ -104,6 +111,7 @@ bool CrossShardIndex::RemoveEdge(NodeId producer, NodeId consumer) {
       EraseValue(push_shards_, producer, rec.consumer_shard);
       replicas_.Erase(EdgeKey(rec.consumer_shard, producer));
       --replica_count_;
+      --replicas_per_shard_[rec.consumer_shard];
     }
     EraseValue(push_producers_, consumer, producer);
   } else {
@@ -119,9 +127,9 @@ bool CrossShardIndex::RemoveEdge(NodeId producer, NodeId consumer) {
   return true;
 }
 
-void CrossShardIndex::Publish(NodeId producer, uint64_t seq) {
+size_t CrossShardIndex::Publish(NodeId producer, uint64_t seq) {
   const std::vector<uint32_t>* shards = push_shards_.Find(producer);
-  if (shards == nullptr) return;
+  if (shards == nullptr) return 0;
   for (uint32_t shard : *shards) {
     std::vector<uint64_t>* replica = replicas_.Find(EdgeKey(shard, producer));
     PIGGY_CHECK(replica != nullptr);
@@ -132,8 +140,10 @@ void CrossShardIndex::Publish(NodeId producer, uint64_t seq) {
     while (pos != replica->begin() && *(pos - 1) > seq) --pos;
     replica->insert(pos, seq);
     if (replica->size() > feed_size_) replica->erase(replica->begin());
+    per_shard_update_messages_[shard].fetch_add(1, std::memory_order_relaxed);
   }
   update_messages_.fetch_add(shards->size(), std::memory_order_relaxed);
+  return shards->size();
 }
 
 std::span<const NodeId> CrossShardIndex::PushProducers(NodeId consumer) const {

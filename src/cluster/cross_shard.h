@@ -69,6 +69,11 @@ class CrossShardIndex {
   size_t num_edges() const { return edges_.size(); }
   /// (producer, shard) replicas currently materialized.
   size_t num_replicas() const { return replica_count_; }
+  /// Replicas materialized into each shard (index = shard id). Requires the
+  /// caller's shared lock (mutated with the structure, under exclusive).
+  const std::vector<size_t>& replicas_per_shard() const {
+    return replicas_per_shard_;
+  }
 
   bool HasEdge(NodeId producer, NodeId consumer) const {
     return edges_.Contains(EdgeKey(producer, consumer));
@@ -92,8 +97,9 @@ class CrossShardIndex {
   /// Share fan-out: inserts `seq` into every shard replicating `producer`
   /// (sorted from the tail, so sequence numbers assigned before a slower
   /// thread's insert land in order), one batched update message per touched
-  /// shard. Requires the caller's stripe lock for `producer`.
-  void Publish(NodeId producer, uint64_t seq);
+  /// shard. Returns the number of shards touched (messages the producer's
+  /// shard sent). Requires the caller's stripe lock for `producer`.
+  size_t Publish(NodeId producer, uint64_t seq);
 
   /// Remote producers whose replicas live in the consumer's own shard
   /// (push-mode edges): read locally, zero messages.
@@ -110,9 +116,13 @@ class CrossShardIndex {
   /// materialized in `shard`, ascending. Empty if not replicated.
   std::span<const uint64_t> ReadReplica(uint32_t shard, NodeId producer) const;
 
-  /// Counts the batched messages of one query's pull fan-out. Thread-safe.
-  void CountQueryFanout(size_t shards_touched) {
-    query_messages_.fetch_add(shards_touched, std::memory_order_relaxed);
+  /// Counts the batched messages of one query's pull fan-out (one per shard
+  /// in `shards_pulled`). Thread-safe.
+  void CountQueryFanout(std::span<const uint32_t> shards_pulled) {
+    query_messages_.fetch_add(shards_pulled.size(), std::memory_order_relaxed);
+    for (uint32_t s : shards_pulled) {
+      per_shard_query_messages_[s].fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   /// Point-in-time traffic snapshot. Thread-safe.
@@ -122,6 +132,21 @@ class CrossShardIndex {
     t.query_messages = query_messages_.load(std::memory_order_relaxed);
     t.replica_backfills = replica_backfills_.load(std::memory_order_relaxed);
     return t;
+  }
+
+  /// Per-shard traffic snapshot: batched cross-shard messages attributed to
+  /// the shard they touch (updates land in the replicating shard, query pulls
+  /// in the pulled shard). Thread-safe.
+  void PerShardTraffic(std::vector<uint64_t>* updates,
+                       std::vector<uint64_t>* queries) const {
+    updates->resize(num_shards_);
+    queries->resize(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      (*updates)[s] =
+          per_shard_update_messages_[s].load(std::memory_order_relaxed);
+      (*queries)[s] =
+          per_shard_query_messages_[s].load(std::memory_order_relaxed);
+    }
   }
 
   /// Predicted steady-state cross-shard cost under the batching rule:
@@ -149,10 +174,13 @@ class CrossShardIndex {
   U64Map<std::vector<NodeId>> pull_producers_;  // EdgeKey(consumer, shard)
   U64Map<std::vector<uint64_t>> replicas_;      // EdgeKey(shard, producer)
   size_t replica_count_ = 0;
+  std::vector<size_t> replicas_per_shard_;      // index = shard
   // Bumped on the shared-lock serving path (Publish / CountQueryFanout).
   std::atomic<uint64_t> update_messages_{0};
   std::atomic<uint64_t> query_messages_{0};
   std::atomic<uint64_t> replica_backfills_{0};
+  std::vector<std::atomic<uint64_t>> per_shard_update_messages_;
+  std::vector<std::atomic<uint64_t>> per_shard_query_messages_;
 };
 
 }  // namespace piggy

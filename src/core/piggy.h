@@ -58,6 +58,9 @@
 #include "graph/graph_builder.h"     // IWYU pragma: export
 #include "graph/graph_io.h"          // IWYU pragma: export
 #include "graph/graph_stats.h"       // IWYU pragma: export
+#include "rebalance/coordinator.h"   // IWYU pragma: export
+#include "rebalance/planner.h"       // IWYU pragma: export
+#include "rebalance/trigger.h"       // IWYU pragma: export
 #include "sampling/samplers.h"       // IWYU pragma: export
 #include "store/feed_service.h"      // IWYU pragma: export
 #include "store/prototype.h"         // IWYU pragma: export

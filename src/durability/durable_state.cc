@@ -66,6 +66,7 @@ void RecoveryStats::Accumulate(const RecoveryStats& other) {
   replayed_unfollows += other.replayed_unfollows;
   replayed_rate_shifts += other.replayed_rate_shifts;
   replayed_replans += other.replayed_replans;
+  replayed_migration_commits += other.replayed_migration_commits;
   torn_tail = torn_tail || other.torn_tail;
   wal_valid_bytes += other.wal_valid_bytes;
   wal_total_bytes += other.wal_total_bytes;
@@ -75,7 +76,7 @@ std::string RecoveryStats::ToString() const {
   return StrFormat(
       "snapshot id=%llu events=%llu | wal records=%llu (%llu/%llu bytes%s) | "
       "replayed shares=%llu follows=%llu unfollows=%llu rate_shifts=%llu "
-      "replans=%llu | %.3f s",
+      "replans=%llu migrations=%llu | %.3f s",
       static_cast<unsigned long long>(snapshot_id),
       static_cast<unsigned long long>(snapshot_events),
       static_cast<unsigned long long>(wal_records),
@@ -86,7 +87,9 @@ std::string RecoveryStats::ToString() const {
       static_cast<unsigned long long>(replayed_follows),
       static_cast<unsigned long long>(replayed_unfollows),
       static_cast<unsigned long long>(replayed_rate_shifts),
-      static_cast<unsigned long long>(replayed_replans), wall_seconds);
+      static_cast<unsigned long long>(replayed_replans),
+      static_cast<unsigned long long>(replayed_migration_commits),
+      wall_seconds);
 }
 
 Result<std::unique_ptr<ShardDurability>> ShardDurability::Create(
@@ -202,6 +205,13 @@ Status ShardDurability::LogRateShift(NodeId user, double rp, double rc) {
 Status ShardDurability::LogReplanCommit() {
   WalRecord r;
   r.type = WalRecordType::kReplanCommit;
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(r);
+}
+
+Status ShardDurability::LogMigrationCommit() {
+  WalRecord r;
+  r.type = WalRecordType::kMigrationCommit;
   std::lock_guard<std::mutex> lock(mu_);
   return AppendLocked(r);
 }

@@ -68,6 +68,7 @@ struct RecoveryStats {
   uint64_t replayed_unfollows = 0;
   uint64_t replayed_rate_shifts = 0;
   uint64_t replayed_replans = 0;
+  uint64_t replayed_migration_commits = 0;
   bool torn_tail = false;
   uint64_t wal_valid_bytes = 0;
   uint64_t wal_total_bytes = 0;
@@ -98,6 +99,7 @@ class ShardDurability {
   Status LogChurn(bool added, NodeId src, NodeId dst);
   Status LogRateShift(NodeId user, double rp, double rc);
   Status LogReplanCommit();
+  Status LogMigrationCommit();
 
   /// WAL records appended since the last snapshot rotation.
   uint64_t records_since_snapshot() const;

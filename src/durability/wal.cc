@@ -46,7 +46,7 @@ void EncodePayload(const WalRecord& r, uint8_t out[kPayloadSize]) {
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(WalRecordType::kShare) &&
-         t <= static_cast<uint8_t>(WalRecordType::kReplanCommit);
+         t <= static_cast<uint8_t>(WalRecordType::kMigrationCommit);
 }
 
 }  // namespace

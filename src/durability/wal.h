@@ -8,6 +8,7 @@
 // The payload is a fixed 33-byte little-endian record:
 //
 //   u8  type      1=share 2=follow 3=unfollow 4=rate_shift 5=replan_commit
+//                 6=migration_commit
 //   u32 user      producer (share), follower (churn), user (rate shift)
 //   u32 producer  followee for churn records; 0 otherwise
 //   u64 seq       event id for shares; 0 otherwise
@@ -38,6 +39,12 @@ enum class WalRecordType : uint8_t {
   kUnfollow = 3,
   kRateShift = 4,
   kReplanCommit = 5,
+  // A live user migration finished moving this shard's state: every record
+  // after this marker belongs to the shard's post-migration membership. The
+  // marker is written to both the source and destination WALs right before
+  // the cluster's assignment file is atomically re-pointed, so recovery can
+  // tell a committed migration from one the crash rolled back.
+  kMigrationCommit = 6,
 };
 
 struct WalRecord {

@@ -1,0 +1,31 @@
+#include "rebalance/trigger.h"
+
+#include <algorithm>
+
+namespace piggy {
+
+bool RebalanceTrigger::ObserveHot(bool hot) {
+  if (cooldown_ > 0) {
+    --cooldown_;
+    // Cooldown observations do not count toward the next streak either way:
+    // the EMA still carries the pre-migration hotspot.
+    return false;
+  }
+  if (!hot) {
+    hot_streak_ = 0;
+    return false;
+  }
+  ++hot_streak_;
+  if (hot_streak_ < options_.consecutive_windows) return false;
+  hot_streak_ = 0;
+  cooldown_ = options_.cooldown_windows;
+  // Firing resets the rise watches' low-water marks: the migration this
+  // verdict starts makes whatever rates follow the new normal (a celebrity's
+  // ramp is permanent — without the reset the old floor would re-fire the
+  // trigger every window forever).
+  rate_floor_ = 0;
+  std::fill(send_floor_.begin(), send_floor_.end(), 0.0);
+  return true;
+}
+
+}  // namespace piggy

@@ -1,0 +1,125 @@
+// RebalanceTrigger: decides WHEN the elastic cluster should move users.
+//
+// The trigger watches the cluster's windowed imbalance (see
+// ClusterMetrics::per_shard_window — an EMA over per-shard work deltas, so a
+// shard that went hot recently stands out even when lifetime counters look
+// even) and, optionally, the windowed cross-shard message rate climbing
+// above its own low-water mark, and fires when either signal holds hot for
+// a configurable number of consecutive observations. A cooldown then
+// suppresses
+// re-firing so one hotspot triggers one migration, not one per poll while the
+// just-moved load drains out of the EMA.
+//
+// The trigger is a pure observer: it never talks to the cluster. The
+// MigrationCoordinator (coordinator.h) feeds it metrics and acts on the
+// verdict.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster_service.h"
+
+namespace piggy {
+
+/// \brief When the rebalancer should wake up.
+struct RebalanceTriggerOptions {
+  /// Fire when windowed max/mean imbalance is at least this (1 = perfectly
+  /// even; 1.5 = the hottest shard carries 50% more than the mean).
+  double imbalance_threshold = 1.5;
+  /// Also fire when the windowed cross-shard message rate (batched cross
+  /// messages per routed request) has risen this far above its low-water
+  /// mark (0.15 = 15% above the quietest window seen). The absolute rate
+  /// depends on graph and workload, so the watch self-calibrates: it tracks
+  /// the minimum windowed rate observed so far and fires on a sustained
+  /// climb — the signature of a celebrity whose audience is piling in even
+  /// while per-shard load stays flat. 0 disables the watch. Either signal
+  /// going hot feeds the same streak.
+  double cross_rate_rise = 0;
+  /// Also fire when any single shard's windowed fan-out send rate
+  /// (ClusterMetrics::per_shard_send_window) has risen this far above its
+  /// own low-water mark AND that shard now sends more than the cluster
+  /// mean. This is the celebrity watch: a ramping account barely moves the
+  /// work imbalance (its home shard may have been light, and every other
+  /// shard receives the fan-out evenly), but the sends *from* its home
+  /// shard multiply. Comparing each shard against its own history makes
+  /// the watch immune to structural send skew (the shard hosting the most
+  /// hubs always sends the most); the above-mean guard keeps a cold
+  /// shard's noisy doubling from firing. 0 disables the watch.
+  double send_rise = 0;
+  /// Observations discarded before any verdict: the metric EMAs start cold
+  /// (warm-up replans and replica backfill inflate the first windows), so
+  /// the trigger waits for them to settle instead of firing on the descent.
+  size_t warmup_windows = 3;
+  /// The threshold must hold for this many consecutive observations before
+  /// the trigger fires (debounces one-window blips).
+  size_t consecutive_windows = 2;
+  /// Observations to stay silent after firing, while the moved load drains
+  /// out of the EMA window.
+  size_t cooldown_windows = 2;
+};
+
+/// \brief Threshold-with-hysteresis detector over cluster imbalance.
+class RebalanceTrigger {
+ public:
+  explicit RebalanceTrigger(const RebalanceTriggerOptions& options)
+      : options_(options) {}
+
+  /// Observes one metrics poll; returns true when a rebalance should run
+  /// now. The poll counts as hot when the windowed imbalance is over its
+  /// threshold or the windowed cross-message rate has climbed
+  /// `cross_rate_rise` above the lowest rate seen since warm-up.
+  bool Observe(const ClusterMetrics& m) {
+    if (warmup_seen_ < options_.warmup_windows) {
+      ++warmup_seen_;
+      return false;
+    }
+    bool hot = m.windowed_imbalance >= options_.imbalance_threshold;
+    if (options_.send_rise > 0 && !m.per_shard_send_window.empty()) {
+      const size_t shards = m.per_shard_send_window.size();
+      send_floor_.resize(shards, 0);
+      double mean = 0;
+      for (double v : m.per_shard_send_window) mean += v;
+      mean /= static_cast<double>(shards);
+      for (size_t s = 0; s < shards; ++s) {
+        const double v = m.per_shard_send_window[s];
+        if (v <= 0) continue;
+        if (send_floor_[s] == 0 || v < send_floor_[s]) send_floor_[s] = v;
+        hot = hot || (v >= mean &&
+                      v >= send_floor_[s] * (1.0 + options_.send_rise));
+      }
+    }
+    if (options_.cross_rate_rise > 0 && m.windowed_cross_rate > 0) {
+      if (rate_floor_ == 0 || m.windowed_cross_rate < rate_floor_) {
+        rate_floor_ = m.windowed_cross_rate;
+      }
+      hot = hot || m.windowed_cross_rate >=
+                       rate_floor_ * (1.0 + options_.cross_rate_rise);
+    }
+    return ObserveHot(hot);
+  }
+
+  /// Same, on a raw imbalance value (unit-testable without a cluster).
+  /// Skips the warm-up gate and the rate watch: this is the bare streak
+  /// machine.
+  bool ObserveValue(double imbalance) {
+    return ObserveHot(imbalance >= options_.imbalance_threshold);
+  }
+
+  const RebalanceTriggerOptions& options() const { return options_; }
+
+ private:
+  // The streak machine behind both entry points: consecutive hot
+  // observations fire once, then a cooldown suppresses re-firing.
+  bool ObserveHot(bool hot);
+
+  RebalanceTriggerOptions options_;
+  size_t hot_streak_ = 0;   // consecutive observations above threshold
+  size_t cooldown_ = 0;     // observations left to suppress
+  size_t warmup_seen_ = 0;  // metric observations discarded so far
+  double rate_floor_ = 0;   // low-water mark of the windowed cross rate
+  std::vector<double> send_floor_;  // per-shard send-rate low-water marks
+};
+
+}  // namespace piggy

@@ -1,5 +1,6 @@
 #include "scenario/replay.h"
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <thread>
@@ -24,6 +25,9 @@ std::string ReplayEpochRow::ToString() const {
   if (shard_fails > 0 || shard_restarts > 0 || unavailable > 0) {
     out += StrFormat(" fails=%zu restarts=%zu unavailable=%lu", shard_fails,
                      shard_restarts, static_cast<unsigned long>(unavailable));
+  }
+  if (cross_messages > 0 || imbalance > 0) {
+    out += StrFormat(" cross=%.0f imbalance=%.2f", cross_messages, imbalance);
   }
   return out;
 }
@@ -58,6 +62,8 @@ struct ServiceProbe {
   size_t replans = 0;
   size_t repairs = 0;
   double drift_score = 0;
+  double cross_messages = 0;  ///< cumulative cross-shard messages (clusters)
+  std::vector<uint64_t> per_shard_requests;  ///< cumulative (clusters)
 };
 
 /// The service-agnostic core: FeedService and ClusterService differ only in
@@ -74,7 +80,25 @@ struct ServiceHooks {
   std::function<ServiceProbe()> probe;
   /// (true rates) -> (schedule cost, hybrid cost) on the current topology.
   std::function<std::pair<double, double>(const Workload&)> true_costs;
+  /// Optional epoch-close callback (ReplayOptions::on_epoch_close).
+  std::function<Status(const ReplayEpochRow&)> on_epoch_close;
 };
+
+/// Max/mean of the per-shard request deltas for one epoch (0 if no traffic
+/// or no shard breakdown — the FeedService path).
+double EpochImbalance(const std::vector<uint64_t>& now,
+                      const std::vector<uint64_t>& start) {
+  if (now.empty() || now.size() != start.size()) return 0;
+  uint64_t total = 0, max = 0;
+  for (size_t s = 0; s < now.size(); ++s) {
+    const uint64_t d = now[s] - start[s];
+    total += d;
+    max = std::max(max, d);
+  }
+  if (total == 0) return 0;
+  return static_cast<double>(max) /
+         (static_cast<double>(total) / static_cast<double>(now.size()));
+}
 
 Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
                             ReplayReport report) {
@@ -87,7 +111,7 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
   ReplayEpochRow row;
   size_t current_epoch = 0;
 
-  auto close_epoch = [&](size_t e) {
+  auto close_epoch = [&](size_t e) -> Status {
     const ServiceProbe now = hooks.probe();
     row.epoch = static_cast<uint32_t>(e);
     row.sim_time = scenario.EpochStart(e);
@@ -98,6 +122,9 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
     row.replans = now.replans - epoch_start.replans;
     row.repairs = now.repairs - epoch_start.repairs;
     row.drift_score = now.drift_score;
+    row.cross_messages = now.cross_messages - epoch_start.cross_messages;
+    row.imbalance =
+        EpochImbalance(now.per_shard_requests, epoch_start.per_shard_requests);
     const auto [cost, hybrid] = hooks.true_costs(scenario.EpochWorkload(e));
     row.true_cost = cost;
     row.true_hybrid = hybrid;
@@ -111,8 +138,14 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
     report.shard_restarts += row.shard_restarts;
     report.unavailable += row.unavailable;
     row = ReplayEpochRow{};
-    epoch_start = now;
     epoch_timer.Reset();
+    if (hooks.on_epoch_close) {
+      PIGGY_RETURN_NOT_OK(hooks.on_epoch_close(report.epochs.back()));
+    }
+    // Re-probe after the hook: a migration it triggers shifts the counters,
+    // and the next epoch should not inherit that as its own traffic.
+    epoch_start = hooks.on_epoch_close ? hooks.probe() : now;
+    return Status::OK();
   };
 
   // A request rejected because its shard is down is part of the story, not
@@ -127,7 +160,9 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
 
   ScenarioOp op;
   while (scenario.Next(&op)) {
-    while (op.epoch > current_epoch) close_epoch(current_epoch++);
+    while (op.epoch > current_epoch) {
+      PIGGY_RETURN_NOT_OK(close_epoch(current_epoch++));
+    }
     switch (op.kind) {
       case ScenarioOpKind::kShare:
         PIGGY_RETURN_NOT_OK(tolerate(hooks.share(op.user)));
@@ -158,7 +193,9 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
         break;
     }
   }
-  while (current_epoch < scenario.num_epochs()) close_epoch(current_epoch++);
+  while (current_epoch < scenario.num_epochs()) {
+    PIGGY_RETURN_NOT_OK(close_epoch(current_epoch++));
+  }
 
   const ServiceProbe end = hooks.probe();
   report.messages = 0;
@@ -297,6 +334,7 @@ Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service,
   hooks.true_costs = [&](const Workload& truth) {
     return service.CostsUnder(truth);
   };
+  hooks.on_epoch_close = options.on_epoch_close;
   return ReplayWithAux(scenario, std::move(hooks), std::move(report),
                        service.WorkloadSnapshot(), options);
 }
@@ -341,11 +379,18 @@ Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster,
     p.replans = m.replans;
     p.repairs = m.repairs;
     p.drift_score = m.max_drift_score;
+    p.cross_messages = static_cast<double>(m.cross_update_messages +
+                                           m.cross_query_messages);
+    // Work, not routed requests: pull batches served land on the producer's
+    // shard and replica writes on consumer shards — the imbalance a
+    // rebalancer can act on is the one over where work actually lands.
+    p.per_shard_requests = m.per_shard_work;
     return p;
   };
   hooks.true_costs = [&](const Workload& truth) {
     return cluster.CostsUnder(truth);
   };
+  hooks.on_epoch_close = options.on_epoch_close;
   return ReplayWithAux(scenario, std::move(hooks), std::move(report),
                        cluster.workload(), options);
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,12 @@ struct ReplayEpochRow {
   /// Requests the service rejected with Unavailable (routed to a down
   /// shard); counted, not failed — outage windows are part of the story.
   uint64_t unavailable = 0;
+  /// Batched cross-shard messages issued during the epoch (clusters only;
+  /// zero for a single FeedService).
+  double cross_messages = 0;
+  /// Max/mean of per-shard requests routed during this epoch (1 = even;
+  /// zero for a single FeedService).
+  double imbalance = 0;
 
   std::string ToString() const;
 };
@@ -92,6 +99,11 @@ struct ReplayReport {
 struct ReplayOptions {
   size_t client_threads = 1;
   uint64_t seed = 42;
+  /// Invoked on the sequential replay thread right after each epoch's row is
+  /// recorded — the natural control-loop hook (the elastic rebalancer's
+  /// MigrationCoordinator::Step runs here). A non-OK return aborts the
+  /// replay. Null = no hook.
+  std::function<Status(const ReplayEpochRow&)> on_epoch_close;
 };
 
 /// Replays `scenario` (from its current position; call Reset() to rewind)

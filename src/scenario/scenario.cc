@@ -354,8 +354,12 @@ Result<std::unique_ptr<Scenario>> MakeCelebrityJoin(const Graph& g, Workload bas
   const size_t target = static_cast<size_t>(
       options.churn_level * 0.3 * static_cast<double>(n));
   std::vector<EpochSpec> epochs(num_epochs);
-  const size_t start = num_epochs / 5;
-  const size_t end = num_epochs * 4 / 5;
+  // The audience piles in fast: a quiet lead-in establishes the baseline,
+  // arrivals land in a burst around the first third, and the back half of
+  // the run measures the new steady state (and gives an elastic cluster
+  // something it can still act on).
+  const size_t start = num_epochs / 3;
+  const size_t end = std::max(start + 1, start + num_epochs / 4);
   std::vector<size_t> arrivals_by_epoch(num_epochs, 0);
   std::vector<bool> arrived(n, false);
   ScheduleChurn(epochs, start, end, options.duration, target,
@@ -373,6 +377,13 @@ Result<std::unique_ptr<Scenario>> MakeCelebrityJoin(const Graph& g, Workload bas
 
   // Rates track the audience: the celebrity's production ramps with the
   // fraction of the target audience that has arrived; new fans read more.
+  // The spike is scaled against the cluster, not the celebrity's own quiet
+  // baseline (a fresh account's base rate is near the floor — multiplying it
+  // would leave the "celebrity" invisible in sampled traffic): at full
+  // audience the account carries about `intensity` percent of the cluster's
+  // total share rate.
+  double production_mass = 0;
+  for (NodeId u = 0; u < n; ++u) production_mass += base.production[u];
   size_t arrived_so_far = 0;
   std::vector<bool> fan_now(n, false);
   for (size_t e = 0; e < num_epochs; ++e) {
@@ -389,7 +400,8 @@ Result<std::unique_ptr<Scenario>> MakeCelebrityJoin(const Graph& g, Workload bas
     const double growth = target > 0 ? static_cast<double>(arrived_so_far) /
                                            static_cast<double>(target)
                                      : 1.0;
-    w->production[celeb] *= 1.0 + (options.intensity - 1.0) * growth;
+    w->production[celeb] +=
+        (options.intensity / 100.0) * growth * production_mass;
     for (NodeId u = 0; u < n; ++u) {
       if (fan_now[u]) w->consumption[u] *= 2.0;
     }
@@ -479,7 +491,41 @@ Result<std::unique_ptr<Scenario>> MakeRegionalEvent(const Graph& g, Workload bas
   const size_t n = g.num_nodes();
   const size_t num_epochs = std::max<size_t>(options.epochs, 4);
   const size_t regions = 4;
-  const auto in_region = [&](NodeId u) { return u % regions == 0; };
+  // The region is a connected neighborhood (BFS from the highest-out-degree
+  // seed over the undirected skeleton), about a quarter of the graph: a
+  // topological community, so the event concentrates on a real locality the
+  // way a geographic spike does — and the way a graph-aware placement would
+  // have co-located it.
+  std::vector<uint8_t> region_member(n, 0);
+  {
+    const size_t target = std::max<size_t>(1, n / regions);
+    NodeId seed = 0;
+    for (NodeId u = 1; u < n; ++u) {
+      if (g.OutDegree(u) > g.OutDegree(seed)) seed = u;
+    }
+    std::vector<NodeId> frontier = {seed};
+    region_member[seed] = 1;
+    size_t grown = 1;
+    for (size_t head = 0; head < frontier.size() && grown < target; ++head) {
+      const NodeId u = frontier[head];
+      auto visit = [&](NodeId v) {
+        if (grown >= target || region_member[v]) return;
+        region_member[v] = 1;
+        frontier.push_back(v);
+        ++grown;
+      };
+      for (NodeId v : g.OutNeighbors(u)) visit(v);
+      for (NodeId v : g.InNeighbors(u)) visit(v);
+    }
+    // Disconnected leftovers top up by id so the region size is stable.
+    for (NodeId u = 0; grown < target && u < n; ++u) {
+      if (!region_member[u]) {
+        region_member[u] = 1;
+        ++grown;
+      }
+    }
+  }
+  const auto in_region = [&](NodeId u) { return region_member[u] != 0; };
 
   const size_t start = num_epochs * 2 / 5;
   const size_t end = std::max(start + 2, num_epochs * 7 / 10);

@@ -207,6 +207,12 @@ Result<std::unique_ptr<FeedService>> FeedService::Recover(
         replay_status = service->Replan();
         ++stats.replayed_replans;
         break;
+      case WalRecordType::kMigrationCommit:
+        // A marker, not an operation: the migrated state it commits is the
+        // seeded shares/churn already replayed above (destination) or state
+        // that left with the users (source).
+        ++stats.replayed_migration_commits;
+        break;
     }
     if (!replay_status.ok()) break;
   }
@@ -692,6 +698,12 @@ Status FeedService::SetUserRates(NodeId u, double production,
     return durability_->LogRateShift(u, production, consumption);
   }
   return Status::OK();
+}
+
+Status FeedService::LogMigrationCommit() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (durability_ == nullptr || replaying_) return Status::OK();
+  return durability_->LogMigrationCommit();
 }
 
 Status FeedService::WriteSnapshotLocked() {

@@ -155,6 +155,12 @@ class FeedService {
   /// Thread-safe (exclusive).
   Status SetUserRates(NodeId u, double production, double consumption);
 
+  /// Appends a migration-commit marker to this shard's WAL (no-op without
+  /// durability). The cluster's MigrationCoordinator writes it to both sides
+  /// of a user migration right before the assignment cutover; on recovery the
+  /// marker replays as a no-op. Thread-safe.
+  Status LogMigrationCommit();
+
   /// Re-runs the configured planner on the current graph and swaps the fresh
   /// schedule in (stored events are preserved). Synchronous: plans inline
   /// holding the exclusive lock (stop-the-world; the explicit API).

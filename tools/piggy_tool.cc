@@ -13,6 +13,7 @@
 //   piggy_tool replay   --graph g.bin --scenario flash-crowd --policy drift
 //                       --requests 100000 --epochs 16
 //   piggy_tool recover  --data-dir /var/piggy
+//   piggy_tool shards   --graph g.bin --shards 8 --requests 50000
 //
 // Graphs use the binary format of graph_io.h (or .txt edge lists); schedules
 // use the text format of schedule_io.h. With --data-dir, serve and replay
@@ -33,6 +34,7 @@
 #include "cluster/cluster_service.h"
 #include "core/piggy.h"
 #include "core/schedule_io.h"
+#include "rebalance/coordinator.h"
 #include "scenario/drift.h"
 #include "scenario/replay.h"
 #include "scenario/scenario.h"
@@ -65,22 +67,30 @@ int Usage() {
                "            [--audit N] [--seed S] [--client-threads T]\n"
                "            [--background-replan 0|1] [--data-dir DIR]\n"
                "            [--snapshot-every N] [--fsync 0|1]\n"
+               "            [--rebalance 0|1] [--move-budget N]\n"
+               "            [--imbalance-threshold X]\n"
                "                             (--partitioner list shows the\n"
                "                              placement registry; T > 1 drives\n"
                "                              the router from T concurrent\n"
                "                              clients; --data-dir enables WAL +\n"
-               "                              snapshot persistence)\n"
+               "                              snapshot persistence; --rebalance\n"
+               "                              drives in chunks and runs the\n"
+               "                              elastic rebalancer between them)\n"
                "  replay    --graph FILE --scenario NAME [--planner NAME]\n"
                "            [--policy never|every-N|drift] [--shards N]\n"
                "            [--requests N] [--epochs E] [--intensity X]\n"
                "            [--churn-level C] [--ratio R] [--audit N] [--seed S]\n"
                "            [--client-threads T] [--background-replan 0|1]\n"
                "            [--data-dir DIR] [--snapshot-every N] [--fsync 0|1]\n"
+               "            [--rebalance 0|1] [--move-budget N]\n"
+               "            [--imbalance-threshold X]\n"
                "                             (--scenario list shows the registry;\n"
                "                              T > 1 adds T-1 concurrent load\n"
                "                              threads; background-replan moves\n"
                "                              policy replans off the serving\n"
-               "                              threads)\n"
+               "                              threads; --rebalance runs the\n"
+               "                              elastic rebalancer at every epoch\n"
+               "                              close, needs --shards > 1)\n"
                "  recover   --data-dir DIR [--planner NAME] [--ratio R]\n"
                "            [--requests N] [--seed S]\n"
                "                             (rebuilds the serving state from\n"
@@ -88,6 +98,13 @@ int Usage() {
                "                              the recovery stats, validates,\n"
                "                              and optionally drives N requests\n"
                "                              through the recovered system)\n"
+               "  shards    --graph FILE [--shards N] [--partitioner NAME]\n"
+               "            [--planner NAME] [--ratio R] [--requests N]\n"
+               "            [--seed S]\n"
+               "                             (plans the cluster, optionally\n"
+               "                              drives N requests, then prints a\n"
+               "                              per-shard table: users, work,\n"
+               "                              replicas, cross-shard traffic)\n"
                "\n"
                "scenarios (for replay --scenario):\n");
   for (const ScenarioInfo& info : RegisteredScenarios()) {
@@ -153,6 +170,16 @@ DurabilityOptions DurabilityFromArgs(const Args& args) {
   d.snapshot_every = static_cast<uint64_t>(args.Int("snapshot-every", 0));
   d.use_fsync = args.Int("fsync", 0) != 0;
   return d;
+}
+
+RebalanceOptions RebalanceFromArgs(const Args& args) {
+  RebalanceOptions r;
+  r.plan.move_budget = static_cast<size_t>(args.Int("move-budget", 128));
+  r.trigger.imbalance_threshold = args.Double("imbalance-threshold", 1.4);
+  r.trigger.send_rise = 0.75;
+  r.trigger.cross_rate_rise = 0.25;
+  r.trigger.cooldown_windows = 1;
+  return r;
 }
 
 Result<Graph> LoadGraph(const std::string& path) {
@@ -332,25 +359,45 @@ Status CmdServe(const Args& args) {
   const uint64_t seed = static_cast<uint64_t>(args.Int("seed", 42));
   const size_t client_threads =
       static_cast<size_t>(args.Int("client-threads", 1));
+  const bool rebalance = args.Int("rebalance", 0) != 0;
+  // With --rebalance the drive is split into chunks and the coordinator
+  // polls metrics between them — the chunk boundary plays the role the
+  // epoch close plays in `replay`.
+  const size_t chunks = rebalance ? 12 : 1;
+  MigrationCoordinator coordinator(*cluster, RebalanceFromArgs(args));
   if (background_replan) {
     // Exercise the swap path: the shards replan while the drive below runs.
     PIGGY_RETURN_NOT_OK(cluster->StartBackgroundReplan());
   }
-  if (client_threads > 1) {
-    ConcurrentDriverOptions d;
-    d.client_threads = client_threads;
-    d.requests_per_thread = std::max<size_t>(1, requests / client_threads);
-    d.seed = seed;
-    PIGGY_ASSIGN_OR_RETURN(ConcurrentDriveReport report,
-                           RunConcurrentDriver(*cluster, d));
-    std::printf("measured: %s\n", report.ToString().c_str());
-  } else {
-    DriverOptions d;
-    d.num_requests = requests;
-    d.seed = seed;
-    d.audit_every = static_cast<size_t>(args.Int("audit", 1000));
-    PIGGY_ASSIGN_OR_RETURN(ClusterDriveReport report, cluster->Drive(d));
-    std::printf("measured: %s\n", report.ToString().c_str());
+  for (size_t chunk = 0; chunk < chunks; ++chunk) {
+    if (client_threads > 1) {
+      ConcurrentDriverOptions d;
+      d.client_threads = client_threads;
+      d.requests_per_thread =
+          std::max<size_t>(1, requests / (client_threads * chunks));
+      d.seed = seed + chunk;
+      PIGGY_ASSIGN_OR_RETURN(ConcurrentDriveReport report,
+                             RunConcurrentDriver(*cluster, d));
+      if (chunk + 1 == chunks) {
+        std::printf("measured: %s\n", report.ToString().c_str());
+      }
+    } else {
+      DriverOptions d;
+      d.num_requests = std::max<size_t>(1, requests / chunks);
+      d.seed = seed + chunk;
+      d.audit_every = static_cast<size_t>(args.Int("audit", 1000));
+      PIGGY_ASSIGN_OR_RETURN(ClusterDriveReport report, cluster->Drive(d));
+      if (chunk + 1 == chunks) {
+        std::printf("measured: %s\n", report.ToString().c_str());
+      }
+    }
+    if (rebalance) PIGGY_RETURN_NOT_OK(coordinator.Step().status());
+  }
+  if (rebalance) {
+    const RebalanceReport& rb = coordinator.report();
+    std::printf("rebalance: fired %zu times, moved %zu users in %zu "
+                "migrations\n",
+                rb.times_fired, rb.users_moved, rb.migrations);
   }
   PIGGY_RETURN_NOT_OK(cluster->WaitForBackgroundReplan());
   PIGGY_RETURN_NOT_OK(cluster->Validate());
@@ -395,8 +442,13 @@ Status CmdReplay(const Args& args) {
 
   ReplayReport report;
   const size_t shards = static_cast<size_t>(args.Int("shards", 1));
+  const bool rebalance = args.Int("rebalance", 0) != 0;
+  if (rebalance && shards <= 1) {
+    return Status::InvalidArgument("--rebalance needs --shards > 1");
+  }
   std::unique_ptr<FeedService> service;    // keep the driven system alive
   std::unique_ptr<ClusterService> cluster;
+  std::unique_ptr<MigrationCoordinator> coordinator;
   if (shards > 1) {
     ClusterOptions options;
     options.num_shards = shards;
@@ -405,6 +457,13 @@ Status CmdReplay(const Args& args) {
     options.audit_every = service_options.audit_every;
     options.durability = durability;
     PIGGY_ASSIGN_OR_RETURN(cluster, ClusterService::Create(g, base, options));
+    if (rebalance) {
+      coordinator = std::make_unique<MigrationCoordinator>(
+          *cluster, RebalanceFromArgs(args));
+      replay_options.on_epoch_close = [&](const ReplayEpochRow&) -> Status {
+        return coordinator->Step().status();
+      };
+    }
     PIGGY_ASSIGN_OR_RETURN(report,
                            ReplayScenario(*scenario, *cluster, replay_options));
     PIGGY_RETURN_NOT_OK(cluster->WaitForBackgroundReplan());
@@ -422,6 +481,12 @@ Status CmdReplay(const Args& args) {
     std::printf("%s\n", row.ToString().c_str());
   }
   std::printf("replayed: %s\n", report.ToString().c_str());
+  if (coordinator != nullptr) {
+    const RebalanceReport& rb = coordinator->report();
+    std::printf("rebalance: fired %zu times, moved %zu users in %zu "
+                "migrations\n",
+                rb.times_fired, rb.users_moved, rb.migrations);
+  }
   if (cluster != nullptr) {
     std::printf("final:    %s\n", cluster->GetMetrics().ToString().c_str());
   } else {
@@ -484,6 +549,52 @@ Status CmdRecover(const Args& args) {
   return Status::OK();
 }
 
+// Plans a sharded cluster over the graph, optionally drives traffic through
+// it, and prints one row per shard: who lives there, the work that landed,
+// and the cross-shard traffic exchanged. The last column is the windowed
+// fan-out send rate — the elastic rebalancer's celebrity-watch signal.
+Status CmdShards(const Args& args) {
+  PIGGY_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.Str("graph")));
+  ClusterOptions options;
+  options.num_shards = static_cast<size_t>(args.Int("shards", 4));
+  options.partitioner = args.Str("partitioner", "edge-cut");
+  options.shard.planner = ResolvePlannerName(args);
+  options.shard.workload = {.read_write_ratio = args.Double("ratio", 5.0),
+                            .min_rate = 0.01};
+  PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ClusterService> cluster,
+                         ClusterService::Create(g, options));
+  const size_t requests = static_cast<size_t>(args.Int("requests", 0));
+  if (requests > 0) {
+    DriverOptions d;
+    d.num_requests = requests;
+    d.seed = static_cast<uint64_t>(args.Int("seed", 42));
+    PIGGY_ASSIGN_OR_RETURN(ClusterDriveReport report, cluster->Drive(d));
+    std::printf("drove: %s\n", report.ToString().c_str());
+  }
+  const ClusterMetrics m = cluster->GetMetrics();
+  std::vector<size_t> users(m.shards, 0);
+  for (uint32_t s : cluster->shard_map().assignment()) ++users[s];
+  std::printf("%-6s %8s %10s %10s %9s %10s %10s %12s\n", "shard", "users",
+              "requests", "work", "replicas", "cross_upd", "cross_pull",
+              "send_window");
+  for (size_t s = 0; s < m.shards; ++s) {
+    std::printf(
+        "%-6zu %8zu %10llu %10llu %9zu %10llu %10llu %12.1f\n", s, users[s],
+        static_cast<unsigned long long>(m.per_shard_requests[s]),
+        static_cast<unsigned long long>(m.per_shard_work[s]),
+        m.per_shard_replicas[s],
+        static_cast<unsigned long long>(m.per_shard_cross_updates[s]),
+        static_cast<unsigned long long>(m.per_shard_cross_queries[s]),
+        s < m.per_shard_send_window.size() ? m.per_shard_send_window[s] : 0.0);
+  }
+  std::printf("imbalance: lifetime %.2f, windowed %.2f; cross edges %zu, "
+              "replicas %zu, cross msgs %llu\n",
+              m.imbalance, m.windowed_imbalance, m.cross_edges, m.replicas,
+              static_cast<unsigned long long>(m.cross_update_messages +
+                                              m.cross_query_messages));
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -507,6 +618,7 @@ int Main(int argc, char** argv) {
   if (command == "serve") status = CmdServe(args);
   if (command == "replay") status = CmdReplay(args);
   if (command == "recover") status = CmdRecover(args);
+  if (command == "shards") status = CmdShards(args);
   if (command == "help" || command == "--help") return Usage();
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
