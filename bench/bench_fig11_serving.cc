@@ -29,6 +29,7 @@
 //   ./bench_fig11_serving --nodes 2000 --requests 20000 --json fig11.json
 //   ./bench_fig11_serving --threads 1,8 --modes replan --shards 4
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -42,6 +43,7 @@
 #include "cluster/cluster_service.h"
 #include "gen/presets.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "store/concurrent_driver.h"
 #include "store/feed_service.h"
 #include "util/rng.h"
@@ -100,6 +102,37 @@ struct ModeResult {
   size_t churn_ops = 0;
   size_t background_replans = 0;
 };
+
+// Bucketed-estimate vs nearest-rank-truth check: both statistics use the
+// same rank convention, so they fall inside the same bucket and the estimate
+// must sit within one geometric bucket width of the exact value (clamped to
+// the histogram's range). Exits non-zero on violation — this is the bench's
+// accuracy gate, not a soft report.
+void CheckWithinOneBucket(const obs::Histogram& h, const char* what, double q,
+                          double exact_us) {
+  if (h.Count() == 0) return;
+  const double est = h.Percentile(q);
+  const double clamped =
+      std::min(std::max(exact_us, h.min_value()), h.max_value());
+  const double tol = h.bucket_ratio() * 1.0001;  // fp slack on the bound
+  if (est <= clamped * tol && est >= clamped / tol) return;
+  std::fprintf(stderr,
+               "FAIL: %s p%.0f histogram estimate %.4f us vs exact %.4f us "
+               "outside one bucket width (ratio %.4f)\n",
+               what, q * 100, est, exact_us, h.bucket_ratio());
+  std::exit(1);
+}
+
+void CheckHistogramAccuracy(const obs::Histogram& share_h,
+                            const obs::Histogram& query_h,
+                            const ConcurrentDriveReport& report) {
+  CheckWithinOneBucket(share_h, "share", 0.50, report.share_latency.p50_us);
+  CheckWithinOneBucket(share_h, "share", 0.95, report.share_latency.p95_us);
+  CheckWithinOneBucket(share_h, "share", 0.99, report.share_latency.p99_us);
+  CheckWithinOneBucket(query_h, "query", 0.50, report.query_latency.p50_us);
+  CheckWithinOneBucket(query_h, "query", 0.95, report.query_latency.p95_us);
+  CheckWithinOneBucket(query_h, "query", 0.99, report.query_latency.p99_us);
+}
 
 // Drives `service` from `threads` clients; in replan mode a churn thread and
 // the service's background replanner run underneath the measurement.
@@ -180,6 +213,11 @@ int main(int argc, char** argv) {
                 r.background_replans, r.churn_ops);
   };
 
+  // One registry for the whole sweep; each config gets its own pair of
+  // histograms, fed the exact same per-op samples the nearest-rank
+  // percentiles are computed from. --metrics-json dumps the lot.
+  obs::MetricsRegistry metrics;
+
   for (const std::string& mode : modes) {
     const bool replan_mode = mode == "replan";
     for (size_t threads : thread_counts) {
@@ -189,6 +227,16 @@ int main(int argc, char** argv) {
       driver.seed = seed;
 
       {
+        std::string prefix = "feed.";
+        prefix += mode;
+        prefix += ".t";
+        prefix += std::to_string(threads);
+        obs::Histogram& share_h =
+            metrics.GetHistogram(prefix + ".share_us", 0.05, 1e6, 96);
+        obs::Histogram& query_h =
+            metrics.GetHistogram(prefix + ".query_us", 0.05, 1e6, 96);
+        driver.share_histogram = &share_h;
+        driver.query_histogram = &query_h;
         FeedServiceOptions options;
         options.planner = "nosy";
         options.prototype.num_servers = 32;
@@ -198,10 +246,21 @@ int main(int argc, char** argv) {
                                  replan_every, churn_interval_us, driver)
                            .ValueOrDie();
         r.background_replans = service->GetMetrics().background_replans;
+        CheckHistogramAccuracy(share_h, query_h, r.report);
         add_row("feed", mode, threads, 1, r);
       }
 
       if (num_shards > 1) {
+        std::string prefix = "cluster.";
+        prefix += mode;
+        prefix += ".t";
+        prefix += std::to_string(threads);
+        obs::Histogram& share_h =
+            metrics.GetHistogram(prefix + ".share_us", 0.05, 1e6, 96);
+        obs::Histogram& query_h =
+            metrics.GetHistogram(prefix + ".query_us", 0.05, 1e6, 96);
+        driver.share_histogram = &share_h;
+        driver.query_histogram = &query_h;
         ClusterOptions options;
         options.num_shards = num_shards;
         options.shard.planner = "nosy";
@@ -217,14 +276,29 @@ int main(int argc, char** argv) {
           bg += cluster->shard(s).GetMetrics().background_replans;
         }
         r.background_replans = bg;
+        CheckHistogramAccuracy(share_h, query_h, r.report);
         add_row("cluster", mode, threads, num_shards, r);
       }
     }
   }
 
-  std::printf("\n");
+  std::printf("\nhistogram accuracy: every bucketed p50/p95/p99 within one "
+              "bucket width of the exact nearest-rank percentile\n\n");
   table.Print();
   table.WriteCsv(flags.Str("csv", ""));
   table.WriteJson(flags.Str("json", ""));
+  const std::string metrics_json = flags.Str("metrics-json", "");
+  if (!metrics_json.empty()) {
+    std::FILE* f = std::fopen(metrics_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_json.c_str());
+      return 1;
+    }
+    const std::string json = metrics.ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote metrics to %s\n", metrics_json.c_str());
+  }
   return 0;
 }

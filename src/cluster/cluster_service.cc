@@ -189,8 +189,6 @@ ClusterService::ClusterService(ClusterOptions options, ShardMap map,
       feed_size_(feed_size),
       cross_(map_.num_shards(), feed_size),
       producer_seqs_(map_.num_nodes()),
-      per_shard_requests_(map_.num_shards()),
-      per_shard_fanout_(map_.num_shards()),
       per_user_requests_(map_.num_nodes()),
       per_user_served_(map_.num_nodes()) {
   down_.assign(map_.num_shards(), 0);
@@ -199,6 +197,22 @@ ClusterService::ClusterService(ClusterOptions options, ShardMap map,
   window_last_.assign(map_.num_shards(), 0);
   window_send_ema_.assign(map_.num_shards(), 0.0);
   window_last_sends_.assign(map_.num_shards(), 0);
+  // Register the router counters once; the hot path records through the
+  // cached pointers. Per-user vectors stay raw atomics — a striped Counter
+  // is 16 cache lines, far too heavy at num_nodes granularity.
+  shares_ = &registry_.GetCounter("cluster.shares");
+  queries_ = &registry_.GetCounter("cluster.queries");
+  audited_queries_ = &registry_.GetCounter("cluster.audited_queries");
+  migrations_ = &registry_.GetCounter("cluster.migrations");
+  migrated_users_ = &registry_.GetCounter("cluster.migrated_users");
+  per_shard_requests_.reserve(map_.num_shards());
+  per_shard_fanout_.reserve(map_.num_shards());
+  for (uint32_t s = 0; s < map_.num_shards(); ++s) {
+    per_shard_requests_.push_back(
+        &registry_.GetCounter(StrFormat("cluster.shard%02u.requests", s)));
+    per_shard_fanout_.push_back(
+        &registry_.GetCounter(StrFormat("cluster.shard%02u.fanout_sends", s)));
+  }
 }
 
 FeedServiceOptions ClusterService::ShardOptions(uint32_t s) const {
@@ -220,6 +234,9 @@ FeedServiceOptions ClusterService::ShardOptionsForGen(uint32_t s,
         StrFormat("%s/%s", options_.durability.data_dir.c_str(),
                   ShardDirBasename(s, gen).c_str());
   }
+  // All shards share the cluster's trace ring, each stamping its own id.
+  opts.trace = options_.trace;
+  opts.trace_shard = static_cast<int32_t>(s);
   return opts;
 }
 
@@ -277,6 +294,9 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Create(
                         AssignmentPath(options.durability.data_dir)));
     DurabilityOptions cluster_dur = options.durability;
     cluster_dur.data_dir += "/cluster";
+    cluster_dur.metrics = &cluster->registry_;
+    cluster_dur.trace = options.trace;
+    cluster_dur.trace_shard = -1;  // the router pair is cluster-level
     PIGGY_ASSIGN_OR_RETURN(cluster->durability_,
                            ShardDurability::Create(cluster_dur, graph));
   }
@@ -335,6 +355,8 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Recover(
     return Status::InvalidArgument("feed_size must be positive");
   }
   const auto start = std::chrono::steady_clock::now();
+  const double trace_start =
+      options.trace != nullptr ? options.trace->NowUs() : 0;
   RecoveryStats stats;
 
   // Cluster-level pair first: the base graph, the newest valid snapshot
@@ -348,6 +370,7 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Recover(
   stats.snapshot_id = rec.snapshot.id;
   stats.wal_records = rec.wal_records.size();
   stats.torn_tail = rec.torn_tail;
+  stats.fallback = rec.fallback;
   stats.wal_valid_bytes = rec.wal_valid_bytes;
   stats.wal_total_bytes = rec.wal_total_bytes;
 
@@ -483,6 +506,8 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Recover(
   // forward survived the crash heal as no-ops; records the crash cut off
   // mid-route re-apply (the shard re-logs genuinely missing churn).
   cluster->durability_ = std::move(durability);
+  cluster->durability_->BindObservability(&cluster->registry_, options.trace,
+                                         /*trace_shard=*/-1);
   cluster->replaying_ = true;
   for (const WalRecord& r : rec.wal_records) {
     Status st;
@@ -514,6 +539,17 @@ Result<std::unique_ptr<ClusterService>> ClusterService::Recover(
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  cluster->recovery_stats_ = stats;
+  if (options.trace != nullptr) {
+    options.trace->Span(
+        obs::TraceEventKind::kRecovery, trace_start, /*shard=*/-1,
+        {{"shards", std::to_string(shards)},
+         {"wal_records", std::to_string(stats.wal_records)},
+         {"snapshot_events", std::to_string(stats.snapshot_events)},
+         {"torn_tail", stats.torn_tail ? "1" : "0"},
+         {"fallback", stats.fallback ? "1" : "0"}},
+        "cluster_recover");
+  }
   if (stats_out != nullptr) *stats_out = stats;
   return cluster;
 }
@@ -554,16 +590,16 @@ Status ClusterService::Share(NodeId u) {
     history.insert(pos, seq);
     if (history.size() > feed_size_) history.erase(history.begin());
     const size_t fanout = cross_.Publish(u, seq);
-    per_shard_requests_[s].fetch_add(1, std::memory_order_relaxed);
+    per_shard_requests_[s]->Add();
     per_user_requests_[u].fetch_add(1, std::memory_order_relaxed);
     if (fanout > 0) {
       // Sending the batched fan-out is work on the producer's shard (the
       // receiving shards are charged inside Publish) — and it follows the
       // producer when it migrates, so it counts toward the user's load too.
-      per_shard_fanout_[s].fetch_add(fanout, std::memory_order_relaxed);
+      per_shard_fanout_[s]->Add(fanout);
       per_user_served_[u].fetch_add(fanout, std::memory_order_relaxed);
     }
-    shares_.fetch_add(1, std::memory_order_relaxed);
+    shares_->Add();
   }
   shares_in_flight_.fetch_sub(1, std::memory_order_seq_cst);
   return st;
@@ -597,9 +633,9 @@ Result<std::vector<EventTuple>> ClusterService::QueryInternal(NodeId u,
   }
   PIGGY_ASSIGN_OR_RETURN(std::vector<EventTuple> local,
                          shards_[s].service->QueryStream(map_.LocalId(u)));
-  per_shard_requests_[s].fetch_add(1, std::memory_order_relaxed);
+  per_shard_requests_[s]->Add();
   per_user_requests_[u].fetch_add(1, std::memory_order_relaxed);
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_->Add();
 
   // Collect (seq, producer) candidates. Local feed events carry global
   // sequence numbers (shares are routed with explicit seqs), so event_id is
@@ -644,7 +680,7 @@ Result<std::vector<EventTuple>> ClusterService::QueryInternal(NodeId u,
 
   if (force_audit) {
     PIGGY_RETURN_NOT_OK(AuditMerged(u, stream, token));
-    audited_queries_.fetch_add(1, std::memory_order_relaxed);
+    audited_queries_->Add();
   }
   return stream;
 }
@@ -855,6 +891,11 @@ Status ClusterService::KillShard(uint32_t s) {
   // the FailPoint registry instead.
   shards_[s].service.reset();
   down_[s] = 1;
+  registry_.GetCounter("cluster.shard_kills").Add();
+  if (options_.trace != nullptr) {
+    options_.trace->Instant(obs::TraceEventKind::kShardKill,
+                            static_cast<int32_t>(s));
+  }
   return Status::OK();
 }
 
@@ -867,9 +908,24 @@ Status ClusterService::RestartShard(uint32_t s) {
     return Status::FailedPrecondition("RestartShard requires durability");
   }
   if (!down_[s]) return Status::OK();
+  const double trace_start =
+      options_.trace != nullptr ? options_.trace->NowUs() : 0;
+  RecoveryStats rs;
   PIGGY_ASSIGN_OR_RETURN(shards_[s].service,
-                         FeedService::Recover(ShardOptions(s)));
+                         FeedService::Recover(ShardOptions(s), &rs));
   down_[s] = 0;
+  recovery_stats_.Accumulate(rs);
+  registry_.GetCounter("cluster.shard_restarts").Add();
+  if (options_.trace != nullptr) {
+    options_.trace->Span(
+        obs::TraceEventKind::kShardRestart, trace_start,
+        static_cast<int32_t>(s),
+        {{"snapshot", std::to_string(rs.snapshot_id)},
+         {"wal_records", std::to_string(rs.wal_records)},
+         {"snapshot_events", std::to_string(rs.snapshot_events)},
+         {"torn_tail", rs.torn_tail ? "1" : "0"},
+         {"fallback", rs.fallback ? "1" : "0"}});
+  }
   return Status::OK();
 }
 
@@ -981,6 +1037,14 @@ Status ClusterService::MigrateUsers(const std::vector<UserMove>& moves) {
     }
     migration_active_ = true;
     migration_journal_.clear();
+  }
+  const double migrate_start =
+      options_.trace != nullptr ? options_.trace->NowUs() : 0;
+  if (options_.trace != nullptr) {
+    options_.trace->Instant(
+        obs::TraceEventKind::kMigrationBegin, /*shard=*/-1,
+        {{"users", std::to_string(effective.size())},
+         {"shards", std::to_string(affected.size())}});
   }
 
   // Undo of a failed migration: stop journaling and drop the half-built
@@ -1178,8 +1242,14 @@ Status ClusterService::MigrateUsers(const std::vector<UserMove>& moves) {
   RepairCrossEdges(moved_users);
   migration_active_ = false;
   migration_journal_.clear();
-  ++migrations_;
-  migrated_users_ += effective.size();
+  migrations_->Add();
+  migrated_users_->Add(effective.size());
+  if (options_.trace != nullptr) {
+    options_.trace->Span(
+        obs::TraceEventKind::kMigrationEnd, migrate_start, /*shard=*/-1,
+        {{"users", std::to_string(effective.size())},
+         {"shards", std::to_string(affected.size())}});
+  }
   lock.unlock();
 
   // Superseded generations are garbage now; a crash that skips this cleanup
@@ -1289,8 +1359,7 @@ Result<ClusterDriveReport> ClusterService::Drive(const DriverOptions& options) {
   const double shard_messages_before = ShardMessages();
   std::vector<uint64_t> shard_requests_before(per_shard_requests_.size());
   for (size_t s = 0; s < shard_requests_before.size(); ++s) {
-    shard_requests_before[s] =
-        per_shard_requests_[s].load(std::memory_order_relaxed);
+    shard_requests_before[s] = per_shard_requests_[s]->Value();
   }
 
   ClusterDriveReport report;
@@ -1337,8 +1406,7 @@ Result<ClusterDriveReport> ClusterService::Drive(const DriverOptions& options) {
   }
   std::vector<uint64_t> routed(per_shard_requests_.size());
   for (size_t s = 0; s < routed.size(); ++s) {
-    routed[s] = per_shard_requests_[s].load(std::memory_order_relaxed) -
-                shard_requests_before[s];
+    routed[s] = per_shard_requests_[s]->Value() - shard_requests_before[s];
   }
   report.imbalance = MaxOverMean(routed);
   return report;
@@ -1378,16 +1446,15 @@ ClusterMetrics ClusterService::GetMetrics() const {
   m.replicas = cross_.num_replicas();
   m.cross_cost = cross_.PredictedCost(workload_);
   m.churn_ops = churn_ops_;
-  m.shares = shares_.load(std::memory_order_relaxed);
-  m.queries = queries_.load(std::memory_order_relaxed);
-  m.audited_queries = audited_queries_.load(std::memory_order_relaxed);
+  m.shares = shares_->Value();
+  m.queries = queries_->Value();
+  m.audited_queries = audited_queries_->Value();
   const CrossTraffic traffic = cross_.traffic();
   m.cross_update_messages = traffic.update_messages;
   m.cross_query_messages = traffic.query_messages;
   m.per_shard_requests.resize(per_shard_requests_.size());
   for (size_t s = 0; s < per_shard_requests_.size(); ++s) {
-    m.per_shard_requests[s] =
-        per_shard_requests_[s].load(std::memory_order_relaxed);
+    m.per_shard_requests[s] = per_shard_requests_[s]->Value();
   }
   m.imbalance = MaxOverMean(m.per_shard_requests);
   m.per_shard_replicas = cross_.replicas_per_shard();
@@ -1401,10 +1468,11 @@ ClusterMetrics ClusterService::GetMetrics() const {
     m.per_shard_work[s] = m.per_shard_requests[s] +
                           m.per_shard_cross_updates[s] +
                           m.per_shard_cross_queries[s] +
-                          per_shard_fanout_[s].load(std::memory_order_relaxed);
+                          per_shard_fanout_[s]->Value();
   }
-  m.migrations = migrations_;
-  m.migrated_users = migrated_users_;
+  m.migrations = migrations_->Value();
+  m.migrated_users = migrated_users_->Value();
+  m.recovery = recovery_stats_;
 
   // Fold the per-shard work deltas since the last poll into the EMA view.
   // Idle polls (a probe and a rebalance trigger reading metrics back to
@@ -1444,8 +1512,7 @@ ClusterMetrics ClusterService::GetMetrics() const {
       // Where the batched sends originate, same cadence: a celebrity's home
       // shard stands out here long before (or without) any work imbalance.
       for (size_t s = 0; s < window_send_ema_.size(); ++s) {
-        const uint64_t sends =
-            per_shard_fanout_[s].load(std::memory_order_relaxed);
+        const uint64_t sends = per_shard_fanout_[s]->Value();
         const double send_delta =
             static_cast<double>(sends - window_last_sends_[s]);
         window_send_ema_[s] =
@@ -1480,6 +1547,14 @@ ClusterMetrics ClusterService::GetMetrics() const {
          static_cast<double>(m.cross_update_messages + m.cross_query_messages)) /
         static_cast<double>(requests);
   }
+  // Poll-time gauges: the trigger-facing signals, visible in `piggy_tool
+  // stats` and registry JSON dumps next to the raw counters.
+  registry_.GetGauge("cluster.imbalance").Set(m.imbalance);
+  registry_.GetGauge("cluster.windowed_imbalance").Set(m.windowed_imbalance);
+  registry_.GetGauge("cluster.windowed_send_imbalance")
+      .Set(m.windowed_send_imbalance);
+  registry_.GetGauge("cluster.windowed_cross_rate").Set(m.windowed_cross_rate);
+  registry_.GetGauge("cluster.total_cost").Set(m.total_cost);
   return m;
 }
 

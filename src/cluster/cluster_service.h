@@ -64,6 +64,8 @@
 #include "durability/durable_state.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/feed_service.h"
 #include "store/partitioner.h"
 #include "store/view_store.h"
@@ -105,6 +107,11 @@ struct ClusterOptions {
   /// pairs and the cluster pair alike; any durability configured inside
   /// `shard` is overridden (shards must not share a directory).
   DurabilityOptions durability;
+  /// Structured trace sink (not owned; null disables tracing). The cluster
+  /// emits shard kill/restart, migration batch, and recovery events here and
+  /// hands the same log to every shard FeedService (stamped with its shard
+  /// id), so one ring holds the causally ordered cluster-wide story.
+  obs::TraceLog* trace = nullptr;
 };
 
 /// \brief Cluster-wide cost + traffic counters.
@@ -162,6 +169,9 @@ struct ClusterMetrics {
   size_t migrations = 0;      ///< completed MigrateUsers batches
   size_t migrated_users = 0;  ///< users moved across shards (lifetime)
   double messages_per_request = 0;  ///< shard-local + cross messages
+  /// Accumulated recovery work: the initial Recover() plus every
+  /// RestartShard() since (zeroed for a Create()'d cluster).
+  RecoveryStats recovery;
 
   std::string ToString() const;
 };
@@ -340,6 +350,11 @@ class ClusterService {
   const FeedService& shard(size_t i) const { return *shards_[i].service; }
   FeedService& shard(size_t i) { return *shards_[i].service; }
 
+  /// Cluster-level metrics registry: router counters ("cluster.shares",
+  /// "cluster.shard00.requests", ...) and recovery counters live here; the
+  /// per-shard serving registries are reachable via shard(i).registry().
+  obs::MetricsRegistry& registry() const { return registry_; }
+
  private:
   struct Shard {
     std::unique_ptr<FeedService> service;
@@ -439,8 +454,17 @@ class ClusterService {
   // at publish. All three written under the exclusive lock.
   bool migration_active_ = false;
   std::vector<MigrationJournalEntry> migration_journal_;
-  size_t migrations_ = 0;
-  size_t migrated_users_ = 0;
+
+  // Cluster-level metrics. Declared before the cached Counter pointers below
+  // so the registry outlives every handle registered from it. Router traffic
+  // counters moved off ad-hoc atomics onto the registry: this is the single
+  // source GetMetrics folds and the rebalance trigger reads.
+  mutable obs::MetricsRegistry registry_;
+  obs::Counter* migrations_ = nullptr;       // completed MigrateUsers batches
+  obs::Counter* migrated_users_ = nullptr;   // users moved (lifetime)
+  // Recovery work accumulated across Recover() + RestartShard(); written
+  // under the exclusive lock (or before serving starts), read under shared.
+  RecoveryStats recovery_stats_;
 
   // Cluster lock: Share/QueryStream/GetMetrics/Validate shared,
   // Follow/Unfollow/Replan exclusive. graph_ and the cross_ structure are
@@ -467,11 +491,12 @@ class ClusterService {
   // lossless for serving and auditing. Element u guarded by StripeFor(u).
   std::vector<std::vector<uint64_t>> producer_seqs_;
 
-  // Router counters, bumped on the shared-lock serving path.
-  std::vector<std::atomic<uint64_t>> per_shard_requests_;
+  // Router counters, bumped on the shared-lock serving path. Registry-backed
+  // (thread-striped) counters cached by pointer at construction.
+  std::vector<obs::Counter*> per_shard_requests_;
   // Batched fan-out messages sent by each shard's producers (the sending
   // half of cross-shard update work; the receiving half lives in cross_).
-  std::vector<std::atomic<uint64_t>> per_shard_fanout_;
+  std::vector<obs::Counter*> per_shard_fanout_;
   // Observed per-user load (shares + queries), the rebalance planner's move
   // weights.
   std::vector<std::atomic<uint64_t>> per_user_requests_;
@@ -490,9 +515,9 @@ class ClusterService {
   mutable double window_cross_rate_ = 0;
   mutable std::vector<double> window_send_ema_;
   mutable std::vector<uint64_t> window_last_sends_;
-  std::atomic<uint64_t> shares_{0};
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> audited_queries_{0};
+  obs::Counter* shares_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* audited_queries_ = nullptr;
   std::atomic<uint64_t> queries_since_audit_{0};
   // Churn counters: written under the exclusive lock, read under shared.
   size_t churn_ops_ = 0;

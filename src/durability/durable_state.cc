@@ -8,6 +8,7 @@
 
 #include "graph/graph_io.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace piggy {
 
@@ -68,17 +69,19 @@ void RecoveryStats::Accumulate(const RecoveryStats& other) {
   replayed_replans += other.replayed_replans;
   replayed_migration_commits += other.replayed_migration_commits;
   torn_tail = torn_tail || other.torn_tail;
+  fallback = fallback || other.fallback;
   wal_valid_bytes += other.wal_valid_bytes;
   wal_total_bytes += other.wal_total_bytes;
 }
 
 std::string RecoveryStats::ToString() const {
   return StrFormat(
-      "snapshot id=%llu events=%llu | wal records=%llu (%llu/%llu bytes%s) | "
-      "replayed shares=%llu follows=%llu unfollows=%llu rate_shifts=%llu "
+      "snapshot id=%llu events=%llu%s | wal records=%llu (%llu/%llu bytes%s) "
+      "| replayed shares=%llu follows=%llu unfollows=%llu rate_shifts=%llu "
       "replans=%llu migrations=%llu | %.3f s",
       static_cast<unsigned long long>(snapshot_id),
       static_cast<unsigned long long>(snapshot_events),
+      fallback ? " (fallback)" : "",
       static_cast<unsigned long long>(wal_records),
       static_cast<unsigned long long>(wal_valid_bytes),
       static_cast<unsigned long long>(wal_total_bytes),
@@ -90,6 +93,47 @@ std::string RecoveryStats::ToString() const {
       static_cast<unsigned long long>(replayed_replans),
       static_cast<unsigned long long>(replayed_migration_commits),
       wall_seconds);
+}
+
+std::string RecoveryStats::ToJson() const {
+  return StrFormat(
+      "{\"snapshot_id\":%llu,\"snapshot_events\":%llu,\"wal_records\":%llu,"
+      "\"replayed_shares\":%llu,\"replayed_follows\":%llu,"
+      "\"replayed_unfollows\":%llu,\"replayed_rate_shifts\":%llu,"
+      "\"replayed_replans\":%llu,\"replayed_migration_commits\":%llu,"
+      "\"torn_tail\":%s,\"fallback\":%s,\"wal_valid_bytes\":%llu,"
+      "\"wal_total_bytes\":%llu,\"wall_seconds\":%.6f}",
+      static_cast<unsigned long long>(snapshot_id),
+      static_cast<unsigned long long>(snapshot_events),
+      static_cast<unsigned long long>(wal_records),
+      static_cast<unsigned long long>(replayed_shares),
+      static_cast<unsigned long long>(replayed_follows),
+      static_cast<unsigned long long>(replayed_unfollows),
+      static_cast<unsigned long long>(replayed_rate_shifts),
+      static_cast<unsigned long long>(replayed_replans),
+      static_cast<unsigned long long>(replayed_migration_commits),
+      torn_tail ? "true" : "false", fallback ? "true" : "false",
+      static_cast<unsigned long long>(wal_valid_bytes),
+      static_cast<unsigned long long>(wal_total_bytes), wall_seconds);
+}
+
+void ShardDurability::BindObservability(obs::MetricsRegistry* metrics,
+                                        obs::TraceLog* trace,
+                                        int32_t trace_shard) {
+  options_.metrics = metrics;
+  options_.trace = trace;
+  options_.trace_shard = trace_shard;
+  if (metrics != nullptr) {
+    append_us_ = &metrics->GetHistogram("wal.append_us");
+    flush_us_ = &metrics->GetHistogram("wal.flush_us");
+    snapshot_us_ = &metrics->GetHistogram("snapshot.write_us", 0.5, 1e8, 96);
+    rotations_ = &metrics->GetCounter("wal.rotations");
+  } else {
+    append_us_ = nullptr;
+    flush_us_ = nullptr;
+    snapshot_us_ = nullptr;
+    rotations_ = nullptr;
+  }
 }
 
 Result<std::unique_ptr<ShardDurability>> ShardDurability::Create(
@@ -167,7 +211,13 @@ Status ShardDurability::AppendLocked(const WalRecord& record) {
         "no open WAL (WriteSnapshot/ResumeAppending not called): " +
         options_.data_dir);
   }
-  PIGGY_RETURN_NOT_OK(wal_.Append(record));
+  if (append_us_ != nullptr) {
+    WallTimer t;
+    PIGGY_RETURN_NOT_OK(wal_.Append(record));
+    append_us_->Record(t.Seconds() * 1e6);
+  } else {
+    PIGGY_RETURN_NOT_OK(wal_.Append(record));
+  }
   ++records_since_snapshot_;
   return Status::OK();
 }
@@ -223,12 +273,17 @@ uint64_t ShardDurability::records_since_snapshot() const {
 
 Status ShardDurability::WriteSnapshot(SnapshotData data) {
   std::lock_guard<std::mutex> lock(mu_);
+  const double rotate_start =
+      options_.trace != nullptr ? options_.trace->NowUs() : 0.0;
+  const uint64_t rotated_records = records_since_snapshot_;
   // Make wal-K durable but keep it open: if any rotation step below fails,
   // appends keep flowing to wal-K and the rotation can simply be retried —
   // a transient snapshot error must not become a permanent write outage.
   // mu_ is held throughout, so no record can slip in mid-rotation.
   if (wal_.is_open()) {
+    WallTimer flush_timer;
     PIGGY_RETURN_NOT_OK(wal_.Flush(options_.use_fsync));
+    if (flush_us_ != nullptr) flush_us_->Record(flush_timer.Seconds() * 1e6);
   }
   const uint64_t next_id = has_snapshot_ ? current_id_ + 1 : 0;
   data.id = next_id;
@@ -239,7 +294,11 @@ Status ShardDurability::WriteSnapshot(SnapshotData data) {
   }
   std::sort(data.churn.begin(), data.churn.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
+  WallTimer snapshot_timer;
   PIGGY_RETURN_NOT_OK(WriteSnapshotFile(data, SnapshotPath(next_id)));
+  if (snapshot_us_ != nullptr) {
+    snapshot_us_->Record(snapshot_timer.Seconds() * 1e6);
+  }
   auto next_wal =
       WalWriter::Open(WalPath(next_id), options_.flush, options_.group_records,
                       options_.use_fsync, /*truncate=*/true);
@@ -269,6 +328,16 @@ Status ShardDurability::WriteSnapshot(SnapshotData data) {
       if (id <= next_id - 2) std::remove(WalPath(id).c_str());
     }
   }
+  if (rotations_ != nullptr) rotations_->Add();
+  if (options_.trace != nullptr) {
+    options_.trace->Instant(
+        obs::TraceEventKind::kSnapshotPublish, options_.trace_shard,
+        {{"snapshot", std::to_string(next_id)},
+         {"rotated_records", std::to_string(rotated_records)}});
+    options_.trace->Span(obs::TraceEventKind::kWalRotate, rotate_start,
+                         options_.trace_shard,
+                         {{"wal", std::to_string(next_id)}});
+  }
   return Status::OK();
 }
 
@@ -293,6 +362,7 @@ Result<ShardDurability::RecoveredState> ShardDurability::Recover() {
     auto snap = ReadSnapshotFile(SnapshotPath(*it));
     if (snap.ok()) {
       state.snapshot = std::move(snap).MoveValueOrDie();
+      state.fallback = it != snapshot_ids.rbegin();
       found = true;
       break;
     }

@@ -38,6 +38,8 @@
 #include "durability/snapshot.h"
 #include "durability/wal.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace piggy {
@@ -54,6 +56,14 @@ struct DurabilityOptions {
   /// Write a snapshot after every replan commit, bounding replay cost to one
   /// plan epoch.
   bool snapshot_on_replan = true;
+  /// Observability sinks (not owned; both may be null). `metrics` receives
+  /// the wal.append_us / wal.flush_us / snapshot.write_us histograms and
+  /// rotation counters; `trace` receives wal_rotate / snapshot_publish
+  /// events stamped with `trace_shard`. FeedService wires its own registry
+  /// and the configured TraceLog in before constructing the ShardDurability.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceLog* trace = nullptr;
+  int32_t trace_shard = -1;
 
   bool enabled() const { return !data_dir.empty(); }
 };
@@ -70,12 +80,17 @@ struct RecoveryStats {
   uint64_t replayed_replans = 0;
   uint64_t replayed_migration_commits = 0;
   bool torn_tail = false;
+  /// Recovery had to fall back past a corrupt newest snapshot to an older
+  /// valid one (CRC or parse failure on the newest id).
+  bool fallback = false;
   uint64_t wal_valid_bytes = 0;
   uint64_t wal_total_bytes = 0;
   double wall_seconds = 0.0;
 
   void Accumulate(const RecoveryStats& other);
   std::string ToString() const;
+  /// One flat JSON object (piggy_tool recover --json).
+  std::string ToJson() const;
 };
 
 class ShardDurability {
@@ -115,6 +130,7 @@ class ShardDurability {
     SnapshotData snapshot;
     std::vector<WalRecord> wal_records;
     bool torn_tail = false;
+    bool fallback = false;  // newest snapshot invalid, used an older one
     uint64_t wal_valid_bytes = 0;
     uint64_t wal_total_bytes = 0;
   };
@@ -130,9 +146,18 @@ class ShardDurability {
   const DurabilityOptions& options() const { return options_; }
   const Graph& base_graph() const { return base_graph_; }
 
+  /// (Re)wires the metric/trace sinks after construction. FeedService::
+  /// Recover uses this to adopt a pair that was Open()'d before the service
+  /// — and therefore its registry — existed. Call before serving traffic;
+  /// not synchronized against concurrent logging.
+  void BindObservability(obs::MetricsRegistry* metrics, obs::TraceLog* trace,
+                         int32_t trace_shard);
+
  private:
   explicit ShardDurability(DurabilityOptions options)
-      : options_(std::move(options)) {}
+      : options_(std::move(options)) {
+    BindObservability(options_.metrics, options_.trace, options_.trace_shard);
+  }
 
   std::string SnapshotPath(uint64_t id) const;
   std::string WalPath(uint64_t id) const;
@@ -140,6 +165,13 @@ class ShardDurability {
 
   DurabilityOptions options_;
   Graph base_graph_;
+
+  // Cached observability handles (null when options_.metrics is null; the
+  // registry outlives this object).
+  obs::Histogram* append_us_ = nullptr;
+  obs::Histogram* flush_us_ = nullptr;
+  obs::Histogram* snapshot_us_ = nullptr;
+  obs::Counter* rotations_ = nullptr;
 
   mutable std::mutex mu_;
   WalWriter wal_;

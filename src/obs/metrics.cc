@@ -1,0 +1,227 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace piggy {
+namespace obs {
+
+Histogram::Histogram(double min_value, double max_value, size_t num_buckets)
+    : lo_(min_value), hi_(max_value), num_buckets_(num_buckets) {
+  PIGGY_CHECK_GT(lo_, 0.0);
+  PIGGY_CHECK_GT(hi_, lo_);
+  PIGGY_CHECK_GT(num_buckets_, 0u);
+  ratio_ = std::pow(hi_ / lo_, 1.0 / static_cast<double>(num_buckets_));
+  inv_log_ratio_ = 1.0 / std::log(ratio_);
+  bounds_.resize(num_buckets_ + 1);
+  for (size_t i = 0; i < num_buckets_; ++i) {
+    bounds_[i] = lo_ * std::pow(ratio_, static_cast<double>(i));
+  }
+  bounds_[num_buckets_] = hi_;
+  for (Stripe& s : stripes_) {
+    s.buckets =
+        std::make_unique<std::atomic<uint64_t>[]>(num_buckets_ + 2);
+    for (size_t i = 0; i < num_buckets_ + 2; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t Histogram::BucketIndex(double v) const {
+  if (!(v >= lo_)) return 0;  // underflow (also catches NaN)
+  if (v >= hi_) return num_buckets_ + 1;
+  const double pos = std::log(v / lo_) * inv_log_ratio_;
+  size_t idx = static_cast<size_t>(pos);
+  if (idx >= num_buckets_) idx = num_buckets_ - 1;
+  // Snap to the precomputed bounds at exact boundaries, where the log is
+  // off by an ulp in either direction.
+  if (v >= bounds_[idx + 1]) {
+    ++idx;
+  } else if (v < bounds_[idx] && idx > 0) {
+    --idx;
+  }
+  return idx + 1;
+}
+
+double Histogram::SlotLowerBound(size_t i) const {
+  if (i == 0) return 0;
+  if (i >= num_buckets_ + 1) return hi_;
+  return bounds_[i - 1];
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::MergedSlots() const {
+  std::vector<uint64_t> merged(num_buckets_ + 2, 0);
+  for (const Stripe& s : stripes_) {
+    for (size_t i = 0; i < merged.size(); ++i) {
+      merged[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::Percentile(double q) const {
+  const std::vector<uint64_t> slots = MergedSlots();
+  uint64_t count = 0;
+  for (uint64_t c : slots) count += c;
+  if (count == 0) return 0;
+  // Same rank convention as NearestRankPercentile over the merged counts.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == 0) continue;
+    if (rank < cum + slots[i]) {
+      if (i == 0) return lo_;                  // underflow: clamp up
+      if (i == num_buckets_ + 1) return hi_;   // overflow: clamp down
+      // Linear interpolation at the midpoint of the rank's slice of the
+      // bucket keeps the estimate strictly inside [lower, upper).
+      const double lower = SlotLowerBound(i);
+      const double upper = lower * ratio_;
+      const double frac = (static_cast<double>(rank - cum) + 0.5) /
+                          static_cast<double>(slots[i]);
+      return lower + (upper - lower) * frac;
+    }
+    cum += slots[i];
+  }
+  return hi_;  // unreachable: rank < count
+}
+
+HistogramSummary Summarize(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.Count();
+  s.sum = h.Sum();
+  s.p50 = h.Percentile(0.50);
+  s.p95 = h.Percentile(0.95);
+  s.p99 = h.Percentile(0.99);
+  return s;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         double min_value, double max_value,
+                                         size_t num_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(min_value, max_value, num_buckets);
+  }
+  return *slot;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":%llu", JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(c->Value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":%.6g", JsonEscape(name).c_str(), g->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const HistogramSummary s = Summarize(*h);
+    out += StrFormat(
+        "\"%s\":{\"count\":%llu,\"sum\":%.6g,\"p50\":%.6g,\"p95\":%.6g,"
+        "\"p99\":%.6g}",
+        JsonEscape(name).c_str(), static_cast<unsigned long long>(s.count),
+        s.sum, s.p50, s.p95, s.p99);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%-44s %s\n", name.c_str(),
+                     WithCommas(c->Value()).c_str());
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%-44s %.4g\n", name.c_str(), g->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSummary s = Summarize(*h);
+    const double mean =
+        s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0;
+    out += StrFormat(
+        "%-44s n=%-10s mean=%-8.4g p50=%-8.4g p95=%-8.4g p99=%.4g\n",
+        name.c_str(), WithCommas(s.count).c_str(), mean, s.p50, s.p95, s.p99);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace piggy

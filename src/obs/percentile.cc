@@ -1,0 +1,18 @@
+#include "obs/percentile.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace piggy {
+namespace obs {
+
+double NearestRankPercentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(v.size()));
+  idx = std::min(idx, v.size() - 1);
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(idx), v.end());
+  return v[idx];
+}
+
+}  // namespace obs
+}  // namespace piggy

@@ -1,0 +1,49 @@
+#include "obs/report.h"
+
+#include <map>
+
+#include "util/string_util.h"
+
+namespace piggy {
+namespace obs {
+
+namespace {
+
+std::string ArgsLine(const TraceEvent& ev) {
+  std::string out;
+  for (const auto& [key, value] : ev.args) {
+    out += StrFormat(" %s=%s", key.c_str(), value.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderRunReport(const std::vector<TraceEvent>& events,
+                            uint64_t dropped) {
+  std::string out = "== run report ==\n";
+  if (dropped > 0) {
+    out += StrFormat("(timeline truncated: %s oldest events dropped)\n",
+                     WithCommas(dropped).c_str());
+  }
+  std::map<std::string, uint64_t> totals;
+  for (const TraceEvent& ev : events) {
+    ++totals[TraceEventKindName(ev.kind)];
+    std::string shard =
+        ev.shard >= 0 ? StrFormat("shard %-2d", ev.shard) : std::string("cluster ");
+    std::string dur = ev.dur_us > 0 ? StrFormat(" (%.2f ms)", ev.dur_us / 1e3)
+                                    : std::string();
+    out += StrFormat("[%10.3f ms] %s %-16s%s%s\n", ev.ts_us / 1e3,
+                     shard.c_str(), TraceEventKindName(ev.kind),
+                     ArgsLine(ev).c_str(), dur.c_str());
+  }
+  out += StrFormat("-- %s event(s)", WithCommas(events.size()).c_str());
+  for (const auto& [kind, n] : totals) {
+    out += StrFormat("  %s=%s", kind.c_str(), WithCommas(n).c_str());
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace piggy

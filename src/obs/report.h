@@ -1,0 +1,33 @@
+// RunReport: renders a trace into a human-readable timeline.
+//
+// Turns the typed events of a TraceLog (or any event vector) into the
+// story of a run — epochs, replans, migrations, failures and recoveries in
+// time order, followed by per-kind totals. This is what `piggy_tool replay
+// --trace-out` prints when asked for a report, and the quickest way to see
+// *why* a run behaved the way it did without loading the trace in
+// chrome://tracing.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace piggy {
+namespace obs {
+
+/// Renders `events` (assumed oldest-first, as TraceLog::Events returns) as
+/// an aligned timeline plus a summary footer. `dropped` is the TraceLog's
+/// dropped-events counter; when non-zero the report says the timeline is
+/// truncated.
+std::string RenderRunReport(const std::vector<TraceEvent>& events,
+                            uint64_t dropped = 0);
+
+inline std::string RenderRunReport(const TraceLog& log) {
+  return RenderRunReport(log.Events(), log.dropped());
+}
+
+}  // namespace obs
+}  // namespace piggy

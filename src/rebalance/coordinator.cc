@@ -1,7 +1,11 @@
 #include "rebalance/coordinator.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "obs/trace.h"
+#include "util/string_util.h"
 
 namespace piggy {
 
@@ -16,7 +20,24 @@ Result<bool> MigrationCoordinator::Step() {
   }
   last_user_load_ = std::move(current);
 
-  if (!trigger_.Observe(cluster_.GetMetrics())) return false;
+  const ClusterMetrics metrics = cluster_.GetMetrics();
+  if (!trigger_.Observe(metrics)) return false;
+
+  // The fire is worth a trace event even if the planner then finds nothing
+  // to move — a fired-but-empty tick explains "why did nothing happen".
+  if (obs::TraceLog* trace = cluster_.options().trace; trace != nullptr) {
+    trace->Instant(
+        obs::TraceEventKind::kTriggerFire, /*shard=*/-1,
+        {{"reason", trigger_.last_fire_reason()},
+         {"windowed_imbalance", StrFormat("%.3f", metrics.windowed_imbalance)},
+         {"windowed_cross_rate",
+          StrFormat("%.4f", metrics.windowed_cross_rate)},
+         {"windowed_send_imbalance",
+          StrFormat("%.3f", metrics.windowed_send_imbalance)}});
+  }
+  std::string fire_counter = "rebalance.trigger_fires.";
+  fire_counter += trigger_.last_fire_reason();
+  cluster_.registry().GetCounter(fire_counter).Add();
 
   PIGGY_ASSIGN_OR_RETURN(Graph frozen, cluster_.GraphSnapshot());
   const MovePlan plan =

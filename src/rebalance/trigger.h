@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster_service.h"
@@ -75,7 +76,12 @@ class RebalanceTrigger {
       ++warmup_seen_;
       return false;
     }
+    // Remember which watch tripped: when several are hot at once the report
+    // lists the imbalance watch first (it is the primary signal; the rate
+    // watches exist to catch what it misses).
+    const char* reason = nullptr;
     bool hot = m.windowed_imbalance >= options_.imbalance_threshold;
+    if (hot) reason = "imbalance";
     if (options_.send_rise > 0 && !m.per_shard_send_window.empty()) {
       const size_t shards = m.per_shard_send_window.size();
       send_floor_.resize(shards, 0);
@@ -86,28 +92,42 @@ class RebalanceTrigger {
         const double v = m.per_shard_send_window[s];
         if (v <= 0) continue;
         if (send_floor_[s] == 0 || v < send_floor_[s]) send_floor_[s] = v;
-        hot = hot || (v >= mean &&
-                      v >= send_floor_[s] * (1.0 + options_.send_rise));
+        if (v >= mean && v >= send_floor_[s] * (1.0 + options_.send_rise)) {
+          hot = true;
+          if (reason == nullptr) reason = "send_rise";
+        }
       }
     }
     if (options_.cross_rate_rise > 0 && m.windowed_cross_rate > 0) {
       if (rate_floor_ == 0 || m.windowed_cross_rate < rate_floor_) {
         rate_floor_ = m.windowed_cross_rate;
       }
-      hot = hot || m.windowed_cross_rate >=
-                       rate_floor_ * (1.0 + options_.cross_rate_rise);
+      if (m.windowed_cross_rate >=
+          rate_floor_ * (1.0 + options_.cross_rate_rise)) {
+        hot = true;
+        if (reason == nullptr) reason = "cross_rate";
+      }
     }
-    return ObserveHot(hot);
+    const bool fired = ObserveHot(hot);
+    if (fired) last_fire_reason_ = reason != nullptr ? reason : "unknown";
+    return fired;
   }
 
   /// Same, on a raw imbalance value (unit-testable without a cluster).
   /// Skips the warm-up gate and the rate watch: this is the bare streak
   /// machine.
   bool ObserveValue(double imbalance) {
-    return ObserveHot(imbalance >= options_.imbalance_threshold);
+    const bool fired = ObserveHot(imbalance >= options_.imbalance_threshold);
+    if (fired) last_fire_reason_ = "imbalance";
+    return fired;
   }
 
   const RebalanceTriggerOptions& options() const { return options_; }
+
+  /// Which watch tripped the most recent fire: "imbalance", "send_rise" or
+  /// "cross_rate" (ObserveValue fires report "imbalance"). Empty before the
+  /// first fire.
+  const std::string& last_fire_reason() const { return last_fire_reason_; }
 
  private:
   // The streak machine behind both entry points: consecutive hot
@@ -120,6 +140,7 @@ class RebalanceTrigger {
   size_t warmup_seen_ = 0;  // metric observations discarded so far
   double rate_floor_ = 0;   // low-water mark of the windowed cross rate
   std::vector<double> send_floor_;  // per-shard send-rate low-water marks
+  std::string last_fire_reason_;    // watch behind the most recent fire
 };
 
 }  // namespace piggy

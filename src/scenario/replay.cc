@@ -82,6 +82,8 @@ struct ServiceHooks {
   std::function<std::pair<double, double>(const Workload&)> true_costs;
   /// Optional epoch-close callback (ReplayOptions::on_epoch_close).
   std::function<Status(const ReplayEpochRow&)> on_epoch_close;
+  /// Optional trace sink (ReplayOptions::trace).
+  obs::TraceLog* trace = nullptr;
 };
 
 /// Max/mean of the per-shard request deltas for one epoch (0 if no traffic
@@ -110,6 +112,8 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
   ServiceProbe epoch_start = hooks.probe();
   ReplayEpochRow row;
   size_t current_epoch = 0;
+  double epoch_trace_start =
+      hooks.trace != nullptr ? hooks.trace->NowUs() : 0;
 
   auto close_epoch = [&](size_t e) -> Status {
     const ServiceProbe now = hooks.probe();
@@ -129,6 +133,22 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
     row.true_cost = cost;
     row.true_hybrid = hybrid;
     row.wall_seconds = epoch_timer.Seconds();
+    if (hooks.trace != nullptr) {
+      hooks.trace->Span(
+          obs::TraceEventKind::kEpoch, epoch_trace_start, /*shard=*/-1,
+          {{"epoch", std::to_string(row.epoch)},
+           {"shares", std::to_string(row.shares)},
+           {"queries", std::to_string(row.queries)},
+           {"follows", std::to_string(row.follows)},
+           {"unfollows", std::to_string(row.unfollows)},
+           {"msgs_per_req", StrFormat("%.3f", row.messages_per_request)},
+           {"true_cost", StrFormat("%.1f", row.true_cost)},
+           {"replans", std::to_string(row.replans)},
+           {"drift", StrFormat("%.3f", row.drift_score)},
+           {"fails", std::to_string(row.shard_fails)},
+           {"restarts", std::to_string(row.shard_restarts)},
+           {"unavailable", std::to_string(row.unavailable)}});
+    }
     report.epochs.push_back(row);
     report.shares += row.shares;
     report.queries += row.queries;
@@ -145,6 +165,7 @@ Result<ReplayReport> Replay(Scenario& scenario, ServiceHooks hooks,
     // Re-probe after the hook: a migration it triggers shifts the counters,
     // and the next epoch should not inherit that as its own traffic.
     epoch_start = hooks.on_epoch_close ? hooks.probe() : now;
+    if (hooks.trace != nullptr) epoch_trace_start = hooks.trace->NowUs();
     return Status::OK();
   };
 
@@ -335,6 +356,7 @@ Result<ReplayReport> ReplayScenario(Scenario& scenario, FeedService& service,
     return service.CostsUnder(truth);
   };
   hooks.on_epoch_close = options.on_epoch_close;
+  hooks.trace = options.trace;
   return ReplayWithAux(scenario, std::move(hooks), std::move(report),
                        service.WorkloadSnapshot(), options);
 }
@@ -391,6 +413,7 @@ Result<ReplayReport> ReplayScenario(Scenario& scenario, ClusterService& cluster,
     return cluster.CostsUnder(truth);
   };
   hooks.on_epoch_close = options.on_epoch_close;
+  hooks.trace = options.trace;
   return ReplayWithAux(scenario, std::move(hooks), std::move(report),
                        cluster.workload(), options);
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cluster/cluster_service.h"
+#include "obs/trace.h"
 #include "scenario/scenario.h"
 #include "store/feed_service.h"
 #include "util/status.h"
@@ -104,6 +105,13 @@ struct ReplayOptions {
   /// MigrationCoordinator::Step runs here). A non-OK return aborts the
   /// replay. Null = no hook.
   std::function<Status(const ReplayEpochRow&)> on_epoch_close;
+  /// Structured trace sink (not owned; null disables). Each epoch close
+  /// emits one kEpoch span carrying the row's headline numbers, so the trace
+  /// interleaves the measurement clock with the service's own replan /
+  /// durability / shard events. Pass the same log to the deployment
+  /// (FeedServiceOptions::trace or ClusterOptions::trace) for one unified
+  /// timeline.
+  obs::TraceLog* trace = nullptr;
 };
 
 /// Replays `scenario` (from its current position; call Reset() to rewind)

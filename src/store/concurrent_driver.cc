@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/percentile.h"
 #include "util/alias_table.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -15,22 +16,13 @@ namespace piggy {
 
 namespace {
 
-// Nearest-rank percentile; reorders `v`.
-double Percentile(std::vector<double>& v, double q) {
-  if (v.empty()) return 0;
-  size_t idx = static_cast<size_t>(q * static_cast<double>(v.size()));
-  idx = std::min(idx, v.size() - 1);
-  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(idx), v.end());
-  return v[idx];
-}
-
 LatencyProfile Summarize(std::vector<double>& latencies_us) {
   LatencyProfile p;
   p.count = latencies_us.size();
   if (latencies_us.empty()) return p;
-  p.p50_us = Percentile(latencies_us, 0.50);
-  p.p95_us = Percentile(latencies_us, 0.95);
-  p.p99_us = Percentile(latencies_us, 0.99);
+  p.p50_us = obs::NearestRankPercentile(latencies_us, 0.50);
+  p.p95_us = obs::NearestRankPercentile(latencies_us, 0.95);
+  p.p99_us = obs::NearestRankPercentile(latencies_us, 0.99);
   p.max_us = *std::max_element(latencies_us.begin(), latencies_us.end());
   return p;
 }
@@ -109,9 +101,15 @@ Result<ConcurrentDriveReport> RunConcurrentDriver(
           if (is_share) {
             ++out.shares;
             out.share_us.push_back(us);
+            if (options.share_histogram != nullptr) {
+              options.share_histogram->Record(us);
+            }
           } else {
             ++out.queries;
             out.query_us.push_back(us);
+            if (options.query_histogram != nullptr) {
+              options.query_histogram->Record(us);
+            }
           }
         }
       });

@@ -27,6 +27,7 @@
 
 #include "cluster/cluster_service.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "store/feed_service.h"
 #include "util/status.h"
 #include "workload/workload.h"
@@ -41,6 +42,11 @@ struct ConcurrentDriverOptions {
   size_t requests_per_thread = 1000;
   /// Seed of the per-thread op streams.
   uint64_t seed = 42;
+  /// Optional histograms fed the exact same per-op samples the exact
+  /// percentiles are computed from; lets a bench compare the bucketed
+  /// estimate against the nearest-rank truth. Not owned; may be null.
+  obs::Histogram* share_histogram = nullptr;
+  obs::Histogram* query_histogram = nullptr;
 };
 
 /// \brief Latency percentiles of one op kind, in microseconds.

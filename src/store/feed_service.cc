@@ -13,6 +13,7 @@
 #include "core/schedule_io.h"
 #include "core/validator.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace piggy {
 
@@ -26,6 +27,54 @@ ClientMetrics SumMetrics(const ClientMetrics& a, const ClientMetrics& b) {
   sum.query_messages = a.query_messages + b.query_messages;
   return sum;
 }
+
+// Records wall microseconds into `h` on destruction. Pass nullptr to
+// disable (e.g. while Recover() replays the WAL through the public API —
+// replayed traffic must not pollute the serving latency histograms).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(obs::Histogram* h) : h_(h) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() {
+    if (h_ != nullptr) h_->Record(timer_.Seconds() * 1e6);
+  }
+
+ private:
+  obs::Histogram* h_;
+  WallTimer timer_;
+};
+
+// Folds a planner's progress stream into one kPlanPhase span per optimizer
+// phase (progress callbacks are never concurrent, so plain state is safe).
+struct PlanPhaseTracer {
+  std::string phase;
+  double start_us = 0;
+  size_t steps = 0;
+  double cost = 0;
+
+  void Observe(obs::TraceLog* trace, int32_t shard, const PlanProgress& p) {
+    if (phase != p.phase) {
+      Close(trace, shard);
+      phase = p.phase;
+      start_us = trace->NowUs();
+    }
+    steps = p.step;
+    cost = p.cost;
+  }
+
+  void Close(obs::TraceLog* trace, int32_t shard) {
+    if (phase.empty()) return;
+    trace->Span(obs::TraceEventKind::kPlanPhase, start_us, shard,
+                {{"phase", phase},
+                 {"steps", std::to_string(steps)},
+                 {"cost", StrFormat("%.1f", cost)}},
+                "plan:" + phase);
+    phase.clear();
+    steps = 0;
+    cost = 0;
+  }
+};
 
 }  // namespace
 
@@ -46,7 +95,20 @@ FeedService::FeedService(const Graph& graph, Workload workload,
                          FeedServiceOptions options)
     : options_(std::move(options)),
       graph_(graph),
-      workload_(std::move(workload)) {}
+      workload_(std::move(workload)) {
+  share_us_ = &registry_.GetHistogram("feed.share_us");
+  query_us_ = &registry_.GetHistogram("feed.query_us");
+  follow_us_ = &registry_.GetHistogram("feed.follow_us");
+  unfollow_us_ = &registry_.GetHistogram("feed.unfollow_us");
+  replan_us_ = &registry_.GetHistogram("feed.replan_us", 0.5, 1e9, 96);
+  // The durability layer shares this service's registry and trace ring, so
+  // one export covers the whole shard (Recover() re-binds the pair it adopts
+  // via BindObservability — its ShardDurability is opened before `this`
+  // exists).
+  options_.durability.metrics = &registry_;
+  options_.durability.trace = options_.trace;
+  options_.durability.trace_shard = options_.trace_shard;
+}
 
 FeedService::~FeedService() {
   {
@@ -104,16 +166,22 @@ Result<std::unique_ptr<FeedService>> FeedService::Create(
 Result<std::unique_ptr<FeedService>> FeedService::Recover(
     const FeedServiceOptions& options, RecoveryStats* stats_out) {
   const auto start = std::chrono::steady_clock::now();
+  const double trace_start =
+      options.trace != nullptr ? options.trace->NowUs() : 0.0;
   RecoveryStats stats;
   PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ShardDurability> durability,
                          ShardDurability::Open(options.durability));
   PIGGY_ASSIGN_OR_RETURN(ShardDurability::RecoveredState state,
                          durability->Recover());
+  const double load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   const SnapshotData& snap = state.snapshot;
   stats.snapshot_id = snap.id;
   stats.snapshot_events = snap.events.size();
   stats.wal_records = state.wal_records.size();
   stats.torn_tail = state.torn_tail;
+  stats.fallback = state.fallback;
   stats.wal_valid_bytes = state.wal_valid_bytes;
   stats.wal_total_bytes = state.wal_total_bytes;
 
@@ -183,6 +251,8 @@ Result<std::unique_ptr<FeedService>> FeedService::Recover(
   // re-logging and replan policies; planner runs happen exactly where a
   // kReplanCommit record marks a committed live replan.
   service->durability_ = std::move(durability);
+  service->durability_->BindObservability(&service->registry_, options.trace,
+                                          options.trace_shard);
   service->replaying_ = true;
   Status replay_status;
   for (const WalRecord& r : state.wal_records) {
@@ -222,6 +292,28 @@ Result<std::unique_ptr<FeedService>> FeedService::Recover(
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  service->recovery_stats_ = stats;
+  // Surface the recovery outcome through the registry (piggy_tool stats,
+  // ClusterMetrics) alongside the structured stats.
+  service->registry_.GetCounter("recovery.runs").Add();
+  service->registry_.GetCounter("recovery.wal_records").Add(stats.wal_records);
+  service->registry_.GetCounter("recovery.snapshot_events")
+      .Add(stats.snapshot_events);
+  if (stats.torn_tail) service->registry_.GetCounter("recovery.torn_tails").Add();
+  if (stats.fallback) service->registry_.GetCounter("recovery.fallbacks").Add();
+  service->registry_.GetGauge("recovery.wall_seconds").Set(stats.wall_seconds);
+  if (options.trace != nullptr) {
+    options.trace->Span(
+        obs::TraceEventKind::kRecovery, trace_start, options.trace_shard,
+        {{"snapshot", std::to_string(stats.snapshot_id)},
+         {"snapshot_events", std::to_string(stats.snapshot_events)},
+         {"wal_records", std::to_string(stats.wal_records)},
+         {"torn_tail", stats.torn_tail ? "true" : "false"},
+         {"fallback", stats.fallback ? "true" : "false"},
+         {"load_ms", StrFormat("%.3f", load_seconds * 1e3)},
+         {"replay_ms",
+          StrFormat("%.3f", (stats.wall_seconds - load_seconds) * 1e3)}});
+  }
   if (stats_out != nullptr) *stats_out = stats;
   return service;
 }
@@ -232,11 +324,31 @@ Status FeedService::Replan() {
 }
 
 Status FeedService::ReplanLocked() {
+  obs::TraceLog* trace = options_.trace;
+  const double trace_start = trace != nullptr ? trace->NowUs() : 0.0;
+  WallTimer replan_timer;
+  if (trace != nullptr) {
+    trace->Instant(obs::TraceEventKind::kReplanStart, options_.trace_shard,
+                   {{"planner", options_.planner},
+                    {"mode", replaying_ ? "replay" : "inline"}});
+  }
   PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<Planner> planner,
                          MakePlanner(options_.planner));
   PIGGY_ASSIGN_OR_RETURN(Graph snapshot, graph_.Snapshot());
+  PlanContext ctx = options_.plan_context;
+  auto tracer = std::make_shared<PlanPhaseTracer>();
+  if (trace != nullptr) {
+    const int32_t shard = options_.trace_shard;
+    auto prev = ctx.progress;
+    ctx.progress = [trace, shard, tracer,
+                    prev = std::move(prev)](const PlanProgress& p) {
+      if (prev) prev(p);
+      tracer->Observe(trace, shard, p);
+    };
+  }
   PIGGY_ASSIGN_OR_RETURN(PlanResult plan,
-                         planner->Plan(snapshot, workload_, options_.plan_context));
+                         planner->Plan(snapshot, workload_, ctx));
+  if (trace != nullptr) tracer->Close(trace, options_.trace_shard);
   schedule_ = std::move(plan.schedule);
   maintainer_->RebuildIndexes();
   options_.planner = plan.planner;  // canonicalize aliases ("ff" -> "hybrid")
@@ -253,6 +365,18 @@ Status FeedService::ReplanLocked() {
   // epoch moved and discards itself.
   ++plan_epoch_;
   churn_journal_.clear();
+  if (replan_us_ != nullptr) replan_us_->Record(replan_timer.Seconds() * 1e6);
+  registry_.GetCounter("feed.replans").Add();
+  if (trace != nullptr) {
+    trace->Span(obs::TraceEventKind::kReplanCommit, trace_start,
+                options_.trace_shard,
+                {{"planner", options_.planner},
+                 {"cost", StrFormat("%.1f", plan.final_cost)},
+                 {"epoch", std::to_string(plan_epoch_)}});
+    trace->Instant(obs::TraceEventKind::kScheduleSwap, options_.trace_shard,
+                   {{"epoch", std::to_string(plan_epoch_)},
+                    {"mode", replaying_ ? "replay" : "inline"}});
+  }
   if (durability_ != nullptr && !replaying_) {
     // The commit record pins the replan's position in the op stream so
     // recovery re-runs the planner at exactly this point; the snapshot that
@@ -322,6 +446,9 @@ Status FeedService::BackgroundReplanOnce(bool refresh_workload) {
   Workload workload_copy;
   std::string planner_name;
   size_t epoch = 0;
+  obs::TraceLog* trace = options_.trace;
+  const double trace_start = trace != nullptr ? trace->NowUs() : 0.0;
+  WallTimer replan_timer;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     if (refresh_workload && estimator_ != nullptr && estimator_->Warm()) {
@@ -333,6 +460,10 @@ Status FeedService::BackgroundReplanOnce(bool refresh_workload) {
     churn_journal_.clear();
     journal_active_ = true;
     epoch = plan_epoch_;
+  }
+  if (trace != nullptr) {
+    trace->Instant(obs::TraceEventKind::kReplanStart, options_.trace_shard,
+                   {{"planner", planner_name}, {"mode", "background"}});
   }
   auto disarm_journal = [this] {
     std::unique_lock<std::shared_mutex> lock(mu_);
@@ -350,8 +481,19 @@ Status FeedService::BackgroundReplanOnce(bool refresh_workload) {
   }
   PlanContext ctx = options_.plan_context;
   ctx.cancel = &replan_cancel_;
+  auto tracer = std::make_shared<PlanPhaseTracer>();
+  if (trace != nullptr) {
+    const int32_t shard = options_.trace_shard;
+    auto prev = ctx.progress;
+    ctx.progress = [trace, shard, tracer,
+                    prev = std::move(prev)](const PlanProgress& p) {
+      if (prev) prev(p);
+      tracer->Observe(trace, shard, p);
+    };
+  }
   Result<PlanResult> plan_result =
       (*planner)->Plan(planning_snapshot, workload_copy, ctx);
+  if (trace != nullptr) tracer->Close(trace, options_.trace_shard);
   if (!plan_result.ok()) {
     disarm_journal();
     return plan_result.status();
@@ -414,6 +556,20 @@ Status FeedService::BackgroundReplanOnce(bool refresh_workload) {
   background_replans_.fetch_add(1, std::memory_order_relaxed);
   ++plan_epoch_;
   churn_since_plan_ = raced_churn;
+  if (replan_us_ != nullptr) replan_us_->Record(replan_timer.Seconds() * 1e6);
+  registry_.GetCounter("feed.replans").Add();
+  registry_.GetCounter("feed.background_replans").Add();
+  if (trace != nullptr) {
+    trace->Span(obs::TraceEventKind::kReplanCommit, trace_start,
+                options_.trace_shard,
+                {{"planner", options_.planner},
+                 {"cost", StrFormat("%.1f", plan.final_cost)},
+                 {"epoch", std::to_string(plan_epoch_)},
+                 {"raced_churn", std::to_string(raced_churn)}});
+    trace->Instant(obs::TraceEventKind::kScheduleSwap, options_.trace_shard,
+                   {{"epoch", std::to_string(plan_epoch_)},
+                    {"mode", "background"}});
+  }
   if (durability_ != nullptr) {
     // Same durable commit as the inline path; the event log is current under
     // this exclusive section, so snapshotting before the plane swap is safe.
@@ -502,6 +658,7 @@ void FeedService::AccumulateClientMetrics() {
 }
 
 Status FeedService::Share(NodeId u) {
+  ScopedLatency latency(replaying_ ? nullptr : share_us_);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     if (u >= graph_.num_nodes()) {
@@ -524,6 +681,7 @@ Status FeedService::Share(NodeId u) {
 }
 
 Status FeedService::Share(NodeId u, uint64_t seq) {
+  ScopedLatency latency(replaying_ ? nullptr : share_us_);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     if (u >= graph_.num_nodes()) {
@@ -542,6 +700,7 @@ Status FeedService::Share(NodeId u, uint64_t seq) {
 }
 
 Result<std::vector<EventTuple>> FeedService::QueryStream(NodeId u) {
+  ScopedLatency latency(replaying_ ? nullptr : query_us_);
   std::vector<EventTuple> stream;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -657,6 +816,7 @@ Status FeedService::ApplyChurnLocked(Status churn_result, bool added,
 }
 
 Status FeedService::Follow(NodeId follower, NodeId producer) {
+  ScopedLatency latency(replaying_ ? nullptr : follow_us_);
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
@@ -673,6 +833,7 @@ Status FeedService::Follow(NodeId follower, NodeId producer) {
 }
 
 Status FeedService::Unfollow(NodeId follower, NodeId producer) {
+  ScopedLatency latency(replaying_ ? nullptr : unfollow_us_);
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     if (follower >= graph_.num_nodes() || producer >= graph_.num_nodes()) {
@@ -792,6 +953,12 @@ FeedService::Metrics FeedService::GetMetrics() const {
       m.messages_per_request > 0
           ? options_.prototype.client_messages_per_second / m.messages_per_request
           : 0.0;
+  // Publish the poll-time figures as gauges so a registry export carries the
+  // cost picture without a separate Metrics call.
+  registry_.GetGauge("feed.schedule_cost").Set(m.schedule_cost);
+  registry_.GetGauge("feed.hybrid_cost").Set(m.hybrid_cost);
+  registry_.GetGauge("feed.drift_score").Set(m.drift_score);
+  registry_.GetGauge("feed.messages_per_request").Set(m.messages_per_request);
   return m;
 }
 

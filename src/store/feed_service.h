@@ -64,6 +64,8 @@
 #include "durability/durable_state.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/drift.h"
 #include "store/prototype.h"
 #include "store/view_store.h"
@@ -103,6 +105,11 @@ struct FeedServiceOptions {
   /// acked Share/Follow/Unfollow/rate-shift is WAL-framed before the ack;
   /// snapshots rotate per `snapshot_every` / `snapshot_on_replan`.
   DurabilityOptions durability;
+  /// Control-plane event sink (replan/swap/rotation/recovery events). Not
+  /// owned; may be null. Shard-scoped events carry `trace_shard` so one ring
+  /// shared by a cluster keeps every shard's events on its own track.
+  obs::TraceLog* trace = nullptr;
+  int32_t trace_shard = -1;
 };
 
 /// \brief A running feed-serving deployment.
@@ -208,6 +215,16 @@ class FeedService {
   /// current graph (the maintainer guarantees it; tests assert it).
   Status Validate() const;
 
+  /// Per-service metrics: request-latency histograms (feed.share_us /
+  /// feed.query_us / feed.follow_us / feed.unfollow_us), replan wall timings,
+  /// durability timings, and recovery counters. The reference is stable for
+  /// the service's lifetime and safe to read from any thread.
+  obs::MetricsRegistry& registry() const { return registry_; }
+
+  /// Stats of the Recover() run that built this service (all-zero when the
+  /// service was created fresh rather than recovered).
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
   /// (schedule cost, hybrid-baseline cost) of the current schedule/topology
   /// under externally supplied rates, computed under the service lock — the
   /// thread-safe spelling of ScheduleCost(graph(), truth, schedule()), which
@@ -291,6 +308,18 @@ class FeedService {
   Status ObserveRequest(bool is_share, NodeId u);
 
   FeedServiceOptions options_;
+
+  // Observability. The registry is owned here; the latency histograms are
+  // registered once in the constructor and recorded through cached pointers
+  // on the serving path (one striped relaxed atomic per op). Mutable:
+  // recording from const read paths is not logical state mutation.
+  mutable obs::MetricsRegistry registry_;
+  obs::Histogram* share_us_ = nullptr;
+  obs::Histogram* query_us_ = nullptr;
+  obs::Histogram* follow_us_ = nullptr;
+  obs::Histogram* unfollow_us_ = nullptr;
+  obs::Histogram* replan_us_ = nullptr;
+  RecoveryStats recovery_stats_;
 
   // WAL + snapshot pair (null when durability is disabled). Appends are
   // internally serialized; rotation happens under mu_ exclusive only.

@@ -1,10 +1,11 @@
 #include "util/status.h"
 
-#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace piggy {
 
@@ -58,14 +59,14 @@ std::string Status::ToString() const {
 namespace internal {
 
 void DieBecauseResultError(const Status& status) {
-  std::fprintf(stderr, "Result::ValueOrDie on error status: %s\n",
-               status.ToString().c_str());
-  std::abort();
+  PIGGY_LOG(Fatal) << "Result::ValueOrDie on error status: "
+                   << status.ToString();
+  std::abort();  // unreachable: Fatal aborts; satisfies [[noreturn]]
 }
 
 void DieBecauseResultOk() {
-  std::fprintf(stderr, "Result constructed from an OK Status\n");
-  std::abort();
+  PIGGY_LOG(Fatal) << "Result constructed from an OK Status";
+  std::abort();  // unreachable: Fatal aborts; satisfies [[noreturn]]
 }
 
 }  // namespace internal

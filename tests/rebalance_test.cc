@@ -446,7 +446,9 @@ TEST_F(RebalanceTest, KillDuringMigrationRecoverStorm) {
                  sites[trial].point);
     auto& fp = FailPointRegistry::Instance();
     fp.ClearAll();
-    ClusterOptions opts = DurableOpts(Dir("t" + std::to_string(trial)));
+    std::string trial_dir = "t";
+    trial_dir += std::to_string(trial);
+    ClusterOptions opts = DurableOpts(Dir(trial_dir));
     auto cluster = ClusterService::Create(g, w, opts).MoveValueOrDie();
     auto oracle = ClusterService::Create(g, w, MemoryOpts()).MoveValueOrDie();
     const auto old_assignment = cluster->shard_map().assignment();

@@ -242,7 +242,9 @@ TEST_F(RecoveryTest, FeedServiceKillAndRecoverStorm) {
                  sites[trial].point);
     auto& fp = FailPointRegistry::Instance();
     fp.ClearAll();
-    FeedServiceOptions opts = ServiceOpts(Dir("t" + std::to_string(trial)));
+    std::string trial_dir = "t";
+    trial_dir += std::to_string(trial);
+    FeedServiceOptions opts = ServiceOpts(Dir(trial_dir));
     opts.durability.snapshot_every = 120;  // so rotation points get exercised
     FeedServiceOptions mem;  // oracle: identical but memory-only
     mem.prototype = opts.prototype;

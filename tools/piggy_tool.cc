@@ -34,12 +34,16 @@
 #include "cluster/cluster_service.h"
 #include "core/piggy.h"
 #include "core/schedule_io.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "rebalance/coordinator.h"
 #include "scenario/drift.h"
 #include "scenario/replay.h"
 #include "scenario/scenario.h"
 #include "store/concurrent_driver.h"
 #include "store/partitioner.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace piggy {
@@ -47,12 +51,22 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr, "%s",
-               "usage: piggy_tool <command> [--key value ...]\n"
+               "usage: piggy_tool <command> [--key value ...] [--verbose|-q]\n"
+               "\n"
+               "global flags:\n"
+               "  --verbose        debug-level logging; -q errors only\n"
+               "  --trace-out FILE write the structured trace (serve/replay/\n"
+               "                   recover) as chrome://tracing JSON\n"
+               "  --report         print the RunReport timeline from the trace\n"
+               "  --stats          dump the metrics registries after the run\n"
                "\n"
                "commands:\n"
                "  generate  --preset flickr|twitter|er --nodes N [--edges M]\n"
                "            [--seed S] --out FILE\n"
-               "  stats     --graph FILE\n"
+               "  stats     --graph FILE | --data-dir DIR [--json]\n"
+               "                             (with --data-dir: recover the\n"
+               "                              deployment and dump its metrics\n"
+               "                              registries)\n"
                "  sample    --graph FILE --method rw|bfs --edges N [--seed S]\n"
                "            --out FILE\n"
                "  optimize  --graph FILE --planner NAME [--ratio R]\n"
@@ -92,12 +106,13 @@ int Usage() {
                "                              elastic rebalancer at every epoch\n"
                "                              close, needs --shards > 1)\n"
                "  recover   --data-dir DIR [--planner NAME] [--ratio R]\n"
-               "            [--requests N] [--seed S]\n"
+               "            [--requests N] [--seed S] [--json]\n"
                "                             (rebuilds the serving state from\n"
                "                              the WAL + snapshot pairs, prints\n"
-               "                              the recovery stats, validates,\n"
-               "                              and optionally drives N requests\n"
-               "                              through the recovered system)\n"
+               "                              the recovery stats — as JSON with\n"
+               "                              --json — validates, and optionally\n"
+               "                              drives N requests through the\n"
+               "                              recovered system)\n"
                "  shards    --graph FILE [--shards N] [--partitioner NAME]\n"
                "            [--planner NAME] [--ratio R] [--requests N]\n"
                "            [--seed S]\n"
@@ -143,8 +158,22 @@ int ListScenarios() {
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc + 1 && i + 1 <= argc; i += 2) {
-      if (i + 1 < argc) values_[argv[i]] = argv[i + 1];
+    const std::string kFlagTrue(1, '1');
+    for (int i = 2; i < argc; ++i) {
+      const std::string key = argv[i];
+      if (key == "-q") {
+        quiet_ = true;
+        continue;
+      }
+      if (key.rfind("--", 0) != 0) continue;
+      // A key followed by another option (or nothing) is a boolean flag:
+      // --verbose, --json, --report, --stats.
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0 ||
+          std::string(argv[i + 1]) == "-q") {
+        values_[key] = kFlagTrue;
+      } else {
+        values_[key] = argv[++i];
+      }
     }
   }
   std::string Str(const std::string& key, const std::string& def = "") const {
@@ -159,9 +188,13 @@ class Args {
     std::string v = Str(key);
     return v.empty() ? def : std::atof(v.c_str());
   }
+  /// True for `--key`, `--key 1`; false when absent or `--key 0`.
+  bool Flag(const std::string& key) const { return Int(key, 0) != 0; }
+  bool quiet() const { return quiet_; }
 
  private:
   std::map<std::string, std::string> values_;
+  bool quiet_ = false;
 };
 
 DurabilityOptions DurabilityFromArgs(const Args& args) {
@@ -180,6 +213,44 @@ RebalanceOptions RebalanceFromArgs(const Args& args) {
   r.trigger.cross_rate_rise = 0.25;
   r.trigger.cooldown_windows = 1;
   return r;
+}
+
+// True when serve/replay/recover should record a TraceLog at all.
+bool TraceWanted(const Args& args) {
+  return !args.Str("trace-out").empty() || args.Flag("report");
+}
+
+// Writes the trace ring to --trace-out (when given) and prints the RunReport
+// timeline with --report.
+Status FinishTrace(const Args& args, const obs::TraceLog& trace) {
+  const std::string out = args.Str("trace-out");
+  if (!out.empty()) {
+    PIGGY_RETURN_NOT_OK(obs::WriteTraceFile(trace, out));
+    std::printf("trace:    wrote %zu events to %s (dropped %llu)\n",
+                trace.Events().size(), out.c_str(),
+                static_cast<unsigned long long>(trace.dropped()));
+  }
+  if (args.Flag("report")) {
+    std::printf("%s", obs::RenderRunReport(trace).c_str());
+  }
+  return Status::OK();
+}
+
+// --stats: dump the metrics registries after the run.
+void MaybePrintStats(const Args& args, const ClusterService& cluster) {
+  if (!args.Flag("stats")) return;
+  std::printf("-- cluster registry --\n%s",
+              cluster.registry().ToText().c_str());
+  for (size_t s = 0; s < cluster.num_shards(); ++s) {
+    if (cluster.IsShardDown(static_cast<uint32_t>(s))) continue;
+    std::printf("-- shard %zu registry --\n%s", s,
+                cluster.shard(s).registry().ToText().c_str());
+  }
+}
+
+void MaybePrintStats(const Args& args, const FeedService& service) {
+  if (!args.Flag("stats")) return;
+  std::printf("-- service registry --\n%s", service.registry().ToText().c_str());
 }
 
 Result<Graph> LoadGraph(const std::string& path) {
@@ -219,7 +290,12 @@ Status CmdGenerate(const Args& args) {
   return Status::OK();
 }
 
+Status StatsFromDataDir(const Args& args);
+
 Status CmdStats(const Args& args) {
+  // With --data-dir the command reports on a serving deployment instead of a
+  // graph file: recover the durable state and dump every metrics registry.
+  if (!args.Str("data-dir").empty()) return StatsFromDataDir(args);
   PIGGY_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.Str("graph")));
   std::printf("%s\n", ComputeGraphStats(g, 2000).ToString().c_str());
   auto out_hist = DegreeHistogramLog2(g, true);
@@ -351,6 +427,8 @@ Status CmdServe(const Args& args) {
   const bool background_replan = args.Int("background-replan", 0) != 0;
   options.shard.background_replan = background_replan;
   options.durability = DurabilityFromArgs(args);
+  obs::TraceLog trace_log;
+  if (TraceWanted(args)) options.trace = &trace_log;
   PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ClusterService> cluster,
                          ClusterService::Create(g, options));
   std::printf("planned: %s\n", cluster->GetMetrics().ToString().c_str());
@@ -402,6 +480,8 @@ Status CmdServe(const Args& args) {
   PIGGY_RETURN_NOT_OK(cluster->WaitForBackgroundReplan());
   PIGGY_RETURN_NOT_OK(cluster->Validate());
   std::printf("final:    %s\n", cluster->GetMetrics().ToString().c_str());
+  MaybePrintStats(args, *cluster);
+  PIGGY_RETURN_NOT_OK(FinishTrace(args, trace_log));
   return Status::OK();
 }
 
@@ -439,6 +519,9 @@ Status CmdReplay(const Args& args) {
   replay_options.client_threads =
       static_cast<size_t>(args.Int("client-threads", 1));
   replay_options.seed = scenario_options.seed;
+  obs::TraceLog trace_log;
+  const bool tracing = TraceWanted(args);
+  if (tracing) replay_options.trace = &trace_log;
 
   ReplayReport report;
   const size_t shards = static_cast<size_t>(args.Int("shards", 1));
@@ -456,6 +539,7 @@ Status CmdReplay(const Args& args) {
     options.shard = service_options;
     options.audit_every = service_options.audit_every;
     options.durability = durability;
+    if (tracing) options.trace = &trace_log;
     PIGGY_ASSIGN_OR_RETURN(cluster, ClusterService::Create(g, base, options));
     if (rebalance) {
       coordinator = std::make_unique<MigrationCoordinator>(
@@ -470,6 +554,7 @@ Status CmdReplay(const Args& args) {
     PIGGY_RETURN_NOT_OK(cluster->Validate());
   } else {
     service_options.durability = durability;
+    if (tracing) service_options.trace = &trace_log;
     PIGGY_ASSIGN_OR_RETURN(service,
                            FeedService::Create(g, base, service_options));
     PIGGY_ASSIGN_OR_RETURN(report,
@@ -489,9 +574,12 @@ Status CmdReplay(const Args& args) {
   }
   if (cluster != nullptr) {
     std::printf("final:    %s\n", cluster->GetMetrics().ToString().c_str());
+    MaybePrintStats(args, *cluster);
   } else {
     std::printf("final:    %s\n", service->GetMetrics().ToString().c_str());
+    MaybePrintStats(args, *service);
   }
+  PIGGY_RETURN_NOT_OK(FinishTrace(args, trace_log));
   return Status::OK();
 }
 
@@ -505,8 +593,76 @@ Status CmdRecover(const Args& args) {
   const std::string data_dir = args.Str("data-dir");
   if (data_dir.empty()) return Status::InvalidArgument("--data-dir is required");
   const size_t requests = static_cast<size_t>(args.Int("requests", 0));
+  const bool json = args.Flag("json");
   RecoveryStats stats;
+  obs::TraceLog trace_log;
+  const bool tracing = TraceWanted(args);
 
+  const bool is_cluster =
+      std::filesystem::exists(data_dir + "/assignment.bin");
+  if (is_cluster) {
+    ClusterOptions options;
+    options.shard.planner = ResolvePlannerName(args);
+    options.shard.workload = {.read_write_ratio = args.Double("ratio", 5.0),
+                              .min_rate = 0.01};
+    options.durability = DurabilityFromArgs(args);
+    if (tracing) options.trace = &trace_log;
+    PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ClusterService> cluster,
+                           ClusterService::Recover(options, &stats));
+    if (json) {
+      std::printf("%s\n", stats.ToJson().c_str());
+    } else {
+      std::printf("recovered: %s\n", stats.ToString().c_str());
+    }
+    PIGGY_RETURN_NOT_OK(cluster->Validate());
+    if (!json) {
+      std::printf("validated: %s\n", cluster->GetMetrics().ToString().c_str());
+    }
+    if (requests > 0) {
+      DriverOptions d;
+      d.num_requests = requests;
+      d.seed = static_cast<uint64_t>(args.Int("seed", 42));
+      PIGGY_ASSIGN_OR_RETURN(ClusterDriveReport report, cluster->Drive(d));
+      if (!json) std::printf("measured:  %s\n", report.ToString().c_str());
+    }
+    MaybePrintStats(args, *cluster);
+  } else {
+    FeedServiceOptions options;
+    options.planner = ResolvePlannerName(args);
+    options.workload = {.read_write_ratio = args.Double("ratio", 5.0),
+                        .min_rate = 0.01};
+    options.durability = DurabilityFromArgs(args);
+    if (tracing) options.trace = &trace_log;
+    PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<FeedService> service,
+                           FeedService::Recover(options, &stats));
+    if (json) {
+      std::printf("%s\n", stats.ToJson().c_str());
+    } else {
+      std::printf("recovered: %s\n", stats.ToString().c_str());
+    }
+    PIGGY_RETURN_NOT_OK(service->Validate());
+    if (!json) {
+      std::printf("validated: %s\n", service->GetMetrics().ToString().c_str());
+    }
+    if (requests > 0) {
+      DriverOptions d;
+      d.num_requests = requests;
+      d.seed = static_cast<uint64_t>(args.Int("seed", 42));
+      PIGGY_ASSIGN_OR_RETURN(DriverReport report, service->Drive(d));
+      if (!json) std::printf("measured:  %s\n", report.ToString().c_str());
+    }
+    MaybePrintStats(args, *service);
+  }
+  return FinishTrace(args, trace_log);
+}
+
+// `stats --data-dir DIR`: recover the deployment and dump every metrics
+// registry — the recovery counters plus whatever the WAL/snapshot layer
+// recorded while replaying. `--json` emits the registries as JSON.
+Status StatsFromDataDir(const Args& args) {
+  const std::string data_dir = args.Str("data-dir");
+  const bool json = args.Flag("json");
+  RecoveryStats stats;
   const bool is_cluster =
       std::filesystem::exists(data_dir + "/assignment.bin");
   if (is_cluster) {
@@ -517,35 +673,37 @@ Status CmdRecover(const Args& args) {
     options.durability = DurabilityFromArgs(args);
     PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ClusterService> cluster,
                            ClusterService::Recover(options, &stats));
-    std::printf("recovered: %s\n", stats.ToString().c_str());
-    PIGGY_RETURN_NOT_OK(cluster->Validate());
-    std::printf("validated: %s\n", cluster->GetMetrics().ToString().c_str());
-    if (requests > 0) {
-      DriverOptions d;
-      d.num_requests = requests;
-      d.seed = static_cast<uint64_t>(args.Int("seed", 42));
-      PIGGY_ASSIGN_OR_RETURN(ClusterDriveReport report, cluster->Drive(d));
-      std::printf("measured:  %s\n", report.ToString().c_str());
+    if (json) {
+      std::printf("{\"recovery\": %s, \"cluster\": %s}\n",
+                  stats.ToJson().c_str(),
+                  cluster->registry().ToJson().c_str());
+      return Status::OK();
     }
-  } else {
-    FeedServiceOptions options;
-    options.planner = ResolvePlannerName(args);
-    options.workload = {.read_write_ratio = args.Double("ratio", 5.0),
-                        .min_rate = 0.01};
-    options.durability = DurabilityFromArgs(args);
-    PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<FeedService> service,
-                           FeedService::Recover(options, &stats));
     std::printf("recovered: %s\n", stats.ToString().c_str());
-    PIGGY_RETURN_NOT_OK(service->Validate());
-    std::printf("validated: %s\n", service->GetMetrics().ToString().c_str());
-    if (requests > 0) {
-      DriverOptions d;
-      d.num_requests = requests;
-      d.seed = static_cast<uint64_t>(args.Int("seed", 42));
-      PIGGY_ASSIGN_OR_RETURN(DriverReport report, service->Drive(d));
-      std::printf("measured:  %s\n", report.ToString().c_str());
+    std::printf("-- cluster registry --\n%s",
+                cluster->registry().ToText().c_str());
+    for (size_t s = 0; s < cluster->num_shards(); ++s) {
+      if (cluster->IsShardDown(static_cast<uint32_t>(s))) continue;
+      std::printf("-- shard %zu registry --\n%s", s,
+                  cluster->shard(s).registry().ToText().c_str());
     }
+    return Status::OK();
   }
+  FeedServiceOptions options;
+  options.planner = ResolvePlannerName(args);
+  options.workload = {.read_write_ratio = args.Double("ratio", 5.0),
+                      .min_rate = 0.01};
+  options.durability = DurabilityFromArgs(args);
+  PIGGY_ASSIGN_OR_RETURN(std::unique_ptr<FeedService> service,
+                         FeedService::Recover(options, &stats));
+  if (json) {
+    std::printf("{\"recovery\": %s, \"service\": %s}\n", stats.ToJson().c_str(),
+                service->registry().ToJson().c_str());
+    return Status::OK();
+  }
+  std::printf("recovered: %s\n", stats.ToString().c_str());
+  std::printf("-- service registry --\n%s",
+              service->registry().ToText().c_str());
   return Status::OK();
 }
 
@@ -599,6 +757,8 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Args args(argc, argv);
+  if (args.Flag("verbose")) SetLogLevel(LogLevel::kDebug);
+  if (args.quiet()) SetLogLevel(LogLevel::kError);
   if (command == "planners" ||
       (command == "optimize" && args.Str("planner") == "list")) {
     return ListPlanners();
