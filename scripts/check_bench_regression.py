@@ -56,6 +56,22 @@ current-scale numbers:
   python3 scripts/check_bench_regression.py --rebalance \
       --baseline BENCH_PR8.json \
       --current build/bench_fig13_rebalance.json
+
+With --scale, both files are bench_fig14_scale JSON (an array of row
+objects, or a BENCH_PR*.json wrapper with a "bench_fig14_scale" key). Rows
+are matched on (row, layout). Two checks are *blocking* because they
+compare layouts measured seconds apart on the same host, so machine speed
+cancels out: the compressed layout's bytes_per_edge must stay strictly
+below the flat layout's, and the compressed layout's measured ops_per_sec
+must stay within --within (default 0.10 = 10%) of the flat layout's. A
+baseline row missing from the current run also fails (the sweep silently
+lost a layout). Cross-machine ops_per_sec deltas against the baseline are
+advisory — CI smoke runs a smaller graph than the checked-in 1M-node
+reference by design:
+
+  python3 scripts/check_bench_regression.py --scale \
+      --baseline BENCH_PR10.json \
+      --current build/bench_fig14_scale.json --within 0.10
 """
 
 import argparse
@@ -273,6 +289,85 @@ def check_rebalance(args):
     return 0
 
 
+def load_scale(path):
+    """Returns {(row, layout): row} from bench_fig14_scale JSON (a bare array
+    of row objects) or a BENCH_PR*.json wrapper."""
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = doc.get("bench_fig14_scale")
+    if not isinstance(doc, list) or not doc:
+        raise ValueError(f"{path}: no bench_fig14_scale rows")
+    out = {}
+    for row in doc:
+        out[(row["row"], row["layout"])] = row
+    return out
+
+
+def check_scale(args):
+    """Million-user-scale gate: the compressed-layout contract plus coverage.
+
+    The blocking checks are *intra-run* — flat and compressed rows from the
+    same current file, measured on the same host seconds apart — so they
+    hold on any machine: compressed must use strictly fewer bytes/edge than
+    flat, and its measured throughput must stay within --within of flat's.
+    Ops/sec deltas against the baseline are advisory (CI smoke replays a
+    smaller graph than the checked-in reference), but a baseline (row,
+    layout) combination missing from the current run fails: the sweep
+    silently lost a layout.
+    """
+    baseline = load_scale(args.baseline)
+    current = load_scale(args.current)
+    missing = sorted(set(baseline) - set(current))
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print(f"error: no common scale rows between {args.baseline} and "
+              f"{args.current}", file=sys.stderr)
+        return 1
+
+    print(f"{'row/layout':20s} {'base ops/s':>12s} {'cur ops/s':>12s} "
+          f"{'bytes/edge':>16s}  plan wall_s")
+    for key in shared:
+        base, cur = baseline[key], current[key]
+        print(f"{'/'.join(key):20s} {float(base['ops_per_sec']):12.0f} "
+              f"{float(cur['ops_per_sec']):12.0f} "
+              f"{float(base['bytes_per_edge']):7.3f} -> "
+              f"{float(cur['bytes_per_edge']):.3f}  "
+              f"{float(base['wall_s']):.1f} -> {float(cur['wall_s']):.1f}"
+              f"  (ops deltas advisory)")
+
+    failures = []
+    flat = current.get(("serve", "flat"))
+    compressed = current.get(("serve", "compressed"))
+    if flat is None or compressed is None:
+        failures.append(f"{args.current} lacks serve rows for both layouts "
+                        "(need flat and compressed to check the contract)")
+    else:
+        flat_bpe = float(flat["bytes_per_edge"])
+        comp_bpe = float(compressed["bytes_per_edge"])
+        if comp_bpe >= flat_bpe:
+            failures.append(f"compressed bytes/edge {comp_bpe:.3f} not below "
+                            f"flat {flat_bpe:.3f}")
+        flat_ops = float(flat["ops_per_sec"])
+        comp_ops = float(compressed["ops_per_sec"])
+        floor = (1.0 - args.within) * flat_ops
+        if comp_ops < floor:
+            failures.append(f"compressed throughput {comp_ops:.0f} ops/s "
+                            f"below {1 - args.within:.0%} of flat "
+                            f"({flat_ops:.0f} ops/s)")
+    for key in missing:
+        failures.append(f"baseline row {'/'.join(key)} missing from "
+                        f"{args.current}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"OK: compressed layout beats flat on bytes/edge with throughput "
+          f"within {args.within:.0%}; {len(shared)} row(s) covered")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -290,6 +385,13 @@ def main():
     parser.add_argument("--rebalance", action="store_true",
                         help="compare bench_fig13_rebalance total rows "
                              "(advisory except for missing-row coverage)")
+    parser.add_argument("--scale", action="store_true",
+                        help="compare bench_fig14_scale rows (blocking "
+                             "intra-run layout contract, advisory vs "
+                             "baseline)")
+    parser.add_argument("--within", type=float, default=0.10,
+                        help="--scale: allowed compressed-vs-flat throughput "
+                             "shortfall (0.10 = within 10%%)")
     args = parser.parse_args()
 
     if args.serving:
@@ -298,6 +400,8 @@ def main():
         return check_recovery(args)
     if args.rebalance:
         return check_rebalance(args)
+    if args.scale:
+        return check_scale(args)
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)

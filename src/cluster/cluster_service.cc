@@ -1536,6 +1536,12 @@ ClusterMetrics ClusterService::GetMetrics() const {
     m.drift_replans += sm.drift_replans;
     m.max_drift_score = std::max(m.max_drift_score, sm.drift_score);
     m.repairs += sm.repairs;
+    m.layout = sm.layout;
+    m.interest_bytes += sm.interest_bytes;
+  }
+  if (graph_.num_edges() > 0) {
+    m.interest_bytes_per_edge = static_cast<double>(m.interest_bytes) /
+                                static_cast<double>(graph_.num_edges());
   }
   m.total_cost = m.intra_cost + m.cross_cost;
   const uint64_t requests = m.shares + m.queries;
@@ -1555,6 +1561,8 @@ ClusterMetrics ClusterService::GetMetrics() const {
       .Set(m.windowed_send_imbalance);
   registry_.GetGauge("cluster.windowed_cross_rate").Set(m.windowed_cross_rate);
   registry_.GetGauge("cluster.total_cost").Set(m.total_cost);
+  registry_.GetGauge("cluster.interest_bytes_per_edge")
+      .Set(m.interest_bytes_per_edge);
   return m;
 }
 

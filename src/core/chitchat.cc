@@ -13,6 +13,7 @@
 #include "core/cost_model.h"
 #include "core/densest_subgraph.h"
 #include "core/oracle_scratch.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -26,18 +27,16 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 struct HubSlot {
   HubGraphInstance instance;
   DensestSubgraphSolution solution;
-  /// One cached cross pair of the hub's maximal hub-graph: producer index,
-  /// consumer index, and the cross edge's canonical index into the coverage
-  /// bitmap.
-  struct TopoCross {
-    uint32_t p;
-    uint32_t c;
-    uint64_t edge;
-  };
-  // The topology of the (capped) maximal hub-graph never changes during a
-  // run, so it is intersected exactly once; refreshes filter topo_cross
-  // against the coverage bitmap instead of re-scanning adjacency lists.
-  std::vector<TopoCross> topo_cross;
+  // The cached cross pairs of the hub's (capped) maximal hub-graph as
+  // parallel arrays: producer index, consumer index, and the cross edge's
+  // canonical index into the coverage bitmap (32-bit: the runner checks the
+  // edge count fits). The topology never changes during a run, so it is
+  // intersected exactly once; refreshes filter it against the coverage
+  // bitmap — struct-of-arrays so the filter kernel can gather the coverage
+  // bytes in vector blocks.
+  std::vector<uint32_t> topo_p;
+  std::vector<uint32_t> topo_c;
+  std::vector<uint32_t> topo_edge;
   bool topo_built = false;
   uint64_t version = 0;
   // Set when an edge of the maximal hub-graph changed since the last oracle
@@ -81,8 +80,10 @@ struct SingletonCmp {
 class ChitChatRunner {
  public:
   ChitChatRunner(const Graph& g, const Workload& w, const ChitChatOptions& options)
-      : g_(g), w_(w), options_(options), covered_(g.num_edges(), 0),
-        slots_(g.num_nodes()) {
+      : g_(g), w_(w), options_(options),
+        covered_(g.num_edges() + simd::kCoveredPadding, 0), slots_(g.num_nodes()) {
+    // Canonical edge indices ride in 32-bit topo arrays and kernel gathers.
+    PIGGY_CHECK_LE(g.num_edges(), size_t{UINT32_MAX});
     const size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
                                                     : options.num_threads;
     if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -231,8 +232,8 @@ class ChitChatRunner {
   void BuildCrossIndex() {
     cross_index_offsets_.assign(g_.num_edges() + 1, 0);
     for (const HubSlot& slot : slots_) {
-      for (const HubSlot::TopoCross& t : slot.topo_cross) {
-        ++cross_index_offsets_[t.edge + 1];
+      for (uint32_t e : slot.topo_edge) {
+        ++cross_index_offsets_[e + 1];
       }
     }
     for (size_t e = 0; e < g_.num_edges(); ++e) {
@@ -242,8 +243,8 @@ class ChitChatRunner {
     std::vector<uint64_t> cursor(cross_index_offsets_.begin(),
                                  cross_index_offsets_.end() - 1);
     for (NodeId hub = 0; hub < slots_.size(); ++hub) {
-      for (const HubSlot::TopoCross& t : slots_[hub].topo_cross) {
-        cross_index_hubs_[cursor[t.edge]++] = hub;
+      for (uint32_t e : slots_[hub].topo_edge) {
+        cross_index_hubs_[cursor[e]++] = hub;
       }
     }
     cross_index_built_ = true;
@@ -427,23 +428,26 @@ class ChitChatRunner {
     }
 
     // Cross pairs x -> y via sorted intersection of out(x) with the consumer
-    // prefix (galloping when a follower list dwarfs the prefix). The match
-    // position in out(x) doubles as the edge's canonical index, so coverage
-    // filtering is a plain bitmap read from here on.
+    // prefix (vectorized, galloping when a follower list dwarfs the prefix).
+    // The match position in out(x) doubles as the edge's canonical index, so
+    // coverage filtering is a plain bitmap read from here on. The emit loop
+    // replicates the streaming cap exactly: stop the instant the cap fills,
+    // even mid-intersection.
     const std::span<const NodeId> consumer_prefix(inst.consumers.data(), ny);
+    std::vector<simd::IndexPair> pairs;
     for (uint32_t p = 0; p < np; ++p) {
-      if (slot->topo_cross.size() >= options_.max_cross_edges) break;
+      if (slot->topo_p.size() >= options_.max_cross_edges) break;
       NodeId x = inst.producers[p];
-      ForEachSortedIntersection(
-          g_.OutNeighbors(x), consumer_prefix,
-          [&](NodeId y, size_t ia, size_t j) {
-            if (y != x) {
-              slot->topo_cross.push_back({p, static_cast<uint32_t>(j),
-                                          g_.OutEdgeCanonicalIndex(x, ia)});
-              if (slot->topo_cross.size() >= options_.max_cross_edges) return false;
-            }
-            return true;
-          });
+      pairs.clear();
+      simd::IntersectSortedPairsInto(g_.OutNeighbors(x), consumer_prefix, &pairs);
+      for (const simd::IndexPair& pr : pairs) {
+        if (consumer_prefix[pr.ib] == x) continue;
+        slot->topo_p.push_back(p);
+        slot->topo_c.push_back(pr.ib);
+        slot->topo_edge.push_back(
+            static_cast<uint32_t>(g_.OutEdgeCanonicalIndex(x, pr.ia)));
+        if (slot->topo_p.size() >= options_.max_cross_edges) break;
+      }
     }
     slot->topo_built = true;
   }
@@ -453,18 +457,22 @@ class ChitChatRunner {
   // Allocation-free at steady state.
   void RefreshInstance(NodeId hub, HubSlot* slot) const {
     HubGraphInstance& inst = slot->instance;
+    // Producer links are scattered through the bitmap (canonical indices come
+    // from the in-to-canonical map); consumer links are the hub's contiguous
+    // out-CSR range. Both caps bound np/ny by the full degree, so the index
+    // spans cover them.
     const size_t np = inst.producers.size();
-    for (size_t p = 0; p < np; ++p) {
-      inst.producer_link_in_z[p] = covered_[g_.InEdgeCanonicalIndex(hub, p)] ? 0 : 1;
-    }
+    simd::NotCoveredFlags(covered_.data(), g_.InEdgeCanonicalIndices(hub).data(), np,
+                          inst.producer_link_in_z.data());
     const size_t ny = inst.consumers.size();
-    for (size_t c = 0; c < ny; ++c) {
-      inst.consumer_link_in_z[c] = covered_[g_.OutEdgeCanonicalIndex(hub, c)] ? 0 : 1;
+    if (ny > 0) {
+      simd::NotCoveredFlagsContiguous(covered_.data() + g_.OutEdgeCanonicalIndex(hub, 0),
+                                      ny, inst.consumer_link_in_z.data());
     }
     inst.cross_edges.clear();
-    for (const HubSlot::TopoCross& t : slot->topo_cross) {
-      if (!covered_[t.edge]) inst.cross_edges.emplace_back(t.p, t.c);
-    }
+    simd::FilterUncoveredPairsInto(covered_.data(), slot->topo_p.data(),
+                                   slot->topo_c.data(), slot->topo_edge.data(),
+                                   slot->topo_p.size(), &inst.cross_edges);
   }
 
   const Graph& g_;

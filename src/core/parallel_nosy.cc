@@ -12,6 +12,7 @@
 #include "core/baselines.h"
 #include "core/cost_model.h"
 #include "mapreduce/mapreduce.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -322,14 +323,14 @@ std::vector<Update> RunIterationMapReduce(NosyState& state,
 std::vector<Edge> ComputeActiveEdges(const Graph& g,
                                      const std::vector<Update>& updates) {
   U64Set dirty;
+  std::vector<NodeId> common;
   for (const Update& u : updates) {
     Edge e = EdgeFromKey(u.edge_key);
     dirty.Insert(u.edge_key);
     for (NodeId y : g.OutNeighbors(e.dst)) dirty.Insert(EdgeKey(e.dst, y));
-    ForEachSortedIntersection(g.OutNeighbors(e.src), g.InNeighbors(e.dst),
-                              [&dirty, &e](NodeId w, size_t, size_t) {
-                                dirty.Insert(EdgeKey(w, e.dst));
-                              });
+    common.clear();
+    simd::IntersectSortedInto(g.OutNeighbors(e.src), g.InNeighbors(e.dst), &common);
+    for (NodeId w : common) dirty.Insert(EdgeKey(w, e.dst));
   }
   std::vector<uint64_t> keys = dirty.ToVector();
   std::sort(keys.begin(), keys.end());

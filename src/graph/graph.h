@@ -174,6 +174,14 @@ class Graph {
     return in_edge_index_[in_offsets_[v] + k];
   }
 
+  /// Canonical indices of all edges behind InNeighbors(v), parallel to that
+  /// span — the bulk form of InEdgeCanonicalIndex for vectorized refreshes.
+  std::span<const uint64_t> InEdgeCanonicalIndices(NodeId v) const {
+    CheckNode(v);
+    return {in_edge_index_.data() + in_offsets_[v],
+            in_edge_index_.data() + in_offsets_[v + 1]};
+  }
+
   /// The idx-th edge in canonical order; idx < num_edges().
   Edge EdgeAt(size_t idx) const;
 

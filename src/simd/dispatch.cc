@@ -1,0 +1,92 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.h"
+
+namespace piggy::simd {
+
+namespace {
+
+Tier Detect() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Tier::kSse42;
+#endif
+  return Tier::kScalar;
+}
+
+Tier InitialTier() {
+  Tier tier = Detect();
+  const char* env = std::getenv("PIGGY_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    Tier requested;
+    if (!ParseTier(env, &requested)) {
+      PIGGY_LOG(Warning) << "PIGGY_SIMD=" << env
+                         << " not recognized (scalar|sse42|avx2); using "
+                         << TierName(tier);
+    } else if (static_cast<int>(requested) <= static_cast<int>(tier)) {
+      tier = requested;
+    } else {
+      PIGGY_LOG(Warning) << "PIGGY_SIMD=" << env
+                         << " unsupported on this CPU; clamping to "
+                         << TierName(tier);
+    }
+  }
+  return tier;
+}
+
+// Initialized on first use (thread-safe local static), then overridable.
+std::atomic<int>& ActiveTierStorage() {
+  static std::atomic<int> storage{static_cast<int>(InitialTier())};
+  return storage;
+}
+
+}  // namespace
+
+Tier MaxSupportedTier() {
+  static const Tier tier = Detect();
+  return tier;
+}
+
+Tier ActiveTier() {
+  return static_cast<Tier>(ActiveTierStorage().load(std::memory_order_relaxed));
+}
+
+Tier SetTierForTest(Tier tier) {
+  Tier clamped = tier;
+  if (static_cast<int>(clamped) > static_cast<int>(MaxSupportedTier())) {
+    clamped = MaxSupportedTier();
+  }
+  ActiveTierStorage().store(static_cast<int>(clamped), std::memory_order_relaxed);
+  return clamped;
+}
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse42:
+      return "sse42";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseTier(const std::string& name, Tier* out) {
+  if (name == "scalar") {
+    *out = Tier::kScalar;
+  } else if (name == "sse42" || name == "sse4.2" || name == "sse") {
+    *out = Tier::kSse42;
+  } else if (name == "avx2" || name == "avx") {
+    *out = Tier::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace piggy::simd

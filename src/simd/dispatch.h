@@ -1,0 +1,46 @@
+// Runtime CPU dispatch for the vectorized kernels in simd/kernels.h.
+//
+// The instruction tier is detected once at startup (cpuid via
+// __builtin_cpu_supports) and cached; every kernel switches on the active
+// tier per call, so the same binary runs on any x86-64 host and tests can
+// pin a tier to prove bit-parity. The environment variable PIGGY_SIMD
+// (scalar | sse42 | avx2) overrides detection — requesting a tier the CPU
+// lacks clamps down to the best supported one.
+//
+// Thread safety: ActiveTier() is a relaxed atomic read after one-time
+// detection; SetTierForTest may race serving threads only in the trivial
+// sense that a concurrent kernel call uses either the old or the new tier —
+// both produce bit-identical results by the parity contract.
+
+#pragma once
+
+#include <string>
+
+namespace piggy::simd {
+
+/// \brief Instruction tiers, ordered: higher enum value = wider vectors.
+enum class Tier : int {
+  kScalar = 0,  ///< portable C++ reference path
+  kSse42 = 1,   ///< 128-bit integer compares (SSE4.2)
+  kAvx2 = 2,    ///< 256-bit integer compares + gathers (AVX2)
+};
+
+/// Best tier this CPU supports (cpuid; independent of any override).
+Tier MaxSupportedTier();
+
+/// The tier kernels currently dispatch to: detection clamped by the
+/// PIGGY_SIMD override (read once) or by SetTierForTest. Thread-safe.
+Tier ActiveTier();
+
+/// Pins the dispatch tier, clamped to MaxSupportedTier(); parity tests sweep
+/// this. Returns the tier actually installed. Thread-safe.
+Tier SetTierForTest(Tier tier);
+
+/// "scalar" | "sse42" | "avx2".
+const char* TierName(Tier tier);
+
+/// Parses a tier name (the PIGGY_SIMD spellings). Returns false on unknown
+/// names, leaving *out untouched.
+bool ParseTier(const std::string& name, Tier* out);
+
+}  // namespace piggy::simd

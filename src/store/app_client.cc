@@ -11,13 +11,30 @@
 
 namespace piggy {
 
+namespace {
+
+// True iff sorted `sub` is a subset of sorted `super`.
+bool SortedSubset(std::span<const NodeId> sub, std::span<const NodeId> super) {
+  if (sub.size() > super.size()) return false;
+  auto it = super.begin();
+  for (NodeId v : sub) {
+    it = std::lower_bound(it, super.end(), v);
+    if (it == super.end() || *it != v) return false;
+    ++it;
+  }
+  return true;
+}
+
+}  // namespace
+
 AppClient::AppClient(const Graph& graph, const Schedule& schedule,
                      const Partitioner* partitioner, std::vector<ViewStore>* servers,
-                     size_t feed_size)
+                     size_t feed_size, GraphLayout layout)
     : graph_(graph),
       partitioner_(partitioner),
       servers_(servers),
-      feed_size_(feed_size) {
+      feed_size_(feed_size),
+      layout_(layout) {
   PIGGY_CHECK(partitioner_ != nullptr);
   PIGGY_CHECK(servers_ != nullptr);
   PIGGY_CHECK_EQ(servers_->size(), partitioner_->num_servers());
@@ -35,6 +52,38 @@ AppClient::AppClient(const Graph& graph, const Schedule& schedule,
     interest_[u].assign(followees.begin(), followees.end());
     auto it = std::lower_bound(interest_[u].begin(), interest_[u].end(), u);
     interest_[u].insert(it, u);
+  }
+  // Schedule-implied membership: view w can only ever contain events from
+  // producers whose push set includes w. When that producer set is a subset
+  // of interest[u] for every view u pulls, the query-side interest filter is
+  // an identity — mark u filter-free and its queries skip the filter (and,
+  // under the compressed layout, the per-query decode) entirely. Covers the
+  // common non-hub pulls: own views and followee-owned views.
+  std::vector<std::vector<NodeId>> sources(n);
+  for (NodeId u = 0; u < n; ++u) {
+    // Ascending u keeps every sources[w] sorted.
+    for (NodeId w : push_views_[u]) sources[w].push_back(u);
+  }
+  filter_free_.assign(n, 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId w : pull_views_[u]) {
+      if (!SortedSubset(sources[w], interest_[u])) {
+        filter_free_[u] = 0;
+        break;
+      }
+    }
+  }
+
+  if (layout_ == GraphLayout::kCompressed) {
+    interest_compressed_ = CompressedLists::FromLists(interest_);
+    interest_ = {};  // keep only the compressed form resident
+    interest_bytes_ = interest_compressed_.TotalBytes();
+  } else {
+    size_t bytes = interest_.size() * sizeof(std::vector<NodeId>);
+    for (const std::vector<NodeId>& list : interest_) {
+      bytes += list.capacity() * sizeof(NodeId);
+    }
+    interest_bytes_ = bytes;
   }
 }
 
@@ -74,10 +123,31 @@ void AppClient::ShareEvent(NodeId u, uint64_t event_id, uint64_t timestamp) {
 std::vector<EventTuple> AppClient::QueryStream(NodeId u) {
   PIGGY_CHECK_LT(u, pull_views_.size());
   query_requests_.fetch_add(1, std::memory_order_relaxed);
+  // Filter-free users (schedule-implied membership, see the constructor)
+  // never materialize the interest span. Filtered users under the compressed
+  // layout decode it into scratch — the trade the layout option makes: a
+  // varint walk per filtered query for a fraction of the resident bytes.
+  // Flat layout serves the stored list directly. The scratch is
+  // thread_local, not per-call: a malloc per query would dominate the decode
+  // itself at million-user scale, and each serving thread owning one buffer
+  // keeps concurrent queries race-free (the span never escapes this call).
+  const bool filtered = filter_free_[u] == 0;
+  static thread_local std::vector<NodeId> scratch;
+  std::span<const NodeId> interest;
+  if (filtered) {
+    if (layout_ == GraphLayout::kCompressed) {
+      interest_compressed_.DecodeInto(u, &scratch);
+      interest = scratch;
+    } else {
+      interest = interest_[u];
+    }
+  }
   std::vector<EventTuple> merged;
   for (const ServerBatch& batch : GroupByServer(pull_views_[u])) {
+    ViewStore& server = (*servers_)[batch.server];
     std::vector<EventTuple> part =
-        (*servers_)[batch.server].QueryBatch(batch.views, interest_[u], feed_size_);
+        filtered ? server.QueryBatch(batch.views, interest, feed_size_)
+                 : server.QueryBatch(batch.views, feed_size_);
     merged.insert(merged.end(), part.begin(), part.end());
     query_messages_.fetch_add(1, std::memory_order_relaxed);
   }

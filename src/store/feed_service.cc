@@ -82,13 +82,14 @@ std::string FeedService::Metrics::ToString() const {
   return StrFormat(
       "planner=%s replan=%s cost=%.1f ff=%.1f ratio=%.3fx replans=%zu "
       "(bg=%zu drift=%zu score=%.3f) repairs=%zu churn=%zu rebuilds=%zu "
-      "shares=%lu queries=%lu audited=%lu mpr=%.2f throughput=%.0f req/s",
+      "shares=%lu queries=%lu audited=%lu mpr=%.2f throughput=%.0f req/s "
+      "layout=%s interest=%.2fB/edge",
       planner.c_str(), replan_policy.c_str(), schedule_cost, hybrid_cost,
       ImprovementRatio(hybrid_cost, schedule_cost), replans, background_replans,
       drift_replans, drift_score, repairs, churn_ops, serving_rebuilds,
       static_cast<unsigned long>(shares), static_cast<unsigned long>(queries),
       static_cast<unsigned long>(audited_queries), messages_per_request,
-      actual_throughput);
+      actual_throughput, layout.c_str(), interest_bytes_per_edge);
 }
 
 FeedService::FeedService(const Graph& graph, Workload workload,
@@ -953,12 +954,22 @@ FeedService::Metrics FeedService::GetMetrics() const {
       m.messages_per_request > 0
           ? options_.prototype.client_messages_per_second / m.messages_per_request
           : 0.0;
+  m.layout = GraphLayoutName(options_.prototype.layout);
+  if (prototype_ != nullptr) {
+    m.interest_bytes = prototype_->client().InterestBytes();
+    m.interest_bytes_per_edge =
+        graph_.num_edges() > 0
+            ? static_cast<double>(m.interest_bytes) /
+                  static_cast<double>(graph_.num_edges())
+            : 0.0;
+  }
   // Publish the poll-time figures as gauges so a registry export carries the
   // cost picture without a separate Metrics call.
   registry_.GetGauge("feed.schedule_cost").Set(m.schedule_cost);
   registry_.GetGauge("feed.hybrid_cost").Set(m.hybrid_cost);
   registry_.GetGauge("feed.drift_score").Set(m.drift_score);
   registry_.GetGauge("feed.messages_per_request").Set(m.messages_per_request);
+  registry_.GetGauge("feed.interest_bytes").Set(static_cast<double>(m.interest_bytes));
   return m;
 }
 

@@ -206,6 +206,9 @@ class FeedService {
     uint64_t audited_queries = 0;
     double messages_per_request = 0;
     double actual_throughput = 0;  ///< modeled req/s per client
+    std::string layout;            ///< interest-set layout ("flat"|"compressed")
+    size_t interest_bytes = 0;     ///< resident interest-set bytes
+    double interest_bytes_per_edge = 0;  ///< interest_bytes / graph edges
 
     std::string ToString() const;
   };

@@ -30,9 +30,9 @@ Result<std::unique_ptr<Prototype>> Prototype::Create(const Graph& graph,
   for (size_t s = 0; s < options.num_servers; ++s) {
     proto->servers_.emplace_back(static_cast<uint32_t>(s), options.view_capacity);
   }
-  proto->client_ = std::make_unique<AppClient>(graph, schedule,
-                                               proto->partitioner_.get(),
-                                               &proto->servers_, options.feed_size);
+  proto->client_ = std::make_unique<AppClient>(
+      graph, schedule, proto->partitioner_.get(), &proto->servers_,
+      options.feed_size, options.layout);
   return proto;
 }
 

@@ -1,12 +1,21 @@
 #include "store/view_store.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "simd/kernels.h"
+
 namespace piggy {
+
+// The gather-based interest filter reads the producer key as the first 32-bit
+// word of each stored tuple at a fixed word stride.
+static_assert(sizeof(EventTuple) == 24, "EventTuple layout drives the key stride");
+static_assert(offsetof(EventTuple, producer) == 0,
+              "producer must be the leading key word");
 
 std::vector<EventTuple> TopKNewest(std::vector<EventTuple> events, size_t k) {
   std::sort(events.begin(), events.end(), NewerThan);
@@ -47,17 +56,36 @@ std::vector<EventTuple> ViewStore::QueryBatch(std::span<const NodeId> views,
   std::lock_guard<std::mutex> lock(*mu_);
   ++metrics_.query_messages;
   std::vector<EventTuple> candidates;
+  std::vector<uint32_t> sel;
   for (NodeId owner : views) {
     ++metrics_.view_reads;
     const std::vector<EventTuple>* view = views_.Find(owner);
     if (view == nullptr) continue;
-    // Scan newest-first; each view contributes at most k matching events.
-    size_t taken = 0;
-    for (auto it = view->rbegin(); it != view->rend() && taken < k; ++it) {
-      if (std::binary_search(interest.begin(), interest.end(), it->producer)) {
-        candidates.push_back(*it);
-        ++taken;
-      }
+    // Newest-first interest scan, vectorized: each view contributes at most k
+    // matching events; indices come back in descending (newest-first) order.
+    sel.clear();
+    simd::SelectKeyedNewestInto(reinterpret_cast<const uint32_t*>(view->data()),
+                                sizeof(EventTuple) / sizeof(uint32_t), view->size(),
+                                interest, k, &sel);
+    for (uint32_t r : sel) candidates.push_back((*view)[r]);
+  }
+  return TopKNewest(std::move(candidates), k);
+}
+
+std::vector<EventTuple> ViewStore::QueryBatch(std::span<const NodeId> views,
+                                              size_t k) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++metrics_.query_messages;
+  std::vector<EventTuple> candidates;
+  for (NodeId owner : views) {
+    ++metrics_.view_reads;
+    const std::vector<EventTuple>* view = views_.Find(owner);
+    if (view == nullptr) continue;
+    // Views are sorted oldest-first, so the newest k are the tail; emit in
+    // descending record order to mirror the filtered scan exactly.
+    const size_t take = std::min(k, view->size());
+    for (size_t r = view->size(); r > view->size() - take; --r) {
+      candidates.push_back((*view)[r - 1]);
     }
   }
   return TopKNewest(std::move(candidates), k);

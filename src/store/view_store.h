@@ -73,6 +73,13 @@ class ViewStore {
   std::vector<EventTuple> QueryBatch(std::span<const NodeId> views,
                                      std::span<const NodeId> interest, size_t k);
 
+  /// Unfiltered batched query: the `k` newest events across `views` with no
+  /// interest membership test. Only correct when the caller proved every
+  /// producer that can appear in these views is interesting (see AppClient's
+  /// schedule-implied membership precompute); output is then bit-identical to
+  /// the filtered overload without touching the interest set at all.
+  std::vector<EventTuple> QueryBatch(std::span<const NodeId> views, size_t k);
+
   /// Direct read of a full view (tests / audits). Empty if absent.
   std::vector<EventTuple> ReadView(NodeId owner) const;
 

@@ -140,6 +140,24 @@ TEST(ViewStoreTest, QueryReturnsTopKAcrossViews) {
   EXPECT_EQ(store.metrics().view_reads, 2u);
 }
 
+TEST(ViewStoreTest, UnfilteredQueryMatchesFilteredWithSupersetInterest) {
+  // The unfiltered overload must be bit-identical to the filtered one
+  // whenever the interest span covers every producer in the views — the
+  // contract AppClient's schedule-implied membership fast path relies on.
+  ViewStore store(0, 0);
+  for (uint64_t i = 1; i <= 30; ++i) {
+    store.UpdateBatch(std::vector<NodeId>{NodeId(i % 3)},
+                      EventTuple{NodeId(i % 5), i, i});
+  }
+  std::vector<NodeId> views{0, 1, 2};
+  std::vector<NodeId> all{0, 1, 2, 3, 4};
+  auto filtered = store.QueryBatch(views, all, 7);
+  auto unfiltered = store.QueryBatch(views, 7);
+  EXPECT_EQ(filtered, unfiltered);
+  EXPECT_EQ(store.metrics().query_messages, 2u);
+  EXPECT_EQ(store.metrics().view_reads, 6u);
+}
+
 TEST(TopKNewestTest, SortsAndTruncates) {
   std::vector<EventTuple> events{{0, 1, 5}, {0, 2, 9}, {0, 3, 1}, {0, 4, 9}};
   auto top = TopKNewest(events, 3);
@@ -234,6 +252,55 @@ TEST(AppClientTest, HubDoesNotLeakUnfollowedProducers) {
   auto stream = client.QueryStream(1);
   ASSERT_EQ(stream.size(), 1u);
   EXPECT_EQ(stream[0].producer, 0u);
+}
+
+TEST(AppClientTest, FilterFreePrecomputeMatchesScheduleShape) {
+  // Pull-only wiring: every pulled view is its owner's own view and the
+  // owner is followed, so queries are provably filter-free. Adding a hub
+  // with an unfollowed pusher makes the hub's pullers filtered again.
+  Graph g = BuildGraph(4, {{0, 2}, {2, 1}, {0, 1}, {3, 2}}).ValueOrDie();
+  Schedule pull_only;
+  pull_only.AddPull(0, 1);  // 1 pulls followee 0's own view
+  pull_only.AddPull(2, 1);  // 1 pulls followee 2's own view
+  HashPartitioner part(4);
+  std::vector<ViewStore> servers;
+  for (uint32_t i = 0; i < 4; ++i) servers.emplace_back(i, size_t{0});
+  AppClient pull_client(g, pull_only, &part, &servers, 10);
+  EXPECT_TRUE(pull_client.QueryFilterFree(1));
+
+  Schedule hub;
+  hub.AddPush(0, 2);
+  hub.AddPush(3, 2);  // 3 is not followed by 1: hub view 2 can leak
+  hub.AddPull(2, 1);
+  std::vector<ViewStore> servers2;
+  for (uint32_t i = 0; i < 4; ++i) servers2.emplace_back(i, size_t{0});
+  AppClient hub_client(g, hub, &part, &servers2, 10);
+  EXPECT_FALSE(hub_client.QueryFilterFree(1));
+}
+
+TEST(AppClientTest, LayoutsAgreeOnStreamsWithHubsAndFastPaths) {
+  // Every (layout, schedule shape) combination must assemble identical
+  // streams: flat vs compressed, filter-free vs hub-filtered.
+  Graph g = GenerateErdosRenyi(40, 300, 11).ValueOrDie();
+  Workload w = UniformWorkload(40, 1.0, 4.0);
+  for (const Schedule& s : {PullAllSchedule(g), HybridSchedule(g, w)}) {
+    HashPartitioner part(4);
+    std::vector<ViewStore> flat_servers, comp_servers;
+    for (uint32_t i = 0; i < 4; ++i) {
+      flat_servers.emplace_back(i, size_t{0});
+      comp_servers.emplace_back(i, size_t{0});
+    }
+    AppClient flat(g, s, &part, &flat_servers, 10, GraphLayout::kFlatCsr);
+    AppClient comp(g, s, &part, &comp_servers, 10, GraphLayout::kCompressed);
+    for (NodeId u = 0; u < 40; ++u) {
+      flat.ShareEvent(u, u + 1, u + 1);
+      comp.ShareEvent(u, u + 1, u + 1);
+    }
+    for (NodeId u = 0; u < 40; ++u) {
+      EXPECT_EQ(flat.QueryFilterFree(u), comp.QueryFilterFree(u));
+      EXPECT_EQ(flat.QueryStream(u), comp.QueryStream(u)) << "user " << u;
+    }
+  }
 }
 
 TEST(AppClientTest, ViewListsIncludeOwnView) {

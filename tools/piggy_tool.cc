@@ -49,79 +49,135 @@
 namespace piggy {
 namespace {
 
+// ---------------------------------------------------------------------------
+// Help tables — the single source of truth for `piggy_tool --help`. Usage()
+// renders these verbatim, and the docs CI job (scripts/check_docs.py) parses
+// the block between the HELP-TABLE markers and asserts every flag listed here
+// also appears in README.md, so the help text and the README flag tables
+// cannot drift apart again. Add new flags HERE first.
+// ---------------------------------------------------------------------------
+// [[HELP-TABLE-BEGIN]]
+struct FlagDoc {
+  const char* flag;
+  const char* help;
+};
+constexpr FlagDoc kGlobalFlags[] = {
+    {"--verbose", "debug-level logging; -q errors only"},
+    {"--trace-out FILE",
+     "write the structured trace (serve/replay/recover) as\n"
+     "                   chrome://tracing JSON"},
+    {"--report", "print the RunReport timeline from the trace"},
+    {"--stats", "dump the metrics registries after the run"},
+};
+
+struct CommandDoc {
+  const char* name;
+  const char* flags;  // synopsis, pre-wrapped at the tool's help indent
+  const char* notes;  // parenthetical notes ("" = none)
+};
+constexpr CommandDoc kCommands[] = {
+    {"generate",
+     "--preset flickr|twitter|er --nodes N [--edges M]\n"
+     "            [--seed S] --out FILE",
+     ""},
+    {"stats", "--graph FILE | --data-dir DIR [--json]",
+     "with --data-dir: recover the\n"
+     " deployment and dump its metrics\n"
+     " registries"},
+    {"sample",
+     "--graph FILE --method rw|bfs --edges N [--seed S]\n"
+     "            --out FILE",
+     ""},
+    {"optimize",
+     "--graph FILE --planner NAME [--ratio R]\n"
+     "            [--iterations K] [--threads T] [--deadline SECS]\n"
+     "            --out FILE",
+     "--planner list shows the registry;\n"
+     " --algorithm is a legacy alias"},
+    {"evaluate",
+     "--graph FILE --schedule FILE [--ratio R]\n"
+     "            [--servers N] [--partitioner NAME] [--requests N]\n"
+     "            [--seed S]",
+     ""},
+    {"serve",
+     "--graph FILE [--planner NAME] [--shards N]\n"
+     "            [--partitioner NAME] [--ratio R] [--requests N]\n"
+     "            [--audit N] [--seed S] [--client-threads T]\n"
+     "            [--background-replan 0|1] [--data-dir DIR]\n"
+     "            [--snapshot-every N] [--fsync 0|1]\n"
+     "            [--rebalance 0|1] [--move-budget N]\n"
+     "            [--imbalance-threshold X]",
+     "--partitioner list shows the\n"
+     " placement registry; T > 1 drives\n"
+     " the router from T concurrent\n"
+     " clients; --data-dir enables WAL +\n"
+     " snapshot persistence; --rebalance\n"
+     " drives in chunks and runs the\n"
+     " elastic rebalancer between them"},
+    {"replay",
+     "--graph FILE --scenario NAME [--planner NAME]\n"
+     "            [--policy never|every-N|drift] [--shards N]\n"
+     "            [--requests N] [--epochs E] [--intensity X]\n"
+     "            [--churn-level C] [--ratio R] [--audit N] [--seed S]\n"
+     "            [--client-threads T] [--background-replan 0|1]\n"
+     "            [--data-dir DIR] [--snapshot-every N] [--fsync 0|1]\n"
+     "            [--rebalance 0|1] [--move-budget N]\n"
+     "            [--imbalance-threshold X]",
+     "--scenario list shows the registry;\n"
+     " T > 1 adds T-1 concurrent load\n"
+     " threads; background-replan moves\n"
+     " policy replans off the serving\n"
+     " threads; --rebalance runs the\n"
+     " elastic rebalancer at every epoch\n"
+     " close, needs --shards > 1"},
+    {"recover",
+     "--data-dir DIR [--planner NAME] [--ratio R]\n"
+     "            [--requests N] [--seed S] [--json]",
+     "rebuilds the serving state from\n"
+     " the WAL + snapshot pairs, prints\n"
+     " the recovery stats - as JSON with\n"
+     " --json - validates, and optionally\n"
+     " drives N requests through the\n"
+     " recovered system"},
+    {"shards",
+     "--graph FILE [--shards N] [--partitioner NAME]\n"
+     "            [--planner NAME] [--ratio R] [--requests N]\n"
+     "            [--seed S]",
+     "plans the cluster, optionally\n"
+     " drives N requests, then prints a\n"
+     " per-shard table: users, work,\n"
+     " replicas, cross-shard traffic"},
+};
+// [[HELP-TABLE-END]]
+
+// Prints a command's parenthetical notes, re-indented under the flag column.
+void PrintNotes(const char* notes) {
+  if (notes[0] == '\0') return;
+  std::string text = "(";
+  text += notes;
+  text += ")";
+  bool line_start = true;
+  for (const char c : text) {
+    if (line_start) std::fprintf(stderr, "%29s", "");
+    line_start = c == '\n';
+    std::fputc(c, stderr);
+  }
+  std::fputc('\n', stderr);
+}
+
 int Usage() {
-  std::fprintf(stderr, "%s",
+  std::fprintf(stderr,
                "usage: piggy_tool <command> [--key value ...] [--verbose|-q]\n"
-               "\n"
-               "global flags:\n"
-               "  --verbose        debug-level logging; -q errors only\n"
-               "  --trace-out FILE write the structured trace (serve/replay/\n"
-               "                   recover) as chrome://tracing JSON\n"
-               "  --report         print the RunReport timeline from the trace\n"
-               "  --stats          dump the metrics registries after the run\n"
-               "\n"
-               "commands:\n"
-               "  generate  --preset flickr|twitter|er --nodes N [--edges M]\n"
-               "            [--seed S] --out FILE\n"
-               "  stats     --graph FILE | --data-dir DIR [--json]\n"
-               "                             (with --data-dir: recover the\n"
-               "                              deployment and dump its metrics\n"
-               "                              registries)\n"
-               "  sample    --graph FILE --method rw|bfs --edges N [--seed S]\n"
-               "            --out FILE\n"
-               "  optimize  --graph FILE --planner NAME [--ratio R]\n"
-               "            [--iterations K] [--threads T] [--deadline SECS]\n"
-               "            --out FILE       (--planner list shows the registry;\n"
-               "                              --algorithm is a legacy alias)\n"
-               "  evaluate  --graph FILE --schedule FILE [--ratio R]\n"
-               "            [--servers N] [--partitioner NAME] [--requests N]\n"
-               "            [--seed S]\n"
-               "  serve     --graph FILE [--planner NAME] [--shards N]\n"
-               "            [--partitioner NAME] [--ratio R] [--requests N]\n"
-               "            [--audit N] [--seed S] [--client-threads T]\n"
-               "            [--background-replan 0|1] [--data-dir DIR]\n"
-               "            [--snapshot-every N] [--fsync 0|1]\n"
-               "            [--rebalance 0|1] [--move-budget N]\n"
-               "            [--imbalance-threshold X]\n"
-               "                             (--partitioner list shows the\n"
-               "                              placement registry; T > 1 drives\n"
-               "                              the router from T concurrent\n"
-               "                              clients; --data-dir enables WAL +\n"
-               "                              snapshot persistence; --rebalance\n"
-               "                              drives in chunks and runs the\n"
-               "                              elastic rebalancer between them)\n"
-               "  replay    --graph FILE --scenario NAME [--planner NAME]\n"
-               "            [--policy never|every-N|drift] [--shards N]\n"
-               "            [--requests N] [--epochs E] [--intensity X]\n"
-               "            [--churn-level C] [--ratio R] [--audit N] [--seed S]\n"
-               "            [--client-threads T] [--background-replan 0|1]\n"
-               "            [--data-dir DIR] [--snapshot-every N] [--fsync 0|1]\n"
-               "            [--rebalance 0|1] [--move-budget N]\n"
-               "            [--imbalance-threshold X]\n"
-               "                             (--scenario list shows the registry;\n"
-               "                              T > 1 adds T-1 concurrent load\n"
-               "                              threads; background-replan moves\n"
-               "                              policy replans off the serving\n"
-               "                              threads; --rebalance runs the\n"
-               "                              elastic rebalancer at every epoch\n"
-               "                              close, needs --shards > 1)\n"
-               "  recover   --data-dir DIR [--planner NAME] [--ratio R]\n"
-               "            [--requests N] [--seed S] [--json]\n"
-               "                             (rebuilds the serving state from\n"
-               "                              the WAL + snapshot pairs, prints\n"
-               "                              the recovery stats — as JSON with\n"
-               "                              --json — validates, and optionally\n"
-               "                              drives N requests through the\n"
-               "                              recovered system)\n"
-               "  shards    --graph FILE [--shards N] [--partitioner NAME]\n"
-               "            [--planner NAME] [--ratio R] [--requests N]\n"
-               "            [--seed S]\n"
-               "                             (plans the cluster, optionally\n"
-               "                              drives N requests, then prints a\n"
-               "                              per-shard table: users, work,\n"
-               "                              replicas, cross-shard traffic)\n"
-               "\n"
-               "scenarios (for replay --scenario):\n");
+               "\nglobal flags:\n");
+  for (const FlagDoc& f : kGlobalFlags) {
+    std::fprintf(stderr, "  %-16s %s\n", f.flag, f.help);
+  }
+  std::fprintf(stderr, "\ncommands:\n");
+  for (const CommandDoc& c : kCommands) {
+    std::fprintf(stderr, "  %-9s %s\n", c.name, c.flags);
+    PrintNotes(c.notes);
+  }
+  std::fprintf(stderr, "\nscenarios (for replay --scenario):\n");
   for (const ScenarioInfo& info : RegisteredScenarios()) {
     std::fprintf(stderr, "  %-15s %s\n", info.name.c_str(),
                  info.description.c_str());
